@@ -1,0 +1,195 @@
+// Benchmarks regenerating every experiment of DESIGN.md §3: one benchmark
+// per table/figure reproduction (E1..E16, F1..F4), plus micro-benchmarks
+// for the ablations DESIGN.md §4 calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The E/F benchmarks execute the same code as cmd/benchrunner (package
+// internal/experiments); their detailed tables land in EXPERIMENTS.md via
+// `go run ./cmd/benchrunner -scale full`.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/columnstore"
+	"repro/internal/experiments"
+	"repro/internal/sharedlog"
+	"repro/internal/sqlexec"
+	"repro/internal/timeseries"
+	"repro/internal/value"
+)
+
+// benchScale keeps the experiment workloads benchmark-sized.
+var benchScale = experiments.Scale{Rows: 2_000, Nodes: 4}
+
+func benchExperiment(b *testing.B, f func(experiments.Scale) *experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := f(benchScale)
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", t.ID)
+		}
+	}
+}
+
+func BenchmarkE1_HTAPvsSplit(b *testing.B)     { benchExperiment(b, experiments.E1HTAPvsSplit) }
+func BenchmarkE2_Compression(b *testing.B)     { benchExperiment(b, experiments.E2Compression) }
+func BenchmarkE3_MergeStableKeys(b *testing.B) { benchExperiment(b, experiments.E3MergeStableKeys) }
+func BenchmarkE4_CompiledVsInterpreted(b *testing.B) {
+	benchExperiment(b, experiments.E4CompiledVsInterpreted)
+}
+func BenchmarkE5_Pushdown(b *testing.B)     { benchExperiment(b, experiments.E5Pushdown) }
+func BenchmarkE6_AgingPruning(b *testing.B) { benchExperiment(b, experiments.E6AgingPruning) }
+func BenchmarkE7_SharedLog(b *testing.B)    { benchExperiment(b, experiments.E7SharedLog) }
+func BenchmarkE8_ScaleOutSpeedup(b *testing.B) {
+	benchExperiment(b, experiments.E8ScaleOutSpeedup)
+}
+func BenchmarkE9_ScaleUpVsOut(b *testing.B) { benchExperiment(b, experiments.E9ScaleUpVsOut) }
+func BenchmarkE10_HadoopPaths(b *testing.B) { benchExperiment(b, experiments.E10HadoopPaths) }
+func BenchmarkE11_TextEngine(b *testing.B)  { benchExperiment(b, experiments.E11TextEngine) }
+func BenchmarkE12_GraphHierarchy(b *testing.B) {
+	benchExperiment(b, experiments.E12GraphHierarchy)
+}
+func BenchmarkE13_GeoTimeseries(b *testing.B) { benchExperiment(b, experiments.E13GeoTimeseries) }
+func BenchmarkE14_InEngineAlgebra(b *testing.B) {
+	benchExperiment(b, experiments.E14InEngineAlgebra)
+}
+func BenchmarkE15_PlanningDisagg(b *testing.B) {
+	benchExperiment(b, experiments.E15PlanningDisagg)
+}
+func BenchmarkE16_Docstore(b *testing.B)   { benchExperiment(b, experiments.E16Docstore) }
+func BenchmarkF1_Tiering(b *testing.B)     { benchExperiment(b, experiments.F1Tiering) }
+func BenchmarkF2_CrossEngine(b *testing.B) { benchExperiment(b, experiments.F2CrossEngine) }
+func BenchmarkF3_SOECluster(b *testing.B)  { benchExperiment(b, experiments.F3SOECluster) }
+func BenchmarkF4_Ecosystem(b *testing.B)   { benchExperiment(b, experiments.F4Ecosystem) }
+
+// --- ablation micro-benchmarks (DESIGN.md §4) ----------------------------
+
+// Ablation 1: executor mode on a hot scan+filter+aggregate pipeline.
+func BenchmarkAblation_ExecutorModes(b *testing.B) {
+	eng := sqlexec.NewEngine()
+	eng.MustQuery(`CREATE TABLE t (id INT, grp VARCHAR, v DOUBLE)`)
+	sess := eng.NewSession()
+	sess.Begin()
+	for i := 0; i < 20_000; i++ {
+		sess.Query(`INSERT INTO t VALUES (?, ?, ?)`,
+			value.Int(int64(i)), value.String(fmt.Sprintf("g%d", i%8)), value.Float(float64(i%1000)))
+	}
+	sess.Commit()
+	sess.Close()
+	eng.MustQuery(`MERGE DELTA OF t`)
+	q := `SELECT grp, SUM(v) FROM t WHERE id > 5000 AND v < 500 GROUP BY grp`
+	for _, mode := range []struct {
+		name string
+		m    sqlexec.Mode
+	}{{"interpreted", sqlexec.ModeInterpreted}, {"compiled", sqlexec.ModeCompiled}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng.Mode = mode.m
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.MustQuery(q)
+			}
+		})
+	}
+}
+
+// Ablation 2: delta-merge cadence — many small merges vs one big merge.
+func BenchmarkAblation_MergeCadence(b *testing.B) {
+	const rows = 20_000
+	mkRows := func() []value.Row {
+		out := make([]value.Row, rows)
+		for i := range out {
+			out[i] = value.Row{value.Int(int64(i)), value.String(fmt.Sprintf("k%06d", i%500))}
+		}
+		return out
+	}
+	schema := columnstore.Schema{{Name: "id", Kind: value.KindInt}, {Name: "k", Kind: value.KindString}}
+	b.Run("merge-every-batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := columnstore.NewTable("t", schema)
+			all := mkRows()
+			for off := 0; off < rows; off += rows / 8 {
+				t.ApplyInsert(all[off:off+rows/8], uint64(off+1))
+				t.Merge(uint64(off + 2))
+			}
+		}
+	})
+	b.Run("merge-once", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := columnstore.NewTable("t", schema)
+			t.ApplyInsert(mkRows(), 1)
+			t.Merge(2)
+		}
+	})
+}
+
+// Ablation 3: shared-log striping under concurrent appenders.
+func BenchmarkAblation_LogStriping(b *testing.B) {
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	for _, stripes := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("stripes-%d", stripes), func(b *testing.B) {
+			log := sharedlog.NewInMemory(stripes, 1)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := log.Append(payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// Ablation 4: time-series codec throughput.
+func BenchmarkAblation_TSCodec(b *testing.B) {
+	s := timeseries.New()
+	for i := 0; i < 10_000; i++ {
+		s.Append(int64(i)*1_000_000, 20+float64(i%7)*0.1)
+	}
+	enc := timeseries.Encode(s)
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(timeseries.RawSize(s)))
+		for i := 0; i < b.N; i++ {
+			timeseries.Encode(s)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(timeseries.RawSize(s)))
+		for i := 0; i < b.N; i++ {
+			if _, err := timeseries.Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation 5: scan predicate fast path (typed int comparison vs generic).
+func BenchmarkAblation_ScanPredicate(b *testing.B) {
+	eng := sqlexec.NewEngine()
+	eng.MustQuery(`CREATE TABLE t (a INT, s VARCHAR)`)
+	sess := eng.NewSession()
+	sess.Begin()
+	for i := 0; i < 50_000; i++ {
+		sess.Query(`INSERT INTO t VALUES (?, ?)`, value.Int(int64(i)), value.String(fmt.Sprintf("v%d", i%100)))
+	}
+	sess.Commit()
+	sess.Close()
+	eng.MustQuery(`MERGE DELTA OF t`)
+	b.Run("int-fast-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.MustQuery(`SELECT COUNT(*) FROM t WHERE a > 25000`)
+		}
+	})
+	b.Run("dict-eq-fast-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.MustQuery(`SELECT COUNT(*) FROM t WHERE s = 'v42'`)
+		}
+	})
+	b.Run("generic-expression", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.MustQuery(`SELECT COUNT(*) FROM t WHERE a % 2 = 0`)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+// benchrunner regenerates the reproduction experiments of DESIGN.md §3 —
+// E1..E16 for the paper's quantitative claims and F1..F4 for its
+// architecture figures — and prints the tables EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	go run ./cmd/benchrunner                    # everything, small scale
+//	go run ./cmd/benchrunner -scale full        # EXPERIMENTS.md scale
+//	go run ./cmd/benchrunner -experiment E4,E8  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	which := flag.String("experiment", "", "comma-separated experiment ids (default: all)")
+	scaleFlag := flag.String("scale", "small", "small or full")
+	flag.Parse()
+
+	scale := experiments.Small
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	}
+
+	start := time.Now()
+	if *which == "" {
+		for _, t := range experiments.All(scale) {
+			fmt.Println(t.String())
+		}
+	} else {
+		for _, id := range strings.Split(*which, ",") {
+			f, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E16, F1..F4)\n", id)
+				os.Exit(1)
+			}
+			fmt.Println(f(scale).String())
+		}
+	}
+	fmt.Printf("total: %v (scale=%s rows=%d nodes=%d)\n",
+		time.Since(start).Round(time.Millisecond), *scaleFlag, scale.Rows, scale.Nodes)
+}

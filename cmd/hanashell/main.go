@@ -1,0 +1,125 @@
+// hanashell is an interactive SQL shell against an embedded ecosystem:
+// one entry point for the relational core and every domain engine's SQL
+// surface. Statements come from stdin or -e; \commands cover the admin
+// experience (status, merge, explain).
+//
+// Usage:
+//
+//	go run ./cmd/hanashell                 # REPL on stdin
+//	go run ./cmd/hanashell -e "SELECT 1"   # one-shot
+//	go run ./cmd/hanashell -data ./shelldb # durable instance
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sqlexec"
+)
+
+func main() {
+	oneShot := flag.String("e", "", "execute one statement and exit")
+	dataDir := flag.String("data", "", "durable data directory (default: in-memory)")
+	hdfsNodes := flag.Int("hdfs", 0, "attach a simulated HDFS tier with n datanodes")
+	flag.Parse()
+
+	eco, err := core.New(core.Config{DurableDir: *dataDir, HDFSDataNodes: *hdfsNodes})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer eco.Close()
+	sess := eco.Engine.NewSession()
+	defer sess.Close()
+
+	if *oneShot != "" {
+		run(eco, sess, *oneShot)
+		return
+	}
+
+	fmt.Println("hanashell — web-scale data management ecosystem (type \\help)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("  -> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "\\") && buf.Len() == 0 {
+			if !command(eco, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString(" ")
+		if strings.HasSuffix(trimmed, ";") || trimmed == "" {
+			stmt := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if stmt != "" {
+				run(eco, sess, stmt)
+			}
+		}
+		prompt()
+	}
+}
+
+func run(eco *core.Ecosystem, sess *sqlexec.Session, stmt string) {
+	_ = eco
+	res, err := sess.Query(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res.String())
+}
+
+func command(eco *core.Ecosystem, cmd string) bool {
+	switch {
+	case cmd == "\\q" || cmd == "\\quit":
+		return false
+	case cmd == "\\help":
+		fmt.Println(`  \status          admin snapshot (tables, tiers, commits)
+  \merge           delta-merge every table
+  \tables          list tables
+  \objects         list business objects in the repository
+  \q               quit
+  SQL statements end with ';' — SELECT/INSERT/UPDATE/DELETE/CREATE/
+  DROP/MERGE DELTA OF/EXPLAIN plus the engine functions (SENTIMENT,
+  ST_WITHIN_DISTANCE, GRAPH_SHORTEST_PATH, TS_FORECAST, JSON_VALUE, ...)`)
+	case cmd == "\\status":
+		st := eco.Status()
+		fmt.Printf("  commits=%d aborts=%d soe_nodes=%d hdfs_datanodes=%d\n",
+			st.Commits, st.Aborts, st.SOENodes, st.HDFSDataNodes)
+		for _, t := range st.Tables {
+			fmt.Printf("  %-24s rows=%-8d delta=%-6d partitions=%d bytes=%d tiers=%v\n",
+				t.Name, t.Rows, t.DeltaRows, t.Partitions, t.Bytes, t.Tiers)
+		}
+	case cmd == "\\merge":
+		eco.MergeAll()
+		fmt.Println("  merged")
+	case cmd == "\\tables":
+		for _, t := range eco.Engine.Cat.Tables() {
+			fmt.Println("  " + t)
+		}
+	case cmd == "\\objects":
+		for _, o := range eco.Repo.List() {
+			fmt.Println("  " + o)
+		}
+	default:
+		fmt.Println("  unknown command; try \\help")
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+// Scenario §V-4: an insurance company calculates rates from hurricane
+// probabilities. Historic hurricane tracks sit in a Hadoop-like storage;
+// customers and their rates live in the ERP tables; customer locations sit
+// in the geospatial engine. A prediction model derived from the tracks
+// maps onto customer locations to build per-location risk profiles, and
+// the computed rates go back into the ERP for consumption.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/columnstore"
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+func main() {
+	eco, err := core.New(core.Config{HDFSDataNodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eco.Close()
+	rng := rand.New(rand.NewSource(2015))
+
+	// --- Historic hurricane tracks in the Hadoop tier -------------------
+	// One CSV row per observation: storm, year, lat, lon, wind (kt).
+	var csv strings.Builder
+	storms := 0
+	for year := 1990; year <= 2014; year++ {
+		for s := 0; s < 4; s++ {
+			storms++
+			// Tracks start in the Atlantic and drift northwest over the
+			// Florida / Gulf coast box.
+			lat, lon := 18+rng.Float64()*4, -60-rng.Float64()*10
+			wind := 40 + rng.Float64()*30
+			for step := 0; step < 20; step++ {
+				lat += 0.4 + rng.Float64()*0.3
+				lon -= 0.9 + rng.Float64()*0.5
+				wind += rng.Float64()*14 - 6
+				csv.WriteString(fmt.Sprintf("H%04d,%d,%.3f,%.3f,%.1f\n", storms, year, lat, lon, wind))
+			}
+		}
+	}
+	if err := eco.HDFS.WriteFile("/weather/hurdat.csv", []byte(csv.String())); err != nil {
+		log.Fatal(err)
+	}
+	trackSchema := columnstore.Schema{
+		{Name: "storm", Kind: value.KindString},
+		{Name: "yr", Kind: value.KindInt},
+		{Name: "lat", Kind: value.KindFloat},
+		{Name: "lon", Kind: value.KindFloat},
+		{Name: "wind", Kind: value.KindFloat},
+	}
+	eco.HiveSrc.DefineTable("hurdat", "/weather/hurdat.csv", trackSchema)
+	if err := eco.Fed.Expose("tracks", "hive", "hurdat"); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- ERP: customers and their current rates ------------------------
+	eco.MustQuery(`CREATE TABLE customers (id VARCHAR, name VARCHAR, lat DOUBLE, lon DOUBLE, insured_value DOUBLE, rate DOUBLE)`)
+	custs := []struct {
+		id, name string
+		lat, lon float64
+		insured  float64
+	}{
+		{"C1", "Miami Marina", 25.76, -80.19, 2_000_000},
+		{"C2", "Houston Plant", 29.76, -95.37, 5_000_000},
+		{"C3", "Chicago Depot", 41.88, -87.63, 3_000_000},
+		{"C4", "Tampa Resort", 27.95, -82.46, 1_500_000},
+	}
+	for _, c := range custs {
+		eco.MustQuery(`INSERT INTO customers VALUES (?, ?, ?, ?, ?, 0.001)`,
+			value.String(c.id), value.String(c.name), value.Float(c.lat), value.Float(c.lon), value.Float(c.insured))
+	}
+	if err := eco.Geo.CreateIndex("cust_geo", "customers", "lat", "lon", "id"); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Risk model: strong-wind observations near each customer -------
+	// The federation pushes the wind filter into the Hadoop side; only
+	// hurricane-strength observations travel.
+	strong := eco.MustQuery(`SELECT t.storm, t.yr, t.lat, t.lon FROM TABLE(FED_TRACKS('wind >= 64')) t`)
+	fmt.Printf("hurricane-strength observations fetched: %d (of %d total)\n\n", len(strong.Rows), 25*4*20)
+
+	// Pull them into a relational staging table and join spatially.
+	eco.MustQuery(`CREATE TABLE strong_obs (storm VARCHAR, yr INT, lat DOUBLE, lon DOUBLE)`)
+	sess := eco.Engine.NewSession()
+	sess.Query("BEGIN")
+	for _, r := range strong.Rows {
+		sess.Query(`INSERT INTO strong_obs VALUES (?, ?, ?, ?)`, r[0], r[1], r[2], r[3])
+	}
+	sess.Query("COMMIT")
+	sess.Close()
+
+	fmt.Println("== Hurricane exposure per customer (strong obs within 150 km, 25 years) ==")
+	risk := eco.MustQuery(`
+		SELECT c.id, c.name, COUNT(*) AS hits
+		FROM customers c JOIN strong_obs o ON ST_WITHIN_DISTANCE(c.lat, c.lon, o.lat, o.lon, 150)
+		GROUP BY c.id, c.name ORDER BY hits DESC`)
+	fmt.Println(risk.String())
+
+	// Annual frequency trend per region: the time series engine forecasts
+	// next year's expected count from yearly aggregates.
+	eco.MustQuery(`CREATE TABLE yearly (region VARCHAR, yr INT, hits DOUBLE)`)
+	yearly := eco.MustQuery(`SELECT o.yr, COUNT(*) FROM strong_obs o GROUP BY o.yr ORDER BY o.yr`)
+	for _, r := range yearly.Rows {
+		eco.MustQuery(`INSERT INTO yearly VALUES ('gulf', ?, ?)`, r[0], value.Float(r[1].AsFloat()))
+	}
+	if err := eco.Series.CreateSeriesView("freq", "yearly", "region", "yr", "hits"); err != nil {
+		log.Fatal(err)
+	}
+	fc := eco.MustQuery(`SELECT val FROM TABLE(TS_FORECAST('freq', 'gulf', 1)) f`)
+	fmt.Printf("forecast strong observations next season: %.1f\n\n", fc.Rows[0][0].AsFloat())
+
+	// --- Computed rates go back to the ERP (§V-4) -----------------------
+	eco.MustQuery(`CREATE TABLE risk_profile (cust VARCHAR, hits INT)`)
+	for _, r := range risk.Rows {
+		eco.MustQuery(`INSERT INTO risk_profile VALUES (?, ?)`, r[0], r[2])
+	}
+	// Per-customer rate update from the risk profile.
+	for _, r := range risk.Rows {
+		eco.MustQuery(`UPDATE customers SET rate = 0.001 + 0.0001 * ? WHERE id = ?`, r[2], r[0])
+	}
+	fmt.Println("== Updated insurance rates (back in the ERP) ==")
+	out := eco.MustQuery(`SELECT id, name, rate, ROUND(insured_value * rate, 0) AS premium FROM customers ORDER BY rate DESC`)
+	fmt.Println(out.String())
+}

@@ -1,0 +1,142 @@
+// Scenario §V-3: a producer of soap for washrooms plans service routes to
+// refill dispensers. Sensor readings land in the Hadoop tier and stream
+// into the in-memory store; locations live in the GIS engine; the ERP
+// master data and route planning run relationally; the facility graph
+// answers the routing question; event notices (big events near a
+// location) trigger proactive refills.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/columnstore"
+	"repro/internal/core"
+	"repro/internal/soe"
+	"repro/internal/value"
+)
+
+func main() {
+	eco, err := core.New(core.Config{
+		HDFSDataNodes: 3,
+		SOE:           &soe.ClusterConfig{Nodes: 2, Mode: soe.OLTP},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eco.Close()
+
+	// --- ERP master data (relational, in-memory) -----------------------
+	eco.MustQuery(`CREATE TABLE dispensers (id VARCHAR, building VARCHAR, lat DOUBLE, lon DOUBLE)`)
+	eco.MustQuery(`CREATE TABLE buildings (id VARCHAR, name VARCHAR)`)
+	dispensers := []struct {
+		id, building string
+		lat, lon     float64
+	}{
+		{"DISP-0001", "B1", 52.5200, 13.4050},
+		{"DISP-0002", "B1", 52.5201, 13.4052},
+		{"DISP-0003", "B2", 52.5310, 13.3840},
+		{"DISP-0004", "B3", 52.5075, 13.4251},
+	}
+	for _, d := range dispensers {
+		eco.MustQuery(`INSERT INTO dispensers VALUES (?, ?, ?, ?)`,
+			value.String(d.id), value.String(d.building), value.Float(d.lat), value.Float(d.lon))
+	}
+	eco.MustQuery(`INSERT INTO buildings VALUES ('B1', 'Hauptbahnhof'), ('B2', 'Messe'), ('B3', 'Ostbahnhof')`)
+	if err := eco.Geo.CreateIndex("disp_geo", "dispensers", "lat", "lon", "id"); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Sensor data: raw history in HDFS, live feed streamed ----------
+	// Historic fill-level CSV lands in the Hadoop tier; the Hive source
+	// makes it SQL-queryable with pushdown.
+	var csv strings.Builder
+	for i, d := range dispensers {
+		for h := 0; h < 24; h++ {
+			fill := 100 - (h*3+i*7)%100
+			csv.WriteString(fmt.Sprintf("%s,%d,%d\n", d.id, h*3_600_000_000, fill))
+		}
+	}
+	if err := eco.HDFS.WriteFile("/sensors/fill_history.csv", []byte(csv.String())); err != nil {
+		log.Fatal(err)
+	}
+	sensorSchema := columnstore.Schema{
+		{Name: "sensor", Kind: value.KindString},
+		{Name: "ts", Kind: value.KindInt},
+		{Name: "fill", Kind: value.KindInt},
+	}
+	eco.HiveSrc.DefineTable("fill_history", "/sensors/fill_history.csv", sensorSchema)
+	if err := eco.Fed.Expose("history", "hive", "fill_history"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Live readings stream into the delta store; a trigger fires on
+	// critically low levels.
+	eco.MustQuery(`CREATE TABLE live_fill (sensor VARCHAR, ts INT, fill DOUBLE)`)
+	stream := eco.NewStream(columnstore.Schema{
+		{Name: "sensor", Kind: value.KindString},
+		{Name: "ts", Kind: value.KindInt},
+		{Name: "fill", Kind: value.KindFloat},
+	})
+	var alerts []string
+	stream.OnEvent(func(r value.Row) {
+		if r[2].F < 15 {
+			alerts = append(alerts, r[0].S)
+		}
+	})
+	// Stream sink expects the stream schema order (sensor, ts, fill).
+	if err := stream.IntoTable(eco.Engine, "live_fill"); err != nil {
+		log.Fatal(err)
+	}
+	readings := []struct {
+		sensor string
+		fill   float64
+	}{{"DISP-0001", 8}, {"DISP-0002", 72}, {"DISP-0003", 12}, {"DISP-0004", 55}}
+	for i, rd := range readings {
+		stream.Push(value.Row{value.String(rd.sensor), value.Int(int64(i)), value.Float(rd.fill)})
+	}
+	stream.Flush()
+	fmt.Printf("low-fill alerts from the stream: %v\n\n", alerts)
+
+	// --- Event notices: proactive refills (§V-3) -----------------------
+	// A big event near Messe (B2) means its dispensers refill even above
+	// the usual threshold.
+	eco.MustQuery(`CREATE TABLE events (name VARCHAR, lat DOUBLE, lon DOUBLE, expected_visitors INT)`)
+	eco.MustQuery(`INSERT INTO events VALUES ('TechConf', 52.5312, 13.3845, 20000)`)
+
+	// --- The planning query: which dispensers need service? ------------
+	fmt.Println("== Dispensers needing refill (threshold 15, or near a big event: 60) ==")
+	r := eco.MustQuery(`
+		SELECT d.id, b.name AS building, f.fill,
+		       CASE WHEN e.name IS NOT NULL THEN 'proactive' ELSE 'urgent' END AS reason
+		FROM live_fill f
+		JOIN dispensers d ON d.id = f.sensor
+		JOIN buildings b ON b.id = d.building
+		LEFT JOIN events e ON ST_WITHIN_DISTANCE(d.lat, d.lon, e.lat, e.lon, 1) AND e.expected_visitors > 10000
+		WHERE f.fill < CASE WHEN e.name IS NOT NULL THEN 60 ELSE 15 END
+		ORDER BY f.fill`)
+	fmt.Println(r.String())
+
+	// --- Routing: the facility graph answers the path question ---------
+	eco.MustQuery(`CREATE TABLE corridors (src VARCHAR, dst VARCHAR, meters DOUBLE)`)
+	for _, c := range [][3]any{
+		{"depot", "B1", 1200.0}, {"B1", "B2", 4300.0}, {"B1", "B3", 2500.0}, {"B2", "B3", 5200.0}, {"depot", "B3", 2000.0},
+	} {
+		eco.MustQuery(`INSERT INTO corridors VALUES (?, ?, ?)`,
+			value.String(c[0].(string)), value.String(c[1].(string)), value.Float(c[2].(float64)))
+	}
+	if err := eco.Graph.CreateGraphView("campus", "corridors", "src", "dst", "meters", true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Service route depot → Messe (B2) ==")
+	r = eco.MustQuery(`SELECT step, node FROM TABLE(GRAPH_SHORTEST_PATH('campus', 'depot', 'B2')) p ORDER BY step`)
+	fmt.Println(r.String())
+
+	// --- Historic analysis straight from HDFS via SDA pushdown ---------
+	fmt.Println("== Hours below 20% per dispenser (computed on the Hadoop side) ==")
+	r = eco.MustQuery(`SELECT h.sensor, COUNT(*) AS hours_low FROM TABLE(FED_HISTORY('fill < 20')) h GROUP BY h.sensor ORDER BY hours_low DESC`)
+	fmt.Println(r.String())
+
+	fmt.Printf("rows fetched from Hadoop: %d (filter pushed down)\n", eco.Fed.RowsMoved())
+}

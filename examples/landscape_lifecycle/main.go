@@ -1,0 +1,97 @@
+// The non-functional half of §V: "one central repository for business
+// objects with consistent deployment procedures into all SAP systems,
+// seamless migration from development via test to active systems, single
+// interface for a central administration of all components." This example
+// runs a three-system landscape (dev → test → prod) from one repository,
+// upgrades an object, detects landscape drift, and shows the single
+// administration surface.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	repo := core.NewRepository()
+
+	// The business object: a sales order with its view and a text index,
+	// defined once, deployed everywhere.
+	repo.Define(core.BusinessObject{
+		Name: "sales_order",
+		Statements: []string{
+			`CREATE TABLE so (id VARCHAR, customer VARCHAR, note VARCHAR, total DOUBLE, status VARCHAR)`,
+			`CREATE VIEW so_open AS SELECT id, customer, total FROM so WHERE status = 'OPEN'`,
+		},
+		Wire: func(e *core.Ecosystem) error {
+			return e.Text.CreateIndex("so", "note", "id")
+		},
+	})
+	repo.Define(core.BusinessObject{
+		Name:       "revenue_report",
+		Statements: []string{`CREATE VIEW revenue AS SELECT customer, SUM(total) AS total FROM so GROUP BY customer`},
+	})
+
+	mkSystem := func(name string) *core.Ecosystem {
+		e, err := core.New(core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := repo.DeployAll(e); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		return e
+	}
+	dev, test, prod := mkSystem("dev"), mkSystem("test"), mkSystem("prod")
+	defer dev.Close()
+	defer test.Close()
+	defer prod.Close()
+	fmt.Println("deployed sales_order v1 + revenue_report v1 to dev, test, prod")
+
+	// Work happens in prod while dev evolves.
+	prod.MustQuery(`INSERT INTO so VALUES ('SO-1', 'Acme', 'urgent delivery to Berlin', 1200, 'OPEN')`)
+	prod.MustQuery(`INSERT INTO so VALUES ('SO-2', 'Globex', 'standard order', 300, 'CLOSED')`)
+	r := prod.MustQuery(`SELECT * FROM so_open`)
+	fmt.Printf("\nprod open orders:\n%s\n", r)
+	r = prod.MustQuery(`SELECT k FROM TABLE(TEXT_SEARCH('so', 'urgent Berlin')) s`)
+	fmt.Printf("text search on the deployed index: %s hits\n\n", fmt.Sprint(len(r.Rows)))
+
+	// Version 2 of the report lands in dev and test, not yet in prod.
+	repo.Define(core.BusinessObject{
+		Name:       "revenue_report",
+		Statements: []string{`CREATE VIEW revenue_v2 AS SELECT customer, SUM(total) AS total, COUNT(*) AS orders FROM so GROUP BY customer`},
+	})
+	for _, sys := range []*core.Ecosystem{dev, test} {
+		if err := repo.Deploy("revenue_report", sys); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The landscape check: which objects differ across systems?
+	drift := core.LandscapeDrift(repo, dev, test, prod)
+	fmt.Println("landscape drift (dev, test, prod versions):")
+	for obj, versions := range drift {
+		fmt.Printf("  %-16s %v  ← prod lags\n", obj, versions)
+	}
+
+	// Roll prod forward; drift disappears.
+	if err := repo.Deploy("revenue_report", prod); err != nil {
+		log.Fatal(err)
+	}
+	if len(core.LandscapeDrift(repo, dev, test, prod)) == 0 {
+		fmt.Println("after rollout: landscape consistent")
+	}
+
+	// One administration surface for every system.
+	fmt.Println("\nadmin snapshot per system:")
+	for name, sys := range map[string]*core.Ecosystem{"dev": dev, "test": test, "prod": prod} {
+		st := sys.Status()
+		rows := 0
+		for _, t := range st.Tables {
+			rows += t.Rows
+		}
+		fmt.Printf("  %-5s tables=%d rows=%d commits=%d\n", name, len(st.Tables), rows, st.Commits)
+	}
+}

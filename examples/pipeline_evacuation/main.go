@@ -1,0 +1,134 @@
+// Scenario §V-5: a gas pipeline is stored as a huge graph together with
+// its geographic locations. When a sensor stream detects a pressure drop
+// (a leak), the system computes an evacuation plan in real time: isolate
+// the leaking segment, find everyone within the danger radius, and give
+// each affected site the shortest safe route to an assembly point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/columnstore"
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+func main() {
+	eco, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eco.Close()
+
+	// --- The pipeline graph with geo positions -------------------------
+	eco.MustQuery(`CREATE TABLE stations (id VARCHAR, lat DOUBLE, lon DOUBLE)`)
+	stations := []struct {
+		id       string
+		lat, lon float64
+	}{
+		{"plant", 53.55, 9.99}, {"j1", 53.40, 10.10}, {"j2", 53.25, 10.25},
+		{"j3", 53.10, 10.40}, {"city_gate", 52.95, 10.55}, {"storage", 53.30, 9.90},
+	}
+	for _, s := range stations {
+		eco.MustQuery(`INSERT INTO stations VALUES (?, ?, ?)`,
+			value.String(s.id), value.Float(s.lat), value.Float(s.lon))
+	}
+	eco.MustQuery(`CREATE TABLE pipes (src VARCHAR, dst VARCHAR, km DOUBLE, segment VARCHAR)`)
+	pipes := []struct {
+		src, dst string
+		km       float64
+		seg      string
+	}{
+		{"plant", "j1", 18, "SEG-A"}, {"j1", "j2", 21, "SEG-B"}, {"j2", "j3", 20, "SEG-C"},
+		{"j3", "city_gate", 19, "SEG-D"}, {"j1", "storage", 16, "SEG-E"}, {"storage", "j2", 26, "SEG-F"},
+	}
+	for _, p := range pipes {
+		eco.MustQuery(`INSERT INTO pipes VALUES (?, ?, ?, ?)`,
+			value.String(p.src), value.String(p.dst), value.Float(p.km), value.String(p.seg))
+	}
+	if err := eco.Graph.CreateGraphView("pipeline", "pipes", "src", "dst", "km", true); err != nil {
+		log.Fatal(err)
+	}
+	if err := eco.Geo.CreateIndex("station_geo", "stations", "lat", "lon", "id"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sites (villages, facilities) along the line.
+	eco.MustQuery(`CREATE TABLE sites (id VARCHAR, name VARCHAR, lat DOUBLE, lon DOUBLE, people INT)`)
+	sites := []struct {
+		id, name string
+		lat, lon float64
+		people   int
+	}{
+		{"S1", "Village North", 53.38, 10.12, 800},
+		{"S2", "Factory East", 53.26, 10.27, 250},
+		{"S3", "Farm Cluster", 53.12, 10.38, 60},
+		{"S4", "Town South", 52.96, 10.53, 4000},
+	}
+	for _, s := range sites {
+		eco.MustQuery(`INSERT INTO sites VALUES (?, ?, ?, ?, ?)`,
+			value.String(s.id), value.String(s.name), value.Float(s.lat), value.Float(s.lon), value.Int(int64(s.people)))
+	}
+
+	// --- Live pressure stream with leak detection -----------------------
+	eco.MustQuery(`CREATE TABLE pressure (segment VARCHAR, ts INT, bar DOUBLE)`)
+	stream := eco.NewStream(columnstore.Schema{
+		{Name: "segment", Kind: value.KindString},
+		{Name: "ts", Kind: value.KindInt},
+		{Name: "bar", Kind: value.KindFloat},
+	})
+	var leaks []string
+	stream.OnEvent(func(r value.Row) {
+		if r[2].F < 40 { // nominal is ~60 bar
+			leaks = append(leaks, r[0].S)
+		}
+	})
+	if err := stream.IntoTable(eco.Engine, "pressure"); err != nil {
+		log.Fatal(err)
+	}
+	// Normal readings, then a sudden drop on SEG-B (j1-j2).
+	for i, seg := range []string{"SEG-A", "SEG-B", "SEG-C", "SEG-D", "SEG-E", "SEG-F"} {
+		stream.Push(value.Row{value.String(seg), value.Int(int64(i)), value.Float(60)})
+	}
+	stream.Push(value.Row{value.String("SEG-B"), value.Int(100), value.Float(31.5)})
+	stream.Flush()
+	if len(leaks) == 0 {
+		log.Fatal("no leak detected")
+	}
+	fmt.Printf("LEAK DETECTED on %s\n\n", leaks[0])
+
+	// --- Real-time evacuation plan --------------------------------------
+	// 1. Locate the leaking segment's endpoints and the danger midpoint.
+	seg := eco.MustQuery(`SELECT p.src, p.dst FROM pipes p WHERE p.segment = ?`, value.String(leaks[0]))
+	src, dst := seg.Rows[0][0].S, seg.Rows[0][1].S
+	ends := eco.MustQuery(`SELECT lat, lon FROM stations WHERE id IN (?, ?)`, value.String(src), value.String(dst))
+	midLat := (ends.Rows[0][0].F + ends.Rows[1][0].F) / 2
+	midLon := (ends.Rows[0][1].F + ends.Rows[1][1].F) / 2
+	fmt.Printf("leak between %s and %s, danger center (%.3f, %.3f)\n\n", src, dst, midLat, midLon)
+
+	// 2. Everyone within 15 km of the leak must evacuate.
+	fmt.Println("== Sites inside the 15 km danger zone ==")
+	danger := eco.MustQuery(fmt.Sprintf(`
+		SELECT s.id, s.name, s.people, ST_DISTANCE_KM(s.lat, s.lon, %f, %f) AS km
+		FROM sites s WHERE ST_WITHIN_DISTANCE(s.lat, s.lon, %f, %f, 15)
+		ORDER BY km`, midLat, midLon, midLat, midLon))
+	fmt.Println(danger.String())
+
+	// 3. Isolate: which stations stay reachable from the plant with the
+	//    leaking segment closed? Rebuild the view without SEG-B.
+	eco.MustQuery(`CREATE VIEW safe_pipes AS SELECT src, dst, km FROM pipes WHERE segment <> 'SEG-B'`)
+	eco.MustQuery(`CREATE TABLE safe_pipes_t (src VARCHAR, dst VARCHAR, km DOUBLE)`)
+	eco.MustQuery(`INSERT INTO safe_pipes_t SELECT src, dst, km FROM safe_pipes`)
+	if err := eco.Graph.CreateGraphView("safe", "safe_pipes_t", "src", "dst", "km", true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Supply route plant → city_gate avoiding the leak ==")
+	route := eco.MustQuery(`SELECT step, node, cost FROM TABLE(GRAPH_SHORTEST_PATH('safe', 'plant', 'city_gate')) p ORDER BY step`)
+	fmt.Println(route.String())
+
+	// 4. Evacuation totals for the crisis dashboard.
+	total := eco.MustQuery(fmt.Sprintf(`
+		SELECT SUM(people) FROM sites WHERE ST_WITHIN_DISTANCE(lat, lon, %f, %f, 15)`, midLat, midLon))
+	fmt.Printf("people to evacuate: %d\n", total.Rows[0][0].AsInt())
+}

@@ -1,0 +1,80 @@
+// Quickstart: boot an ecosystem, run OLTP and OLAP on the same column
+// store, and combine text, geo and currency functionality in one SQL
+// statement — the elevator pitch of the paper in ~100 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+func main() {
+	eco, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eco.Close()
+
+	// DDL — plain SQL against the in-memory column store.
+	eco.MustQuery(`CREATE TABLE customers (id VARCHAR, name VARCHAR, lat DOUBLE, lon DOUBLE, review VARCHAR)`)
+	eco.MustQuery(`CREATE TABLE orders (id VARCHAR, cust_id VARCHAR, amount DOUBLE, currency VARCHAR, status VARCHAR)`)
+
+	// OLTP: transactional inserts (every statement is ACID).
+	customers := []struct {
+		id, name string
+		lat, lon float64
+		review   string
+	}{
+		{"C1", "Alpha GmbH", 52.52, 13.40, "great service, fast delivery"},
+		{"C2", "Beta Corp", 52.53, 13.41, "terrible support, slow and broken"},
+		{"C3", "Gamma Ltd", 37.56, 126.97, "works perfectly, love it"},
+	}
+	for _, c := range customers {
+		eco.MustQuery(`INSERT INTO customers VALUES (?, ?, ?, ?, ?)`,
+			value.String(c.id), value.String(c.name), value.Float(c.lat), value.Float(c.lon), value.String(c.review))
+	}
+	eco.Bridge.Currency.SetRate("USD", 0, 0.9)
+	eco.MustQuery(`INSERT INTO orders VALUES ('O1', 'C1', 1000, 'EUR', 'OPEN')`)
+	eco.MustQuery(`INSERT INTO orders VALUES ('O2', 'C1', 500, 'USD', 'PAID')`)
+	eco.MustQuery(`INSERT INTO orders VALUES ('O3', 'C2', 250, 'USD', 'OPEN')`)
+	eco.MustQuery(`INSERT INTO orders VALUES ('O4', 'C3', 800, 'EUR', 'PAID')`)
+
+	// OLAP on the same store — no replication, no ETL (§II-A).
+	fmt.Println("== Revenue per customer (EUR, converted in-engine) ==")
+	r := eco.MustQuery(`
+		SELECT c.name, SUM(CONVERT_CURRENCY(o.amount, o.currency, 'EUR', 1)) AS revenue
+		FROM orders o JOIN customers c ON c.id = o.cust_id
+		GROUP BY c.name ORDER BY revenue DESC`)
+	printResult(r)
+
+	// Cross-engine query: geospatial proximity + text sentiment in one
+	// statement through one optimizer (Figure 2).
+	fmt.Println("== Happy customers within 10 km of Berlin center ==")
+	r = eco.MustQuery(`
+		SELECT id, name FROM customers
+		WHERE ST_WITHIN_DISTANCE(lat, lon, 52.5200, 13.4050, 10)
+		  AND SENTIMENT(review) > 0`)
+	printResult(r)
+
+	// The column store at work: merge the delta, look at compression.
+	eco.MergeAll()
+	st := eco.Status()
+	fmt.Println("== Storage after delta merge ==")
+	for _, t := range st.Tables {
+		fmt.Printf("  %-10s rows=%-4d partitions=%d bytes=%d\n", t.Name, t.Rows, t.Partitions, t.Bytes)
+	}
+
+	// EXPLAIN shows the optimized plan.
+	fmt.Println("== EXPLAIN ==")
+	r = eco.MustQuery(`EXPLAIN SELECT c.name, COUNT(*) FROM orders o JOIN customers c ON c.id = o.cust_id WHERE o.status = 'OPEN' GROUP BY c.name`)
+	for _, row := range r.Rows {
+		fmt.Println("  " + row[0].S)
+	}
+}
+
+func printResult(r interface{ String() string }) {
+	fmt.Println(r.String())
+}

@@ -1,0 +1,150 @@
+// Scenario §V-1: financial analysts keep stock prices in the relational
+// store and run complex numerical analysis without exporting to external
+// files. The time series engine computes correlations, the scientific
+// engine builds the covariance matrix and extracts its dominant
+// eigenvector (the market factor) in-engine, an external "R" provider is
+// called as an operator in the data flow, and text analysis links recent
+// news entities back to the traded companies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/value"
+)
+
+// rProvider simulates the external R system of §II-B.
+type rProvider struct{}
+
+func (rProvider) Name() string { return "R" }
+func (rProvider) Call(proc string, in map[string][]float64) (map[string][]float64, error) {
+	switch proc {
+	case "drawdown": // maximum drawdown of a price series
+		x := in["x"]
+		peak, maxDD := math.Inf(-1), 0.0
+		out := make([]float64, len(x))
+		for i, v := range x {
+			if v > peak {
+				peak = v
+			}
+			dd := (peak - v) / peak
+			if dd > maxDD {
+				maxDD = dd
+			}
+			out[i] = maxDD
+		}
+		return map[string][]float64{"drawdown": out}, nil
+	}
+	return nil, fmt.Errorf("R: unknown procedure %q", proc)
+}
+
+func main() {
+	eco, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eco.Close()
+	eco.Mining.RegisterProvider(rProvider{})
+	rng := rand.New(rand.NewSource(42))
+
+	// --- Price history in the relational store --------------------------
+	eco.MustQuery(`CREATE TABLE prices (ticker VARCHAR, ts INT, price DOUBLE)`)
+	tickers := []string{"SAP", "ACME", "GLOBEX", "INITECH"}
+	days := 250
+	// ACME follows SAP (same market factor); GLOBEX is anti-cyclical;
+	// INITECH is pure noise.
+	base := make([]float64, days)
+	base[0] = 0
+	for d := 1; d < days; d++ {
+		base[d] = base[d-1] + rng.NormFloat64()
+	}
+	sess := eco.Engine.NewSession()
+	sess.Query("BEGIN")
+	for d := 0; d < days; d++ {
+		prices := map[string]float64{
+			"SAP":     100 + 2*base[d] + rng.NormFloat64()*0.2,
+			"ACME":    50 + 1.1*base[d] + rng.NormFloat64()*0.2,
+			"GLOBEX":  80 - 1.5*base[d] + rng.NormFloat64()*0.2,
+			"INITECH": 30 + rng.NormFloat64()*2,
+		}
+		for _, tk := range tickers {
+			sess.Query(`INSERT INTO prices VALUES (?, ?, ?)`,
+				value.String(tk), value.Int(int64(d)), value.Float(prices[tk]))
+		}
+	}
+	sess.Query("COMMIT")
+	sess.Close()
+	eco.MergeAll() // read-optimize before the analytical phase
+
+	if err := eco.Series.CreateSeriesView("stocks", "prices", "ticker", "ts", "price"); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Correlations through the time series engine --------------------
+	fmt.Println("== Pairwise correlation with SAP ==")
+	for _, tk := range tickers[1:] {
+		r := eco.MustQuery(`SELECT TS_CORRELATION('stocks', 'SAP', ?)`, value.String(tk))
+		fmt.Printf("  SAP vs %-8s %+.3f\n", tk, r.Rows[0][0].AsFloat())
+	}
+	fmt.Println()
+
+	// --- Covariance + dominant eigenvector, all in-engine (§II-G) -------
+	series := make([][]float64, len(tickers))
+	for i, tk := range tickers {
+		s, err := eco.Series.Series("stocks", tk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diffs := s.Diff()
+		series[i] = make([]float64, diffs.Len())
+		for d := 0; d < diffs.Len(); d++ {
+			series[i][d] = diffs.At(d).Val
+		}
+	}
+	obs := matrix.NewDense(len(series[0]), len(tickers))
+	for d := 0; d < obs.Rows; d++ {
+		for i := range tickers {
+			obs.Set(d, i, series[i][d])
+		}
+	}
+	cov := matrix.Covariance(obs)
+	if err := eco.Matrix.SaveCSR("cov_matrix", cov.ToCSR()); err != nil {
+		log.Fatal(err)
+	}
+	r := eco.MustQuery(`SELECT MATRIX_EIGENVALUE('cov_matrix', ?, ?)`,
+		value.Int(int64(len(tickers))), value.Int(int64(len(tickers))))
+	fmt.Printf("dominant market-factor variance (λ₁): %.3f\n", r.Rows[0][0].AsFloat())
+	ev, vec, iters, err := eco.Matrix.EigenInEngine("cov_matrix", len(tickers), len(tickers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("eigenvector after %d iterations (λ=%.3f):\n", iters, ev)
+	for i, tk := range tickers {
+		fmt.Printf("  %-8s %+.3f\n", tk, vec[i])
+	}
+	fmt.Println()
+
+	// --- External R operator in the data flow (§II-B) -------------------
+	eco.MustQuery(`CREATE VIEW sap_prices AS SELECT price FROM prices WHERE ticker = 'SAP'`)
+	r = eco.MustQuery(`SELECT MAX(val) AS max_drawdown FROM TABLE(EXT_CALL('R', 'drawdown', 'sap_prices', 'price')) d`)
+	fmt.Printf("maximum drawdown of SAP (computed by the R provider): %.1f%%\n\n", 100*r.Rows[0][0].AsFloat())
+
+	// --- News context: text entities join the tickers -------------------
+	eco.MustQuery(`CREATE TABLE news (id VARCHAR, body VARCHAR)`)
+	eco.MustQuery(`INSERT INTO news VALUES ('N1', 'Acme Corp announces record quarter, investors happy')`)
+	eco.MustQuery(`INSERT INTO news VALUES ('N2', 'Globex Corp faces terrible supply problem in Berlin')`)
+	if err := eco.Text.CreateIndex("news", "body", "id"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Company mentions in the news with sentiment ==")
+	r = eco.MustQuery(`
+		SELECT e.entity, n.id, SENTIMENT(n.body) AS tone
+		FROM TABLE(TEXT_ENTITIES('news')) e JOIN news n ON n.id = e.k
+		WHERE e.etype = 'COMPANY' ORDER BY tone DESC`)
+	fmt.Println(r.String())
+}

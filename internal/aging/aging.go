@@ -1,0 +1,510 @@
+// Package aging implements the semantic data-aging mechanism of §III:
+// applications define aging rules ("age a sales order if it is closed,
+// the closing date is older than 3 months, and it is not from this
+// year"), the engine stores them in catalog metadata, moves matching rows
+// into cold partitions, and — because the rules carry business meaning —
+// prunes partitions far more aggressively than any statistics-based
+// approach. Dependencies between objects ("an invoice ages only when its
+// order is aged") form a checked acyclic graph and enable the join-split
+// optimization the paper walks through. Experiment E6 measures all of it.
+package aging
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/columnstore"
+	"repro/internal/sqlexec"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Rule is one application-defined aging rule.
+type Rule struct {
+	Table string
+
+	// A row is cold when StatusCol equals ClosedStatus ...
+	StatusCol    string
+	ClosedStatus string
+	// ... and DateCol is at least MinAge old ...
+	DateCol string
+	MinAge  time.Duration
+	// ... and (optionally) the date is not from the current year.
+	NotCurrentYear bool
+
+	// DependsOn couples this object's aging to a parent object: a row
+	// ages only when the referenced parent row is already aged.
+	DependsOn *Dependency
+}
+
+// Dependency references the parent object of a coupled aging rule.
+type Dependency struct {
+	ParentTable  string
+	ParentKeyCol string
+	FKCol        string
+}
+
+// coldMeta is what the pruner knows about one cold partition.
+type coldMeta struct {
+	rule      Rule
+	maxDate   int64 // every row in the partition has DateCol <= maxDate
+	partition *catalog.Partition
+}
+
+// Manager owns the rules, the cold partitions, and the semantic pruner.
+type Manager struct {
+	mu      sync.Mutex
+	eng     *sqlexec.Engine
+	rules   map[string]Rule
+	cold    map[string]*coldMeta
+	hotOnly map[string]bool
+	// ColdReadPenaltyMicros is charged per cold-partition scan to model
+	// extended-storage access latency (Figure 1's tiers).
+	ColdReadPenaltyMicros int
+}
+
+// Attach creates the aging manager and installs its pruner into the
+// engine.
+func Attach(eng *sqlexec.Engine) *Manager {
+	m := &Manager{
+		eng:     eng,
+		rules:   map[string]Rule{},
+		cold:    map[string]*coldMeta{},
+		hotOnly: map[string]bool{},
+
+		ColdReadPenaltyMicros: 200,
+	}
+	eng.Prune = m.Prune
+	return m
+}
+
+// DefineRule validates and stores a rule; the serialized form lands in
+// catalog metadata, making aging semantics part of the database (§III).
+func (m *Manager) DefineRule(r Rule) error {
+	entry, ok := m.eng.Cat.Table(r.Table)
+	if !ok {
+		return fmt.Errorf("aging: unknown table %q", r.Table)
+	}
+	for _, c := range []string{r.StatusCol, r.DateCol} {
+		if entry.Schema.ColIndex(c) < 0 {
+			return fmt.Errorf("aging: column %q not in %s", c, r.Table)
+		}
+	}
+	if r.DependsOn != nil {
+		parent, ok := m.eng.Cat.Table(r.DependsOn.ParentTable)
+		if !ok {
+			return fmt.Errorf("aging: unknown parent table %q", r.DependsOn.ParentTable)
+		}
+		if parent.Schema.ColIndex(r.DependsOn.ParentKeyCol) < 0 {
+			return fmt.Errorf("aging: parent key %q not in %s", r.DependsOn.ParentKeyCol, r.DependsOn.ParentTable)
+		}
+		if entry.Schema.ColIndex(r.DependsOn.FKCol) < 0 {
+			return fmt.Errorf("aging: foreign key %q not in %s", r.DependsOn.FKCol, r.Table)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rules[r.Table] = r
+	if err := m.checkAcyclic(); err != nil {
+		delete(m.rules, r.Table)
+		return err
+	}
+	blob, _ := json.Marshal(struct {
+		Status, Closed, Date string
+		MinAgeMicros         int64
+		NotCurrentYear       bool
+	}{r.StatusCol, r.ClosedStatus, r.DateCol, int64(r.MinAge / time.Microsecond), r.NotCurrentYear})
+	return m.eng.Cat.SetMetadata(r.Table, "aging_rule", string(blob))
+}
+
+// checkAcyclic verifies the dependency graph has no cycles ("there is no
+// cycle in the dependency graph"). Caller holds m.mu.
+func (m *Manager) checkAcyclic() error {
+	state := map[string]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(t string) error
+	visit = func(t string) error {
+		switch state[t] {
+		case 1:
+			return fmt.Errorf("aging: dependency cycle through %q", t)
+		case 2:
+			return nil
+		}
+		state[t] = 1
+		if r, ok := m.rules[t]; ok && r.DependsOn != nil {
+			if err := visit(r.DependsOn.ParentTable); err != nil {
+				return err
+			}
+		}
+		state[t] = 2
+		return nil
+	}
+	tables := make([]string, 0, len(m.rules))
+	for t := range m.rules {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		if err := visit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// agingOrder returns rule tables parents-first. Caller holds m.mu.
+func (m *Manager) agingOrder() []string {
+	var order []string
+	state := map[string]int{}
+	var visit func(t string)
+	visit = func(t string) {
+		if state[t] != 0 {
+			return
+		}
+		state[t] = 1
+		if r, ok := m.rules[t]; ok && r.DependsOn != nil {
+			visit(r.DependsOn.ParentTable)
+		}
+		order = append(order, t)
+	}
+	tables := make([]string, 0, len(m.rules))
+	for t := range m.rules {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		visit(t)
+	}
+	var ruled []string
+	for _, t := range order {
+		if _, ok := m.rules[t]; ok {
+			ruled = append(ruled, t)
+		}
+	}
+	return ruled
+}
+
+// RunAging applies every rule at time now, moving cold rows from hot
+// partitions into the table's cold partition. Returns rows moved per
+// table.
+func (m *Manager) RunAging(now time.Time) (map[string]int, error) {
+	m.mu.Lock()
+	order := m.agingOrder()
+	m.mu.Unlock()
+
+	moved := map[string]int{}
+	for _, table := range order {
+		n, err := m.ageTable(table, now)
+		if err != nil {
+			return moved, err
+		}
+		moved[table] = n
+	}
+	return moved, nil
+}
+
+func (m *Manager) ageTable(table string, now time.Time) (int, error) {
+	m.mu.Lock()
+	rule := m.rules[table]
+	m.mu.Unlock()
+
+	entry, ok := m.eng.Cat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("aging: table %q dropped", table)
+	}
+	cold, err := m.coldPartition(entry, rule)
+	if err != nil {
+		return 0, err
+	}
+
+	si := entry.Schema.ColIndex(rule.StatusCol)
+	di := entry.Schema.ColIndex(rule.DateCol)
+	cutoff := now.Add(-rule.MinAge).UnixMicro()
+	curYear := now.UTC().Year()
+
+	// Parent aged-key set for dependency-coupled rules.
+	var agedParents map[string]bool
+	var fki int
+	if rule.DependsOn != nil {
+		agedParents = m.agedKeySet(rule.DependsOn.ParentTable, rule.DependsOn.ParentKeyCol)
+		fki = entry.Schema.ColIndex(rule.DependsOn.FKCol)
+	}
+
+	isCold := func(row value.Row) bool {
+		if row[si].AsString() != rule.ClosedStatus {
+			return false
+		}
+		d := row[di].AsInt()
+		if d > cutoff {
+			return false
+		}
+		if rule.NotCurrentYear && time.UnixMicro(d).UTC().Year() == curYear {
+			return false
+		}
+		if agedParents != nil && !agedParents[row[fki].AsString()] {
+			return false
+		}
+		return true
+	}
+
+	moved := 0
+	_, err = m.eng.Mgr.RunInTxn(func(tx *txn.Txn) error {
+		for _, p := range entry.Partitions {
+			if p == cold.partition {
+				continue
+			}
+			snap := p.Table.Snapshot(tx.SnapshotTS())
+			for pos := 0; pos < snap.NumRows(); pos++ {
+				if !snap.Visible(pos) {
+					continue
+				}
+				row := snap.Row(pos)
+				if !isCold(row) {
+					continue
+				}
+				if err := tx.Delete(p.Table.Name(), pos); err != nil {
+					return err
+				}
+				if err := tx.Insert(cold.partition.Table.Name(), row); err != nil {
+					return err
+				}
+				if d := row[di].AsInt(); d > cold.maxDate {
+					cold.maxDate = d
+				}
+				moved++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if cold.maxDate < cutoff {
+		cold.maxDate = cutoff
+	}
+	return moved, nil
+}
+
+// coldPartition returns (creating on first use) the cold partition of a
+// table.
+func (m *Manager) coldPartition(entry *catalog.TableEntry, rule Rule) (*coldMeta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.cold[entry.Name]; ok {
+		return c, nil
+	}
+	name := entry.Name + "_aged"
+	p := &catalog.Partition{
+		Name:            name,
+		Table:           newColdTable(name, entry),
+		Tier:            catalog.TierExtended,
+		ColdReadPenalty: m.ColdReadPenaltyMicros,
+	}
+	if err := m.eng.Cat.AttachPartition(entry.Name, p); err != nil {
+		return nil, err
+	}
+	m.eng.Mgr.Register(p.Table)
+	c := &coldMeta{rule: rule, partition: p}
+	m.cold[entry.Name] = c
+	return c, nil
+}
+
+// newColdTable creates the backing column-store table of a cold partition.
+func newColdTable(name string, entry *catalog.TableEntry) *columnstore.Table {
+	return columnstore.NewTable(name, entry.Schema)
+}
+
+// agedKeySet collects the parent keys present in the parent's cold
+// partition.
+func (m *Manager) agedKeySet(parentTable, keyCol string) map[string]bool {
+	m.mu.Lock()
+	c, ok := m.cold[parentTable]
+	m.mu.Unlock()
+	out := map[string]bool{}
+	if !ok {
+		return out
+	}
+	entry, found := m.eng.Cat.Table(parentTable)
+	if !found {
+		return out
+	}
+	ki := entry.Schema.ColIndex(keyCol)
+	snap := c.partition.Table.Snapshot(m.eng.Mgr.Now())
+	for pos := 0; pos < snap.NumRows(); pos++ {
+		if snap.Visible(pos) {
+			out[snap.Get(ki, pos).AsString()] = true
+		}
+	}
+	return out
+}
+
+// HotOnly executes fn with the table's cold partitions excluded from every
+// scan — the join-split optimization: when a dependency rule guarantees
+// the join partner of a hot row is hot, the query runs on hot partitions
+// only.
+func (m *Manager) HotOnly(tables []string, fn func() error) error {
+	m.mu.Lock()
+	for _, t := range tables {
+		m.hotOnly[t] = true
+	}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		for _, t := range tables {
+			delete(m.hotOnly, t)
+		}
+		m.mu.Unlock()
+	}()
+	return fn()
+}
+
+// CanRestrictJoinToHot reports whether a dependency rule couples child to
+// parent such that joining the parent's hot rows needs only the child's
+// hot partition (and vice versa).
+func (m *Manager) CanRestrictJoinToHot(parent, child string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.rules[child]
+	return ok && r.DependsOn != nil && r.DependsOn.ParentTable == parent
+}
+
+// Prune is the semantic partition pruner (installed as the engine's
+// PruneHook): it removes cold partitions whenever the query predicates
+// contradict the aging rule's invariants.
+func (m *Manager) Prune(entry *catalog.TableEntry, conjuncts []sqlexec.Expr, parts []*catalog.Partition) []*catalog.Partition {
+	m.mu.Lock()
+	c, hasCold := m.cold[entry.Name]
+	hotOnly := m.hotOnly[entry.Name]
+	m.mu.Unlock()
+	if !hasCold {
+		return parts
+	}
+	drop := hotOnly
+	if !drop {
+		for _, conj := range conjuncts {
+			col, op, lit, ok := simpleComparison(conj)
+			if !ok {
+				continue
+			}
+			// Invariant 1: every cold row has StatusCol == ClosedStatus.
+			if col == c.rule.StatusCol {
+				if op == "=" && lit.AsString() != c.rule.ClosedStatus {
+					drop = true
+				}
+				if op == "<>" && lit.AsString() == c.rule.ClosedStatus {
+					drop = true
+				}
+			}
+			// Invariant 2: every cold row has DateCol <= maxDate.
+			if col == c.rule.DateCol && (op == ">" || op == ">=") && lit.AsInt() > c.maxDate {
+				drop = true
+			}
+		}
+	}
+	if !drop {
+		return parts
+	}
+	kept := parts[:0:0]
+	for _, p := range parts {
+		if p != c.partition {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// StatsPrune is the statistics-based baseline of §III: it knows only
+// per-partition min/max of the compared column — no business semantics.
+// Status-equality queries cannot prune (strings overlap), only date
+// ranges sometimes can.
+func StatsPrune(eng *sqlexec.Engine) sqlexec.PruneHook {
+	return func(entry *catalog.TableEntry, conjuncts []sqlexec.Expr, parts []*catalog.Partition) []*catalog.Partition {
+		kept := parts[:0:0]
+		for _, p := range parts {
+			if statsMayMatch(eng, entry, p, conjuncts) {
+				kept = append(kept, p)
+			}
+		}
+		return kept
+	}
+}
+
+func statsMayMatch(eng *sqlexec.Engine, entry *catalog.TableEntry, p *catalog.Partition, conjuncts []sqlexec.Expr) bool {
+	for _, conj := range conjuncts {
+		col, op, lit, ok := simpleComparison(conj)
+		if !ok || !lit.Numeric() {
+			continue
+		}
+		ci := entry.Schema.ColIndex(col)
+		if ci < 0 {
+			continue
+		}
+		min, max, any := partitionMinMax(eng, p, ci)
+		if !any {
+			return false // empty partition never matches
+		}
+		switch op {
+		case "=":
+			if lit.AsInt() < min || lit.AsInt() > max {
+				return false
+			}
+		case ">", ">=":
+			if max < lit.AsInt() {
+				return false
+			}
+		case "<", "<=":
+			if min > lit.AsInt() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func partitionMinMax(eng *sqlexec.Engine, p *catalog.Partition, col int) (min, max int64, any bool) {
+	snap := p.Table.Snapshot(eng.Mgr.Now())
+	for pos := 0; pos < snap.NumRows(); pos++ {
+		if !snap.Visible(pos) {
+			continue
+		}
+		v := snap.Get(col, pos)
+		if v.IsNull() {
+			continue
+		}
+		x := v.AsInt()
+		if !any {
+			min, max, any = x, x, true
+			continue
+		}
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, any
+}
+
+// simpleComparison decomposes col <op> literal conjuncts.
+func simpleComparison(e sqlexec.Expr) (col, op string, lit value.Value, ok bool) {
+	be, isBin := e.(*sqlexec.BinaryExpr)
+	if !isBin {
+		return "", "", value.Null, false
+	}
+	cr, lok := be.L.(*sqlexec.ColRef)
+	l, rok := be.R.(*sqlexec.Literal)
+	if lok && rok {
+		return cr.Name, be.Op, l.Val, true
+	}
+	cr2, rok2 := be.R.(*sqlexec.ColRef)
+	l2, lok2 := be.L.(*sqlexec.Literal)
+	if rok2 && lok2 {
+		flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+		return cr2.Name, flip[be.Op], l2.Val, true
+	}
+	return "", "", value.Null, false
+}

@@ -1,0 +1,310 @@
+// Package appbridge implements the application/database bridge of §III:
+// business functionality pushed down from the application layer into the
+// engine — currency conversion (the paper's canonical "100s of lines"
+// example), unit conversion, a manufacturing calendar — plus the
+// application-knowledge hooks: generated-key sequences whose stable sort
+// order lets the column store merge without dictionary resorting.
+package appbridge
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// CurrencyConverter resolves exchange rates with date validity and
+// triangulation over a reference currency, mirroring the shape of the
+// real business process.
+type CurrencyConverter struct {
+	mu    sync.RWMutex
+	ref   string                 // reference currency for triangulation
+	rates map[string][]datedRate // currency -> rates to ref, date ascending
+}
+
+type datedRate struct {
+	from int64 // valid-from, unix micros
+	rate float64
+}
+
+// NewCurrencyConverter returns a converter triangulating over ref.
+func NewCurrencyConverter(ref string) *CurrencyConverter {
+	c := &CurrencyConverter{ref: ref, rates: map[string][]datedRate{}}
+	c.SetRate(ref, 0, 1)
+	return c
+}
+
+// SetRate declares that one unit of cur equals rate units of the reference
+// currency from validFrom (unix micros) on. Rates must be added in
+// ascending validFrom order per currency.
+func (c *CurrencyConverter) SetRate(cur string, validFrom int64, rate float64) {
+	c.mu.Lock()
+	c.rates[cur] = append(c.rates[cur], datedRate{from: validFrom, rate: rate})
+	c.mu.Unlock()
+}
+
+// Convert converts amount from one currency to another at the rate valid
+// at date (unix micros).
+func (c *CurrencyConverter) Convert(amount float64, from, to string, date int64) (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fr, err := c.rateAt(from, date)
+	if err != nil {
+		return 0, err
+	}
+	tr, err := c.rateAt(to, date)
+	if err != nil {
+		return 0, err
+	}
+	return amount * fr / tr, nil
+}
+
+func (c *CurrencyConverter) rateAt(cur string, date int64) (float64, error) {
+	rs := c.rates[cur]
+	if len(rs) == 0 {
+		return 0, fmt.Errorf("appbridge: no rate for currency %q", cur)
+	}
+	best := -1
+	for i, r := range rs {
+		if r.from <= date {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("appbridge: no rate for %q valid at %d", cur, date)
+	}
+	return rs[best].rate, nil
+}
+
+// --- unit conversion -----------------------------------------------------
+
+// UnitConverter handles linear unit conversions within a dimension.
+type UnitConverter struct {
+	mu     sync.RWMutex
+	factor map[string]float64 // unit -> factor to the dimension base
+	dim    map[string]string  // unit -> dimension name
+}
+
+// NewUnitConverter returns a converter preloaded with common units.
+func NewUnitConverter() *UnitConverter {
+	u := &UnitConverter{factor: map[string]float64{}, dim: map[string]string{}}
+	u.Register("kg", "mass", 1)
+	u.Register("g", "mass", 0.001)
+	u.Register("t", "mass", 1000)
+	u.Register("lb", "mass", 0.45359237)
+	u.Register("m", "length", 1)
+	u.Register("km", "length", 1000)
+	u.Register("mi", "length", 1609.344)
+	u.Register("l", "volume", 1)
+	u.Register("ml", "volume", 0.001)
+	u.Register("gal", "volume", 3.785411784)
+	return u
+}
+
+// Register adds a unit with its factor to the dimension base unit.
+func (u *UnitConverter) Register(unit, dimension string, factor float64) {
+	u.mu.Lock()
+	u.factor[unit] = factor
+	u.dim[unit] = dimension
+	u.mu.Unlock()
+}
+
+// Convert converts v between two units of the same dimension.
+func (u *UnitConverter) Convert(v float64, from, to string) (float64, error) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	ff, ok1 := u.factor[from]
+	tf, ok2 := u.factor[to]
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("appbridge: unknown unit %q or %q", from, to)
+	}
+	if u.dim[from] != u.dim[to] {
+		return 0, fmt.Errorf("appbridge: cannot convert %s to %s", from, to)
+	}
+	return v * ff / tf, nil
+}
+
+// --- manufacturing calendar ------------------------------------------------
+
+// Calendar models working days: weekends off plus explicit holidays.
+type Calendar struct {
+	mu       sync.RWMutex
+	holidays map[string]bool // "2006-01-02"
+}
+
+// NewCalendar returns a calendar with no holidays.
+func NewCalendar() *Calendar { return &Calendar{holidays: map[string]bool{}} }
+
+// AddHoliday marks a date (UTC) as non-working.
+func (c *Calendar) AddHoliday(t time.Time) {
+	c.mu.Lock()
+	c.holidays[t.UTC().Format("2006-01-02")] = true
+	c.mu.Unlock()
+}
+
+// IsWorkingDay reports whether t is a working day.
+func (c *Calendar) IsWorkingDay(t time.Time) bool {
+	t = t.UTC()
+	if wd := t.Weekday(); wd == time.Saturday || wd == time.Sunday {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return !c.holidays[t.Format("2006-01-02")]
+}
+
+// AddWorkingDays returns the date n working days after t (n ≥ 0).
+func (c *Calendar) AddWorkingDays(t time.Time, n int) time.Time {
+	t = t.UTC()
+	for n > 0 {
+		t = t.AddDate(0, 0, 1)
+		if c.IsWorkingDay(t) {
+			n--
+		}
+	}
+	return t
+}
+
+// WorkingDaysBetween counts working days in (from, to].
+func (c *Calendar) WorkingDaysBetween(from, to time.Time) int {
+	from, to = from.UTC(), to.UTC()
+	if to.Before(from) {
+		return -c.WorkingDaysBetween(to, from)
+	}
+	n := 0
+	for d := from.AddDate(0, 0, 1); !d.After(to); d = d.AddDate(0, 0, 1) {
+		if c.IsWorkingDay(d) {
+			n++
+		}
+	}
+	return n
+}
+
+// --- generated keys ---------------------------------------------------
+
+// KeyGenerator produces the monotonically increasing business keys of
+// §III ("concatenating some information from application context plus an
+// incremental counter"). Keys from one generator sort strictly ascending,
+// which is exactly the property the column store's stable-key merge fast
+// path exploits (experiment E3).
+type KeyGenerator struct {
+	mu      sync.Mutex
+	context string
+	counter uint64
+}
+
+// NewKeyGenerator returns a generator for the given application context.
+func NewKeyGenerator(context string) *KeyGenerator {
+	return &KeyGenerator{context: context}
+}
+
+// Next returns the next key.
+func (k *KeyGenerator) Next() string {
+	k.mu.Lock()
+	k.counter++
+	c := k.counter
+	k.mu.Unlock()
+	return fmt.Sprintf("%s-%012d", k.context, c)
+}
+
+// --- SQL surface ------------------------------------------------------
+
+// Bridge bundles the pushed-down business functions for one engine.
+type Bridge struct {
+	Currency *CurrencyConverter
+	Units    *UnitConverter
+	Calendar *Calendar
+	eng      *sqlexec.Engine
+}
+
+// Attach installs the application-bridge functions:
+//
+//	CONVERT_CURRENCY(amount, from, to, date_micros)
+//	CONVERT_UNIT(value, from, to)
+//	IS_WORKING_DAY(ts)  /  ADD_WORKING_DAYS(ts, n)
+func Attach(eng *sqlexec.Engine, refCurrency string) *Bridge {
+	b := &Bridge{
+		Currency: NewCurrencyConverter(refCurrency),
+		Units:    NewUnitConverter(),
+		Calendar: NewCalendar(),
+		eng:      eng,
+	}
+	eng.Reg.RegisterScalar("CONVERT_CURRENCY", func(a []value.Value) (value.Value, error) {
+		if len(a) != 4 {
+			return value.Null, fmt.Errorf("appbridge: CONVERT_CURRENCY(amount, from, to, date)")
+		}
+		out, err := b.Currency.Convert(a[0].AsFloat(), a[1].AsString(), a[2].AsString(), a[3].AsInt())
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Float(out), nil
+	})
+	eng.Reg.RegisterScalar("CONVERT_UNIT", func(a []value.Value) (value.Value, error) {
+		if len(a) != 3 {
+			return value.Null, fmt.Errorf("appbridge: CONVERT_UNIT(value, from, to)")
+		}
+		out, err := b.Units.Convert(a[0].AsFloat(), a[1].AsString(), a[2].AsString())
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Float(out), nil
+	})
+	eng.Reg.RegisterScalar("IS_WORKING_DAY", func(a []value.Value) (value.Value, error) {
+		if len(a) != 1 {
+			return value.Null, fmt.Errorf("appbridge: IS_WORKING_DAY(ts)")
+		}
+		return value.Bool(b.Calendar.IsWorkingDay(time.UnixMicro(a[0].AsInt()))), nil
+	})
+	eng.Reg.RegisterScalar("ADD_WORKING_DAYS", func(a []value.Value) (value.Value, error) {
+		if len(a) != 2 {
+			return value.Null, fmt.Errorf("appbridge: ADD_WORKING_DAYS(ts, n)")
+		}
+		out := b.Calendar.AddWorkingDays(time.UnixMicro(a[0].AsInt()), int(a[1].AsInt()))
+		return value.TimeMicros(out.UnixMicro()), nil
+	})
+	return b
+}
+
+// RevenueByRegionInDB answers "revenue per region in the reference
+// currency" with the conversion pushed into the engine: one aggregated
+// row per region crosses the boundary (experiment E5).
+func (b *Bridge) RevenueByRegionInDB(table string) (map[string]float64, int, error) {
+	res, err := b.eng.Query(fmt.Sprintf(
+		`SELECT region, SUM(CONVERT_CURRENCY(amount, currency, '%s', dt)) FROM %s GROUP BY region`,
+		b.Currency.ref, table))
+	if err != nil {
+		return nil, 0, err
+	}
+	out := map[string]float64{}
+	for _, r := range res.Rows {
+		out[r[0].AsString()] = r[1].AsFloat()
+	}
+	return out, len(res.Rows), nil
+}
+
+// RevenueByRegionAppSide is the §III baseline: because the conversion
+// lives in the application, the query must group by currency too, ship
+// every (region, currency) subtotal out, convert in the application and
+// re-aggregate. rowsMoved counts the extra transfer.
+func (b *Bridge) RevenueByRegionAppSide(table string) (map[string]float64, int, error) {
+	res, err := b.eng.Query(fmt.Sprintf(
+		`SELECT region, currency, MAX(dt), SUM(amount) FROM %s GROUP BY region, currency`, table))
+	if err != nil {
+		return nil, 0, err
+	}
+	out := map[string]float64{}
+	for _, r := range res.Rows {
+		// NOTE: the app-side version cannot even convert exactly — it no
+		// longer has per-row dates, so it applies the latest rate of the
+		// group, a real-world correctness hazard the pushdown avoids. To
+		// keep results comparable the experiments use a single-rate world.
+		conv, err := b.Currency.Convert(r[3].AsFloat(), r[1].AsString(), b.Currency.ref, r[2].AsInt())
+		if err != nil {
+			return nil, 0, err
+		}
+		out[r[0].AsString()] += conv
+	}
+	return out, len(res.Rows), nil
+}

@@ -1,0 +1,175 @@
+package appbridge
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/sqlexec"
+)
+
+func TestCurrencyConversionDated(t *testing.T) {
+	c := NewCurrencyConverter("EUR")
+	c.SetRate("USD", 0, 0.80)
+	c.SetRate("USD", 1000, 0.90) // rate change at t=1000
+	c.SetRate("KRW", 0, 0.0007)
+
+	got, err := c.Convert(100, "USD", "EUR", 500)
+	if err != nil || got != 80 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	got, _ = c.Convert(100, "USD", "EUR", 2000)
+	if got != 90 {
+		t.Fatalf("dated rate not used: %v", got)
+	}
+	// Triangulation USD -> KRW through EUR.
+	got, _ = c.Convert(1, "USD", "KRW", 2000)
+	if math.Abs(got-0.90/0.0007) > 1e-9 {
+		t.Fatalf("triangulated=%v", got)
+	}
+	// Identity.
+	got, _ = c.Convert(42, "EUR", "EUR", 0)
+	if got != 42 {
+		t.Fatalf("identity=%v", got)
+	}
+	if _, err := c.Convert(1, "XXX", "EUR", 0); err == nil {
+		t.Fatal("unknown currency accepted")
+	}
+	if _, err := c.Convert(1, "USD", "EUR", -5); err == nil {
+		t.Fatal("date before first rate accepted")
+	}
+}
+
+func TestUnitConversion(t *testing.T) {
+	u := NewUnitConverter()
+	got, err := u.Convert(1, "kg", "g")
+	if err != nil || got != 1000 {
+		t.Fatalf("kg->g: %v %v", got, err)
+	}
+	got, _ = u.Convert(1, "lb", "kg")
+	if math.Abs(got-0.45359237) > 1e-12 {
+		t.Fatalf("lb->kg: %v", got)
+	}
+	got, _ = u.Convert(5, "km", "mi")
+	if math.Abs(got-3.10686) > 1e-3 {
+		t.Fatalf("km->mi: %v", got)
+	}
+	if _, err := u.Convert(1, "kg", "km"); err == nil {
+		t.Fatal("cross-dimension accepted")
+	}
+	if _, err := u.Convert(1, "kg", "stone"); err == nil {
+		t.Fatal("unknown unit accepted")
+	}
+}
+
+func TestManufacturingCalendar(t *testing.T) {
+	c := NewCalendar()
+	fri := time.Date(2015, 4, 10, 12, 0, 0, 0, time.UTC) // Friday
+	sat := fri.AddDate(0, 0, 1)
+	mon := fri.AddDate(0, 0, 3)
+	if !c.IsWorkingDay(fri) || c.IsWorkingDay(sat) {
+		t.Fatal("weekend handling")
+	}
+	c.AddHoliday(mon)
+	if c.IsWorkingDay(mon) {
+		t.Fatal("holiday handling")
+	}
+	// Next working day after Friday skips Sat/Sun and the Monday holiday.
+	next := c.AddWorkingDays(fri, 1)
+	if next.Weekday() != time.Tuesday {
+		t.Fatalf("next=%v", next.Weekday())
+	}
+	if n := c.WorkingDaysBetween(fri, fri.AddDate(0, 0, 7)); n != 4 {
+		t.Fatalf("working days=%d", n)
+	}
+	if n := c.WorkingDaysBetween(fri.AddDate(0, 0, 7), fri); n != -4 {
+		t.Fatalf("reverse=%d", n)
+	}
+}
+
+func TestKeyGeneratorMonotonic(t *testing.T) {
+	g := NewKeyGenerator("INV")
+	var keys []string
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, g.Next())
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("generated keys not ascending")
+	}
+	if keys[0] != "INV-000000000001" {
+		t.Fatalf("first=%q", keys[0])
+	}
+}
+
+func newRevenueEngine(t *testing.T) (*sqlexec.Engine, *Bridge) {
+	t.Helper()
+	eng := sqlexec.NewEngine()
+	b := Attach(eng, "EUR")
+	b.Currency.SetRate("USD", 0, 0.80)
+	b.Currency.SetRate("KRW", 0, 0.0007)
+	eng.MustQuery(`CREATE TABLE revenue (region VARCHAR, currency VARCHAR, dt INT, amount DOUBLE)`)
+	rows := []struct {
+		region, cur string
+		amount      float64
+	}{
+		{"EMEA", "EUR", 100}, {"EMEA", "USD", 50}, {"EMEA", "KRW", 100000},
+		{"APJ", "KRW", 500000}, {"APJ", "USD", 20},
+		{"AMER", "USD", 300},
+	}
+	for _, r := range rows {
+		eng.MustQuery(fmt.Sprintf(`INSERT INTO revenue VALUES ('%s', '%s', 10, %f)`, r.region, r.cur, r.amount))
+	}
+	return eng, b
+}
+
+func TestRevenuePushdownMatchesAppSide(t *testing.T) {
+	_, b := newRevenueEngine(t)
+	indb, rowsInDB, err := b.RevenueByRegionInDB("revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, rowsApp, err := b.RevenueByRegionAppSide("revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indb) != 3 {
+		t.Fatalf("regions=%v", indb)
+	}
+	for region, v := range indb {
+		if math.Abs(v-app[region]) > 1e-9 {
+			t.Fatalf("%s: indb=%v app=%v", region, v, app[region])
+		}
+	}
+	// EMEA = 100 + 50*0.8 + 100000*0.0007 = 210.
+	if math.Abs(indb["EMEA"]-210) > 1e-9 {
+		t.Fatalf("EMEA=%v", indb["EMEA"])
+	}
+	// The pushdown ships one row per region; the app side one per
+	// (region, currency) — strictly more (§III's transfer multiplication).
+	if rowsInDB != 3 || rowsApp != 6 {
+		t.Fatalf("rowsInDB=%d rowsApp=%d", rowsInDB, rowsApp)
+	}
+}
+
+func TestSQLSurface(t *testing.T) {
+	eng, _ := newRevenueEngine(t)
+	r := eng.MustQuery(`SELECT CONVERT_CURRENCY(100, 'USD', 'EUR', 10)`)
+	if r.Rows[0][0].F != 80 {
+		t.Fatalf("converted=%v", r.Rows[0][0])
+	}
+	r = eng.MustQuery(`SELECT CONVERT_UNIT(2, 't', 'kg')`)
+	if r.Rows[0][0].F != 2000 {
+		t.Fatalf("unit=%v", r.Rows[0][0])
+	}
+	fri := time.Date(2015, 4, 10, 0, 0, 0, 0, time.UTC).UnixMicro()
+	r = eng.MustQuery(fmt.Sprintf(`SELECT IS_WORKING_DAY(%d)`, fri))
+	if !r.Rows[0][0].AsBool() {
+		t.Fatal("friday not working day")
+	}
+	r = eng.MustQuery(fmt.Sprintf(`SELECT ADD_WORKING_DAYS(%d, 1)`, fri))
+	if time.UnixMicro(r.Rows[0][0].I).UTC().Weekday() != time.Monday {
+		t.Fatal("add working days broken")
+	}
+}

@@ -1,0 +1,134 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/columnstore"
+	"repro/internal/value"
+)
+
+func schema() columnstore.Schema {
+	return columnstore.Schema{{Name: "id", Kind: value.KindInt}, {Name: "yr", Kind: value.KindInt}}
+}
+
+func TestCreateAndResolveTable(t *testing.T) {
+	c := New()
+	e, err := c.CreateTable("orders", schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("orders", schema()); err == nil {
+		t.Fatal("duplicate create must fail")
+	}
+	got, ok := c.Table("orders")
+	if !ok || got != e || got.Primary() == nil {
+		t.Fatal("resolve failed")
+	}
+	if len(c.Tables()) != 1 || c.Tables()[0] != "orders" {
+		t.Fatalf("tables=%v", c.Tables())
+	}
+	if !c.DropTable("orders") || c.DropTable("orders") {
+		t.Fatal("drop semantics")
+	}
+}
+
+func TestRangePartitioning(t *testing.T) {
+	c := New()
+	e, err := c.CreateRangePartitioned("events", schema(), "yr", []int64{2014, 2015})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Partitions) != 3 {
+		t.Fatalf("parts=%d", len(e.Partitions))
+	}
+	// Routing.
+	if e.PartitionFor(value.Int(2013)) != e.Partitions[0] {
+		t.Fatal("low routing")
+	}
+	if e.PartitionFor(value.Int(2014)) != e.Partitions[1] {
+		t.Fatal("mid routing")
+	}
+	if e.PartitionFor(value.Int(2020)) != e.Partitions[2] {
+		t.Fatal("high routing")
+	}
+	// Pruning ranges.
+	p1 := e.Partitions[1] // [2014, 2015)
+	if !p1.MayContainRange(value.Int(2014), value.Int(2014)) {
+		t.Fatal("point range")
+	}
+	if p1.MayContainRange(value.Int(2015), value.Null) {
+		t.Fatal("must be pruned for >= 2015")
+	}
+	if p1.MayContainRange(value.Null, value.Int(2013)) {
+		t.Fatal("must be pruned for <= 2013")
+	}
+	if !p1.MayContainRange(value.Null, value.Null) {
+		t.Fatal("unbounded must match")
+	}
+	if _, err := c.CreateRangePartitioned("bad", schema(), "nope", nil); err == nil {
+		t.Fatal("unknown partition column accepted")
+	}
+}
+
+func TestAttachPartitionAndTiers(t *testing.T) {
+	c := New()
+	c.CreateTable("orders", schema())
+	cold := &Partition{
+		Name:  "orders_cold",
+		Table: columnstore.NewTable("orders_cold", schema()),
+		Tier:  TierHDFS,
+	}
+	if err := c.AttachPartition("orders", cold); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.Table("orders")
+	if len(e.Partitions) != 2 || e.Partitions[1].Tier != TierHDFS {
+		t.Fatal("attach failed")
+	}
+	if err := c.AttachPartition("ghost", cold); err == nil {
+		t.Fatal("attach to missing table accepted")
+	}
+}
+
+func TestViewsAndMetadata(t *testing.T) {
+	c := New()
+	c.CreateTable("t", schema())
+	if err := c.CreateView("v", "SELECT id FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView("v", "SELECT 1"); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+	if err := c.CreateView("t", "SELECT 1"); err == nil {
+		t.Fatal("view shadowing table accepted")
+	}
+	v, ok := c.View("v")
+	if !ok || v.SQL != "SELECT id FROM t" {
+		t.Fatal("view lookup")
+	}
+	if err := c.SetMetadata("t", "aging", "rule1"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Metadata("t", "aging"); !ok || got != "rule1" {
+		t.Fatal("metadata lookup")
+	}
+	if _, ok := c.Metadata("t", "missing"); ok {
+		t.Fatal("phantom metadata")
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	c := New()
+	e, _ := c.CreateTable("t", schema())
+	e.Primary().ApplyInsert([]value.Row{{value.Int(1), value.Int(2013)}}, 1)
+	s, err := c.TableStats("t", 1)
+	if err != nil || s.Rows != 1 || s.Partitions != 1 || s.DeltaRows != 1 {
+		t.Fatalf("stats=%+v err=%v", s, err)
+	}
+	if _, err := c.TableStats("nope", 1); err == nil {
+		t.Fatal("missing table stats accepted")
+	}
+	if e.RowCount(1) != 1 {
+		t.Fatal("rowcount")
+	}
+}

@@ -1,0 +1,653 @@
+package columnstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/value"
+)
+
+// ColumnDef describes one column of a table.
+type ColumnDef struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is the ordered column list of a table.
+type Schema []ColumnDef
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema { return append(Schema(nil), s...) }
+
+// NeverDeleted is the deletion stamp of a live row version.
+const NeverDeleted = ^uint64(0)
+
+// MergeStats records what one delta→main merge did; experiment E3 compares
+// these between random and generated (stable-order) keys.
+type MergeStats struct {
+	Duration     time.Duration
+	RowsMerged   int  // rows in the new main store
+	RowsEvicted  int  // dead versions compacted away
+	DictResorted bool // true when existing main value IDs had to change
+	RemappedRefs int  // main references rewritten due to dictionary resort
+	DictSize     int  // merged dictionary entries (string columns, summed)
+}
+
+// Table is one column-store table: immutable main part plus write-optimized
+// delta part, with per-row MVCC stamps. All mutations go through the
+// transaction layer, which supplies commit timestamps.
+type Table struct {
+	mu     sync.RWMutex
+	name   string
+	schema Schema
+
+	main     []MainColumn
+	mainRows int
+	delta    []*DeltaColumn
+
+	// created[i] / deleted[i] are the commit timestamps bounding the
+	// lifetime of logical row i (main rows first, then delta rows).
+	// deleted entries are accessed atomically: they flip exactly once from
+	// NeverDeleted to the deleting transaction's commit timestamp.
+	created []uint64
+	deleted []uint64
+
+	// stableKeys marks string columns whose values are generated in
+	// ascending order (application knowledge, §III): merge skips sorting
+	// their delta dictionaries.
+	stableKeys map[int]bool
+
+	mergeHooks []func(remap []int)
+	lastMerge  MergeStats
+	merges     int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	t := &Table{name: name, schema: schema.Clone(), stableKeys: make(map[int]bool)}
+	t.resetDelta()
+	t.main = make([]MainColumn, len(schema))
+	for i, c := range schema {
+		t.main[i] = emptyMain(c.Kind)
+	}
+	return t
+}
+
+func (t *Table) resetDelta() {
+	t.delta = make([]*DeltaColumn, len(t.schema))
+	for i, c := range t.schema {
+		t.delta[i] = NewDeltaColumn(c.Kind)
+	}
+}
+
+func emptyMain(k value.Kind) MainColumn {
+	switch k {
+	case value.KindString:
+		return &DictColumn{Dict: NewDictionary(nil), Refs: PackUints(nil)}
+	case value.KindFloat:
+		return &FloatColumn{}
+	default:
+		return NewIntColumn(nil, nil, k)
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema (callers must not mutate it).
+func (t *Table) Schema() Schema { return t.schema }
+
+// SetStableKeyColumn records the §III application hint that the named
+// string column receives monotonically increasing generated keys.
+func (t *Table) SetStableKeyColumn(name string) error {
+	i := t.schema.ColIndex(name)
+	if i < 0 {
+		return fmt.Errorf("columnstore: no column %q in %s", name, t.name)
+	}
+	if t.schema[i].Kind != value.KindString {
+		return fmt.Errorf("columnstore: stable-key hint only applies to string columns")
+	}
+	t.mu.Lock()
+	t.stableKeys[i] = true
+	t.mu.Unlock()
+	return nil
+}
+
+// AddColumn appends a column to the schema (flexible tables, §II-H).
+// Existing rows read as NULL in the new column.
+func (t *Table) AddColumn(def ColumnDef) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.schema = append(t.schema, def)
+	// Main part: a sparse column of NULLs covering existing main rows.
+	t.main = append(t.main, NewSparseColumn(t.mainRows, value.Null, nil, nil, def.Kind))
+	// Delta part: backfill NULLs for rows already buffered.
+	dc := NewDeltaColumn(def.Kind)
+	if len(t.delta) > 0 {
+		for i := 0; i < t.delta[0].Len(); i++ {
+			dc.Append(value.Null)
+		}
+	}
+	t.delta = append(t.delta, dc)
+	return len(t.schema) - 1
+}
+
+// ApplyInsert appends rows to the delta store with the given commit
+// timestamp and returns the logical positions assigned. Called by the
+// transaction layer at commit (or with ts=1 by bulk loaders).
+func (t *Table) ApplyInsert(rows []value.Row, ts uint64) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos := make([]int, len(rows))
+	for r, row := range rows {
+		for c := range t.schema {
+			var v value.Value
+			if c < len(row) {
+				v = row[c]
+			}
+			t.delta[c].Append(v)
+		}
+		pos[r] = len(t.created)
+		t.created = append(t.created, ts)
+		t.deleted = append(t.deleted, NeverDeleted)
+	}
+	return pos
+}
+
+// ApplyInsertStamped appends rows with explicit per-row create and delete
+// stamps. Used by checkpoint restore and replica catch-up, where physical
+// positions and MVCC lifetimes must be reproduced exactly.
+func (t *Table) ApplyInsertStamped(rows []value.Row, created, deleted []uint64) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos := make([]int, len(rows))
+	for r, row := range rows {
+		for c := range t.schema {
+			var v value.Value
+			if c < len(row) {
+				v = row[c]
+			}
+			t.delta[c].Append(v)
+		}
+		pos[r] = len(t.created)
+		t.created = append(t.created, created[r])
+		t.deleted = append(t.deleted, deleted[r])
+	}
+	return pos
+}
+
+// ApplyDelete stamps row pos as deleted at ts. It returns false when the
+// row was already deleted — the first-committer-wins write-write conflict
+// signal used by the transaction layer.
+func (t *Table) ApplyDelete(pos int, ts uint64) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if pos < 0 || pos >= len(t.deleted) {
+		return false
+	}
+	return atomic.CompareAndSwapUint64(&t.deleted[pos], NeverDeleted, ts)
+}
+
+// NumRows returns the current number of logical row slots (live and dead).
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.created)
+}
+
+// DeltaRows returns the number of rows currently buffered in the delta
+// store.
+func (t *Table) DeltaRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.created) - t.mainRows
+}
+
+// MainRows returns the number of rows in main storage.
+func (t *Table) MainRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mainRows
+}
+
+// OnMerge registers a hook invoked after each merge with the row remap
+// table: remap[oldPos] = newPos, or -1 when the row version was compacted.
+// Secondary structures (inverted indexes, R-trees, graph adjacency) use it
+// to stay aligned with physical positions.
+func (t *Table) OnMerge(hook func(remap []int)) {
+	t.mu.Lock()
+	t.mergeHooks = append(t.mergeHooks, hook)
+	t.mu.Unlock()
+}
+
+// LastMergeStats returns statistics of the most recent merge.
+func (t *Table) LastMergeStats() MergeStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lastMerge
+}
+
+// MergeCount returns how many merges have run.
+func (t *Table) MergeCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.merges
+}
+
+// Bytes returns the compressed footprint of main plus delta storage.
+func (t *Table) Bytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, c := range t.main {
+		n += c.Bytes()
+	}
+	for _, c := range t.delta {
+		n += c.Bytes()
+	}
+	return n + len(t.created)*16
+}
+
+// Snapshot captures a consistent read view at timestamp ts. The snapshot
+// remains valid across concurrent inserts and merges: it pins the column
+// structures that existed at capture time.
+func (t *Table) Snapshot(ts uint64) *Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return &Snapshot{
+		ts:       ts,
+		schema:   t.schema,
+		main:     t.main,
+		mainRows: t.mainRows,
+		delta:    t.delta,
+		created:  t.created,
+		deleted:  t.deleted,
+		rows:     len(t.created),
+	}
+}
+
+// Snapshot is a consistent, immutable read view of a table.
+type Snapshot struct {
+	ts       uint64
+	schema   Schema
+	main     []MainColumn
+	mainRows int
+	delta    []*DeltaColumn
+	created  []uint64
+	deleted  []uint64
+	rows     int
+}
+
+// NumRows returns the number of logical row slots in the snapshot
+// (including invisible ones; use Visible to filter).
+func (s *Snapshot) NumRows() int { return s.rows }
+
+// TS returns the snapshot timestamp.
+func (s *Snapshot) TS() uint64 { return s.ts }
+
+// Schema returns the schema at capture time.
+func (s *Snapshot) Schema() Schema { return s.schema }
+
+// Visible reports whether row i is visible to this snapshot.
+func (s *Snapshot) Visible(i int) bool {
+	if s.created[i] > s.ts {
+		return false
+	}
+	return atomic.LoadUint64(&s.deleted[i]) > s.ts
+}
+
+// Created returns the commit timestamp that created row i.
+func (s *Snapshot) Created(i int) uint64 { return s.created[i] }
+
+// Deleted returns the commit timestamp that deleted row i, or NeverDeleted.
+func (s *Snapshot) Deleted(i int) uint64 { return atomic.LoadUint64(&s.deleted[i]) }
+
+// Get returns column col of row i.
+func (s *Snapshot) Get(col, i int) value.Value {
+	if i < s.mainRows {
+		if col < len(s.main) {
+			return s.main[col].Get(i)
+		}
+		return value.Null
+	}
+	if col < len(s.delta) {
+		d := i - s.mainRows
+		if d < s.delta[col].Len() {
+			return s.delta[col].Get(d)
+		}
+	}
+	return value.Null
+}
+
+// Row materializes all columns of row i.
+func (s *Snapshot) Row(i int) value.Row {
+	out := make(value.Row, len(s.schema))
+	for c := range s.schema {
+		out[c] = s.Get(c, i)
+	}
+	return out
+}
+
+// MainRows returns the number of rows served from main storage.
+func (s *Snapshot) MainRows() int { return s.mainRows }
+
+// MainColumn returns the main-part column, for executors that specialize
+// on the physical representation.
+func (s *Snapshot) MainColumn(col int) MainColumn {
+	if col < len(s.main) {
+		return s.main[col]
+	}
+	return nil
+}
+
+// DeltaColumn returns the delta-part column.
+func (s *Snapshot) DeltaColumn(col int) *DeltaColumn {
+	if col < len(s.delta) {
+		return s.delta[col]
+	}
+	return nil
+}
+
+// LiveRows counts rows visible to the snapshot.
+func (s *Snapshot) LiveRows() int {
+	n := 0
+	for i := 0; i < s.rows; i++ {
+		if s.Visible(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge folds the delta store into a new main store, compacting row
+// versions that are invisible to every snapshot at or after minActiveTS.
+// String dictionaries are re-sorted and references remapped unless the
+// stable-key fast path applies (§III).
+func (t *Table) Merge(minActiveTS uint64) MergeStats {
+	start := time.Now()
+	t.mu.Lock()
+
+	total := len(t.created)
+	remap := make([]int, total)
+	keep := make([]int, 0, total)
+	for i := 0; i < total; i++ {
+		if atomic.LoadUint64(&t.deleted[i]) <= minActiveTS {
+			remap[i] = -1 // dead to every current and future snapshot
+			continue
+		}
+		remap[i] = len(keep)
+		keep = append(keep, i)
+	}
+
+	stats := MergeStats{RowsMerged: len(keep), RowsEvicted: total - len(keep)}
+	newMain := make([]MainColumn, len(t.schema))
+	for c := range t.schema {
+		newMain[c] = t.mergeColumn(c, keep, &stats)
+	}
+
+	newCreated := make([]uint64, len(keep))
+	newDeleted := make([]uint64, len(keep))
+	for n, old := range keep {
+		newCreated[n] = t.created[old]
+		newDeleted[n] = atomic.LoadUint64(&t.deleted[old])
+	}
+
+	t.main = newMain
+	t.mainRows = len(keep)
+	t.created = newCreated
+	t.deleted = newDeleted
+	t.resetDelta()
+	t.merges++
+	stats.Duration = time.Since(start)
+	t.lastMerge = stats
+	hooks := make([]func(remap []int), len(t.mergeHooks))
+	copy(hooks, t.mergeHooks)
+	t.mu.Unlock()
+
+	for _, h := range hooks {
+		h(remap)
+	}
+	return stats
+}
+
+// mergeColumn builds the new main column c from the kept row positions.
+func (t *Table) mergeColumn(c int, keep []int, stats *MergeStats) MainColumn {
+	kind := t.schema[c].Kind
+	dc := t.delta[c]
+	getDelta := func(pos int) value.Value {
+		d := pos - t.mainRows
+		if d < dc.Len() {
+			return dc.Get(d)
+		}
+		return value.Null
+	}
+
+	switch kind {
+	case value.KindString:
+		return t.mergeStringColumn(c, keep, stats)
+	case value.KindFloat:
+		vals := make([]float64, len(keep))
+		var nulls *Bitset
+		for n, old := range keep {
+			var v value.Value
+			if old < t.mainRows {
+				v = t.main[c].Get(old)
+			} else {
+				v = getDelta(old)
+			}
+			if v.IsNull() {
+				if nulls == nil {
+					nulls = NewBitset(len(keep))
+				}
+				nulls.Set(n)
+			} else {
+				vals[n] = v.F
+			}
+		}
+		return &FloatColumn{Vals: vals, Nulls: nulls}
+	default: // Int, Bool, Time
+		vals := make([]int64, len(keep))
+		var nulls *Bitset
+		for n, old := range keep {
+			var v value.Value
+			if old < t.mainRows {
+				v = t.main[c].Get(old)
+			} else {
+				v = getDelta(old)
+			}
+			if v.IsNull() {
+				if nulls == nil {
+					nulls = NewBitset(len(keep))
+				}
+				nulls.Set(n)
+			} else {
+				vals[n] = v.I
+			}
+		}
+		// Prefer RLE when the data is extremely runny (sorted sensor IDs,
+		// status flags); otherwise frame-of-reference bit packing.
+		if len(vals) >= 1024 && nulls == nil {
+			runs := 1
+			for i := 1; i < len(vals); i++ {
+				if vals[i] != vals[i-1] {
+					runs++
+				}
+			}
+			if runs*8 < len(vals) {
+				boxed := make([]value.Value, len(vals))
+				for i, v := range vals {
+					boxed[i] = value.Value{K: kind, I: v}
+				}
+				return NewRLEColumn(boxed)
+			}
+		}
+		return NewIntColumn(vals, nulls, kind)
+	}
+}
+
+func (t *Table) mergeStringColumn(c int, keep []int, stats *MergeStats) MainColumn {
+	dc := t.delta[c]
+	var oldDict *Dictionary
+	var oldRefs func(i int) (id int, null bool)
+	switch mc := t.main[c].(type) {
+	case *DictColumn:
+		oldDict = mc.Dict
+		oldRefs = func(i int) (int, bool) {
+			if mc.IsNull(i) {
+				return 0, true
+			}
+			return mc.ValueID(i), false
+		}
+	default:
+		// Sparse or RLE main column: rebuild through string values.
+		var vals []string
+		seen := map[string]bool{}
+		for i := 0; i < mc.Len(); i++ {
+			v := mc.Get(i)
+			if !v.IsNull() && !seen[v.S] {
+				seen[v.S] = true
+				vals = append(vals, v.S)
+			}
+		}
+		oldDict = BuildDictionary(vals)
+		oldRefs = func(i int) (int, bool) {
+			v := mc.Get(i)
+			if v.IsNull() {
+				return 0, true
+			}
+			id, _ := oldDict.Lookup(v.S)
+			return id, false
+		}
+	}
+
+	merged, mainRemap, deltaRemap, resorted := mergeDictionaries(oldDict, dc.Dict())
+	if resorted {
+		stats.DictResorted = true
+	}
+	stats.DictSize += merged.Len()
+
+	refs := make([]uint64, len(keep))
+	var nulls *Bitset
+	for n, old := range keep {
+		if old < t.mainRows {
+			id, null := oldRefs(old)
+			if null {
+				if nulls == nil {
+					nulls = NewBitset(len(keep))
+				}
+				nulls.Set(n)
+				continue
+			}
+			if mainRemap != nil {
+				id = mainRemap[id]
+				stats.RemappedRefs++
+			}
+			refs[n] = uint64(id)
+			continue
+		}
+		d := old - t.mainRows
+		if d >= dc.Len() || dc.IsNull(d) {
+			if nulls == nil {
+				nulls = NewBitset(len(keep))
+			}
+			nulls.Set(n)
+			continue
+		}
+		refs[n] = uint64(deltaRemap[dc.refs[d]])
+	}
+	return &DictColumn{Dict: merged, Refs: PackUints(refs), Nulls: nulls}
+}
+
+// SortedBy reports whether the visible rows of snapshot s are sorted
+// ascending by column col — a cheap statistic the optimizer uses for RLE
+// and pruning decisions.
+func (s *Snapshot) SortedBy(col int) bool {
+	var prev value.Value
+	first := true
+	for i := 0; i < s.rows; i++ {
+		if !s.Visible(i) {
+			continue
+		}
+		v := s.Get(col, i)
+		if !first && value.Compare(prev, v) > 0 {
+			return false
+		}
+		prev, first = v, false
+	}
+	return true
+}
+
+// CollectVisible returns the positions of all rows visible to s, in
+// physical order. Utility for engines that build secondary structures.
+func (s *Snapshot) CollectVisible() []int {
+	out := make([]int, 0, s.rows)
+	for i := 0; i < s.rows; i++ {
+		if s.Visible(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FindRows returns the positions of visible rows where column col equals v.
+// Uses the dictionary to avoid string comparisons on main storage.
+func (s *Snapshot) FindRows(col int, v value.Value) []int {
+	var out []int
+	if dcol, ok := s.main[col].(*DictColumn); ok && v.K == value.KindString {
+		if id, found := dcol.Lookup(v.S); found {
+			for i := 0; i < s.mainRows; i++ {
+				if dcol.ValueID(i) == id && !dcol.IsNull(i) && s.Visible(i) {
+					out = append(out, i)
+				}
+			}
+		}
+		for i := s.mainRows; i < s.rows; i++ {
+			if s.Visible(i) && value.Equal(s.Get(col, i), v) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < s.rows; i++ {
+		if s.Visible(i) && value.Equal(s.Get(col, i), v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Lookup is a convenience over DictColumn for FindRows.
+func (c *DictColumn) Lookup(s string) (int, bool) { return c.Dict.Lookup(s) }
+
+// SortPositions sorts row positions by the snapshot values of column col.
+func (s *Snapshot) SortPositions(pos []int, col int, desc bool) {
+	sort.SliceStable(pos, func(a, b int) bool {
+		cmp := value.Compare(s.Get(col, pos[a]), s.Get(col, pos[b]))
+		if desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	})
+}

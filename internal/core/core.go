@@ -1,0 +1,262 @@
+// Package core is the ecosystem façade — the paper's actual contribution
+// (§I-B, §V, §VI): "one solution for the application which logically
+// consists of one execution runtime, one persistency, one infrastructure
+// and one administration experience". It assembles every engine of this
+// repository around a single relational entry point:
+//
+//   - the in-memory column store with MVCC transactions and durability,
+//   - the data-processing engines of Figure 2 (text, graph/hierarchy,
+//     geospatial, time series, scientific, planning, mining, documents),
+//   - the application bridge and semantic aging of §III,
+//   - the scale-out extension of Figure 3 and the Hadoop stack of
+//     Figure 4 (HDFS, MapReduce, RDDs, SDA federation, streaming),
+//   - a business-object repository with dev→test→prod lifecycle, and a
+//     single administration/monitoring surface.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/aging"
+	"repro/internal/appbridge"
+	"repro/internal/catalog"
+	"repro/internal/columnstore"
+	"repro/internal/docstore"
+	"repro/internal/federation"
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/hdfs"
+	"repro/internal/matrix"
+	"repro/internal/mining"
+	"repro/internal/planning"
+	"repro/internal/soe"
+	"repro/internal/sqlexec"
+	"repro/internal/streaming"
+	"repro/internal/text"
+	"repro/internal/timeseries"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Ecosystem is one assembled data-management landscape.
+type Ecosystem struct {
+	Engine *sqlexec.Engine
+
+	Text     *text.Indexer
+	Graph    *graph.Views
+	Geo      *geo.Indexes
+	Series   *timeseries.Views
+	Matrix   *matrix.Store
+	Planning *planning.Engine
+	Objects  *docstore.Objects
+	Mining   *mining.Miner
+	Bridge   *appbridge.Bridge
+	Aging    *aging.Manager
+
+	Fed     *federation.Federation
+	HDFS    *hdfs.FS
+	HiveSrc *federation.HiveSource // non-nil when the HDFS tier exists
+	SOE     *soe.Cluster
+
+	Repo  *Repository
+	Store *wal.Store // non-nil when durable
+}
+
+// Config shapes an ecosystem.
+type Config struct {
+	// DurableDir enables WAL + checkpoint persistence in this directory.
+	DurableDir string
+	// ReferenceCurrency for the application bridge (default EUR).
+	ReferenceCurrency string
+	// HDFSDataNodes > 0 attaches a simulated Hadoop tier.
+	HDFSDataNodes int
+	HDFSBlockSize int
+	// SOE attaches a scale-out cluster when non-nil.
+	SOE *soe.ClusterConfig
+}
+
+// New assembles an ecosystem.
+func New(cfg Config) (*Ecosystem, error) {
+	var eng *sqlexec.Engine
+	var store *wal.Store
+	if cfg.DurableDir != "" {
+		s, err := wal.OpenStore(cfg.DurableDir, wal.SyncNever)
+		if err != nil {
+			return nil, err
+		}
+		store = s
+		eng = sqlexec.NewEngineWith(catalog.New(), s.Mgr)
+		// Recovery rebuilds physical tables in the transaction manager;
+		// re-register them with the catalog so SQL resolves them again.
+		// Partition-suffixed tables (tiering, aged) come back as plain
+		// tables — re-apply tiering policies after restart to re-tier.
+		for _, t := range s.RecoveredTables() {
+			if entry, err := eng.Cat.CreateTable(t.Name(), t.Schema()); err == nil {
+				entry.Partitions[0].Table = t
+			}
+		}
+	} else {
+		eng = sqlexec.NewEngine()
+	}
+	if cfg.ReferenceCurrency == "" {
+		cfg.ReferenceCurrency = "EUR"
+	}
+
+	e := &Ecosystem{
+		Engine:   eng,
+		Text:     text.Attach(eng),
+		Graph:    graph.Attach(eng),
+		Geo:      geo.Attach(eng),
+		Series:   timeseries.Attach(eng),
+		Matrix:   matrix.Attach(eng),
+		Planning: planning.Attach(eng),
+		Objects:  docstore.Attach(eng),
+		Mining:   mining.Attach(eng),
+		Bridge:   appbridge.Attach(eng, cfg.ReferenceCurrency),
+		Aging:    aging.Attach(eng),
+		Repo:     NewRepository(),
+		Store:    store,
+	}
+	e.Fed = federation.Attach(eng)
+
+	if cfg.HDFSDataNodes > 0 {
+		bs := cfg.HDFSBlockSize
+		if bs <= 0 {
+			bs = 1 << 16
+		}
+		e.HDFS = hdfs.New(cfg.HDFSDataNodes, bs, 2)
+		e.HiveSrc = federation.NewHiveSource(e.HDFS)
+		e.Fed.Register(e.HiveSrc)
+	}
+	if cfg.SOE != nil {
+		e.SOE = soe.NewCluster(*cfg.SOE)
+		e.Fed.Register(&federation.SOESource{Cluster: e.SOE})
+	}
+	return e, nil
+}
+
+// Close shuts down background activity.
+func (e *Ecosystem) Close() {
+	if e.SOE != nil {
+		e.SOE.Shutdown()
+	}
+	if e.Store != nil {
+		e.Store.Log.Close()
+	}
+}
+
+// Query is the single SQL entry point spanning every engine.
+func (e *Ecosystem) Query(sql string, params ...value.Value) (*sqlexec.Result, error) {
+	return e.Engine.Query(sql, params...)
+}
+
+// MustQuery panics on error (examples, tests).
+func (e *Ecosystem) MustQuery(sql string, params ...value.Value) *sqlexec.Result {
+	return e.Engine.MustQuery(sql, params...)
+}
+
+// NewStream opens a streaming pipeline whose sinks may feed ecosystem
+// tables (the ESP entry of Figure 4).
+func (e *Ecosystem) NewStream(schema columnstore.Schema) *streaming.Stream {
+	return streaming.New(schema)
+}
+
+// --- administration and monitoring (one experience, §I-B) ----------------
+
+// TableStatus describes one table on the admin surface.
+type TableStatus struct {
+	Name       string
+	Rows       int
+	Partitions int
+	DeltaRows  int
+	Bytes      int
+	Tiers      map[catalog.Tier]int // partitions per tier
+}
+
+// Status is the single monitoring snapshot across all components.
+type Status struct {
+	Tables        []TableStatus
+	Commits       uint64
+	Aborts        uint64
+	SOENodes      int
+	SOELogTail    uint64
+	HDFSDataNodes int
+	HDFSFiles     int
+}
+
+// Status collects the admin snapshot.
+func (e *Ecosystem) Status() Status {
+	var st Status
+	ts := e.Engine.Mgr.Now()
+	for _, name := range e.Engine.Cat.Tables() {
+		entry, ok := e.Engine.Cat.Table(name)
+		if !ok {
+			continue
+		}
+		t := TableStatus{Name: name, Tiers: map[catalog.Tier]int{}}
+		for _, p := range entry.Partitions {
+			snap := p.Table.Snapshot(ts)
+			t.Rows += snap.LiveRows()
+			t.DeltaRows += p.Table.DeltaRows()
+			t.Bytes += p.Table.Bytes()
+			t.Partitions++
+			t.Tiers[p.Tier]++
+		}
+		st.Tables = append(st.Tables, t)
+	}
+	st.Commits, st.Aborts = e.Engine.Mgr.Stats()
+	if e.SOE != nil {
+		st.SOENodes = len(e.SOE.Nodes)
+		st.SOELogTail = e.SOE.Log.Tail()
+	}
+	if e.HDFS != nil {
+		st.HDFSDataNodes = e.HDFS.LiveDataNodes()
+		st.HDFSFiles = len(e.HDFS.List("/"))
+	}
+	return st
+}
+
+// MergeAll runs a delta merge on every hot partition (housekeeping).
+func (e *Ecosystem) MergeAll() {
+	wm := e.Engine.Mgr.MinActiveTS()
+	for _, name := range e.Engine.Cat.Tables() {
+		entry, ok := e.Engine.Cat.Table(name)
+		if !ok {
+			continue
+		}
+		for _, p := range entry.Partitions {
+			if p.Tier == catalog.TierHot && p.Table.DeltaRows() > 0 {
+				p.Table.Merge(wm)
+			}
+		}
+	}
+}
+
+// AllTables returns every physical partition table keyed by its physical
+// name (backup, checkpointing).
+func (e *Ecosystem) AllTables() map[string]*columnstore.Table {
+	tables := map[string]*columnstore.Table{}
+	for _, name := range e.Engine.Cat.Tables() {
+		entry, _ := e.Engine.Cat.Table(name)
+		for _, p := range entry.Partitions {
+			tables[p.Table.Name()] = p.Table
+		}
+	}
+	return tables
+}
+
+// Backup writes a full consistent backup of all tables.
+func (e *Ecosystem) Backup(path string) error {
+	if e.Store == nil {
+		return fmt.Errorf("core: backup requires a durable ecosystem")
+	}
+	return e.Store.Backup(path, e.AllTables())
+}
+
+// Checkpoint persists the full state and truncates the redo log.
+func (e *Ecosystem) Checkpoint() error {
+	if e.Store == nil {
+		return fmt.Errorf("core: checkpoint requires a durable ecosystem")
+	}
+	return e.Store.Checkpoint(e.AllTables())
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/soe"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+func newEco(t *testing.T, cfg Config) *Ecosystem {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestSingleEntryPointSpansEngines(t *testing.T) {
+	e := newEco(t, Config{})
+	// One statement touching geo + text + appbridge functions at once —
+	// the Figure 2 integration through one optimizer/executor.
+	e.MustQuery(`CREATE TABLE shops (id VARCHAR, lat DOUBLE, lon DOUBLE, review VARCHAR, amount DOUBLE, cur VARCHAR)`)
+	e.Bridge.Currency.SetRate("USD", 0, 0.5)
+	e.MustQuery(`INSERT INTO shops VALUES ('S1', 52.52, 13.40, 'great service, love it', 100, 'USD')`)
+	e.MustQuery(`INSERT INTO shops VALUES ('S2', 52.53, 13.41, 'terrible and dirty', 100, 'EUR')`)
+	e.MustQuery(`INSERT INTO shops VALUES ('S3', 37.56, 126.97, 'great place', 100, 'EUR')`)
+	r := e.MustQuery(`SELECT id, CONVERT_CURRENCY(amount, cur, 'EUR', 1) FROM shops
+		WHERE ST_WITHIN_DISTANCE(lat, lon, 52.52, 13.405, 10) AND SENTIMENT(review) > 0`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "S1" || r.Rows[0][1].F != 50 {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+}
+
+func TestStatusSurface(t *testing.T) {
+	e := newEco(t, Config{HDFSDataNodes: 2, SOE: &soe.ClusterConfig{Nodes: 2, Mode: soe.OLTP}})
+	e.MustQuery(`CREATE TABLE t (a INT)`)
+	e.MustQuery(`INSERT INTO t VALUES (1), (2)`)
+	st := e.Status()
+	if len(st.Tables) != 1 || st.Tables[0].Rows != 2 {
+		t.Fatalf("status=%+v", st)
+	}
+	if st.SOENodes != 2 || st.HDFSDataNodes != 2 {
+		t.Fatalf("status=%+v", st)
+	}
+	if st.Commits == 0 {
+		t.Fatal("commit counter missing")
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	e := newEco(t, Config{})
+	e.MustQuery(`CREATE TABLE t (a INT)`)
+	for i := 0; i < 10; i++ {
+		e.MustQuery(`INSERT INTO t VALUES (?)`, value.Int(int64(i)))
+	}
+	entry, _ := e.Engine.Cat.Table("t")
+	if entry.Primary().MainRows() != 0 {
+		t.Fatal("precondition")
+	}
+	e.MergeAll()
+	if entry.Primary().MainRows() != 10 || entry.Primary().DeltaRows() != 0 {
+		t.Fatalf("main=%d delta=%d", entry.Primary().MainRows(), entry.Primary().DeltaRows())
+	}
+}
+
+func TestDurableEcosystemSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(Config{DurableDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MustQuery(`CREATE TABLE t (a INT, b VARCHAR)`)
+	e.MustQuery(`INSERT INTO t VALUES (1, 'x'), (2, 'y')`)
+	// Checkpoint so the restart can rebuild schema + data.
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	e.MustQuery(`INSERT INTO t VALUES (3, 'z')`) // lands in the WAL suffix
+	e.Close()
+
+	e2, err := New(Config{DurableDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	// Recovered tables are fully SQL-queryable: schema, rows and clock
+	// all came back from checkpoint + WAL suffix.
+	r := e2.MustQuery(`SELECT COUNT(*), MAX(a) FROM t`)
+	if r.Rows[0][0].I != 3 || r.Rows[0][1].I != 3 {
+		t.Fatalf("recovered query=%v", r.Rows[0])
+	}
+	// And writable: new transactions continue on the recovered state.
+	e2.MustQuery(`INSERT INTO t VALUES (4, 'w')`)
+	r = e2.MustQuery(`SELECT COUNT(*) FROM t`)
+	if r.Rows[0][0].I != 4 {
+		t.Fatalf("post-recovery insert: %v", r.Rows[0][0])
+	}
+}
+
+func TestBusinessObjectLifecycle(t *testing.T) {
+	repo := NewRepository()
+	repo.Define(BusinessObject{
+		Name: "sales_order",
+		Statements: []string{
+			`CREATE TABLE so (id VARCHAR, total DOUBLE)`,
+			`CREATE VIEW so_big AS SELECT id FROM so WHERE total > 100`,
+		},
+	})
+	dev := newEco(t, Config{})
+	test := newEco(t, Config{})
+	if err := repo.Deploy("sales_order", dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Deploy("sales_order", test); err != nil {
+		t.Fatal(err)
+	}
+	dev.MustQuery(`INSERT INTO so VALUES ('A', 200)`)
+	r := dev.MustQuery(`SELECT COUNT(*) FROM so_big`)
+	if r.Rows[0][0].I != 1 {
+		t.Fatalf("view=%v", r.Rows[0][0])
+	}
+	if v, ok := dev.DeployedVersion("sales_order"); !ok || v != 1 {
+		t.Fatalf("version=%d", v)
+	}
+	// Upgrade only dev: drift detected.
+	repo.Define(BusinessObject{Name: "sales_order", Statements: []string{`CREATE TABLE IF NOT EXISTS so (id VARCHAR, total DOUBLE)`}})
+	prod := newEco(t, Config{})
+	if err := repo.Deploy("sales_order", prod); err != nil {
+		t.Fatal(err)
+	}
+	drift := LandscapeDrift(repo, dev, test, prod)
+	if len(drift) != 1 {
+		t.Fatalf("drift=%v", drift)
+	}
+	if vs := drift["sales_order"]; vs[0] != 1 || vs[2] != 2 {
+		t.Fatalf("versions=%v", vs)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	repo := NewRepository()
+	e := newEco(t, Config{})
+	if err := repo.Deploy("ghost", e); err == nil {
+		t.Fatal("missing object accepted")
+	}
+	repo.Define(BusinessObject{Name: "bad", Statements: []string{"NOT SQL"}})
+	if err := repo.Deploy("bad", e); err == nil {
+		t.Fatal("bad statement accepted")
+	}
+	repo.Define(BusinessObject{Name: "badwire", Wire: func(*Ecosystem) error { return fmt.Errorf("boom") }})
+	if err := repo.Deploy("badwire", e); err == nil {
+		t.Fatal("wire error swallowed")
+	}
+}
+
+func TestDynamicTieringMovesRowsAndStaysQueryable(t *testing.T) {
+	e := newEco(t, Config{HDFSDataNodes: 3})
+	e.MustQuery(`CREATE TABLE events (id INT, ts INT, note VARCHAR)`)
+	now := time.Date(2015, 4, 13, 0, 0, 0, 0, time.UTC)
+	age := func(d time.Duration) int64 { return now.Add(-d).UnixMicro() }
+	// 3 hot (1 day), 3 warm (90 days), 3 cold (2 years).
+	for i := 0; i < 9; i++ {
+		var ts int64
+		switch i % 3 {
+		case 0:
+			ts = age(24 * time.Hour)
+		case 1:
+			ts = age(90 * 24 * time.Hour)
+		case 2:
+			ts = age(2 * 365 * 24 * time.Hour)
+		}
+		e.MustQuery(fmt.Sprintf(`INSERT INTO events VALUES (%d, %d, 'n%d')`, i, ts, i))
+	}
+	toExt, toHDFS, err := e.TierByTemperature(TierPolicy{
+		Table: "events", DateCol: "ts",
+		ExtendedAfter:   30 * 24 * time.Hour,
+		HDFSAfter:       365 * 24 * time.Hour,
+		ExtendedPenalty: 1, HDFSPenalty: 1,
+	}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toExt != 3 || toHDFS != 3 {
+		t.Fatalf("moved ext=%d hdfs=%d", toExt, toHDFS)
+	}
+	counts, _ := e.TierCounts("events")
+	if counts[catalog.TierHot] != 3 || counts[catalog.TierExtended] != 3 || counts[catalog.TierHDFS] != 3 {
+		t.Fatalf("counts=%v", counts)
+	}
+	// The logical table still answers over all tiers.
+	r := e.MustQuery(`SELECT COUNT(*) FROM events`)
+	if r.Rows[0][0].I != 9 {
+		t.Fatalf("total=%v", r.Rows[0][0])
+	}
+	// The HDFS mirror is readable by the file API.
+	files := e.HDFS.List("/tiering/events/")
+	if len(files) != 1 {
+		t.Fatalf("files=%v", files)
+	}
+	data, _ := e.HDFS.ReadFile(files[0])
+	if len(data) == 0 {
+		t.Fatal("empty HDFS mirror")
+	}
+	// Idempotent re-run.
+	toExt, toHDFS, _ = e.TierByTemperature(TierPolicy{
+		Table: "events", DateCol: "ts",
+		ExtendedAfter: 30 * 24 * time.Hour, HDFSAfter: 365 * 24 * time.Hour,
+		ExtendedPenalty: 1, HDFSPenalty: 1,
+	}, now)
+	if toExt != 0 || toHDFS != 0 {
+		t.Fatalf("re-run moved ext=%d hdfs=%d", toExt, toHDFS)
+	}
+}
+
+func TestTieringWithoutHDFSUsesExtendedOnly(t *testing.T) {
+	e := newEco(t, Config{})
+	e.MustQuery(`CREATE TABLE ev (id INT, ts INT)`)
+	now := time.Now().UTC()
+	e.MustQuery(fmt.Sprintf(`INSERT INTO ev VALUES (1, %d)`, now.Add(-1000*time.Hour).UnixMicro()))
+	toExt, toHDFS, err := e.TierByTemperature(TierPolicy{
+		Table: "ev", DateCol: "ts",
+		ExtendedAfter: time.Hour, HDFSAfter: time.Hour,
+		ExtendedPenalty: 1, HDFSPenalty: 1,
+	}, now)
+	if err != nil || toExt != 1 || toHDFS != 0 {
+		t.Fatalf("ext=%d hdfs=%d err=%v", toExt, toHDFS, err)
+	}
+}
+
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(Config{DurableDir: dir + "/data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.MustQuery(`CREATE TABLE b (a INT)`)
+	e.MustQuery(`INSERT INTO b VALUES (1), (2)`)
+	bk := dir + "/full.backup"
+	if err := e.Backup(bk); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := wal.RestoreBackup(bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := mgr.Table("b")
+	if !ok || tab.Snapshot(mgr.Now()).LiveRows() != 2 {
+		t.Fatal("backup round trip")
+	}
+	// Non-durable systems refuse backup/checkpoint.
+	mem := newEco(t, Config{})
+	if err := mem.Backup(bk); err == nil {
+		t.Fatal("in-memory backup accepted")
+	}
+	if err := mem.Checkpoint(); err == nil {
+		t.Fatal("in-memory checkpoint accepted")
+	}
+}
+
+func TestNewStreamAndDeployAll(t *testing.T) {
+	e := newEco(t, Config{})
+	e.MustQuery(`CREATE TABLE evt (a INT)`)
+	st := e.NewStream(e.AllTables()["evt"].Schema())
+	if err := st.IntoTable(e.Engine, "evt"); err != nil {
+		t.Fatal(err)
+	}
+	st.Push(value.Row{value.Int(7)})
+	r := e.MustQuery(`SELECT COUNT(*) FROM evt`)
+	if r.Rows[0][0].I != 1 {
+		t.Fatal("stream sink")
+	}
+
+	repo := NewRepository()
+	repo.Define(BusinessObject{Name: "a", Statements: []string{`CREATE TABLE obj_a (x INT)`}})
+	repo.Define(BusinessObject{Name: "b", Statements: []string{`CREATE TABLE obj_b (x INT)`}})
+	target := newEco(t, Config{})
+	if err := repo.DeployAll(target); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := target.Engine.Cat.Table("obj_a"); !ok {
+		t.Fatal("obj_a missing")
+	}
+	if _, ok := target.Engine.Cat.Table("obj_b"); !ok {
+		t.Fatal("obj_b missing")
+	}
+}

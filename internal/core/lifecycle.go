@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Repository is the central business-object repository of §V: named object
+// definitions (DDL plus engine wiring statements) versioned and deployable
+// "from development via test to active systems" with one consistent
+// procedure.
+type Repository struct {
+	mu      sync.Mutex
+	objects map[string]*BusinessObject
+}
+
+// BusinessObject is one deployable definition.
+type BusinessObject struct {
+	Name    string
+	Version int
+	// Statements run in order at deployment (CREATE TABLE, CREATE VIEW,
+	// seed INSERTs ...).
+	Statements []string
+	// Wire runs after the statements with the target ecosystem (engine
+	// registrations that have no SQL surface: text indexes, graph views).
+	Wire func(e *Ecosystem) error
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{objects: map[string]*BusinessObject{}}
+}
+
+// Define registers (or upgrades) an object definition; the version
+// increments on redefinition.
+func (r *Repository) Define(obj BusinessObject) *BusinessObject {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.objects[obj.Name]; ok {
+		obj.Version = prev.Version + 1
+	} else {
+		obj.Version = 1
+	}
+	cp := obj
+	r.objects[obj.Name] = &cp
+	return &cp
+}
+
+// Get resolves a definition.
+func (r *Repository) Get(name string) (*BusinessObject, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.objects[name]
+	return o, ok
+}
+
+// List returns object names, sorted.
+func (r *Repository) List() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.objects))
+	for n := range r.objects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deploy rolls one object out to a target ecosystem. The deployed version
+// is recorded in the target's catalog metadata so administrators can audit
+// landscape consistency.
+func (r *Repository) Deploy(name string, target *Ecosystem) error {
+	obj, ok := r.Get(name)
+	if !ok {
+		return fmt.Errorf("core: no business object %q", name)
+	}
+	for _, stmt := range obj.Statements {
+		if _, err := target.Query(stmt); err != nil {
+			return fmt.Errorf("core: deploying %s: %w", name, err)
+		}
+	}
+	if obj.Wire != nil {
+		if err := obj.Wire(target); err != nil {
+			return fmt.Errorf("core: wiring %s: %w", name, err)
+		}
+	}
+	target.deployed(name, obj.Version)
+	return nil
+}
+
+// DeployAll rolls every object out in name order.
+func (r *Repository) DeployAll(target *Ecosystem) error {
+	for _, name := range r.List() {
+		if err := r.Deploy(name, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deployedVersions tracks the landscape state per ecosystem.
+type deployedVersions struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+var deployments sync.Map // *Ecosystem -> *deployedVersions
+
+func (e *Ecosystem) deployed(name string, version int) {
+	v, _ := deployments.LoadOrStore(e, &deployedVersions{m: map[string]int{}})
+	dv := v.(*deployedVersions)
+	dv.mu.Lock()
+	dv.m[name] = version
+	dv.mu.Unlock()
+}
+
+// DeployedVersion reports which version of an object this ecosystem runs.
+func (e *Ecosystem) DeployedVersion(name string) (int, bool) {
+	v, ok := deployments.Load(e)
+	if !ok {
+		return 0, false
+	}
+	dv := v.(*deployedVersions)
+	dv.mu.Lock()
+	defer dv.mu.Unlock()
+	ver, ok := dv.m[name]
+	return ver, ok
+}
+
+// LandscapeDrift compares two ecosystems' deployed versions and returns
+// objects whose versions differ — the consistency check behind "seamless
+// migration from development via test to active systems".
+func LandscapeDrift(repo *Repository, systems ...*Ecosystem) map[string][]int {
+	drift := map[string][]int{}
+	for _, name := range repo.List() {
+		versions := make([]int, len(systems))
+		differ := false
+		for i, s := range systems {
+			v, _ := s.DeployedVersion(name)
+			versions[i] = v
+			if v != versions[0] {
+				differ = true
+			}
+		}
+		if differ {
+			drift[name] = versions
+		}
+	}
+	return drift
+}

@@ -1,0 +1,133 @@
+package distql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+func parseSel(t *testing.T, sql string) *sqlexec.SelectStmt {
+	t.Helper()
+	st, err := sqlexec.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(*sqlexec.SelectStmt)
+}
+
+func TestRewritePlainSelect(t *testing.T) {
+	p, err := Rewrite(parseSel(t, `SELECT id, amount FROM orders WHERE amount > 5 LIMIT 3`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GroupCols != -1 {
+		t.Fatal("plain select must concat")
+	}
+	if !strings.Contains(p.LocalSQL, "LIMIT 3") {
+		t.Fatalf("limit not pushed: %s", p.LocalSQL)
+	}
+	if p.LeftTable != "orders" || p.RightTable != "" {
+		t.Fatalf("tables=%q/%q", p.LeftTable, p.RightTable)
+	}
+}
+
+func TestRewritePartialAggregates(t *testing.T) {
+	p, err := Rewrite(parseSel(t, `SELECT region, COUNT(*), AVG(amount) FROM orders GROUP BY region`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GroupCols != 1 || len(p.Finals) != 2 || p.HiddenCols != 1 {
+		t.Fatalf("plan=%+v", p)
+	}
+	// AVG splits into SUM + COUNT locally.
+	if !strings.Contains(p.LocalSQL, "SUM(amount)") || !strings.Contains(p.LocalSQL, "COUNT(amount)") {
+		t.Fatalf("local=%s", p.LocalSQL)
+	}
+	if p.Finals[0].Fn != "SUM" { // COUNT merges by summing
+		t.Fatalf("finals=%v", p.Finals)
+	}
+	if p.Finals[1].Fn != "AVG" || p.Finals[1].CountCol != 3 {
+		t.Fatalf("avg final=%v", p.Finals[1])
+	}
+}
+
+func TestRewriteRejectsUnsupported(t *testing.T) {
+	for _, sql := range []string{
+		`SELECT a FROM t1 JOIN t2 ON t1.a = t2.b JOIN t3 ON t2.c = t3.d`,
+		`SELECT region, SUM(x) FROM t GROUP BY region HAVING SUM(x) > 1`,
+		`SELECT SUM(x) / COUNT(*) FROM t`,
+		`SELECT a FROM (SELECT a FROM t) s`,
+		`SELECT a FROM t1 LEFT JOIN t2 ON t1.a = t2.b`,
+	} {
+		if _, err := Rewrite(parseSel(t, sql)); err == nil {
+			t.Fatalf("%q accepted", sql)
+		}
+	}
+}
+
+func TestRewriteJoinKeys(t *testing.T) {
+	p, err := Rewrite(parseSel(t, `SELECT o.region, SUM(i.qty) FROM orders o JOIN items i ON i.order_id = o.id GROUP BY o.region`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LeftTable != "orders" || p.RightTable != "items" {
+		t.Fatalf("tables=%s/%s", p.LeftTable, p.RightTable)
+	}
+	// Flipped ON order still resolves sides correctly.
+	if p.LeftKey != "id" || p.RightKey != "order_id" {
+		t.Fatalf("keys=%s/%s", p.LeftKey, p.RightKey)
+	}
+}
+
+func TestMergePartialsMinMaxSumAvg(t *testing.T) {
+	p, err := Rewrite(parseSel(t, `SELECT region, MIN(x), MAX(x), SUM(x), AVG(x), COUNT(*) FROM t GROUP BY region`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partial rows: [region, min, max, sum, avg-sum-partial..., count*, hidden avg count]
+	// Layout: group(1) + finals(5: min,max,sum,avg,count) + hidden(1).
+	batch1 := []value.Row{{value.String("A"), value.Float(1), value.Float(5), value.Float(6), value.Float(6), value.Int(2), value.Int(2)}}
+	batch2 := []value.Row{{value.String("A"), value.Float(0), value.Float(9), value.Float(9), value.Float(9), value.Int(1), value.Int(1)}}
+	rows := p.MergePartials([][]value.Row{batch1, batch2})
+	if len(rows) != 1 {
+		t.Fatalf("rows=%v", rows)
+	}
+	r := rows[0]
+	// Output permutation: region, MIN, MAX, SUM, AVG, COUNT.
+	if r[0].S != "A" || r[1].F != 0 || r[2].F != 9 || r[3].F != 15 {
+		t.Fatalf("row=%v", r)
+	}
+	if r[4].AsFloat() != 5 { // (6+9)/(2+1)
+		t.Fatalf("avg=%v", r[4])
+	}
+	if r[5].AsInt() != 3 {
+		t.Fatalf("count=%v", r[5])
+	}
+}
+
+func TestMergeConcat(t *testing.T) {
+	p, _ := Rewrite(parseSel(t, `SELECT a FROM t`))
+	rows := p.MergePartials([][]value.Row{{{value.Int(1)}}, {{value.Int(2)}}})
+	if len(rows) != 2 {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		StrategyLocalParallel: "local-parallel",
+		StrategyColocated:     "colocated",
+		StrategyBroadcast:     "broadcast",
+		StrategyRepartition:   "repartition",
+	} {
+		if s.String() != want {
+			t.Fatalf("%v", s)
+		}
+	}
+	p, _ := Rewrite(parseSel(t, `SELECT region, SUM(x) FROM t GROUP BY region`))
+	if !strings.Contains(p.Describe(), "local=") {
+		t.Fatal("describe missing local sql")
+	}
+}

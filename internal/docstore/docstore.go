@@ -1,0 +1,426 @@
+// Package docstore implements the NoSQL extensions of §II-H beyond the
+// flexible tables already built into the relational engine: a JSON
+// "document" column type queried through an embedded path language, and
+// the materialized object index — a header–item–subitem business object
+// stored as one JSON document acting as a join index over the relational
+// tables (experiment E16).
+package docstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// PathGet evaluates a path like "$.customer.addresses[0].city" against a
+// JSON document. The embedded-query mechanism: "documents themselves are
+// queried by an XQuery like language which is embedded into the SQL
+// statement".
+func PathGet(doc string, path string) (any, error) {
+	var root any
+	if err := json.Unmarshal([]byte(doc), &root); err != nil {
+		return nil, fmt.Errorf("docstore: invalid document: %w", err)
+	}
+	steps, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := root
+	for _, st := range steps {
+		switch {
+		case st.index >= 0:
+			arr, ok := cur.([]any)
+			if !ok || st.index >= len(arr) {
+				return nil, nil
+			}
+			cur = arr[st.index]
+		case st.wildcard:
+			arr, ok := cur.([]any)
+			if !ok {
+				return nil, nil
+			}
+			cur = arr // wildcard only meaningful as last step or with field fan-out below
+		default:
+			obj, ok := cur.(map[string]any)
+			if !ok {
+				// Fan out over an array from a previous wildcard step.
+				if arr, isArr := cur.([]any); isArr {
+					var out []any
+					for _, el := range arr {
+						if m, ok := el.(map[string]any); ok {
+							if v, ok := m[st.field]; ok {
+								out = append(out, v)
+							}
+						}
+					}
+					cur = out
+					continue
+				}
+				return nil, nil
+			}
+			v, ok := obj[st.field]
+			if !ok {
+				return nil, nil
+			}
+			cur = v
+		}
+	}
+	return cur, nil
+}
+
+type pathStep struct {
+	field    string
+	index    int // -1 for field steps
+	wildcard bool
+}
+
+func parsePath(path string) ([]pathStep, error) {
+	p := strings.TrimSpace(path)
+	if !strings.HasPrefix(p, "$") {
+		return nil, fmt.Errorf("docstore: path must start with $")
+	}
+	p = p[1:]
+	var steps []pathStep
+	for len(p) > 0 {
+		switch {
+		case strings.HasPrefix(p, "."):
+			p = p[1:]
+			end := strings.IndexAny(p, ".[")
+			if end < 0 {
+				end = len(p)
+			}
+			if end == 0 {
+				return nil, fmt.Errorf("docstore: empty field in path %q", path)
+			}
+			steps = append(steps, pathStep{field: p[:end], index: -1})
+			p = p[end:]
+		case strings.HasPrefix(p, "["):
+			close := strings.IndexByte(p, ']')
+			if close < 0 {
+				return nil, fmt.Errorf("docstore: unclosed [ in path %q", path)
+			}
+			inner := p[1:close]
+			p = p[close+1:]
+			if inner == "*" {
+				steps = append(steps, pathStep{index: -1, wildcard: true})
+				continue
+			}
+			n, err := strconv.Atoi(inner)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("docstore: bad index %q", inner)
+			}
+			steps = append(steps, pathStep{index: n})
+		default:
+			return nil, fmt.Errorf("docstore: unexpected %q in path", p)
+		}
+	}
+	return steps, nil
+}
+
+func toValue(v any) value.Value {
+	switch x := v.(type) {
+	case nil:
+		return value.Null
+	case bool:
+		return value.Bool(x)
+	case float64:
+		if x == float64(int64(x)) {
+			return value.Int(int64(x))
+		}
+		return value.Float(x)
+	case string:
+		return value.String(x)
+	default:
+		b, _ := json.Marshal(x)
+		return value.String(string(b))
+	}
+}
+
+// Attach registers the document functions with a relational engine:
+//
+//	JSON_VALUE(doc, '$.a.b[0]')  → scalar (objects/arrays come back as JSON text)
+//	JSON_EXISTS(doc, path)       → boolean
+//	JSON_LENGTH(doc, path)       → array/object length
+//	JSON_SET(doc, path, value)   → updated document (top-level fields)
+func Attach(eng *sqlexec.Engine) *Objects {
+	eng.Reg.RegisterScalar("JSON_VALUE", func(a []value.Value) (value.Value, error) {
+		if len(a) != 2 {
+			return value.Null, fmt.Errorf("docstore: JSON_VALUE(doc, path)")
+		}
+		if a[0].IsNull() {
+			return value.Null, nil
+		}
+		v, err := PathGet(a[0].AsString(), a[1].AsString())
+		if err != nil {
+			return value.Null, err
+		}
+		return toValue(v), nil
+	})
+	eng.Reg.RegisterScalar("JSON_EXISTS", func(a []value.Value) (value.Value, error) {
+		if len(a) != 2 {
+			return value.Null, fmt.Errorf("docstore: JSON_EXISTS(doc, path)")
+		}
+		if a[0].IsNull() {
+			return value.Bool(false), nil
+		}
+		v, err := PathGet(a[0].AsString(), a[1].AsString())
+		if err != nil {
+			return value.Bool(false), nil
+		}
+		return value.Bool(v != nil), nil
+	})
+	eng.Reg.RegisterScalar("JSON_LENGTH", func(a []value.Value) (value.Value, error) {
+		if len(a) != 2 {
+			return value.Null, fmt.Errorf("docstore: JSON_LENGTH(doc, path)")
+		}
+		v, err := PathGet(a[0].AsString(), a[1].AsString())
+		if err != nil || v == nil {
+			return value.Null, err
+		}
+		switch x := v.(type) {
+		case []any:
+			return value.Int(int64(len(x))), nil
+		case map[string]any:
+			return value.Int(int64(len(x))), nil
+		case string:
+			return value.Int(int64(len(x))), nil
+		default:
+			return value.Null, nil
+		}
+	})
+	eng.Reg.RegisterScalar("JSON_SET", func(a []value.Value) (value.Value, error) {
+		if len(a) != 3 {
+			return value.Null, fmt.Errorf("docstore: JSON_SET(doc, field, value)")
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(a[0].AsString()), &obj); err != nil {
+			return value.Null, err
+		}
+		field := strings.TrimPrefix(a[1].AsString(), "$.")
+		switch a[2].K {
+		case value.KindInt:
+			obj[field] = a[2].I
+		case value.KindFloat:
+			obj[field] = a[2].F
+		case value.KindBool:
+			obj[field] = a[2].AsBool()
+		default:
+			obj[field] = a[2].AsString()
+		}
+		b, err := json.Marshal(obj)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.String(string(b)), nil
+	})
+	return &Objects{eng: eng}
+}
+
+// Objects maintains materialized business-object indexes: a
+// header–item–subitem structure with 1:N cardinalities stored as one JSON
+// document per header key, "a kind of materialized index on top of the
+// relational data" (§II-H).
+type Objects struct {
+	eng *sqlexec.Engine
+}
+
+// ObjectDef describes the three-level shape.
+type ObjectDef struct {
+	Name string // index table name: (k VARCHAR, doc VARCHAR)
+
+	HeaderTable string
+	HeaderKey   string
+
+	ItemTable string
+	ItemFK    string // references header key
+	ItemKey   string
+
+	SubitemTable string
+	SubitemFK    string // references item key
+}
+
+// Materialize (re)builds the object index table from the relational
+// tables with three scans and in-memory grouping (not one join per
+// object). Returns the number of objects written.
+func (o *Objects) Materialize(def ObjectDef) (int, error) {
+	o.eng.Query(fmt.Sprintf("DROP TABLE IF EXISTS %s", def.Name))
+	if _, err := o.eng.Query(fmt.Sprintf("CREATE TABLE %s (k VARCHAR, doc VARCHAR)", def.Name)); err != nil {
+		return 0, err
+	}
+	hentry, ok := o.eng.Cat.Table(def.HeaderTable)
+	if !ok {
+		return 0, fmt.Errorf("docstore: no table %q", def.HeaderTable)
+	}
+	ientry, ok := o.eng.Cat.Table(def.ItemTable)
+	if !ok {
+		return 0, fmt.Errorf("docstore: no table %q", def.ItemTable)
+	}
+	hki := hentry.Schema.ColIndex(def.HeaderKey)
+	ifki := ientry.Schema.ColIndex(def.ItemFK)
+	iki := ientry.Schema.ColIndex(def.ItemKey)
+	if hki < 0 || ifki < 0 || iki < 0 {
+		return 0, fmt.Errorf("docstore: key columns missing in object definition")
+	}
+
+	// Scan subitems once, grouped by their item foreign key.
+	subsByItem := map[string][]any{}
+	if def.SubitemTable != "" {
+		sentry, ok := o.eng.Cat.Table(def.SubitemTable)
+		if !ok {
+			return 0, fmt.Errorf("docstore: no table %q", def.SubitemTable)
+		}
+		sfki := sentry.Schema.ColIndex(def.SubitemFK)
+		if sfki < 0 {
+			return 0, fmt.Errorf("docstore: subitem key %q missing", def.SubitemFK)
+		}
+		sr, err := o.eng.Query(fmt.Sprintf("SELECT * FROM %s", def.SubitemTable))
+		if err != nil {
+			return 0, err
+		}
+		names := sentry.Schema.Names()
+		for _, row := range sr.Rows {
+			fk := row[sfki].AsString()
+			subsByItem[fk] = append(subsByItem[fk], rowToMap(names, row))
+		}
+	}
+
+	// Scan items once, grouped by header key, subitems attached.
+	itemsByHeader := map[string][]any{}
+	ir, err := o.eng.Query(fmt.Sprintf("SELECT * FROM %s", def.ItemTable))
+	if err != nil {
+		return 0, err
+	}
+	inames := ientry.Schema.Names()
+	for _, row := range ir.Rows {
+		item := rowToMap(inames, row)
+		if def.SubitemTable != "" {
+			item["subitems"] = subsByItem[row[iki].AsString()]
+		}
+		itemsByHeader[row[ifki].AsString()] = append(itemsByHeader[row[ifki].AsString()], item)
+	}
+
+	// Scan headers once, emit documents.
+	headers, err := o.eng.Query(fmt.Sprintf("SELECT * FROM %s", def.HeaderTable))
+	if err != nil {
+		return 0, err
+	}
+	hnames := hentry.Schema.Names()
+	n := 0
+	sess := o.eng.NewSession()
+	defer sess.Close()
+	if err := sess.Begin(); err != nil {
+		return 0, err
+	}
+	for _, h := range headers.Rows {
+		key := h[hki].AsString()
+		obj := rowToMap(hnames, h)
+		obj["items"] = itemsByHeader[key]
+		doc, err := json.Marshal(obj)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := sess.Query(fmt.Sprintf("INSERT INTO %s VALUES (?, ?)", def.Name),
+			value.String(key), value.String(string(doc))); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	return n, sess.Commit()
+}
+
+// GetIndexed retrieves an object from the materialized index — one lookup
+// instead of three joins.
+func (o *Objects) GetIndexed(def ObjectDef, key string) (string, error) {
+	r, err := o.eng.Query(fmt.Sprintf("SELECT doc FROM %s WHERE k = ?", def.Name), value.String(key))
+	if err != nil {
+		return "", err
+	}
+	if len(r.Rows) == 0 {
+		return "", fmt.Errorf("docstore: no object %q", key)
+	}
+	return r.Rows[0][0].S, nil
+}
+
+// GetAssembled is the relational baseline: assemble the object from the
+// three tables at read time.
+func (o *Objects) GetAssembled(def ObjectDef, key string) (string, error) {
+	return o.assemble(def, key)
+}
+
+func (o *Objects) assemble(def ObjectDef, key string) (string, error) {
+	hentry, ok := o.eng.Cat.Table(def.HeaderTable)
+	if !ok {
+		return "", fmt.Errorf("docstore: no table %q", def.HeaderTable)
+	}
+	hr, err := o.eng.Query(fmt.Sprintf("SELECT * FROM %s WHERE %s = ?", def.HeaderTable, def.HeaderKey), value.String(key))
+	if err != nil {
+		return "", err
+	}
+	if len(hr.Rows) == 0 {
+		return "", fmt.Errorf("docstore: no header %q", key)
+	}
+	obj := rowToMap(hentry.Schema.Names(), hr.Rows[0])
+
+	ientry, ok := o.eng.Cat.Table(def.ItemTable)
+	if !ok {
+		return "", fmt.Errorf("docstore: no table %q", def.ItemTable)
+	}
+	ir, err := o.eng.Query(fmt.Sprintf("SELECT * FROM %s WHERE %s = ?", def.ItemTable, def.ItemFK), value.String(key))
+	if err != nil {
+		return "", err
+	}
+	iki := ientry.Schema.ColIndex(def.ItemKey)
+	var items []any
+	for _, row := range ir.Rows {
+		item := rowToMap(ientry.Schema.Names(), row)
+		if def.SubitemTable != "" {
+			sentry, ok := o.eng.Cat.Table(def.SubitemTable)
+			if !ok {
+				return "", fmt.Errorf("docstore: no table %q", def.SubitemTable)
+			}
+			sr, err := o.eng.Query(fmt.Sprintf("SELECT * FROM %s WHERE %s = ?", def.SubitemTable, def.SubitemFK), row[iki])
+			if err != nil {
+				return "", err
+			}
+			var subs []any
+			for _, srow := range sr.Rows {
+				subs = append(subs, rowToMap(sentry.Schema.Names(), srow))
+			}
+			item["subitems"] = subs
+		}
+		items = append(items, item)
+	}
+	obj["items"] = items
+	b, err := json.Marshal(obj)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func rowToMap(names []string, row value.Row) map[string]any {
+	m := make(map[string]any, len(names))
+	for i, n := range names {
+		if i >= len(row) {
+			break
+		}
+		v := row[i]
+		switch v.K {
+		case value.KindNull:
+			m[n] = nil
+		case value.KindInt, value.KindTime:
+			m[n] = v.I
+		case value.KindFloat:
+			m[n] = v.F
+		case value.KindBool:
+			m[n] = v.AsBool()
+		default:
+			m[n] = v.S
+		}
+	}
+	return m
+}

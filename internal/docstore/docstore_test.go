@@ -1,0 +1,271 @@
+package docstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+const sampleDoc = `{
+  "order": "SO-1",
+  "customer": {"name": "Acme", "city": "Berlin"},
+  "items": [
+    {"sku": "soap", "qty": 10},
+    {"sku": "towel", "qty": 3}
+  ],
+  "paid": true,
+  "total": 129.5
+}`
+
+func TestPathGet(t *testing.T) {
+	cases := []struct {
+		path string
+		want any
+	}{
+		{"$.order", "SO-1"},
+		{"$.customer.city", "Berlin"},
+		{"$.items[0].sku", "soap"},
+		{"$.items[1].qty", float64(3)},
+		{"$.paid", true},
+		{"$.total", 129.5},
+		{"$.missing", nil},
+		{"$.items[9].sku", nil},
+		{"$.customer.city.deeper", nil},
+	}
+	for _, c := range cases {
+		got, err := PathGet(sampleDoc, c.path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		if got != c.want {
+			t.Fatalf("%s: got %v want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestPathWildcard(t *testing.T) {
+	got, err := PathGet(sampleDoc, "$.items[*].sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, ok := got.([]any)
+	if !ok || len(arr) != 2 || arr[0] != "soap" || arr[1] != "towel" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	if _, err := PathGet("{not json", "$.a"); err == nil {
+		t.Fatal("invalid doc accepted")
+	}
+	for _, p := range []string{"a.b", "$.items[x]", "$.items[", "$..", "$x"} {
+		if _, err := PathGet(sampleDoc, p); err == nil {
+			t.Fatalf("path %q accepted", p)
+		}
+	}
+}
+
+func TestSQLJSONFunctions(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	Attach(eng)
+	eng.MustQuery(`CREATE TABLE orders_doc (id VARCHAR, doc DOCUMENT)`)
+	eng.MustQuery(`INSERT INTO orders_doc VALUES ('SO-1', ?)`, value.String(sampleDoc))
+	eng.MustQuery(`INSERT INTO orders_doc VALUES ('SO-2', '{"customer":{"city":"Seoul"},"items":[],"total":5}')`)
+
+	// Embedded path query inside SQL (§II-H).
+	r := eng.MustQuery(`SELECT id FROM orders_doc WHERE JSON_VALUE(doc, '$.customer.city') = 'Berlin'`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "SO-1" {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	r = eng.MustQuery(`SELECT JSON_LENGTH(doc, '$.items') FROM orders_doc ORDER BY id`)
+	if r.Rows[0][0].I != 2 || r.Rows[1][0].I != 0 {
+		t.Fatalf("lengths=%v", r.Rows)
+	}
+	r = eng.MustQuery(`SELECT id FROM orders_doc WHERE JSON_EXISTS(doc, '$.paid')`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("exists rows=%v", r.Rows)
+	}
+	// Aggregate over document values combined with relational predicates.
+	r = eng.MustQuery(`SELECT SUM(JSON_VALUE(doc, '$.total')) FROM orders_doc`)
+	if r.Rows[0][0].AsFloat() != 134.5 {
+		t.Fatalf("sum=%v", r.Rows[0][0])
+	}
+}
+
+func TestJSONSet(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	Attach(eng)
+	r := eng.MustQuery(`SELECT JSON_SET('{"a":1}', '$.b', 'x')`)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(r.Rows[0][0].S), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["b"] != "x" || m["a"] != float64(1) {
+		t.Fatalf("doc=%v", m)
+	}
+}
+
+func newObjectTables(t *testing.T) (*sqlexec.Engine, *Objects, ObjectDef) {
+	t.Helper()
+	eng := sqlexec.NewEngine()
+	o := Attach(eng)
+	eng.MustQuery(`CREATE TABLE so_header (so VARCHAR, customer VARCHAR, status VARCHAR)`)
+	eng.MustQuery(`CREATE TABLE so_item (item_id VARCHAR, so VARCHAR, sku VARCHAR, qty INT)`)
+	eng.MustQuery(`CREATE TABLE so_subitem (sub_id VARCHAR, item_id VARCHAR, note VARCHAR)`)
+	for h := 0; h < 3; h++ {
+		so := fmt.Sprintf("SO-%d", h)
+		eng.MustQuery(fmt.Sprintf(`INSERT INTO so_header VALUES ('%s', 'cust%d', 'OPEN')`, so, h))
+		for i := 0; i < 2; i++ {
+			item := fmt.Sprintf("%s-I%d", so, i)
+			eng.MustQuery(fmt.Sprintf(`INSERT INTO so_item VALUES ('%s', '%s', 'sku%d', %d)`, item, so, i, i+1))
+			eng.MustQuery(fmt.Sprintf(`INSERT INTO so_subitem VALUES ('%s-S0', '%s', 'note')`, item, item))
+		}
+	}
+	def := ObjectDef{
+		Name:        "so_objects",
+		HeaderTable: "so_header", HeaderKey: "so",
+		ItemTable: "so_item", ItemFK: "so", ItemKey: "item_id",
+		SubitemTable: "so_subitem", SubitemFK: "item_id",
+	}
+	return eng, o, def
+}
+
+func TestObjectIndexMaterializeAndGet(t *testing.T) {
+	eng, o, def := newObjectTables(t)
+	n, err := o.Materialize(def)
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	doc, err := o.GetIndexed(def, "SO-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(doc), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["customer"] != "cust1" {
+		t.Fatalf("customer=%v", obj["customer"])
+	}
+	items := obj["items"].([]any)
+	if len(items) != 2 {
+		t.Fatalf("items=%v", items)
+	}
+	subs := items[0].(map[string]any)["subitems"].([]any)
+	if len(subs) != 1 {
+		t.Fatalf("subs=%v", subs)
+	}
+	// The index is queryable through the JSON functions too.
+	r := eng.MustQuery(`SELECT k FROM so_objects WHERE JSON_VALUE(doc, '$.items[0].sku') = 'sku0' ORDER BY k`)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+}
+
+func TestIndexedMatchesAssembled(t *testing.T) {
+	_, o, def := newObjectTables(t)
+	if _, err := o.Materialize(def); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"SO-0", "SO-1", "SO-2"} {
+		a, err := o.GetIndexed(def, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := o.GetAssembled(def, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var am, bm map[string]any
+		json.Unmarshal([]byte(a), &am)
+		json.Unmarshal([]byte(b), &bm)
+		if fmt.Sprint(am) != fmt.Sprint(bm) {
+			t.Fatalf("%s: indexed and assembled differ\n%v\n%v", key, am, bm)
+		}
+	}
+}
+
+func TestObjectErrors(t *testing.T) {
+	_, o, def := newObjectTables(t)
+	o.Materialize(def)
+	if _, err := o.GetIndexed(def, "SO-99"); err == nil {
+		t.Fatal("missing object accepted")
+	}
+	bad := def
+	bad.HeaderTable = "ghost"
+	if _, err := o.Materialize(bad); err == nil {
+		t.Fatal("missing header table accepted")
+	}
+}
+
+func TestKVStoreBasics(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	kv, err := OpenKV(eng, "kvdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put("user:1", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put("user:2", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := kv.Get("user:1")
+	if !ok || v != "alice" {
+		t.Fatalf("get=%q ok=%v", v, ok)
+	}
+	// Upsert replaces.
+	kv.Put("user:1", "alicia")
+	v, _, _ = kv.Get("user:1")
+	if v != "alicia" {
+		t.Fatalf("upsert=%q", v)
+	}
+	if n, _ := kv.Len(); n != 2 {
+		t.Fatalf("len=%d", n)
+	}
+	// Prefix scan.
+	kv.Put("cfg:x", "1")
+	m, _ := kv.Scan("user:")
+	if len(m) != 2 || m["user:2"] != "bob" {
+		t.Fatalf("scan=%v", m)
+	}
+	// Delete.
+	if existed, _ := kv.Delete("user:2"); !existed {
+		t.Fatal("delete missed")
+	}
+	if existed, _ := kv.Delete("user:2"); existed {
+		t.Fatal("double delete")
+	}
+	if _, ok, _ := kv.Get("user:2"); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestKVSharesSQLWorld(t *testing.T) {
+	// The KV face and SQL see the same data: §II-H's point that NoSQL
+	// flexibility integrates into the standard system.
+	eng := sqlexec.NewEngine()
+	kv, _ := OpenKV(eng, "kvdata")
+	kv.Put("sensor:DISP-1", "low")
+	r := eng.MustQuery(`SELECT v FROM kvdata WHERE k = 'sensor:DISP-1'`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "low" {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	eng.MustQuery(`UPDATE kvdata SET v = 'ok' WHERE k = 'sensor:DISP-1'`)
+	v, _, _ := kv.Get("sensor:DISP-1")
+	if v != "ok" {
+		t.Fatalf("kv read after SQL update: %q", v)
+	}
+	// Reopen over the existing table.
+	if _, err := OpenKV(eng, "kvdata"); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong shape rejected.
+	eng.MustQuery(`CREATE TABLE notkv (a INT)`)
+	if _, err := OpenKV(eng, "notkv"); err == nil {
+		t.Fatal("bad table accepted")
+	}
+}

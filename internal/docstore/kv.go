@@ -1,0 +1,94 @@
+package docstore
+
+import (
+	"fmt"
+
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// KVStore is the pure key-value face of §II-H ("flexible data structures
+// like the document model or key-value stores"): a thin NoSQL API whose
+// data lives in an ordinary column-store table — so KV data participates
+// in SQL, MVCC, the delta merge, durability and tiering like everything
+// else, while applications get the familiar Get/Put/Delete/Scan surface.
+type KVStore struct {
+	eng   *sqlexec.Engine
+	table string
+}
+
+// OpenKV creates (or reuses) the backing table and returns the store.
+func OpenKV(eng *sqlexec.Engine, table string) (*KVStore, error) {
+	if _, ok := eng.Cat.Table(table); !ok {
+		if _, err := eng.Query(fmt.Sprintf("CREATE TABLE %s (k VARCHAR, v VARCHAR)", table)); err != nil {
+			return nil, err
+		}
+	}
+	entry, _ := eng.Cat.Table(table)
+	if entry.Schema.ColIndex("k") < 0 || entry.Schema.ColIndex("v") < 0 {
+		return nil, fmt.Errorf("docstore: table %q lacks k/v columns", table)
+	}
+	return &KVStore{eng: eng, table: table}, nil
+}
+
+// Put upserts a key.
+func (s *KVStore) Put(key, val string) error {
+	sess := s.eng.NewSession()
+	defer sess.Close()
+	if err := sess.Begin(); err != nil {
+		return err
+	}
+	if _, err := sess.Query(fmt.Sprintf("DELETE FROM %s WHERE k = ?", s.table), value.String(key)); err != nil {
+		return err
+	}
+	if _, err := sess.Query(fmt.Sprintf("INSERT INTO %s VALUES (?, ?)", s.table), value.String(key), value.String(val)); err != nil {
+		return err
+	}
+	return sess.Commit()
+}
+
+// Get reads a key.
+func (s *KVStore) Get(key string) (string, bool, error) {
+	r, err := s.eng.Query(fmt.Sprintf("SELECT v FROM %s WHERE k = ?", s.table), value.String(key))
+	if err != nil {
+		return "", false, err
+	}
+	if len(r.Rows) == 0 {
+		return "", false, nil
+	}
+	return r.Rows[0][0].S, true, nil
+}
+
+// Delete removes a key; returns whether it existed.
+func (s *KVStore) Delete(key string) (bool, error) {
+	r, err := s.eng.Query(fmt.Sprintf("DELETE FROM %s WHERE k = ?", s.table), value.String(key))
+	if err != nil {
+		return false, err
+	}
+	return r.Rows[0][0].I > 0, nil
+}
+
+// Scan returns all pairs with the given key prefix, ordered by key.
+func (s *KVStore) Scan(prefix string) (map[string]string, error) {
+	// NOTE: '%' and '_' inside the prefix act as LIKE wildcards (the
+	// dialect has no escape clause); keys should avoid them.
+	r, err := s.eng.Query(fmt.Sprintf("SELECT k, v FROM %s WHERE k LIKE ? ORDER BY k", s.table),
+		value.String(prefix+"%"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(r.Rows))
+	for _, row := range r.Rows {
+		out[row[0].S] = row[1].S
+	}
+	return out, nil
+}
+
+// Len counts live keys.
+func (s *KVStore) Len() (int, error) {
+	r, err := s.eng.Query(fmt.Sprintf("SELECT COUNT(*) FROM %s", s.table))
+	if err != nil {
+		return 0, err
+	}
+	return int(r.Rows[0][0].I), nil
+}

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/docstore"
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/planning"
+	"repro/internal/sqlexec"
+	"repro/internal/text"
+	"repro/internal/timeseries"
+	"repro/internal/value"
+)
+
+// E11TextEngine — §II-C: deep text integration; indexed search vs. scan.
+func E11TextEngine(s Scale) *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "text engine: indexed search vs. per-row scan; auto-extraction",
+		Claim:  "text analysis is deeply integrated and triggered automatically on ingestion (§II-C)",
+		Header: []string{"operation", "matches", "time"},
+	}
+	eng := sqlexec.NewEngine()
+	ix := text.Attach(eng)
+	eng.MustQuery(`CREATE TABLE docs (id VARCHAR, body VARCHAR)`)
+	rng := rand.New(rand.NewSource(12))
+	words := []string{"dispenser", "sensor", "refill", "empty", "maintenance", "report", "status", "normal", "urgent", "check"}
+	n := s.Rows / 2
+
+	st := time.Now()
+	sess := eng.NewSession()
+	sess.Begin()
+	for i := 0; i < n; i++ {
+		var body string
+		for w := 0; w < 12; w++ {
+			body += words[rng.Intn(len(words))] + " "
+		}
+		if i%50 == 0 {
+			body += "Acme Corp in Berlin reported 500 EUR damage"
+		}
+		sess.Query(`INSERT INTO docs VALUES (?, ?)`, value.String(fmt.Sprintf("d%d", i)), value.String(body))
+	}
+	sess.Commit()
+	sess.Close()
+	ingest := time.Since(st)
+
+	st = time.Now()
+	if err := ix.CreateIndex("docs", "body", "id"); err != nil {
+		panic(err)
+	}
+	build := time.Since(st)
+	t.AddRow(fmt.Sprintf("index build + analysis (%d docs)", n), "-", ms(build))
+	t.Note("ingestion of %d docs took %s; subsequent inserts index incrementally on commit", n, ms(ingest))
+
+	st = time.Now()
+	hits, err := ix.Search("docs", "dispenser urgent")
+	if err != nil {
+		panic(err)
+	}
+	dIdx := time.Since(st)
+	t.AddRow("indexed search (two terms)", fmt.Sprint(len(hits)), ms(dIdx))
+
+	st = time.Now()
+	r := eng.MustQuery(`SELECT COUNT(*) FROM docs WHERE CONTAINS_TEXT(body, 'dispenser urgent')`)
+	dScan := time.Since(st)
+	t.AddRow("unindexed scan (CONTAINS_TEXT)", r.Rows[0][0].AsString(), ms(dScan))
+	t.Note("index beats the scan by %s", ratio(dScan.Seconds(), dIdx.Seconds()))
+
+	st = time.Now()
+	ents := eng.MustQuery(`SELECT COUNT(*) FROM TABLE(TEXT_ENTITIES('docs')) e WHERE e.etype = 'COMPANY'`)
+	dEnt := time.Since(st)
+	t.AddRow("auto-extracted company entities", ents.Rows[0][0].AsString(), ms(dEnt))
+	return t
+}
+
+// E12GraphHierarchy — §II-E: in-engine graph/hierarchy operators.
+func E12GraphHierarchy(s Scale) *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "hierarchy interval labels vs. recursive walk; shortest paths",
+		Claim:  "explicit graph support executes operations more effectively than application logic (§II-E, [4][5])",
+		Header: []string{"operation", "n", "time"},
+	}
+	n := s.Rows
+	h := graph.NewHierarchy()
+	h.Add("n0", "")
+	rng := rand.New(rand.NewSource(13))
+	for i := 1; i < n; i++ {
+		h.Add(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", rng.Intn(i)))
+	}
+	h.SubtreeCount("n0") // label once
+
+	st := time.Now()
+	reps := 1000
+	for i := 0; i < reps; i++ {
+		h.SubtreeCount(fmt.Sprintf("n%d", rng.Intn(n)))
+	}
+	dInt := time.Since(st)
+	t.AddRow(fmt.Sprintf("subtree count, interval (×%d)", reps), fmt.Sprint(n), ms(dInt))
+
+	st = time.Now()
+	for i := 0; i < 50; i++ {
+		h.SubtreeCountRecursive(fmt.Sprintf("n%d", rng.Intn(20)))
+	}
+	dRec := time.Since(st)
+	t.AddRow("subtree count, recursive (×50)", fmt.Sprint(n), ms(dRec))
+
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddUndirected(fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", (i+1)%n), 1+rng.Float64())
+		g.AddUndirected(fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", rng.Intn(n)), 1+rng.Float64())
+	}
+	st = time.Now()
+	for i := 0; i < 20; i++ {
+		g.ShortestPath("v0", fmt.Sprintf("v%d", rng.Intn(n)))
+	}
+	dSP := time.Since(st)
+	t.AddRow(fmt.Sprintf("Dijkstra shortest path (×20, %d edges)", g.NumEdges()), fmt.Sprint(n), ms(dSP))
+	return t
+}
+
+// E13GeoTimeseries — §II-F: R-tree proximity vs. scan; series ops.
+func E13GeoTimeseries(s Scale) *Table {
+	t := &Table{
+		ID:     "E13",
+		Title:  "geo R-tree vs. full scan; time series operations",
+		Claim:  "geospatial and time series are native engine types with tuned operators (§II-F)",
+		Header: []string{"operation", "n", "result", "time"},
+	}
+	n := s.Rows
+	rng := rand.New(rand.NewSource(14))
+	tree := geo.NewRTree()
+	pts := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = geo.Point{Lat: 47 + rng.Float64()*8, Lon: 6 + rng.Float64()*9}
+		tree.Insert(pts[i], i)
+	}
+	center := geo.Point{Lat: 52.52, Lon: 13.405}
+
+	st := time.Now()
+	reps := 200
+	var found int
+	for i := 0; i < reps; i++ {
+		found = len(tree.WithinDistance(center, 50))
+	}
+	dTree := time.Since(st)
+	t.AddRow(fmt.Sprintf("WithinDistance 50km, R-tree (×%d)", reps), fmt.Sprint(n), fmt.Sprint(found), ms(dTree))
+
+	st = time.Now()
+	for i := 0; i < reps; i++ {
+		found = 0
+		for _, p := range pts {
+			if center.WithinDistance(p, 50) {
+				found++
+			}
+		}
+	}
+	dScan := time.Since(st)
+	t.AddRow(fmt.Sprintf("WithinDistance 50km, scan (×%d)", reps), fmt.Sprint(n), fmt.Sprint(found), ms(dScan))
+	t.Note("R-tree beats the scan by %s", ratio(dScan.Seconds(), dTree.Seconds()))
+
+	series := timeseries.New()
+	other := timeseries.New()
+	for i := 0; i < n; i++ {
+		ts := int64(i) * 1_000_000
+		series.Append(ts, 20+rng.Float64())
+		other.Append(ts, 40-rng.Float64())
+	}
+	st = time.Now()
+	rs, _ := series.Resample(60_000_000, timeseries.AggAvg)
+	dRes := time.Since(st)
+	t.AddRow("resample 1s→1min", fmt.Sprint(n), fmt.Sprint(rs.Len()), ms(dRes))
+	st = time.Now()
+	c := timeseries.Correlation(series, other)
+	dCorr := time.Since(st)
+	t.AddRow("correlation (full join on ts)", fmt.Sprint(n), fmt.Sprintf("%.3f", c), ms(dCorr))
+	return t
+}
+
+// E14InEngineAlgebra — §II-G [6]: linear algebra inside the store vs. the
+// export/import cycle.
+func E14InEngineAlgebra(s Scale) *Table {
+	t := &Table{
+		ID:     "E14",
+		Title:  "eigenvalue in-engine vs. export→external tool→import",
+		Claim:  "keeping matrices in the store avoids redundant copying to external libraries (§II-G, [6])",
+		Header: []string{"path", "eigenvalue", "bytes moved", "time"},
+	}
+	dim := 400
+	if s.Rows < 20_000 {
+		dim = 200
+	}
+	rng := rand.New(rand.NewSource(15))
+	var ts []matrix.Triple
+	for i := 0; i < dim; i++ {
+		ts = append(ts, matrix.Triple{I: i, J: i, V: 2 + rng.Float64()})
+		for k := 0; k < 4; k++ {
+			j := rng.Intn(dim)
+			w := rng.Float64() * 0.05
+			ts = append(ts, matrix.Triple{I: i, J: j, V: w}, matrix.Triple{I: j, J: i, V: w})
+		}
+	}
+	m, err := matrix.FromTriples(dim, dim, ts)
+	if err != nil {
+		panic(err)
+	}
+	eng := sqlexec.NewEngine()
+	store := matrix.Attach(eng)
+	if err := store.SaveCSR("m", m); err != nil {
+		panic(err)
+	}
+
+	st := time.Now()
+	evIn, _, _, err := store.EigenInEngine("m", dim, dim)
+	if err != nil {
+		panic(err)
+	}
+	dIn := time.Since(st)
+	t.AddRow("in-engine (SLACID-style)", fmt.Sprintf("%.4f", evIn), "0", ms(dIn))
+
+	dir, err := tempDir()
+	if err != nil {
+		panic(err)
+	}
+	st = time.Now()
+	evEx, moved, err := store.EigenViaExport("m", dim, dim, dir)
+	if err != nil {
+		panic(err)
+	}
+	dEx := time.Since(st)
+	t.AddRow("export→compute→import", fmt.Sprintf("%.4f", evEx), fmt.Sprint(moved), ms(dEx))
+	t.Note("identical eigenvalues; the export path moves %d redundant bytes through the file system", moved)
+	return t
+}
+
+// E15PlanningDisagg — §II-D: planning operators in the engine.
+func E15PlanningDisagg(s Scale) *Table {
+	t := &Table{
+		ID:     "E15",
+		Title:  "plan disaggregation in-engine vs. application-side",
+		Claim:  "planning needs heavy in-DB operators like disaggregation and copy (§II-D)",
+		Header: []string{"path", "cells", "rows moved", "time"},
+	}
+	eng := sqlexec.NewEngine()
+	p := planning.Attach(eng)
+	eng.MustQuery(`CREATE TABLE plan (version VARCHAR, region VARCHAR, product VARCHAR, revenue DOUBLE)`)
+	rng := rand.New(rand.NewSource(16))
+	regions, products := 20, s.Rows/100
+	sess := eng.NewSession()
+	sess.Begin()
+	for r := 0; r < regions; r++ {
+		for pr := 0; pr < products; pr++ {
+			sess.Query(`INSERT INTO plan VALUES ('actual', ?, ?, ?)`,
+				value.String(fmt.Sprintf("R%02d", r)), value.String(fmt.Sprintf("P%04d", pr)), value.Float(rng.Float64()*1000))
+		}
+	}
+	sess.Commit()
+	sess.Close()
+	cells := regions * products
+
+	st := time.Now()
+	nIn, err := p.Disaggregate("plan", "version", "actual", "t_eng", 1e6, "revenue")
+	if err != nil {
+		panic(err)
+	}
+	dIn := time.Since(st)
+	t.AddRow("in-engine PLAN_DISAGGREGATE", fmt.Sprint(nIn), "0", ms(dIn))
+
+	st = time.Now()
+	nApp, moved, err := p.DisaggregateAppStyle("plan", "version", "actual", "t_app", 1e6, "revenue")
+	if err != nil {
+		panic(err)
+	}
+	dApp := time.Since(st)
+	t.AddRow("application-side", fmt.Sprint(nApp), fmt.Sprint(moved), ms(dApp))
+	t.Note("%d plan cells; the app-side path ships every cell twice across the boundary", cells)
+	return t
+}
+
+// E16Docstore — §II-H: flexible tables and the materialized object index.
+func E16Docstore(s Scale) *Table {
+	t := &Table{
+		ID:     "E16",
+		Title:  "document store: object index vs. join assembly; path queries",
+		Claim:  "a header–item–subitem object stored as one document acts as a materialized join index (§II-H)",
+		Header: []string{"operation", "objects", "time"},
+	}
+	eng := sqlexec.NewEngine()
+	o := docstore.Attach(eng)
+	eng.MustQuery(`CREATE TABLE hdr (so VARCHAR, customer VARCHAR)`)
+	eng.MustQuery(`CREATE TABLE itm (item VARCHAR, so VARCHAR, sku VARCHAR, qty INT)`)
+	eng.MustQuery(`CREATE TABLE sub (sid VARCHAR, item VARCHAR, note VARCHAR)`)
+	n := s.Rows / 25
+	sess := eng.NewSession()
+	sess.Begin()
+	for i := 0; i < n; i++ {
+		so := fmt.Sprintf("SO-%06d", i)
+		sess.Query(`INSERT INTO hdr VALUES (?, ?)`, value.String(so), value.String(fmt.Sprintf("C%04d", i%500)))
+		for j := 0; j < 3; j++ {
+			item := fmt.Sprintf("%s-I%d", so, j)
+			sess.Query(`INSERT INTO itm VALUES (?, ?, ?, ?)`, value.String(item), value.String(so), value.String(fmt.Sprintf("sku%d", j)), value.Int(int64(j+1)))
+			sess.Query(`INSERT INTO sub VALUES (?, ?, 'n')`, value.String(item+"-S0"), value.String(item))
+		}
+	}
+	sess.Commit()
+	sess.Close()
+	def := docstore.ObjectDef{
+		Name:        "so_objects",
+		HeaderTable: "hdr", HeaderKey: "so",
+		ItemTable: "itm", ItemFK: "so", ItemKey: "item",
+		SubitemTable: "sub", SubitemFK: "item",
+	}
+	st := time.Now()
+	if _, err := o.Materialize(def); err != nil {
+		panic(err)
+	}
+	t.AddRow("materialize object index", fmt.Sprint(n), ms(time.Since(st)))
+	eng.MustQuery(`MERGE DELTA OF so_objects`)
+
+	reads := 200
+	rng := rand.New(rand.NewSource(17))
+	st = time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := o.GetIndexed(def, fmt.Sprintf("SO-%06d", rng.Intn(n))); err != nil {
+			panic(err)
+		}
+	}
+	dIdx := time.Since(st)
+	t.AddRow(fmt.Sprintf("read object, indexed (×%d)", reads), fmt.Sprint(n), ms(dIdx))
+
+	st = time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := o.GetAssembled(def, fmt.Sprintf("SO-%06d", rng.Intn(n))); err != nil {
+			panic(err)
+		}
+	}
+	dAsm := time.Since(st)
+	t.AddRow(fmt.Sprintf("read object, 3-way join (×%d)", reads), fmt.Sprint(n), ms(dAsm))
+	t.Note("the object index answers whole-object reads %s faster than join assembly", ratio(dAsm.Seconds(), dIdx.Seconds()))
+
+	st = time.Now()
+	r := eng.MustQuery(`SELECT COUNT(*) FROM so_objects WHERE JSON_VALUE(doc, '$.customer') = 'C0042'`)
+	t.AddRow(fmt.Sprintf("JSON path filter over %s docs", r.Rows[0][0].AsString()+" matching"), fmt.Sprint(n), ms(time.Since(st)))
+	return t
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny keeps the full matrix runnable in unit-test time.
+var tiny = Scale{Rows: 800, Nodes: 2}
+
+func TestAllExperimentsProduceResults(t *testing.T) {
+	for _, tab := range All(tiny) {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: no rows", tab.ID)
+		}
+		if tab.Claim == "" {
+			t.Fatalf("%s: missing claim", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("%s: ragged row %v", tab.ID, row)
+			}
+		}
+		if !strings.Contains(tab.String(), tab.ID) {
+			t.Fatalf("%s: rendering broken", tab.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e4"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("phantom experiment")
+	}
+}
+
+func cell(tab *Table, row, col int) string { return tab.Rows[row][col] }
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return n
+}
+
+// The shape assertions below are what EXPERIMENTS.md claims must hold; if
+// a refactor breaks a reproduced effect, these tests catch it.
+
+func TestE1ShapeFreshness(t *testing.T) {
+	tab := E1HTAPvsSplit(tiny)
+	htapLag, splitLag := tab.Rows[0][5], tab.Rows[1][5]
+	if htapLag != "0.0" {
+		t.Fatalf("HTAP staleness = %s", htapLag)
+	}
+	if splitLag == "0.0" {
+		t.Fatal("split system shows no staleness")
+	}
+}
+
+func TestE3ShapeStableKeysNoResort(t *testing.T) {
+	tab := E3MergeStableKeys(tiny)
+	if cell(tab, 0, 2) != "0" || cell(tab, 0, 3) != "0" {
+		t.Fatalf("stable keys resorted: %v", tab.Rows[0])
+	}
+	if atoi(t, cell(tab, 1, 3)) == 0 {
+		t.Fatal("random keys showed no remap work")
+	}
+}
+
+func TestE6ShapeSemanticPrunesBest(t *testing.T) {
+	tab := E6AgingPruning(tiny)
+	none := atoi(t, cell(tab, 0, 2))
+	stats := atoi(t, cell(tab, 1, 2))
+	semantic := atoi(t, cell(tab, 2, 2))
+	if !(semantic < none) || !(semantic <= stats) {
+		t.Fatalf("pruning order broken: none=%d stats=%d semantic=%d", none, stats, semantic)
+	}
+	// Join split scans fewer partitions than the plain semantic join.
+	join := atoi(t, cell(tab, 3, 2))
+	split := atoi(t, cell(tab, 4, 2))
+	if !(split < join) {
+		t.Fatalf("join split did not help: %d vs %d", split, join)
+	}
+}
+
+func TestE9ShapeCrossover(t *testing.T) {
+	tab := E9ScaleUpVsOut(tiny)
+	if tab.Rows[0][3] != "scale-up" {
+		t.Fatalf("small data should favor scale-up: %v", tab.Rows[0])
+	}
+}
+
+func TestE10ShapePathsAgree(t *testing.T) {
+	tab := E10HadoopPaths(tiny)
+	a, b, c := cell(tab, 0, 1), cell(tab, 1, 1), cell(tab, 2, 1)
+	if a != b || b != c {
+		t.Fatalf("paths disagree: %s %s %s", a, b, c)
+	}
+}
+
+func TestE14ShapeSameEigenvalue(t *testing.T) {
+	tab := E14InEngineAlgebra(tiny)
+	if cell(tab, 0, 1) != cell(tab, 1, 1) {
+		t.Fatalf("eigenvalues differ: %s vs %s", cell(tab, 0, 1), cell(tab, 1, 1))
+	}
+	if cell(tab, 0, 2) != "0" {
+		t.Fatal("in-engine path moved bytes")
+	}
+	if atoi(t, cell(tab, 1, 2)) == 0 {
+		t.Fatal("export path moved nothing")
+	}
+}

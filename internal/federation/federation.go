@@ -1,0 +1,326 @@
+// Package federation implements SDA ("Smart Data Access", Figure 2/4):
+// the federation framework that reaches out "to a huge variety of
+// external data sources". Remote sources register with the relational
+// engine; queries against exposed tables push their conditions down to
+// the source (Hive-style SQL pushdown into the simulated Hadoop stack,
+// SOE cluster pushdown, or any custom Source), and the results join
+// locally with in-memory data — the integration hub role of the
+// ecosystem.
+package federation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/columnstore"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/soe"
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// Source is one remote system reachable through SDA.
+type Source interface {
+	Name() string
+	Schema(table string) (columnstore.Schema, error)
+	// Scan returns the rows of table matching the pushed-down condition
+	// (SQL text, empty = all).
+	Scan(table, where string) ([]value.Row, error)
+}
+
+// Federation manages sources and their exposed tables.
+type Federation struct {
+	mu      sync.Mutex
+	eng     *sqlexec.Engine
+	sources map[string]Source
+	// RowsMovedFromRemote counts rows crossing the federation boundary
+	// (the E10 transfer metric).
+	rowsMoved int
+}
+
+// Attach creates the federation layer on an engine.
+func Attach(eng *sqlexec.Engine) *Federation {
+	return &Federation{eng: eng, sources: map[string]Source{}}
+}
+
+// Register adds a source.
+func (f *Federation) Register(s Source) {
+	f.mu.Lock()
+	f.sources[s.Name()] = s
+	f.mu.Unlock()
+}
+
+// RowsMoved returns rows transferred from remote sources so far.
+func (f *Federation) RowsMoved() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rowsMoved
+}
+
+// Expose makes source.remoteTable queryable as the table function
+// FED_<LOCAL>([where]):
+//
+//	SELECT * FROM TABLE(FED_SENSORS()) s
+//	SELECT * FROM TABLE(FED_SENSORS('fill < 20')) s      -- pushdown
+func (f *Federation) Expose(local, sourceName, remoteTable string) error {
+	f.mu.Lock()
+	src, ok := f.sources[sourceName]
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("federation: unknown source %q", sourceName)
+	}
+	schema, err := src.Schema(remoteTable)
+	if err != nil {
+		return err
+	}
+	fname := "FED_" + strings.ToUpper(local)
+	f.eng.Reg.RegisterTable(fname, schema, func(args []value.Value) ([]value.Row, error) {
+		where := ""
+		if len(args) > 0 {
+			where = args[0].AsString()
+		}
+		rows, err := src.Scan(remoteTable, where)
+		if err != nil {
+			return nil, err
+		}
+		f.mu.Lock()
+		f.rowsMoved += len(rows)
+		f.mu.Unlock()
+		return rows, nil
+	})
+	return nil
+}
+
+// --- in-memory source (tests, "R" result sets, generic adapters) ---------
+
+// MemSource serves static relations.
+type MemSource struct {
+	SourceName string
+	Tables     map[string]MemTable
+}
+
+// MemTable is one static relation.
+type MemTable struct {
+	Schema columnstore.Schema
+	Rows   []value.Row
+}
+
+// Name implements Source.
+func (m *MemSource) Name() string { return m.SourceName }
+
+// Schema implements Source.
+func (m *MemSource) Schema(table string) (columnstore.Schema, error) {
+	t, ok := m.Tables[table]
+	if !ok {
+		return nil, fmt.Errorf("federation: %s has no table %q", m.SourceName, table)
+	}
+	return t.Schema, nil
+}
+
+// Scan implements Source with local predicate evaluation.
+func (m *MemSource) Scan(table, where string) ([]value.Row, error) {
+	t, ok := m.Tables[table]
+	if !ok {
+		return nil, fmt.Errorf("federation: %s has no table %q", m.SourceName, table)
+	}
+	if where == "" {
+		return t.Rows, nil
+	}
+	pred, err := sqlexec.CompileRowPredicate(where, t.Schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	for _, r := range t.Rows {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// --- Hive-style source over the simulated Hadoop stack -----------------
+
+// HiveSource exposes CSV files in HDFS as tables; pushed-down conditions
+// execute as MapReduce jobs on the Hadoop side — "pushing down SQL
+// statements from HANA into Hive or similar frameworks. The queries on
+// HDFS data are executed on Hadoop and the results are combined in the
+// HANA layer" (§IV-C).
+type HiveSource struct {
+	FS     *hdfs.FS
+	mu     sync.Mutex
+	tables map[string]hiveTable
+	// JobsRun counts MapReduce executions (E10 visibility).
+	JobsRun int
+}
+
+type hiveTable struct {
+	path   string
+	schema columnstore.Schema
+}
+
+// NewHiveSource creates a Hive-like source over an HDFS instance.
+func NewHiveSource(fs *hdfs.FS) *HiveSource {
+	return &HiveSource{FS: fs, tables: map[string]hiveTable{}}
+}
+
+// Name implements Source.
+func (h *HiveSource) Name() string { return "hive" }
+
+// DefineTable maps a CSV file to a table schema.
+func (h *HiveSource) DefineTable(name, path string, schema columnstore.Schema) {
+	h.mu.Lock()
+	h.tables[name] = hiveTable{path: path, schema: schema}
+	h.mu.Unlock()
+}
+
+// Schema implements Source.
+func (h *HiveSource) Schema(table string) (columnstore.Schema, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t, ok := h.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("federation: hive has no table %q", table)
+	}
+	return t.schema, nil
+}
+
+// Scan implements Source: the filter runs inside a MapReduce job over the
+// table's CSV blocks; only matching rows leave the Hadoop side.
+func (h *HiveSource) Scan(table, where string) ([]value.Row, error) {
+	h.mu.Lock()
+	t, ok := h.tables[table]
+	h.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("federation: hive has no table %q", table)
+	}
+	var pred func(value.Row) bool
+	if where != "" {
+		p, err := sqlexec.CompileRowPredicate(where, t.schema, nil)
+		if err != nil {
+			return nil, err
+		}
+		pred = p
+	}
+	schema := t.schema
+	job := &mapreduce.Job{
+		FS:     h.FS,
+		Inputs: []string{t.path},
+		Output: fmt.Sprintf("/tmp/hive/%s_%d", table, h.bumpJobs()),
+		Mapper: mapreduce.LinesMapper(func(line string, emit func(k, v string)) {
+			row, err := ParseCSVRow(line, schema)
+			if err != nil {
+				return
+			}
+			if pred == nil || pred(row) {
+				emit(line, "")
+			}
+		}),
+		Reducer: func(k string, vs []string, emit func(k, v string)) {
+			for range vs {
+				emit(k, "")
+			}
+		},
+	}
+	if _, err := job.Run(); err != nil {
+		return nil, err
+	}
+	kvs, err := mapreduce.ReadResults(h.FS, job.Output)
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	for _, kv := range kvs {
+		row, err := ParseCSVRow(kv.K, schema)
+		if err != nil {
+			continue
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (h *HiveSource) bumpJobs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.JobsRun++
+	return h.JobsRun
+}
+
+// ParseCSVRow converts one comma-separated line into a typed row.
+func ParseCSVRow(line string, schema columnstore.Schema) (value.Row, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != len(schema) {
+		return nil, fmt.Errorf("federation: %d fields for %d columns", len(parts), len(schema))
+	}
+	row := make(value.Row, len(schema))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		switch schema[i].Kind {
+		case value.KindInt, value.KindTime:
+			n, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = value.Value{K: schema[i].Kind, I: n}
+		case value.KindFloat:
+			x, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = value.Float(x)
+		case value.KindBool:
+			lp := strings.ToLower(p)
+			row[i] = value.Bool(lp == "true" || lp == "1")
+		default:
+			row[i] = value.String(p)
+		}
+	}
+	return row, nil
+}
+
+// CSVLine renders a row for HDFS CSV storage.
+func CSVLine(row value.Row) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.AsString()
+	}
+	return strings.Join(parts, ",")
+}
+
+// --- SOE cluster source -----------------------------------------------
+
+// SOESource federates a scale-out cluster: conditions push down into the
+// distributed query coordinator (integration path 3 of §IV-C in its
+// federated form).
+type SOESource struct {
+	Cluster *soe.Cluster
+}
+
+// Name implements Source.
+func (s *SOESource) Name() string { return "soe" }
+
+// Schema implements Source.
+func (s *SOESource) Schema(table string) (columnstore.Schema, error) {
+	t, ok := s.Cluster.Catalog.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("federation: soe has no table %q", table)
+	}
+	return t.Schema, nil
+}
+
+// Scan implements Source.
+func (s *SOESource) Scan(table, where string) ([]value.Row, error) {
+	sql := "SELECT * FROM " + table
+	if where != "" {
+		sql += " WHERE " + where
+	}
+	res, err := s.Cluster.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}

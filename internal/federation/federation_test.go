@@ -1,0 +1,149 @@
+package federation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/columnstore"
+	"repro/internal/hdfs"
+	"repro/internal/soe"
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+func sensorSchema() columnstore.Schema {
+	return columnstore.Schema{
+		{Name: "sensor", Kind: value.KindString},
+		{Name: "fill", Kind: value.KindInt},
+	}
+}
+
+func TestMemSourceExposeAndJoin(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	fed := Attach(eng)
+	fed.Register(&MemSource{SourceName: "erp", Tables: map[string]MemTable{
+		"dispensers": {
+			Schema: sensorSchema(),
+			Rows: []value.Row{
+				{value.String("D1"), value.Int(5)},
+				{value.String("D2"), value.Int(80)},
+				{value.String("D3"), value.Int(10)},
+			},
+		},
+	}})
+	if err := fed.Expose("disp", "erp", "dispensers"); err != nil {
+		t.Fatal(err)
+	}
+	// Local table joins with federated data.
+	eng.MustQuery(`CREATE TABLE locations (sensor VARCHAR, city VARCHAR)`)
+	eng.MustQuery(`INSERT INTO locations VALUES ('D1', 'Berlin'), ('D2', 'Paris'), ('D3', 'Berlin')`)
+
+	r := eng.MustQuery(`SELECT l.city, COUNT(*) FROM TABLE(FED_DISP('fill < 20')) d JOIN locations l ON l.sensor = d.sensor GROUP BY l.city ORDER BY l.city`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "Berlin" || r.Rows[0][1].I != 2 {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	// Pushdown moved only matching rows.
+	if fed.RowsMoved() != 2 {
+		t.Fatalf("rows moved=%d", fed.RowsMoved())
+	}
+}
+
+func TestExposeErrors(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	fed := Attach(eng)
+	if err := fed.Expose("x", "ghost", "t"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	fed.Register(&MemSource{SourceName: "m", Tables: map[string]MemTable{}})
+	if err := fed.Expose("x", "m", "missing"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	schema := columnstore.Schema{
+		{Name: "s", Kind: value.KindString},
+		{Name: "n", Kind: value.KindInt},
+		{Name: "f", Kind: value.KindFloat},
+		{Name: "b", Kind: value.KindBool},
+	}
+	row := value.Row{value.String("x"), value.Int(7), value.Float(2.5), value.Bool(true)}
+	parsed, err := ParseCSVRow(CSVLine(row), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if !value.Equal(parsed[i], row[i]) {
+			t.Fatalf("col %d: %v != %v", i, parsed[i], row[i])
+		}
+	}
+	if _, err := ParseCSVRow("only,two", schema); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := ParseCSVRow("a,notanint,1,true", schema); err == nil {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestHiveSourcePushdownRunsMapReduce(t *testing.T) {
+	// 15-byte fixed-width CSV lines; block size a multiple of the record
+	// length so splits never cut a record.
+	fs := hdfs.New(3, 15*16, 2)
+	var sb strings.Builder
+	for i := 0; i < 64; i++ {
+		sb.WriteString(fmt.Sprintf("DISP-%04d,%04d\n", i, i))
+	}
+	if err := fs.WriteFile("/warehouse/sensors.csv", []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	hive := NewHiveSource(fs)
+	hive.DefineTable("sensors", "/warehouse/sensors.csv", sensorSchema())
+
+	eng := sqlexec.NewEngine()
+	fed := Attach(eng)
+	fed.Register(hive)
+	if err := fed.Expose("sensors", "hive", "sensors"); err != nil {
+		t.Fatal(err)
+	}
+	r := eng.MustQuery(`SELECT COUNT(*) FROM TABLE(FED_SENSORS('fill < 10')) s`)
+	if r.Rows[0][0].I != 10 {
+		t.Fatalf("count=%v", r.Rows[0][0])
+	}
+	if hive.JobsRun < 1 {
+		t.Fatalf("jobs=%d (pushdown did not run on Hadoop)", hive.JobsRun)
+	}
+	// Unfiltered scan moves all rows.
+	fedBefore := fed.RowsMoved()
+	eng.MustQuery(`SELECT COUNT(*) FROM TABLE(FED_SENSORS()) s`)
+	if fed.RowsMoved()-fedBefore != 64 {
+		t.Fatalf("moved=%d", fed.RowsMoved()-fedBefore)
+	}
+}
+
+func TestSOESourceFederation(t *testing.T) {
+	c := soe.NewCluster(soe.ClusterConfig{Nodes: 2, Mode: soe.OLTP})
+	defer c.Shutdown()
+	if _, err := c.CreateTable("remote_orders", columnstore.Schema{
+		{Name: "id", Kind: value.KindString},
+		{Name: "amount", Kind: value.KindFloat},
+	}, "id", 4); err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Row
+	for i := 0; i < 10; i++ {
+		rows = append(rows, value.Row{value.String(fmt.Sprintf("R%d", i)), value.Float(float64(i * 10))})
+	}
+	c.Insert("remote_orders", rows...)
+
+	eng := sqlexec.NewEngine()
+	fed := Attach(eng)
+	fed.Register(&SOESource{Cluster: c})
+	if err := fed.Expose("orders", "soe", "remote_orders"); err != nil {
+		t.Fatal(err)
+	}
+	r := eng.MustQuery(`SELECT SUM(amount) FROM TABLE(FED_ORDERS('amount >= 50')) o`)
+	if r.Rows[0][0].AsFloat() != 50+60+70+80+90 {
+		t.Fatalf("sum=%v", r.Rows[0][0])
+	}
+}

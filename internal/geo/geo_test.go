@@ -1,0 +1,239 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlexec"
+)
+
+var (
+	berlin   = Point{52.52, 13.405}
+	potsdam  = Point{52.39, 13.066}
+	walldorf = Point{49.30, 8.64}
+	seoul    = Point{37.566, 126.978}
+)
+
+func TestHaversineDistance(t *testing.T) {
+	d := berlin.DistanceKm(seoul)
+	if d < 8000 || d > 8500 { // actual ≈ 8135 km
+		t.Fatalf("Berlin-Seoul = %v km", d)
+	}
+	if berlin.DistanceKm(berlin) != 0 {
+		t.Fatal("self distance")
+	}
+	d = berlin.DistanceKm(potsdam)
+	if d < 25 || d > 35 { // actual ≈ 27 km
+		t.Fatalf("Berlin-Potsdam = %v km", d)
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(a, b int16, c, d int16) bool {
+		p := Point{float64(a % 90), float64(b % 180)}
+		q := Point{float64(c % 90), float64(d % 180)}
+		return math.Abs(p.DistanceKm(q)-q.DistanceKm(p)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	if !berlin.WithinDistance(potsdam, 30) {
+		t.Fatal("Potsdam should be within 30km of Berlin")
+	}
+	if berlin.WithinDistance(walldorf, 30) {
+		t.Fatal("Walldorf is not within 30km of Berlin")
+	}
+}
+
+func TestPointParsing(t *testing.T) {
+	for _, s := range []string{"52.52 13.405", "POINT(52.52 13.405)", "52.52,13.405"} {
+		p, err := ParsePoint(s)
+		if err != nil || p != berlin {
+			t.Fatalf("ParsePoint(%q)=%v,%v", s, p, err)
+		}
+	}
+	for _, s := range []string{"", "1", "a b", "POINT(x y)"} {
+		if _, err := ParsePoint(s); err == nil {
+			t.Fatalf("%q must not parse", s)
+		}
+	}
+}
+
+func squareAround(c Point, deg float64) Polygon {
+	return Polygon{Ring: []Point{
+		{c.Lat - deg, c.Lon - deg}, {c.Lat - deg, c.Lon + deg},
+		{c.Lat + deg, c.Lon + deg}, {c.Lat + deg, c.Lon - deg},
+	}}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := squareAround(berlin, 0.5)
+	if !sq.Contains(berlin) {
+		t.Fatal("center not contained")
+	}
+	if sq.Contains(walldorf) {
+		t.Fatal("distant point contained")
+	}
+	// Boundary point.
+	if !sq.Contains(Point{berlin.Lat - 0.5, berlin.Lon}) {
+		t.Fatal("boundary point not contained")
+	}
+}
+
+func TestPolygonParseAndRoundTrip(t *testing.T) {
+	sq := squareAround(berlin, 1)
+	parsed, err := ParsePolygon(sq.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Ring) != 4 || !parsed.Contains(berlin) {
+		t.Fatal("round trip broken")
+	}
+	if _, err := ParsePolygon("POLYGON((1 2, 3 4))"); err == nil {
+		t.Fatal("two-point polygon accepted")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	// 1°x1° square at the equator ≈ 111.195² km² ≈ 12364 km².
+	eq := squareAround(Point{0, 0}, 0.5)
+	a := eq.AreaKm2()
+	if a < 12000 || a > 12700 {
+		t.Fatalf("area=%v", a)
+	}
+	// Same square at 60°N has roughly half the area (cos 60 = 0.5).
+	north := squareAround(Point{60, 0}, 0.5)
+	ratio := north.AreaKm2() / a
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("latitude scaling ratio=%v", ratio)
+	}
+}
+
+func TestRTreeMatchesLinearScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tree := NewRTree()
+	var pts []Point
+	for i := 0; i < 500; i++ {
+		p := Point{Lat: 45 + rng.Float64()*10, Lon: 5 + rng.Float64()*10}
+		pts = append(pts, p)
+		tree.Insert(p, i)
+	}
+	if tree.Len() != 500 {
+		t.Fatalf("len=%d", tree.Len())
+	}
+	f := func() bool {
+		center := Point{Lat: 45 + rng.Float64()*10, Lon: 5 + rng.Float64()*10}
+		km := rng.Float64() * 200
+		got := tree.WithinDistance(center, km)
+		want := map[int]bool{}
+		for i, p := range pts {
+			if center.DistanceKm(p) <= km {
+				want[i] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, m := range got {
+			if !want[m.ID] {
+				return false
+			}
+		}
+		// Sorted nearest-first.
+		for i := 1; i < len(got); i++ {
+			if got[i-1].DistKm > got[i].DistKm {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTreeInRect(t *testing.T) {
+	tree := NewRTree()
+	tree.Insert(berlin, 1)
+	tree.Insert(walldorf, 2)
+	tree.Insert(seoul, 3)
+	got := tree.InRect(Rect{MinLat: 45, MinLon: 5, MaxLat: 55, MaxLon: 15})
+	if len(got) != 2 {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestSQLGeoFunctions(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	Attach(eng)
+	r := eng.MustQuery(`SELECT ST_DISTANCE_KM(52.52, 13.405, 52.39, 13.066)`)
+	if d := r.Rows[0][0].F; d < 25 || d > 35 {
+		t.Fatalf("distance=%v", d)
+	}
+	r = eng.MustQuery(`SELECT ST_WITHIN_DISTANCE(52.52, 13.405, 52.39, 13.066, 30)`)
+	if !r.Rows[0][0].AsBool() {
+		t.Fatal("within check")
+	}
+	r = eng.MustQuery(`SELECT ST_CONTAINS('POLYGON((52 13, 52 14, 53 14, 53 13))', 52.52, 13.405)`)
+	if !r.Rows[0][0].AsBool() {
+		t.Fatal("contains check")
+	}
+	r = eng.MustQuery(`SELECT ST_AREA_KM2('POLYGON((0 0, 0 1, 1 1, 1 0))')`)
+	if a := r.Rows[0][0].F; a < 12000 || a > 12700 {
+		t.Fatalf("area=%v", a)
+	}
+}
+
+func TestSQLGeoNearbyJoinsRelational(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	g := Attach(eng)
+	eng.MustQuery(`CREATE TABLE dispensers (id VARCHAR, lat DOUBLE, lon DOUBLE, fill INT)`)
+	locs := []struct {
+		id       string
+		lat, lon float64
+		fill     int
+	}{
+		{"D1", 52.52, 13.40, 10},
+		{"D2", 52.53, 13.41, 90},
+		{"D3", 52.40, 13.07, 5}, // Potsdam, ~27km away
+		{"D4", 49.30, 8.64, 50}, // Walldorf
+	}
+	for _, l := range locs {
+		eng.MustQuery(fmt.Sprintf(`INSERT INTO dispensers VALUES ('%s', %f, %f, %d)`, l.id, l.lat, l.lon, l.fill))
+	}
+	if err := g.CreateIndex("disp_geo", "dispensers", "lat", "lon", "id"); err != nil {
+		t.Fatal(err)
+	}
+	// "All dispensers within 10 km of Berlin center that need a refill."
+	r := eng.MustQuery(`SELECT d.id, n.dist_km FROM TABLE(GEO_NEARBY('disp_geo', 52.52, 13.405, 10)) n JOIN dispensers d ON d.id = n.k WHERE d.fill < 50 ORDER BY n.dist_km`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "D1" {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	// Index follows DML.
+	eng.MustQuery(`INSERT INTO dispensers VALUES ('D5', 52.521, 13.406, 1)`)
+	r = eng.MustQuery(`SELECT COUNT(*) FROM TABLE(GEO_NEARBY('disp_geo', 52.52, 13.405, 10)) n`)
+	if r.Rows[0][0].I != 3 {
+		t.Fatalf("count=%v", r.Rows[0][0])
+	}
+}
+
+func TestGeoIndexErrors(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	g := Attach(eng)
+	if err := g.CreateIndex("x", "missing", "a", "b", "c"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	eng.MustQuery(`CREATE TABLE p (id VARCHAR, lat DOUBLE, lon DOUBLE)`)
+	if err := g.CreateIndex("x", "p", "lat", "nope", "id"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := g.Nearby("ghost", berlin, 1); err == nil {
+		t.Fatal("missing index accepted")
+	}
+}

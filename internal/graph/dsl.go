@@ -1,0 +1,293 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the graph domain-specific language the paper
+// announces for §II-E: "providing a domain-specific language to fully
+// exploit the graph data model without the constraints imposed by the
+// relational representation". The DSL is a compact pattern-matching
+// language in the spirit of openCypher:
+//
+//	MATCH (a)-[*1..3]->(b) WHERE a = 'plant' RETURN b
+//	MATCH (a)-->(b) WHERE b = 'city' RETURN a
+//	MATCH (a)-[*..2]->(b) WHERE a = 'x' RETURN b, depth
+//	MATCH SHORTEST (a)-[*]->(b) WHERE a = 'x' AND b = 'y' RETURN node
+//
+// Supported: one edge pattern with hop bounds, equality constraints on
+// the endpoint variables, RETURN of endpoint variables plus the derived
+// columns `depth` (for reachability) and `node`/`step`/`cost` (for
+// SHORTEST).
+
+// DSLResult is the result relation of a DSL query.
+type DSLResult struct {
+	Cols []string
+	Rows [][]string
+}
+
+// dslQuery is the parsed form.
+type dslQuery struct {
+	shortest   bool
+	varA, varB string
+	minHops    int
+	maxHops    int // -1 = unbounded
+	binds      map[string]string
+	returns    []string
+}
+
+// RunDSL parses and evaluates a DSL query against the graph.
+func (g *Graph) RunDSL(query string) (*DSLResult, error) {
+	q, err := parseDSL(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.shortest {
+		return g.runShortest(q)
+	}
+	return g.runReach(q)
+}
+
+func (g *Graph) runReach(q *dslQuery) (*DSLResult, error) {
+	srcBound, srcOK := q.binds[q.varA]
+	dstBound, dstOK := q.binds[q.varB]
+
+	var sources []string
+	if srcOK {
+		if !g.Has(srcBound) {
+			return &DSLResult{Cols: q.returns}, nil
+		}
+		sources = []string{srcBound}
+	} else {
+		sources = append(sources, g.names...)
+		sort.Strings(sources)
+	}
+
+	res := &DSLResult{Cols: q.returns}
+	for _, src := range sources {
+		for node, depth := range g.reachDepths(src, q.maxHops) {
+			if depth < q.minHops {
+				continue
+			}
+			if dstOK && node != dstBound {
+				continue
+			}
+			row := make([]string, len(q.returns))
+			for i, col := range q.returns {
+				switch col {
+				case q.varA:
+					row[i] = src
+				case q.varB:
+					row[i] = node
+				case "depth":
+					row[i] = strconv.Itoa(depth)
+				default:
+					return nil, fmt.Errorf("graph dsl: unknown return column %q", col)
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	sort.Slice(res.Rows, func(a, b int) bool {
+		return strings.Join(res.Rows[a], "\x00") < strings.Join(res.Rows[b], "\x00")
+	})
+	return res, nil
+}
+
+// reachDepths returns node -> minimal hop count from src (excluding src),
+// bounded by maxHops (-1 = unbounded).
+func (g *Graph) reachDepths(src string, maxHops int) map[string]int {
+	out := map[string]int{}
+	s, ok := g.nodes[src]
+	if !ok {
+		return out
+	}
+	seen := map[int]bool{s: true}
+	frontier := []int{s}
+	depth := 0
+	for len(frontier) > 0 && (maxHops < 0 || depth < maxHops) {
+		depth++
+		var next []int
+		for _, cur := range frontier {
+			for _, e := range g.adj[cur] {
+				if !seen[e.to] {
+					seen[e.to] = true
+					out[g.names[e.to]] = depth
+					next = append(next, e.to)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+func (g *Graph) runShortest(q *dslQuery) (*DSLResult, error) {
+	src, ok1 := q.binds[q.varA]
+	dst, ok2 := q.binds[q.varB]
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("graph dsl: SHORTEST needs both endpoints bound")
+	}
+	res := &DSLResult{Cols: q.returns}
+	path, cost, ok := g.ShortestPath(src, dst)
+	if !ok {
+		return res, nil
+	}
+	for step, node := range path {
+		row := make([]string, len(q.returns))
+		for i, col := range q.returns {
+			switch col {
+			case "node":
+				row[i] = node
+			case "step":
+				row[i] = strconv.Itoa(step)
+			case "cost":
+				row[i] = strconv.FormatFloat(cost, 'g', -1, 64)
+			case q.varA:
+				row[i] = src
+			case q.varB:
+				row[i] = dst
+			default:
+				return nil, fmt.Errorf("graph dsl: unknown return column %q", col)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// parseDSL parses the MATCH ... WHERE ... RETURN ... form.
+func parseDSL(s string) (*dslQuery, error) {
+	q := &dslQuery{minHops: 1, maxHops: 1, binds: map[string]string{}}
+	rest := strings.TrimSpace(s)
+	upper := strings.ToUpper(rest)
+	if !strings.HasPrefix(upper, "MATCH") {
+		return nil, fmt.Errorf("graph dsl: query must start with MATCH")
+	}
+	rest = strings.TrimSpace(rest[len("MATCH"):])
+	if up := strings.ToUpper(rest); strings.HasPrefix(up, "SHORTEST") {
+		q.shortest = true
+		q.maxHops = -1
+		rest = strings.TrimSpace(rest[len("SHORTEST"):])
+	}
+
+	// Pattern: (a)-[...]->(b) or (a)-->(b).
+	pat, rest, err := cutPattern(rest)
+	if err != nil {
+		return nil, err
+	}
+	if err := parsePattern(pat, q); err != nil {
+		return nil, err
+	}
+
+	// Optional WHERE.
+	up := strings.ToUpper(rest)
+	if i := strings.Index(up, "RETURN"); i < 0 {
+		return nil, fmt.Errorf("graph dsl: missing RETURN")
+	} else {
+		wherePart := strings.TrimSpace(rest[:i])
+		returnPart := strings.TrimSpace(rest[i+len("RETURN"):])
+		if wherePart != "" {
+			wu := strings.ToUpper(wherePart)
+			if !strings.HasPrefix(wu, "WHERE") {
+				return nil, fmt.Errorf("graph dsl: unexpected %q", wherePart)
+			}
+			for _, cond := range strings.Split(wherePart[len("WHERE"):], " AND ") {
+				parts := strings.SplitN(cond, "=", 2)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("graph dsl: bad condition %q", cond)
+				}
+				name := strings.TrimSpace(parts[0])
+				val := strings.Trim(strings.TrimSpace(parts[1]), "'")
+				if name != q.varA && name != q.varB {
+					return nil, fmt.Errorf("graph dsl: unknown variable %q", name)
+				}
+				q.binds[name] = val
+			}
+		}
+		for _, col := range strings.Split(returnPart, ",") {
+			q.returns = append(q.returns, strings.TrimSpace(col))
+		}
+	}
+	if len(q.returns) == 0 || q.returns[0] == "" {
+		return nil, fmt.Errorf("graph dsl: empty RETURN list")
+	}
+	return q, nil
+}
+
+// cutPattern splits the leading (a)-[...]->(b) pattern from the rest.
+func cutPattern(s string) (pat, rest string, err error) {
+	if !strings.HasPrefix(s, "(") {
+		return "", "", fmt.Errorf("graph dsl: pattern must start with (")
+	}
+	// The pattern ends at the second closing parenthesis.
+	count := 0
+	for i, r := range s {
+		if r == ')' {
+			count++
+			if count == 2 {
+				return s[:i+1], strings.TrimSpace(s[i+1:]), nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("graph dsl: unterminated pattern")
+}
+
+func parsePattern(pat string, q *dslQuery) error {
+	// (a) EDGE (b)
+	close1 := strings.IndexByte(pat, ')')
+	open2 := strings.LastIndexByte(pat, '(')
+	if close1 < 0 || open2 < close1 {
+		return fmt.Errorf("graph dsl: malformed pattern %q", pat)
+	}
+	q.varA = strings.TrimSpace(pat[1:close1])
+	q.varB = strings.TrimSpace(pat[open2+1 : len(pat)-1])
+	if q.varA == "" || q.varB == "" || q.varA == q.varB {
+		return fmt.Errorf("graph dsl: pattern needs two distinct variables")
+	}
+	edge := strings.TrimSpace(pat[close1+1 : open2])
+	switch {
+	case edge == "-->":
+		q.minHops, q.maxHops = 1, 1
+	case strings.HasPrefix(edge, "-[") && strings.HasSuffix(edge, "]->"):
+		spec := strings.TrimSpace(edge[2 : len(edge)-3])
+		if !strings.HasPrefix(spec, "*") {
+			return fmt.Errorf("graph dsl: edge spec must be *[min]..[max], got %q", spec)
+		}
+		spec = spec[1:]
+		switch {
+		case spec == "":
+			q.minHops, q.maxHops = 1, -1
+		case strings.Contains(spec, ".."):
+			parts := strings.SplitN(spec, "..", 2)
+			q.minHops = 1
+			q.maxHops = -1
+			if parts[0] != "" {
+				n, err := strconv.Atoi(parts[0])
+				if err != nil || n < 0 {
+					return fmt.Errorf("graph dsl: bad min hops %q", parts[0])
+				}
+				q.minHops = n
+			}
+			if parts[1] != "" {
+				n, err := strconv.Atoi(parts[1])
+				if err != nil || n < q.minHops {
+					return fmt.Errorf("graph dsl: bad max hops %q", parts[1])
+				}
+				q.maxHops = n
+			}
+		default:
+			n, err := strconv.Atoi(spec)
+			if err != nil || n < 1 {
+				return fmt.Errorf("graph dsl: bad hop count %q", spec)
+			}
+			q.minHops, q.maxHops = n, n
+		}
+	default:
+		return fmt.Errorf("graph dsl: unsupported edge %q", edge)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sqlexec"
+)
+
+func dslGraph() *Graph {
+	g := New()
+	g.AddEdge("a", "b", 1)
+	g.AddEdge("b", "c", 1)
+	g.AddEdge("c", "d", 1)
+	g.AddEdge("a", "x", 5)
+	g.AddEdge("x", "d", 5)
+	return g
+}
+
+func TestDSLSingleHop(t *testing.T) {
+	g := dslGraph()
+	r, err := g.RunDSL(`MATCH (a)-->(b) WHERE a = 'a' RETURN b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, row := range r.Rows {
+		got = append(got, row[0])
+	}
+	if !reflect.DeepEqual(got, []string{"b", "x"}) {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestDSLBoundedHops(t *testing.T) {
+	g := dslGraph()
+	r, err := g.RunDSL(`MATCH (s)-[*1..2]->(n) WHERE s = 'a' RETURN n, depth`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"b": "1", "x": "1", "c": "2", "d": "2"}
+	if len(r.Rows) != len(want) {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		if want[row[0]] != row[1] {
+			t.Fatalf("depth of %s = %s", row[0], row[1])
+		}
+	}
+	// Min bound excludes direct neighbors.
+	r, _ = g.RunDSL(`MATCH (s)-[*2..3]->(n) WHERE s = 'a' RETURN n`)
+	for _, row := range r.Rows {
+		if row[0] == "b" || row[0] == "x" {
+			t.Fatalf("1-hop node leaked: %v", r.Rows)
+		}
+	}
+}
+
+func TestDSLUnboundedAndReverseBind(t *testing.T) {
+	g := dslGraph()
+	r, err := g.RunDSL(`MATCH (s)-[*]->(n) WHERE s = 'a' AND n = 'd' RETURN s, n, depth`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][2] != "2" { // a->x->d is 2 hops min? a->b->c->d is 3; a->x->d is 2
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	// Bind only the destination: every node reaching 'd' in one hop.
+	r, _ = g.RunDSL(`MATCH (s)-->(n) WHERE n = 'd' RETURN s`)
+	var got []string
+	for _, row := range r.Rows {
+		got = append(got, row[0])
+	}
+	if !reflect.DeepEqual(got, []string{"c", "x"}) {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestDSLShortest(t *testing.T) {
+	g := dslGraph()
+	r, err := g.RunDSL(`MATCH SHORTEST (s)-[*]->(n) WHERE s = 'a' AND n = 'd' RETURN step, node, cost`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted: a->b->c->d costs 3 beats a->x->d costing 10.
+	if len(r.Rows) != 4 || r.Rows[3][1] != "d" || r.Rows[0][2] != "3" {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	// Unreachable yields empty relation, not an error.
+	r, err = g.RunDSL(`MATCH SHORTEST (s)-[*]->(n) WHERE s = 'd' AND n = 'a' RETURN node`)
+	if err != nil || len(r.Rows) != 0 {
+		t.Fatalf("rows=%v err=%v", r.Rows, err)
+	}
+}
+
+func TestDSLFixedHopCount(t *testing.T) {
+	g := dslGraph()
+	r, err := g.RunDSL(`MATCH (s)-[*2]->(n) WHERE s = 'a' RETURN n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"c": true, "d": true}
+	for _, row := range r.Rows {
+		if !want[row[0]] {
+			t.Fatalf("unexpected %s", row[0])
+		}
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+}
+
+func TestDSLErrors(t *testing.T) {
+	g := dslGraph()
+	for _, q := range []string{
+		``,
+		`SELECT 1`,
+		`MATCH (a)-->(a) RETURN a`,
+		`MATCH (a)-->(b) RETURN`,
+		`MATCH (a)-->(b) WHERE c = 'x' RETURN a`,
+		`MATCH (a)-[*x]->(b) RETURN b`,
+		`MATCH (a)-[*3..1]->(b) RETURN b`,
+		`MATCH (a)<--(b) RETURN a`,
+		`MATCH (a)-->(b) WHERE a = 'a' RETURN nosuch`,
+		`MATCH SHORTEST (a)-[*]->(b) WHERE a = 'a' RETURN node`, // missing b bind
+	} {
+		if _, err := g.RunDSL(q); err == nil {
+			t.Fatalf("%q accepted", q)
+		}
+	}
+}
+
+func TestDSLUnknownStartNode(t *testing.T) {
+	g := dslGraph()
+	r, err := g.RunDSL(`MATCH (s)-->(n) WHERE s = 'ghost' RETURN n`)
+	if err != nil || len(r.Rows) != 0 {
+		t.Fatalf("rows=%v err=%v", r.Rows, err)
+	}
+}
+
+func TestDSLThroughSQL(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	views := Attach(eng)
+	eng.MustQuery(`CREATE TABLE edges (src VARCHAR, dst VARCHAR)`)
+	eng.MustQuery(`INSERT INTO edges VALUES ('a', 'b'), ('b', 'c'), ('a', 'x')`)
+	if err := views.CreateGraphView("g", "edges", "src", "dst", "", false); err != nil {
+		t.Fatal(err)
+	}
+	r := eng.MustQuery(`SELECT q.c1, q.c2 FROM TABLE(GRAPH_QUERY('g', 'MATCH (s)-[*1..2]->(n) WHERE s = ''a'' RETURN n, depth')) q ORDER BY q.c1`)
+	if len(r.Rows) != 3 { // b(1), c(2), x(1)
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	if r.Rows[1][0].S != "c" || r.Rows[1][1].S != "2" {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	if _, err := eng.Query(`SELECT * FROM TABLE(GRAPH_QUERY('g', 'garbage')) q`); err == nil {
+		t.Fatal("bad DSL accepted")
+	}
+}

@@ -1,0 +1,308 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlexec"
+)
+
+func pipelineGraph() *Graph {
+	// A small gas-pipeline-like network.
+	g := New()
+	g.AddUndirected("plant", "junction1", 5)
+	g.AddUndirected("junction1", "junction2", 3)
+	g.AddUndirected("junction2", "city", 4)
+	g.AddUndirected("junction1", "city", 9)
+	g.AddUndirected("junction2", "storage", 2)
+	g.AddEdge("storage", "flare", 1)
+	return g
+}
+
+func TestShortestPathWeights(t *testing.T) {
+	g := pipelineGraph()
+	path, cost, ok := g.ShortestPath("plant", "city")
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	// plant-j1-j2-city = 5+3+4 = 12 beats plant-j1-city = 5+9 = 14.
+	if cost != 12 {
+		t.Fatalf("cost=%v path=%v", cost, path)
+	}
+	if !reflect.DeepEqual(path, []string{"plant", "junction1", "junction2", "city"}) {
+		t.Fatalf("path=%v", path)
+	}
+}
+
+func TestDistanceAndReachability(t *testing.T) {
+	g := pipelineGraph()
+	if d := g.Distance("plant", "city"); d != 2 { // hops: plant-j1-city
+		t.Fatalf("distance=%d", d)
+	}
+	if d := g.Distance("flare", "plant"); d != -1 { // directed edge only
+		t.Fatalf("distance=%d", d)
+	}
+	r := g.Reachable("plant", 1)
+	if !reflect.DeepEqual(r, []string{"junction1"}) {
+		t.Fatalf("1-hop=%v", r)
+	}
+	if got := len(g.Reachable("plant", -1)); got != 5 {
+		t.Fatalf("reachable=%d", got)
+	}
+}
+
+func TestNeighborsDegreeComponents(t *testing.T) {
+	g := pipelineGraph()
+	n := g.Neighbors("junction1")
+	if !reflect.DeepEqual(n, []string{"city", "junction2", "plant"}) {
+		t.Fatalf("neighbors=%v", n)
+	}
+	out, in := g.Degree("storage")
+	if out != 2 || in != 1 { // undirected to j2 + directed to flare; in only from j2
+		t.Fatalf("deg=%d/%d", out, in)
+	}
+	g.AddEdge("island_a", "island_b", 1)
+	comp := g.ConnectedComponents()
+	if comp["plant"] == comp["island_a"] {
+		t.Fatal("components merged wrongly")
+	}
+	if comp["island_a"] != comp["island_b"] {
+		t.Fatal("island split wrongly")
+	}
+}
+
+func TestShortestPathUnknownNodes(t *testing.T) {
+	g := pipelineGraph()
+	if _, _, ok := g.ShortestPath("nope", "city"); ok {
+		t.Fatal("phantom source")
+	}
+	if _, _, ok := g.ShortestPath("plant", "nope"); ok {
+		t.Fatal("phantom target")
+	}
+	if g.Neighbors("nope") != nil {
+		t.Fatal("phantom neighbors")
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeightsProperty(t *testing.T) {
+	// Property: with unit weights, Dijkstra cost equals BFS hop count.
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		g := New()
+		n := 20
+		for i := 0; i < 40; i++ {
+			a := fmt.Sprintf("n%d", rng.Intn(n))
+			b := fmt.Sprintf("n%d", rng.Intn(n))
+			g.AddEdge(a, b, 1)
+		}
+		a := fmt.Sprintf("n%d", rng.Intn(n))
+		b := fmt.Sprintf("n%d", rng.Intn(n))
+		if !g.Has(a) || !g.Has(b) {
+			return true
+		}
+		d := g.Distance(a, b)
+		_, cost, ok := g.ShortestPath(a, b)
+		if d < 0 {
+			return !ok
+		}
+		return ok && int(cost) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func orgHierarchy() *Hierarchy {
+	h := NewHierarchy()
+	h.Add("board", "")
+	h.Add("sales", "board")
+	h.Add("rnd", "board")
+	h.Add("sales_eu", "sales")
+	h.Add("sales_us", "sales")
+	h.Add("sales_eu_de", "sales_eu")
+	h.Add("sales_eu_fr", "sales_eu")
+	h.Add("hana_team", "rnd")
+	return h
+}
+
+func TestHierarchySubtreeCount(t *testing.T) {
+	h := orgHierarchy()
+	cases := map[string]int{"board": 7, "sales": 4, "sales_eu": 2, "hana_team": 0}
+	for node, want := range cases {
+		if got := h.SubtreeCount(node); got != want {
+			t.Fatalf("SubtreeCount(%s)=%d want %d", node, got, want)
+		}
+		if got := h.SubtreeCountRecursive(node); got != want {
+			t.Fatalf("recursive(%s)=%d want %d", node, got, want)
+		}
+	}
+}
+
+func TestHierarchyPredicates(t *testing.T) {
+	h := orgHierarchy()
+	if !h.IsDescendant("sales_eu_de", "board") || !h.IsDescendant("sales_eu_de", "sales") {
+		t.Fatal("descendant check failed")
+	}
+	if h.IsDescendant("sales", "rnd") || h.IsDescendant("board", "sales") {
+		t.Fatal("false descendant")
+	}
+	if h.IsDescendant("board", "board") {
+		t.Fatal("node is not its own descendant")
+	}
+	if h.Level("board") != 0 || h.Level("sales_eu_de") != 3 {
+		t.Fatalf("levels: %d %d", h.Level("board"), h.Level("sales_eu_de"))
+	}
+	if got := h.Siblings("sales_eu"); !reflect.DeepEqual(got, []string{"sales_us"}) {
+		t.Fatalf("siblings=%v", got)
+	}
+	if got := h.Ancestors("sales_eu_de"); !reflect.DeepEqual(got, []string{"sales_eu", "sales", "board"}) {
+		t.Fatalf("ancestors=%v", got)
+	}
+	if got := h.Children("sales"); !reflect.DeepEqual(got, []string{"sales_eu", "sales_us"}) {
+		t.Fatalf("children=%v", got)
+	}
+}
+
+func TestHierarchyMoveAndCycleRejection(t *testing.T) {
+	h := orgHierarchy()
+	if err := h.Add("sales", "sales_eu_de"); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	// Move the whole EU subtree under R&D.
+	if err := h.Add("sales_eu", "rnd"); err != nil {
+		t.Fatal(err)
+	}
+	if h.SubtreeCount("sales") != 1 {
+		t.Fatalf("sales count=%d", h.SubtreeCount("sales"))
+	}
+	if h.SubtreeCount("rnd") != 4 {
+		t.Fatalf("rnd count=%d", h.SubtreeCount("rnd"))
+	}
+	if !h.IsDescendant("sales_eu_de", "rnd") {
+		t.Fatal("moved subtree lost")
+	}
+}
+
+func TestIntervalAndRecursiveCountsAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func() bool {
+		h := NewHierarchy()
+		h.Add("n0", "")
+		for i := 1; i < 30; i++ {
+			parent := fmt.Sprintf("n%d", rng.Intn(i))
+			h.Add(fmt.Sprintf("n%d", i), parent)
+		}
+		for i := 0; i < 30; i++ {
+			n := fmt.Sprintf("n%d", i)
+			if h.SubtreeCount(n) != h.SubtreeCountRecursive(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionedHierarchy(t *testing.T) {
+	v := NewVersionedHierarchy()
+	v.Current().Add("root", "")
+	v.Current().Add("a", "root")
+	v.Snapshot(100)
+	v.Current().Add("b", "root")
+	v.Current().Add("c", "b")
+	v.Snapshot(200)
+	v.Current().Add("a", "b") // reorg: move a under b
+
+	if h := v.AsOf(150); h.SubtreeCount("root") != 1 {
+		t.Fatalf("v100 count=%d", h.SubtreeCount("root"))
+	}
+	if h := v.AsOf(250); h.SubtreeCount("b") != 1 {
+		t.Fatalf("v200 count=%d", h.SubtreeCount("b"))
+	}
+	if v.AsOf(50) != nil {
+		t.Fatal("version before first snapshot must be nil")
+	}
+	if v.Current().SubtreeCount("b") != 2 {
+		t.Fatal("head version wrong")
+	}
+	if len(v.Versions()) != 2 {
+		t.Fatalf("versions=%v", v.Versions())
+	}
+}
+
+func TestSQLGraphView(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	views := Attach(eng)
+	eng.MustQuery(`CREATE TABLE pipes (src VARCHAR, dst VARCHAR, len DOUBLE)`)
+	for _, e := range [][3]any{
+		{"plant", "j1", 5.0}, {"j1", "j2", 3.0}, {"j2", "city", 4.0}, {"j1", "city", 9.0},
+	} {
+		eng.MustQuery(fmt.Sprintf(`INSERT INTO pipes VALUES ('%s', '%s', %f)`, e[0], e[1], e[2]))
+	}
+	if err := views.CreateGraphView("pipeline", "pipes", "src", "dst", "len", true); err != nil {
+		t.Fatal(err)
+	}
+	r := eng.MustQuery(`SELECT node FROM TABLE(GRAPH_SHORTEST_PATH('pipeline', 'plant', 'city')) p ORDER BY p.step`)
+	if len(r.Rows) != 4 || r.Rows[3][0].S != "city" {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	r = eng.MustQuery(`SELECT GRAPH_DISTANCE('pipeline', 'plant', 'city')`)
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("distance=%v", r.Rows[0][0])
+	}
+	// The view follows relational DML: add a shortcut pipe.
+	eng.MustQuery(`INSERT INTO pipes VALUES ('plant', 'city', 1.0)`)
+	r = eng.MustQuery(`SELECT COUNT(*) FROM TABLE(GRAPH_SHORTEST_PATH('pipeline', 'plant', 'city')) p`)
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("path len=%v after shortcut", r.Rows[0][0])
+	}
+}
+
+func TestSQLHierarchyView(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	views := Attach(eng)
+	eng.MustQuery(`CREATE TABLE org (node VARCHAR, parent VARCHAR)`)
+	for _, p := range [][2]string{
+		{"board", ""}, {"sales", "board"}, {"rnd", "board"}, {"eu", "sales"}, {"de", "eu"},
+	} {
+		eng.MustQuery(fmt.Sprintf(`INSERT INTO org VALUES ('%s', '%s')`, p[0], p[1])) // empty string parent = root
+	}
+	if err := views.CreateHierarchyView("orgchart", "org", "node", "parent"); err != nil {
+		t.Fatal(err)
+	}
+	r := eng.MustQuery(`SELECT HIER_SUBTREE_COUNT('orgchart', 'sales')`)
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("count=%v", r.Rows[0][0])
+	}
+	r = eng.MustQuery(`SELECT node, level FROM TABLE(HIER_DESCENDANTS('orgchart', 'board')) d ORDER BY level, node`)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	r = eng.MustQuery(`SELECT HIER_IS_DESCENDANT('orgchart', 'de', 'board')`)
+	if !r.Rows[0][0].AsBool() {
+		t.Fatal("descendant check via SQL failed")
+	}
+}
+
+func TestViewErrors(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	views := Attach(eng)
+	if err := views.CreateGraphView("g", "missing", "a", "b", "", false); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	eng.MustQuery(`CREATE TABLE e (src VARCHAR, dst VARCHAR)`)
+	if err := views.CreateGraphView("g", "e", "src", "nope", "", false); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := views.Graph("ghost"); err == nil {
+		t.Fatal("missing view accepted")
+	}
+	if _, err := views.Hierarchy("ghost"); err == nil {
+		t.Fatal("missing hierarchy accepted")
+	}
+}

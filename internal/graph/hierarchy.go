@@ -1,0 +1,262 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hierarchy is a forest with nested-interval labels: every node carries
+// [lo, hi) bounds such that d is a descendant of a iff a.lo < d.lo &&
+// d.hi <= a.hi. Subtree size, containment and level queries are O(1) after
+// the labeling pass. This is the engine behind the paper's hierarchy
+// support (§II-E) and the in-DB "count transitive child nodes" pushdown of
+// §III (experiment E5/E12).
+type Hierarchy struct {
+	parent map[string]string
+	kids   map[string][]string
+	labels map[string]span
+	roots  []string
+	dirty  bool
+}
+
+type span struct {
+	lo, hi, level int
+}
+
+// NewHierarchy returns an empty hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{parent: map[string]string{}, kids: map[string][]string{}, labels: map[string]span{}}
+}
+
+// Add inserts node under parent; an empty parent makes it a root.
+// Re-adding a node moves it (subtree included).
+func (h *Hierarchy) Add(node, parent string) error {
+	if node == "" {
+		return fmt.Errorf("hierarchy: empty node name")
+	}
+	if parent != "" && h.wouldCycle(node, parent) {
+		return fmt.Errorf("hierarchy: adding %s under %s creates a cycle", node, parent)
+	}
+	if old, ok := h.parent[node]; ok {
+		// Move: detach from the old parent or roots.
+		if old == "" {
+			h.roots = removeStr(h.roots, node)
+		} else {
+			h.kids[old] = removeStr(h.kids[old], node)
+		}
+	}
+	h.parent[node] = parent
+	if parent == "" {
+		h.roots = append(h.roots, node)
+	} else {
+		if _, ok := h.parent[parent]; !ok {
+			// Implicit root parent.
+			h.parent[parent] = ""
+			h.roots = append(h.roots, parent)
+		}
+		h.kids[parent] = append(h.kids[parent], node)
+	}
+	h.dirty = true
+	return nil
+}
+
+func (h *Hierarchy) wouldCycle(node, parent string) bool {
+	for cur := parent; cur != ""; cur = h.parent[cur] {
+		if cur == node {
+			return true
+		}
+	}
+	return false
+}
+
+func removeStr(s []string, v string) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// relabel assigns nested-interval labels with a DFS.
+func (h *Hierarchy) relabel() {
+	if !h.dirty {
+		return
+	}
+	h.labels = make(map[string]span, len(h.parent))
+	counter := 0
+	roots := append([]string(nil), h.roots...)
+	sort.Strings(roots)
+	var dfs func(n string, level int)
+	dfs = func(n string, level int) {
+		lo := counter
+		counter++
+		kids := append([]string(nil), h.kids[n]...)
+		sort.Strings(kids)
+		for _, k := range kids {
+			dfs(k, level+1)
+		}
+		h.labels[n] = span{lo: lo, hi: counter, level: level}
+	}
+	for _, r := range roots {
+		dfs(r, 0)
+	}
+	h.dirty = false
+}
+
+// Size returns the node count.
+func (h *Hierarchy) Size() int { return len(h.parent) }
+
+// IsDescendant reports whether d lies strictly below a — an O(1) interval
+// check after labeling.
+func (h *Hierarchy) IsDescendant(d, a string) bool {
+	h.relabel()
+	ds, ok1 := h.labels[d]
+	as, ok2 := h.labels[a]
+	return ok1 && ok2 && as.lo < ds.lo && ds.hi <= as.hi
+}
+
+// SubtreeCount returns the number of transitive children of node —
+// interval width minus one, O(1) after labeling (§III: only the count
+// travels to the application, never the subtree).
+func (h *Hierarchy) SubtreeCount(node string) int {
+	h.relabel()
+	s, ok := h.labels[node]
+	if !ok {
+		return 0
+	}
+	return s.hi - s.lo - 1
+}
+
+// SubtreeCountRecursive is the application-layer baseline of §III: walk
+// the whole subtree, materializing every node (experiment E12 compares it
+// against SubtreeCount).
+func (h *Hierarchy) SubtreeCountRecursive(node string) int {
+	n := 0
+	for _, k := range h.kids[node] {
+		n += 1 + h.SubtreeCountRecursive(k)
+	}
+	return n
+}
+
+// Children returns the direct children, sorted.
+func (h *Hierarchy) Children(node string) []string {
+	out := append([]string(nil), h.kids[node]...)
+	sort.Strings(out)
+	return out
+}
+
+// Parent returns the parent and whether the node exists and is not a root.
+func (h *Hierarchy) Parent(node string) (string, bool) {
+	p, ok := h.parent[node]
+	return p, ok && p != ""
+}
+
+// Siblings returns nodes sharing the parent, excluding node itself.
+func (h *Hierarchy) Siblings(node string) []string {
+	p, ok := h.parent[node]
+	if !ok {
+		return nil
+	}
+	var pool []string
+	if p == "" {
+		pool = h.roots
+	} else {
+		pool = h.kids[p]
+	}
+	var out []string
+	for _, s := range pool {
+		if s != node {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ancestors returns the path from the node's parent up to its root.
+func (h *Hierarchy) Ancestors(node string) []string {
+	var out []string
+	cur, ok := h.parent[node]
+	for ok && cur != "" {
+		out = append(out, cur)
+		cur, ok = h.parent[cur]
+	}
+	return out
+}
+
+// Level returns the depth of the node (roots are level 0).
+func (h *Hierarchy) Level(node string) int {
+	h.relabel()
+	return h.labels[node].level
+}
+
+// Descendants returns the full subtree below node in label order.
+func (h *Hierarchy) Descendants(node string) []string {
+	h.relabel()
+	s, ok := h.labels[node]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for n, l := range h.labels {
+		if s.lo < l.lo && l.hi <= s.hi {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return h.labels[out[a]].lo < h.labels[out[b]].lo })
+	return out
+}
+
+// --- versioned hierarchies ------------------------------------------------
+
+// VersionedHierarchy keeps named versions of a hierarchy (time-dependent
+// org structures, §II-E). Versions are copy-on-snapshot: cheap for the
+// modest hierarchy sizes of business metadata, with the DeltaNI property
+// that every version answers interval queries at full speed.
+type VersionedHierarchy struct {
+	current  *Hierarchy
+	versions map[int64]*Hierarchy // validFrom timestamp -> frozen snapshot
+	stamps   []int64
+}
+
+// NewVersionedHierarchy returns a versioned hierarchy with an empty
+// current state.
+func NewVersionedHierarchy() *VersionedHierarchy {
+	return &VersionedHierarchy{current: NewHierarchy(), versions: map[int64]*Hierarchy{}}
+}
+
+// Current returns the mutable head version.
+func (v *VersionedHierarchy) Current() *Hierarchy { return v.current }
+
+// Snapshot freezes the current state as the version valid from ts.
+func (v *VersionedHierarchy) Snapshot(ts int64) {
+	frozen := NewHierarchy()
+	for n, p := range v.current.parent {
+		frozen.parent[n] = p
+	}
+	for n, ks := range v.current.kids {
+		frozen.kids[n] = append([]string(nil), ks...)
+	}
+	frozen.roots = append([]string(nil), v.current.roots...)
+	frozen.dirty = true
+	v.versions[ts] = frozen
+	v.stamps = append(v.stamps, ts)
+	sort.Slice(v.stamps, func(a, b int) bool { return v.stamps[a] < v.stamps[b] })
+}
+
+// AsOf returns the version valid at ts: the snapshot with the greatest
+// validFrom <= ts, or nil when none exists.
+func (v *VersionedHierarchy) AsOf(ts int64) *Hierarchy {
+	i := sort.Search(len(v.stamps), func(i int) bool { return v.stamps[i] > ts })
+	if i == 0 {
+		return nil
+	}
+	return v.versions[v.stamps[i-1]]
+}
+
+// Versions returns the snapshot timestamps, ascending.
+func (v *VersionedHierarchy) Versions() []int64 {
+	return append([]int64(nil), v.stamps...)
+}

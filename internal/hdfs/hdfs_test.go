@@ -1,0 +1,171 @@
+package hdfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(4, 64, 2)
+	data := bytes.Repeat([]byte("hello hdfs "), 30) // ~330 bytes, ~6 blocks
+	if err := fs.WriteFile("/data/x.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/data/x.txt")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if sz, _ := fs.Size("/data/x.txt"); sz != len(data) {
+		t.Fatalf("size=%d", sz)
+	}
+	if err := fs.WriteFile("/data/x.txt", data); !errors.Is(err, ErrExists) {
+		t.Fatal("double create accepted")
+	}
+	if _, err := fs.ReadFile("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("phantom read")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := New(2, 64, 1)
+	if err := fs.WriteFile("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty read: %v %v", got, err)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	fs := New(2, 64, 1)
+	fs.WriteFile("/logs/a", []byte("a"))
+	fs.WriteFile("/logs/b", []byte("b"))
+	fs.WriteFile("/other/c", []byte("c"))
+	if got := fs.List("/logs/"); len(got) != 2 || got[0] != "/logs/a" {
+		t.Fatalf("list=%v", got)
+	}
+	if err := fs.Delete("/logs/a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/logs/a") {
+		t.Fatal("deleted file exists")
+	}
+	if got := fs.List("/logs/"); len(got) != 1 {
+		t.Fatalf("list=%v", got)
+	}
+}
+
+func TestSplitsAlignWithBlocks(t *testing.T) {
+	fs := New(3, 100, 2)
+	data := make([]byte, 250)
+	fs.WriteFile("/big", data)
+	splits, err := fs.Splits("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("splits=%d", len(splits))
+	}
+	if splits[0].Length != 100 || splits[2].Length != 50 {
+		t.Fatalf("lengths=%d,%d", splits[0].Length, splits[2].Length)
+	}
+	for _, s := range splits {
+		if len(s.Hosts) != 2 {
+			t.Fatalf("replicas=%d", len(s.Hosts))
+		}
+		chunk, err := fs.ReadSplit(s)
+		if err != nil || len(chunk) != s.Length {
+			t.Fatalf("split read: %d %v", len(chunk), err)
+		}
+	}
+}
+
+func TestReplicaFailover(t *testing.T) {
+	fs := New(3, 64, 2)
+	data := []byte("replicated data payload")
+	fs.WriteFile("/f", data)
+	splits, _ := fs.Splits("/f")
+	// Kill one replica holder: reads survive.
+	fs.KillDataNode(splits[0].Hosts[0])
+	got, err := fs.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("failover read: %v", err)
+	}
+	// Kill the second: block lost.
+	fs.KillDataNode(splits[0].Hosts[1])
+	if _, err := fs.ReadFile("/f"); !errors.Is(err, ErrBlockLost) {
+		t.Fatalf("expected lost block, got %v", err)
+	}
+}
+
+func TestReReplication(t *testing.T) {
+	fs := New(4, 64, 2)
+	fs.WriteFile("/f", []byte("precious"))
+	splits, _ := fs.Splits("/f")
+	fs.KillDataNode(splits[0].Hosts[0])
+	created, err := fs.ReReplicate()
+	if err != nil || created != 1 {
+		t.Fatalf("created=%d err=%v", created, err)
+	}
+	// Now the other original replica can die too.
+	fs.KillDataNode(splits[0].Hosts[1])
+	if _, err := fs.ReadFile("/f"); err != nil {
+		t.Fatalf("read after re-replication: %v", err)
+	}
+	if fs.LiveDataNodes() != 2 {
+		t.Fatalf("live=%d", fs.LiveDataNodes())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	fs := New(5, 37, 2) // odd block size to exercise boundaries
+	i := 0
+	f := func(n uint16) bool {
+		i++
+		data := make([]byte, int(n)%5000)
+		rng.Read(data)
+		path := fmt.Sprintf("/p/%d", i)
+		if err := fs.WriteFile(path, data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(path)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHDFSBackedSharedLog(t *testing.T) {
+	fs := New(3, 1024, 2)
+	log := NewHDFSLog(fs, 2, "/soe/log")
+	for i := 0; i < 10; i++ {
+		if _, err := log.Append([]byte(fmt.Sprintf("entry-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := log.Read(7)
+	if err != nil || string(d) != "entry-7" {
+		t.Fatalf("read: %q %v", d, err)
+	}
+	// The log entries are visible to the plain HDFS file reader (§IV-C).
+	files := fs.List("/soe/log/")
+	if len(files) != 10 {
+		t.Fatalf("files=%d", len(files))
+	}
+	raw, err := fs.ReadFile(files[0])
+	if err != nil || len(raw) == 0 {
+		t.Fatal("log entry not readable as file")
+	}
+	// Trim removes the files.
+	log.Trim(4)
+	if got := len(fs.List("/soe/log/")); got != 6 {
+		t.Fatalf("files after trim=%d", got)
+	}
+}

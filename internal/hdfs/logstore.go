@@ -1,0 +1,71 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sharedlog"
+)
+
+// LogStore backs a shared-log unit with HDFS files — the third log
+// persistence variant of §IV-C ("HDFS is used as a log persistence ...
+// the data of this log can either be consumed by SAP HANA SOE API, the
+// distributed log API or the HDFS file reader"). Every position becomes a
+// small write-once file, readable by plain HDFS tooling.
+type LogStore struct {
+	fs     *FS
+	prefix string
+}
+
+// NewLogStore creates a unit store rooted at prefix.
+func NewLogStore(fs *FS, prefix string) *LogStore {
+	return &LogStore{fs: fs, prefix: prefix}
+}
+
+func (s *LogStore) path(pos uint64) string {
+	return fmt.Sprintf("%s/%020d.entry", s.prefix, pos)
+}
+
+// Put writes a position once.
+func (s *LogStore) Put(pos uint64, data []byte) error {
+	err := s.fs.WriteFile(s.path(pos), data)
+	if errors.Is(err, ErrExists) {
+		return sharedlog.ErrWritten
+	}
+	return err
+}
+
+// Get reads a position.
+func (s *LogStore) Get(pos uint64) ([]byte, bool, error) {
+	data, err := s.fs.ReadFile(s.path(pos))
+	if errors.Is(err, ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// Delete trims a position.
+func (s *LogStore) Delete(pos uint64) error {
+	err := s.fs.Delete(s.path(pos))
+	if errors.Is(err, ErrNotFound) {
+		return nil
+	}
+	return err
+}
+
+// NewHDFSLog assembles a shared log striped over HDFS-backed units.
+func NewHDFSLog(fs *FS, stripes int, prefix string) *sharedlog.Log {
+	cfg := sharedlog.Config{}
+	for i := 0; i < stripes; i++ {
+		unit := sharedlog.NewUnit(NewLogStore(fs, fmt.Sprintf("%s/stripe%d", prefix, i)))
+		cfg.Stripes = append(cfg.Stripes, []*sharedlog.Unit{unit})
+	}
+	log, err := sharedlog.New(cfg)
+	if err != nil {
+		panic(err) // impossible: stripes > 0
+	}
+	return log
+}

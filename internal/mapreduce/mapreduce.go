@@ -1,0 +1,236 @@
+// Package mapreduce is the MapReduce runtime of the simulated Hadoop
+// stack (§IV-C): jobs read block-aligned splits from package hdfs, map
+// tasks run in parallel workers, an optional combiner reduces map output
+// early, a hash shuffle groups keys into reduce partitions, and reducers
+// write part files back to HDFS. The SOE file connector (integration path
+// 1 of §IV-C) combines these jobs with SOE data processing.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/hdfs"
+)
+
+// KV is one key/value pair.
+type KV struct {
+	K, V string
+}
+
+// MapFn maps one input split to key/value pairs.
+type MapFn func(path string, chunk []byte, emit func(k, v string))
+
+// ReduceFn folds all values of one key.
+type ReduceFn func(k string, vs []string, emit func(k, v string))
+
+// Job describes one MapReduce execution.
+type Job struct {
+	FS       *hdfs.FS
+	Inputs   []string
+	Output   string // output directory; part files land beneath
+	Mapper   MapFn
+	Reducer  ReduceFn
+	Combiner ReduceFn // optional
+	Workers  int      // parallel map/reduce tasks; default 4
+	Reducers int      // reduce partitions; default 2
+}
+
+// Counters reports what a job did.
+type Counters struct {
+	MapTasks    int
+	ReduceTasks int
+	MapInKVs    int
+	MapOutKVs   int
+	ShuffledKVs int
+	ReduceOut   int
+}
+
+// Run executes the job and returns its counters.
+func (j *Job) Run() (Counters, error) {
+	var c Counters
+	if j.Workers <= 0 {
+		j.Workers = 4
+	}
+	if j.Reducers <= 0 {
+		j.Reducers = 2
+	}
+	if j.Mapper == nil || j.Reducer == nil {
+		return c, fmt.Errorf("mapreduce: mapper and reducer required")
+	}
+
+	// Collect splits.
+	var splits []hdfs.Split
+	for _, in := range j.Inputs {
+		ss, err := j.FS.Splits(in)
+		if err != nil {
+			return c, err
+		}
+		splits = append(splits, ss...)
+	}
+	c.MapTasks = len(splits)
+
+	// Map phase: workers pull splits; per-task output partitioned by key
+	// hash into reduce buckets.
+	buckets := make([][]KV, j.Reducers)
+	var bmu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, j.Workers)
+	var mapErr error
+	var emu sync.Mutex
+	for _, s := range splits {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s hdfs.Split) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			chunk, err := j.FS.ReadSplit(s)
+			if err != nil {
+				emu.Lock()
+				mapErr = err
+				emu.Unlock()
+				return
+			}
+			var local []KV
+			j.Mapper(s.Path, chunk, func(k, v string) {
+				local = append(local, KV{k, v})
+			})
+			if j.Combiner != nil {
+				local = combine(local, j.Combiner)
+			}
+			bmu.Lock()
+			c.MapOutKVs += len(local)
+			for _, kv := range local {
+				b := int(hashKey(kv.K) % uint64(j.Reducers))
+				buckets[b] = append(buckets[b], kv)
+				c.ShuffledKVs++
+			}
+			bmu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	if mapErr != nil {
+		return c, mapErr
+	}
+
+	// Reduce phase.
+	c.ReduceTasks = j.Reducers
+	results := make([][]KV, j.Reducers)
+	for r := 0; r < j.Reducers; r++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			grouped := groupByKey(buckets[r])
+			var out []KV
+			for _, g := range grouped {
+				j.Reducer(g.key, g.vals, func(k, v string) {
+					out = append(out, KV{k, v})
+				})
+			}
+			results[r] = out
+		}(r)
+	}
+	wg.Wait()
+
+	// Write part files.
+	for r, out := range results {
+		c.ReduceOut += len(out)
+		var sb strings.Builder
+		for _, kv := range out {
+			sb.WriteString(kv.K)
+			sb.WriteByte('\t')
+			sb.WriteString(kv.V)
+			sb.WriteByte('\n')
+		}
+		path := fmt.Sprintf("%s/part-r-%05d", j.Output, r)
+		if j.FS.Exists(path) {
+			j.FS.Delete(path)
+		}
+		if err := j.FS.WriteFile(path, []byte(sb.String())); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+type group struct {
+	key  string
+	vals []string
+}
+
+func groupByKey(kvs []KV) []group {
+	m := map[string][]string{}
+	for _, kv := range kvs {
+		m[kv.K] = append(m[kv.K], kv.V)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]group, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, group{key: k, vals: m[k]})
+	}
+	return out
+}
+
+func combine(kvs []KV, c ReduceFn) []KV {
+	var out []KV
+	for _, g := range groupByKey(kvs) {
+		c(g.key, g.vals, func(k, v string) {
+			out = append(out, KV{k, v})
+		})
+	}
+	return out
+}
+
+func hashKey(s string) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// ReadResults loads and parses every part file of a finished job.
+func ReadResults(fs *hdfs.FS, outputDir string) ([]KV, error) {
+	var out []KV
+	for _, p := range fs.List(outputDir + "/part-r-") {
+		data, err := fs.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			parts := strings.SplitN(line, "\t", 2)
+			if len(parts) == 2 {
+				out = append(out, KV{parts[0], parts[1]})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].K < out[b].K })
+	return out, nil
+}
+
+// LinesMapper adapts a per-line function to a MapFn. NOTE: block splits
+// can cut a line in half; writers that need exact per-line semantics must
+// pick a block size aligned with their record length (the CSV generators
+// in this repository do), mirroring the real-world fixed-record idiom.
+func LinesMapper(f func(line string, emit func(k, v string))) MapFn {
+	return func(path string, chunk []byte, emit func(k, v string)) {
+		for _, line := range strings.Split(string(chunk), "\n") {
+			if line != "" {
+				f(line, emit)
+			}
+		}
+	}
+}

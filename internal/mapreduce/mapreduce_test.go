@@ -1,0 +1,145 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/hdfs"
+)
+
+func wordCountJob(fs *hdfs.FS, inputs []string, out string) *Job {
+	return &Job{
+		FS: fs, Inputs: inputs, Output: out,
+		Mapper: func(path string, chunk []byte, emit func(k, v string)) {
+			for _, w := range strings.Fields(string(chunk)) {
+				emit(w, "1")
+			}
+		},
+		Reducer: func(k string, vs []string, emit func(k, v string)) {
+			n := 0
+			for _, v := range vs {
+				x, _ := strconv.Atoi(v)
+				n += x
+			}
+			emit(k, strconv.Itoa(n))
+		},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	fs := hdfs.New(3, 1<<16, 2) // block larger than input: no split cuts
+	fs.WriteFile("/in/a.txt", []byte("soap water soap towel"))
+	fs.WriteFile("/in/b.txt", []byte("water soap"))
+	job := wordCountJob(fs, []string{"/in/a.txt", "/in/b.txt"}, "/out/wc")
+	c, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MapTasks != 2 || c.ReduceTasks != 2 {
+		t.Fatalf("counters=%+v", c)
+	}
+	res, err := ReadResults(fs, "/out/wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, kv := range res {
+		got[kv.K] = kv.V
+	}
+	if got["soap"] != "3" || got["water"] != "2" || got["towel"] != "1" {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	fs := hdfs.New(2, 1<<16, 1)
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("hot ")
+	}
+	fs.WriteFile("/in/hot.txt", []byte(sb.String()))
+
+	plain := wordCountJob(fs, []string{"/in/hot.txt"}, "/out/plain")
+	cPlain, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := wordCountJob(fs, []string{"/in/hot.txt"}, "/out/comb")
+	combined.Combiner = combined.Reducer
+	cComb, err := combined.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cComb.ShuffledKVs >= cPlain.ShuffledKVs {
+		t.Fatalf("combiner did not reduce shuffle: %d vs %d", cComb.ShuffledKVs, cPlain.ShuffledKVs)
+	}
+	// Same result.
+	a, _ := ReadResults(fs, "/out/plain")
+	b, _ := ReadResults(fs, "/out/comb")
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("results differ: %v vs %v", a, b)
+	}
+}
+
+func TestMultiBlockInput(t *testing.T) {
+	// 10-byte records, block size a multiple of the record length so
+	// splits never cut a record.
+	fs := hdfs.New(3, 100, 2)
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "k%03d 0001\n", i%10)
+	}
+	fs.WriteFile("/in/rec.txt", []byte(sb.String()))
+	job := &Job{
+		FS: fs, Inputs: []string{"/in/rec.txt"}, Output: "/out/rec",
+		Mapper: LinesMapper(func(line string, emit func(k, v string)) {
+			parts := strings.Fields(line)
+			emit(parts[0], parts[1])
+		}),
+		Reducer: func(k string, vs []string, emit func(k, v string)) {
+			emit(k, strconv.Itoa(len(vs)))
+		},
+		Reducers: 3,
+	}
+	c, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MapTasks != 10 { // 1000 bytes / 100 block
+		t.Fatalf("map tasks=%d", c.MapTasks)
+	}
+	res, _ := ReadResults(fs, "/out/rec")
+	if len(res) != 10 {
+		t.Fatalf("keys=%d", len(res))
+	}
+	for _, kv := range res {
+		if kv.V != "10" {
+			t.Fatalf("key %s count %s", kv.K, kv.V)
+		}
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	fs := hdfs.New(1, 64, 1)
+	if _, err := (&Job{FS: fs, Inputs: []string{"/x"}}).Run(); err == nil {
+		t.Fatal("missing mapper accepted")
+	}
+	job := wordCountJob(fs, []string{"/missing"}, "/out")
+	if _, err := job.Run(); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestRerunOverwritesOutput(t *testing.T) {
+	fs := hdfs.New(2, 1<<16, 1)
+	fs.WriteFile("/in/x", []byte("a b"))
+	job := wordCountJob(fs, []string{"/in/x"}, "/out/r")
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(); err != nil {
+		t.Fatalf("rerun failed: %v", err)
+	}
+}

@@ -1,0 +1,226 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlexec"
+)
+
+func TestDenseMulAndTranspose(t *testing.T) {
+	a := NewDense(2, 3)
+	for i := 0; i < 6; i++ {
+		a.Data[i] = float64(i + 1) // [[1 2 3][4 5 6]]
+	}
+	b := a.Transpose()
+	if b.Rows != 3 || b.Cols != 2 || b.At(2, 1) != 6 {
+		t.Fatalf("transpose=%v", b)
+	}
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [[14 32][32 77]]
+	if c.At(0, 0) != 14 || c.At(0, 1) != 32 || c.At(1, 1) != 77 {
+		t.Fatalf("mul=%v", c.Data)
+	}
+	if _, err := a.Mul(a); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 3)
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil || v[0] != 2 || v[1] != 3 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("bad vector length accepted")
+	}
+}
+
+func TestCSRFromTriples(t *testing.T) {
+	ts := []Triple{{1, 2, 5}, {0, 0, 1}, {1, 2, 3}, {2, 1, 7}} // duplicate (1,2) sums
+	c, err := FromTriples(3, 3, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 3 {
+		t.Fatalf("nnz=%d", c.NNZ())
+	}
+	if c.At(1, 2) != 8 || c.At(0, 0) != 1 || c.At(2, 1) != 7 || c.At(2, 2) != 0 {
+		t.Fatal("CSR values wrong")
+	}
+	if _, err := FromTriples(2, 2, []Triple{{5, 0, 1}}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestCSRDenseAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func() bool {
+		rows, cols := 1+rng.Intn(10), 1+rng.Intn(10)
+		d := NewDense(rows, cols)
+		var ts []Triple
+		for k := 0; k < rng.Intn(30); k++ {
+			i, j, v := rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()
+			d.Set(i, j, d.At(i, j)+v)
+			ts = append(ts, Triple{i, j, v})
+		}
+		c, err := FromTriples(rows, cols, ts)
+		if err != nil {
+			return false
+		}
+		// Element-wise agreement (tolerating float summation order).
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if math.Abs(c.At(i, j)-d.At(i, j)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		// MulVec agreement.
+		v := make([]float64, cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		cv, _ := c.MulVec(v)
+		dv, _ := d.MulVec(v)
+		for i := range cv {
+			if math.Abs(cv[i]-dv[i]) > 1e-9 {
+				return false
+			}
+		}
+		// Transpose round trip.
+		tt := c.Transpose().Transpose()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if math.Abs(tt.At(i, j)-c.At(i, j)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerIterationKnownEigenvalue(t *testing.T) {
+	// [[2 0][0 1]] has dominant eigenvalue 2, eigenvector e1.
+	d := NewDense(2, 2)
+	d.Set(0, 0, 2)
+	d.Set(1, 1, 1)
+	ev, vec, iters, err := PowerIteration(d, 2, 500, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev-2) > 1e-6 {
+		t.Fatalf("eigenvalue=%v after %d iters", ev, iters)
+	}
+	if math.Abs(math.Abs(vec[0])-1) > 1e-4 {
+		t.Fatalf("eigenvector=%v", vec)
+	}
+}
+
+func TestPowerIterationSymmetric(t *testing.T) {
+	// Symmetric [[4 1][1 3]]: dominant eigenvalue (7+sqrt(5))/2 ≈ 4.618.
+	d := NewDense(2, 2)
+	d.Set(0, 0, 4)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	d.Set(1, 1, 3)
+	ev, _, _, err := PowerIteration(d, 2, 1000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (7 + math.Sqrt(5)) / 2
+	if math.Abs(ev-want) > 1e-6 {
+		t.Fatalf("eigenvalue=%v want %v", ev, want)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	// Two perfectly correlated columns.
+	d := NewDense(4, 2)
+	for i := 0; i < 4; i++ {
+		d.Set(i, 0, float64(i))
+		d.Set(i, 1, 2*float64(i))
+	}
+	cov := Covariance(d)
+	// var(x) = 5/3, cov(x,2x) = 10/3, var(2x) = 20/3.
+	if math.Abs(cov.At(0, 0)-5.0/3) > 1e-9 || math.Abs(cov.At(0, 1)-10.0/3) > 1e-9 || math.Abs(cov.At(1, 1)-20.0/3) > 1e-9 {
+		t.Fatalf("cov=%v", cov.Data)
+	}
+	if cov.At(0, 1) != cov.At(1, 0) {
+		t.Fatal("not symmetric")
+	}
+}
+
+func TestStoreRoundTripAndEigen(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	st := Attach(eng)
+	m, _ := FromTriples(3, 3, []Triple{{0, 0, 3}, {1, 1, 2}, {2, 2, 1}, {0, 1, 0.5}, {1, 0, 0.5}})
+	if err := st.SaveCSR("m1", m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadCSR("m1", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != m.NNZ() || got.At(0, 1) != 0.5 {
+		t.Fatal("round trip broken")
+	}
+	ev, _, _, err := st.EigenInEngine("m1", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dominant eigenvalue of [[3 .5][.5 2]] block ≈ 3.207.
+	if math.Abs(ev-3.2071067) > 1e-4 {
+		t.Fatalf("eigen=%v", ev)
+	}
+	// SQL surface.
+	r := eng.MustQuery(`SELECT MATRIX_EIGENVALUE('m1', 3, 3), MATRIX_NNZ('m1', 3, 3)`)
+	if math.Abs(r.Rows[0][0].F-ev) > 1e-9 || r.Rows[0][1].I != int64(m.NNZ()) {
+		t.Fatalf("sql=%v", r.Rows[0])
+	}
+}
+
+func TestEigenViaExportMatchesInEngine(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	st := Attach(eng)
+	rng := rand.New(rand.NewSource(99))
+	var ts []Triple
+	n := 20
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triple{i, i, 1 + rng.Float64()})
+		if i > 0 {
+			w := rng.Float64() * 0.1
+			ts = append(ts, Triple{i, i - 1, w}, Triple{i - 1, i, w})
+		}
+	}
+	m, _ := FromTriples(n, n, ts)
+	if err := st.SaveCSR("m2", m); err != nil {
+		t.Fatal(err)
+	}
+	inEv, _, _, err := st.EigenInEngine("m2", n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exEv, moved, err := st.EigenViaExport("m2", n, n, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inEv-exEv) > 1e-6 {
+		t.Fatalf("in=%v export=%v", inEv, exEv)
+	}
+	if moved == 0 {
+		t.Fatal("export moved no bytes?")
+	}
+}

@@ -1,0 +1,143 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// Store persists matrices as (i, j, v) triple tables inside the column
+// store and runs linear algebra directly on them — the SLACID integration
+// of §II-G. The export/import baseline (EigenViaExport) reproduces the
+// "tedious maintaining of multiple data files" workflow the paper argues
+// against; experiment E14 compares the two.
+type Store struct {
+	eng *sqlexec.Engine
+}
+
+// Attach installs the scientific engine into a relational engine.
+func Attach(eng *sqlexec.Engine) *Store {
+	s := &Store{eng: eng}
+	eng.Reg.RegisterScalar("MATRIX_EIGENVALUE", func(a []value.Value) (value.Value, error) {
+		if len(a) != 3 {
+			return value.Null, fmt.Errorf("matrix: MATRIX_EIGENVALUE(table, rows, cols)")
+		}
+		ev, _, _, err := s.EigenInEngine(a[0].AsString(), int(a[1].AsInt()), int(a[2].AsInt()))
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Float(ev), nil
+	})
+	eng.Reg.RegisterScalar("MATRIX_NNZ", func(a []value.Value) (value.Value, error) {
+		if len(a) != 3 {
+			return value.Null, fmt.Errorf("matrix: MATRIX_NNZ(table, rows, cols)")
+		}
+		m, err := s.LoadCSR(a[0].AsString(), int(a[1].AsInt()), int(a[2].AsInt()))
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Int(int64(m.NNZ())), nil
+	})
+	return s
+}
+
+// SaveCSR creates (or replaces) a triple table holding the matrix.
+func (s *Store) SaveCSR(table string, m *CSR) error {
+	s.eng.Query(fmt.Sprintf("DROP TABLE IF EXISTS %s", table))
+	if _, err := s.eng.Query(fmt.Sprintf("CREATE TABLE %s (i INT, j INT, v DOUBLE)", table)); err != nil {
+		return err
+	}
+	sess := s.eng.NewSession()
+	defer sess.Close()
+	if err := sess.Begin(); err != nil {
+		return err
+	}
+	for _, t := range m.Triples() {
+		if _, err := sess.Query(fmt.Sprintf("INSERT INTO %s VALUES (?, ?, ?)", table),
+			value.Int(int64(t.I)), value.Int(int64(t.J)), value.Float(t.V)); err != nil {
+			return err
+		}
+	}
+	return sess.Commit()
+}
+
+// LoadCSR reads a triple table back into a CSR matrix.
+func (s *Store) LoadCSR(table string, rows, cols int) (*CSR, error) {
+	res, err := s.eng.Query(fmt.Sprintf("SELECT i, j, v FROM %s", table))
+	if err != nil {
+		return nil, err
+	}
+	ts := make([]Triple, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		ts = append(ts, Triple{I: int(r[0].AsInt()), J: int(r[1].AsInt()), V: r[2].AsFloat()})
+	}
+	return FromTriples(rows, cols, ts)
+}
+
+// EigenInEngine computes the dominant eigenvalue of a stored matrix
+// without the data ever leaving the engine.
+func (s *Store) EigenInEngine(table string, rows, cols int) (float64, []float64, int, error) {
+	m, err := s.LoadCSR(table, rows, cols)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	ev, vec, iters, err := PowerIteration(m, rows, 200, 1e-10)
+	return ev, vec, iters, err
+}
+
+// EigenViaExport is the §II-G baseline: dump the matrix to an external
+// file repository, re-parse it in the "external tool", compute, and
+// return. bytesMoved reports the redundant copying the paper calls out.
+func (s *Store) EigenViaExport(table string, rows, cols int, dir string) (ev float64, bytesMoved int, err error) {
+	res, err := s.eng.Query(fmt.Sprintf("SELECT i, j, v FROM %s", table))
+	if err != nil {
+		return 0, 0, err
+	}
+	path := dir + "/" + table + "_export.csv"
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%d,%d,%s\n", r[0].AsInt(), r[1].AsInt(), strconv.FormatFloat(r[2].AsFloat(), 'g', 17, 64))
+	}
+	if err := w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+
+	// "External tool": read the file back and compute.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	bytesMoved = 2 * len(data) // written out + read back
+	var ts []Triple
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return 0, 0, fmt.Errorf("matrix: corrupt export line %q", line)
+		}
+		i, _ := strconv.Atoi(parts[0])
+		j, _ := strconv.Atoi(parts[1])
+		v, _ := strconv.ParseFloat(parts[2], 64)
+		ts = append(ts, Triple{I: i, J: j, V: v})
+	}
+	m, err := FromTriples(rows, cols, ts)
+	if err != nil {
+		return 0, 0, err
+	}
+	ev, _, _, err = PowerIteration(m, rows, 200, 1e-10)
+	return ev, bytesMoved, err
+}

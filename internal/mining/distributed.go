@@ -1,0 +1,86 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/soe"
+)
+
+// DistributedPairRules runs the distributed basket analysis of §II-B over
+// a scale-out cluster: item supports and pair supports are computed as
+// distributed aggregations (the pair counting rides a co-located
+// self-join when the table is partitioned by the basket column, so no
+// basket ever crosses the network), and only the counts travel to the
+// coordinator where rules are derived.
+//
+// The table must hold one (basket, item) row per item occurrence with the
+// basket column as partition key for co-located execution.
+func DistributedPairRules(c *soe.Cluster, table, basketCol, itemCol string, minSupport int, minConfidence float64) ([]Rule, error) {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+
+	// Total baskets (COUNT over the per-basket groups).
+	rb, err := c.Query(fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s", basketCol, table, basketCol))
+	if err != nil {
+		return nil, err
+	}
+	totalBaskets := len(rb.Rows)
+	if totalBaskets == 0 {
+		return nil, nil
+	}
+
+	// L1: global item supports via distributed aggregation.
+	r1, err := c.Query(fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s", itemCol, table, itemCol))
+	if err != nil {
+		return nil, err
+	}
+	support := map[string]int{}
+	for _, row := range r1.Rows {
+		if n := int(row[1].AsInt()); n >= minSupport {
+			support[row[0].AsString()] = n
+		}
+	}
+
+	// L2: pair supports via a co-located self-join; each node joins only
+	// its local baskets.
+	q := fmt.Sprintf(
+		"SELECT a.%[1]s, b.%[1]s, COUNT(*) FROM %[2]s a JOIN %[2]s b ON a.%[3]s = b.%[3]s WHERE a.%[1]s < b.%[1]s GROUP BY a.%[1]s, b.%[1]s",
+		itemCol, table, basketCol)
+	r2, plan, err := c.Coordinator.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	_ = plan // colocated when partitioned by basket; correct either way
+
+	var rules []Rule
+	for _, row := range r2.Rows {
+		ia, ib := row[0].AsString(), row[1].AsString()
+		n := int(row[2].AsInt())
+		if n < minSupport || support[ia] == 0 || support[ib] == 0 {
+			continue
+		}
+		for _, dir := range [][2]string{{ia, ib}, {ib, ia}} {
+			conf := float64(n) / float64(support[dir[0]])
+			if conf < minConfidence {
+				continue
+			}
+			lift := conf / (float64(support[dir[1]]) / float64(totalBaskets))
+			rules = append(rules, Rule{
+				Antecedent: []string{dir[0]}, Consequent: dir[1],
+				Support: n, Confidence: conf, Lift: lift,
+			})
+		}
+	}
+	sort.Slice(rules, func(a, b int) bool {
+		if rules[a].Confidence != rules[b].Confidence {
+			return rules[a].Confidence > rules[b].Confidence
+		}
+		if rules[a].Antecedent[0] != rules[b].Antecedent[0] {
+			return rules[a].Antecedent[0] < rules[b].Antecedent[0]
+		}
+		return rules[a].Consequent < rules[b].Consequent
+	})
+	return rules, nil
+}

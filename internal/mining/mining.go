@@ -1,0 +1,289 @@
+// Package mining implements the data mining features of §II-B: basket
+// analysis (a-priori association rules) embedded in the engine, and the
+// external-provider mechanism through which systems like R are invoked as
+// "a special operator into the internal data flow graph" — here a Go
+// interface whose calls the optimizer-visible SQL functions wrap.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/columnstore"
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// ItemSet is a sorted set of items with its support count.
+type ItemSet struct {
+	Items   []string
+	Support int
+}
+
+// Rule is an association rule A → B with confidence and lift.
+type Rule struct {
+	Antecedent []string
+	Consequent string
+	Support    int
+	Confidence float64
+	Lift       float64
+}
+
+// FrequentItemSets runs a-priori over the baskets at the given minimum
+// support count.
+func FrequentItemSets(baskets [][]string, minSupport int) []ItemSet {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	// Normalize baskets to sets.
+	sets := make([]map[string]bool, len(baskets))
+	for i, b := range baskets {
+		sets[i] = map[string]bool{}
+		for _, it := range b {
+			sets[i][it] = true
+		}
+	}
+
+	// L1.
+	counts := map[string]int{}
+	for _, s := range sets {
+		for it := range s {
+			counts[it]++
+		}
+	}
+	var current [][]string
+	var out []ItemSet
+	for it, c := range counts {
+		if c >= minSupport {
+			current = append(current, []string{it})
+			out = append(out, ItemSet{Items: []string{it}, Support: c})
+		}
+	}
+	sortCandidates(current)
+
+	// Lk from Lk-1.
+	for len(current) > 0 {
+		cands := generateCandidates(current)
+		var next [][]string
+		for _, cand := range cands {
+			c := countSupport(sets, cand)
+			if c >= minSupport {
+				next = append(next, cand)
+				out = append(out, ItemSet{Items: cand, Support: c})
+			}
+		}
+		sortCandidates(next)
+		current = next
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Items) != len(out[b].Items) {
+			return len(out[a].Items) < len(out[b].Items)
+		}
+		return strings.Join(out[a].Items, ",") < strings.Join(out[b].Items, ",")
+	})
+	return out
+}
+
+func sortCandidates(cs [][]string) {
+	sort.Slice(cs, func(a, b int) bool { return strings.Join(cs[a], ",") < strings.Join(cs[b], ",") })
+}
+
+// generateCandidates joins k-1 sets sharing a prefix.
+func generateCandidates(prev [][]string) [][]string {
+	var out [][]string
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			a, b := prev[i], prev[j]
+			k := len(a)
+			if !samePrefix(a, b, k-1) {
+				continue
+			}
+			cand := append(append([]string{}, a...), b[k-1])
+			sort.Strings(cand)
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b []string, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func countSupport(sets []map[string]bool, items []string) int {
+	c := 0
+	for _, s := range sets {
+		all := true
+		for _, it := range items {
+			if !s[it] {
+				all = false
+				break
+			}
+		}
+		if all {
+			c++
+		}
+	}
+	return c
+}
+
+// Rules derives association rules with single-item consequents from the
+// frequent item sets, keeping those at or above minConfidence.
+func Rules(baskets [][]string, minSupport int, minConfidence float64) []Rule {
+	freq := FrequentItemSets(baskets, minSupport)
+	support := map[string]int{}
+	for _, fs := range freq {
+		support[strings.Join(fs.Items, ",")] = fs.Support
+	}
+	n := len(baskets)
+	var out []Rule
+	for _, fs := range freq {
+		if len(fs.Items) < 2 {
+			continue
+		}
+		for i, cons := range fs.Items {
+			ante := make([]string, 0, len(fs.Items)-1)
+			ante = append(ante, fs.Items[:i]...)
+			ante = append(ante, fs.Items[i+1:]...)
+			anteSup := support[strings.Join(ante, ",")]
+			consSup := support[cons]
+			if anteSup == 0 || consSup == 0 {
+				continue
+			}
+			conf := float64(fs.Support) / float64(anteSup)
+			if conf < minConfidence {
+				continue
+			}
+			lift := conf / (float64(consSup) / float64(n))
+			out = append(out, Rule{Antecedent: ante, Consequent: cons, Support: fs.Support, Confidence: conf, Lift: lift})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Confidence != out[b].Confidence {
+			return out[a].Confidence > out[b].Confidence
+		}
+		return strings.Join(out[a].Antecedent, ",") < strings.Join(out[b].Antecedent, ",")
+	})
+	return out
+}
+
+// Provider is an external analytics system (R, SAS) reachable from the
+// data-flow graph. Implementations compute named procedures over columnar
+// input.
+type Provider interface {
+	Name() string
+	Call(procedure string, input map[string][]float64) (map[string][]float64, error)
+}
+
+// Attach registers the mining SQL surface against an engine:
+//
+//	TABLE(BASKET_RULES('table', 'basket_col', 'item_col', minsup, minconf))
+//	TABLE(EXT_CALL('provider', 'procedure', 'table', 'col'))
+func Attach(eng *sqlexec.Engine) *Miner {
+	m := &Miner{eng: eng, providers: map[string]Provider{}}
+	eng.Reg.RegisterTable("BASKET_RULES", columnstore.Schema{
+		{Name: "antecedent", Kind: value.KindString},
+		{Name: "consequent", Kind: value.KindString},
+		{Name: "support", Kind: value.KindInt},
+		{Name: "confidence", Kind: value.KindFloat},
+		{Name: "lift", Kind: value.KindFloat},
+	}, func(a []value.Value) ([]value.Row, error) {
+		if len(a) != 5 {
+			return nil, fmt.Errorf("mining: BASKET_RULES(table, basket_col, item_col, minsup, minconf)")
+		}
+		return m.BasketRules(a[0].AsString(), a[1].AsString(), a[2].AsString(), int(a[3].AsInt()), a[4].AsFloat())
+	})
+	eng.Reg.RegisterTable("EXT_CALL", columnstore.Schema{
+		{Name: "name", Kind: value.KindString},
+		{Name: "idx", Kind: value.KindInt},
+		{Name: "val", Kind: value.KindFloat},
+	}, func(a []value.Value) ([]value.Row, error) {
+		if len(a) != 4 {
+			return nil, fmt.Errorf("mining: EXT_CALL(provider, procedure, table, col)")
+		}
+		return m.ExternalCall(a[0].AsString(), a[1].AsString(), a[2].AsString(), a[3].AsString())
+	})
+	return m
+}
+
+// Miner is the mining engine bound to one relational engine.
+type Miner struct {
+	eng       *sqlexec.Engine
+	providers map[string]Provider
+}
+
+// RegisterProvider makes an external system reachable.
+func (m *Miner) RegisterProvider(p Provider) {
+	m.providers[p.Name()] = p
+}
+
+// BasketRules reads (basket, item) pairs from a table and mines rules.
+func (m *Miner) BasketRules(table, basketCol, itemCol string, minSupport int, minConfidence float64) ([]value.Row, error) {
+	res, err := m.eng.Query(fmt.Sprintf("SELECT %s, %s FROM %s", basketCol, itemCol, table))
+	if err != nil {
+		return nil, err
+	}
+	byBasket := map[string][]string{}
+	var order []string
+	for _, row := range res.Rows {
+		b := row[0].AsString()
+		if _, ok := byBasket[b]; !ok {
+			order = append(order, b)
+		}
+		byBasket[b] = append(byBasket[b], row[1].AsString())
+	}
+	baskets := make([][]string, 0, len(order))
+	for _, b := range order {
+		baskets = append(baskets, byBasket[b])
+	}
+	var out []value.Row
+	for _, r := range Rules(baskets, minSupport, minConfidence) {
+		out = append(out, value.Row{
+			value.String(strings.Join(r.Antecedent, "+")),
+			value.String(r.Consequent),
+			value.Int(int64(r.Support)),
+			value.Float(r.Confidence),
+			value.Float(r.Lift),
+		})
+	}
+	return out, nil
+}
+
+// ExternalCall ships one numeric column to the provider and returns the
+// procedure's primary output series as (name, idx, val) rows.
+func (m *Miner) ExternalCall(provider, procedure, table, col string) ([]value.Row, error) {
+	p, ok := m.providers[provider]
+	if !ok {
+		return nil, fmt.Errorf("mining: no provider %q", provider)
+	}
+	res, err := m.eng.Query(fmt.Sprintf("SELECT %s FROM %s", col, table))
+	if err != nil {
+		return nil, err
+	}
+	in := make([]float64, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		in = append(in, r[0].AsFloat())
+	}
+	out, err := p.Call(procedure, map[string][]float64{"x": in})
+	if err != nil {
+		return nil, err
+	}
+	var rows []value.Row
+	names := make([]string, 0, len(out))
+	for n := range out {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for i, v := range out[n] {
+			rows = append(rows, value.Row{value.String(n), value.Int(int64(i)), value.Float(v)})
+		}
+	}
+	return rows, nil
+}

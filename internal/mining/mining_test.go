@@ -1,0 +1,198 @@
+package mining
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/columnstore"
+	"repro/internal/soe"
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+var groceries = [][]string{
+	{"bread", "milk"},
+	{"bread", "diapers", "beer", "eggs"},
+	{"milk", "diapers", "beer", "cola"},
+	{"bread", "milk", "diapers", "beer"},
+	{"bread", "milk", "diapers", "cola"},
+}
+
+func TestFrequentItemSets(t *testing.T) {
+	freq := FrequentItemSets(groceries, 3)
+	bySig := map[string]int{}
+	for _, fs := range freq {
+		bySig[strings.Join(fs.Items, ",")] = fs.Support
+	}
+	if bySig["bread"] != 4 || bySig["milk"] != 4 || bySig["diapers"] != 4 || bySig["beer"] != 3 {
+		t.Fatalf("singletons: %v", bySig)
+	}
+	if bySig["beer,diapers"] != 3 {
+		t.Fatalf("pair support: %v", bySig)
+	}
+	if bySig["bread,milk"] != 3 {
+		t.Fatalf("bread,milk: %v", bySig)
+	}
+	if _, ok := bySig["cola"]; ok {
+		t.Fatal("cola has support 2 < 3")
+	}
+}
+
+func TestRulesConfidenceAndLift(t *testing.T) {
+	rules := Rules(groceries, 3, 0.9)
+	found := false
+	for _, r := range rules {
+		if strings.Join(r.Antecedent, ",") == "beer" && r.Consequent == "diapers" {
+			found = true
+			if r.Confidence != 1.0 {
+				t.Fatalf("conf=%v", r.Confidence)
+			}
+			// lift = 1.0 / (4/5) = 1.25
+			if r.Lift != 1.25 {
+				t.Fatalf("lift=%v", r.Lift)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("beer→diapers missing: %v", rules)
+	}
+	// Lower confidence threshold yields at least as many rules.
+	if len(Rules(groceries, 3, 0.1)) < len(rules) {
+		t.Fatal("monotonicity broken")
+	}
+}
+
+func TestEmptyBaskets(t *testing.T) {
+	if got := FrequentItemSets(nil, 1); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Rules(nil, 1, 0.5); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSQLBasketRules(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	Attach(eng)
+	eng.MustQuery(`CREATE TABLE sales (basket VARCHAR, item VARCHAR)`)
+	for bi, b := range groceries {
+		for _, it := range b {
+			eng.MustQuery(fmt.Sprintf(`INSERT INTO sales VALUES ('b%d', '%s')`, bi, it))
+		}
+	}
+	r := eng.MustQuery(`SELECT antecedent, consequent, confidence FROM TABLE(BASKET_RULES('sales', 'basket', 'item', 3, 0.9)) r WHERE r.consequent = 'diapers'`)
+	if len(r.Rows) == 0 {
+		t.Fatal("no rules found via SQL")
+	}
+}
+
+// fakeR simulates the external R provider of §II-B.
+type fakeR struct{}
+
+func (fakeR) Name() string { return "R" }
+func (fakeR) Call(proc string, in map[string][]float64) (map[string][]float64, error) {
+	switch proc {
+	case "cumsum":
+		x := in["x"]
+		out := make([]float64, len(x))
+		s := 0.0
+		for i, v := range x {
+			s += v
+			out[i] = s
+		}
+		return map[string][]float64{"cumsum": out}, nil
+	default:
+		return nil, fmt.Errorf("no procedure %q", proc)
+	}
+}
+
+func TestExternalProviderCall(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	m := Attach(eng)
+	m.RegisterProvider(fakeR{})
+	eng.MustQuery(`CREATE TABLE vals (v DOUBLE)`)
+	for i := 1; i <= 4; i++ {
+		eng.MustQuery(fmt.Sprintf(`INSERT INTO vals VALUES (%d)`, i))
+	}
+	r := eng.MustQuery(`SELECT val FROM TABLE(EXT_CALL('R', 'cumsum', 'vals', 'v')) e WHERE e.idx = 3`)
+	if len(r.Rows) != 1 || r.Rows[0][0].F != 10 {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	if _, err := eng.Query(`SELECT * FROM TABLE(EXT_CALL('SAS', 'x', 'vals', 'v')) e`); err == nil {
+		t.Fatal("unknown provider accepted")
+	}
+	if _, err := eng.Query(`SELECT * FROM TABLE(EXT_CALL('R', 'nope', 'vals', 'v')) e`); err == nil {
+		t.Fatal("unknown procedure accepted")
+	}
+}
+
+func TestDistributedPairRulesMatchLocal(t *testing.T) {
+	c := soe.NewCluster(soe.ClusterConfig{Nodes: 3, Mode: soe.OLTP})
+	defer c.Shutdown()
+	schema := columnstore.Schema{
+		{Name: "basket", Kind: value.KindString},
+		{Name: "item", Kind: value.KindString},
+	}
+	if _, err := c.CreateTable("sales", schema, "basket", 6); err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Row
+	for bi, b := range groceries {
+		for _, it := range b {
+			rows = append(rows, value.Row{value.String(fmt.Sprintf("b%d", bi)), value.String(it)})
+		}
+	}
+	if _, err := c.Insert("sales", rows...); err != nil {
+		t.Fatal(err)
+	}
+	dist, err := DistributedPairRules(c, "sales", "basket", "item", 3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The distributed result must agree with the local a-priori restricted
+	// to single-item→single-item rules.
+	local := Rules(groceries, 3, 0.9)
+	want := map[string]Rule{}
+	for _, r := range local {
+		if len(r.Antecedent) == 1 {
+			want[r.Antecedent[0]+"→"+r.Consequent] = r
+		}
+	}
+	got := map[string]Rule{}
+	for _, r := range dist {
+		got[r.Antecedent[0]+"→"+r.Consequent] = r
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rule sets differ: got %v want %v", got, want)
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok || g.Support != w.Support || g.Confidence != w.Confidence || g.Lift != w.Lift {
+			t.Fatalf("%s: got %+v want %+v", k, g, w)
+		}
+	}
+	// Co-located execution: partitioned by basket, the self-join stays
+	// node-local.
+	_, plan, err := c.Coordinator.Query(`SELECT a.item, b.item, COUNT(*) FROM sales a JOIN sales b ON a.basket = b.basket WHERE a.item < b.item GROUP BY a.item, b.item`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy.String() != "colocated" {
+		t.Fatalf("strategy=%v", plan.Strategy)
+	}
+}
+
+func TestDistributedPairRulesEmpty(t *testing.T) {
+	c := soe.NewCluster(soe.ClusterConfig{Nodes: 2, Mode: soe.OLTP})
+	defer c.Shutdown()
+	schema := columnstore.Schema{
+		{Name: "basket", Kind: value.KindString},
+		{Name: "item", Kind: value.KindString},
+	}
+	c.CreateTable("empty_sales", schema, "basket", 4)
+	rules, err := DistributedPairRules(c, "empty_sales", "basket", "item", 2, 0.5)
+	if err != nil || rules != nil {
+		t.Fatalf("rules=%v err=%v", rules, err)
+	}
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echo(from string, req Message) (Message, error) {
+	return Message{Kind: "echo", Payload: req.Payload}, nil
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := New(Config{})
+	n.Register("a", echo)
+	n.Register("b", echo)
+	resp, err := n.Call("a", "b", Message{Kind: "ping", Payload: []byte("hi")})
+	if err != nil || string(resp.Payload) != "hi" {
+		t.Fatalf("resp=%v err=%v", resp, err)
+	}
+	msgs, bytes := n.Stats()
+	if msgs != 2 || bytes == 0 {
+		t.Fatalf("msgs=%d bytes=%d", msgs, bytes)
+	}
+}
+
+func TestUnknownAndCrashedNodes(t *testing.T) {
+	n := New(Config{})
+	n.Register("a", echo)
+	if _, err := n.Call("a", "ghost", Message{}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatal(err)
+	}
+	n.Register("b", echo)
+	n.Crash("b")
+	if _, err := n.Call("a", "b", Message{}); !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	if n.Alive("b") {
+		t.Fatal("crashed node alive")
+	}
+	n.Recover("b")
+	if _, err := n.Call("a", "b", Message{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(Config{})
+	n.Register("a", echo)
+	n.Register("b", echo)
+	n.Partition("a", "b")
+	if _, err := n.Call("a", "b", Message{}); !errors.Is(err, ErrPartitioned) {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("b", "a", Message{}); !errors.Is(err, ErrPartitioned) {
+		t.Fatal(err)
+	}
+	n.Heal("a", "b")
+	if _, err := n.Call("a", "b", Message{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	n := New(Config{Latency: 2 * time.Millisecond})
+	n.Register("a", echo)
+	n.Register("b", echo)
+	start := time.Now()
+	n.Call("a", "b", Message{Payload: []byte("x")})
+	if time.Since(start) < 4*time.Millisecond { // two directions
+		t.Fatal("latency not charged")
+	}
+}
+
+func TestBandwidthCharged(t *testing.T) {
+	n := New(Config{Bandwidth: 1 << 20}) // 1 MiB/s
+	n.Register("a", echo)
+	n.Register("b", echo)
+	payload := make([]byte, 1<<18) // 256 KiB -> ~0.25s one way, ~0.5s round
+	start := time.Now()
+	n.Call("a", "b", Message{Payload: payload})
+	if time.Since(start) < 400*time.Millisecond {
+		t.Fatalf("bandwidth not charged: %v", time.Since(start))
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := New(Config{})
+	n.Register("hub", echo)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := n.Call("hub", "hub", Message{Payload: []byte("x")}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	msgs, _ := n.Stats()
+	if msgs != 3200 {
+		t.Fatalf("msgs=%d", msgs)
+	}
+	n.ResetStats()
+	if m, b := n.Stats(); m != 0 || b != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNodesList(t *testing.T) {
+	n := New(Config{})
+	n.Register("a", echo)
+	n.Register("b", echo)
+	n.Crash("a")
+	nodes := n.Nodes()
+	if len(nodes) != 1 || nodes[0] != "b" {
+		t.Fatalf("nodes=%v", nodes)
+	}
+	n.Deregister("b")
+	if len(n.Nodes()) != 0 {
+		t.Fatal("deregister failed")
+	}
+}

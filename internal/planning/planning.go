@@ -1,0 +1,213 @@
+// Package planning implements the planning extensions of §II-D: the
+// CPU-heavy operators behind sales/financial planning — disaggregation of
+// top-level targets over reference distributions, version copy, and
+// logical snapshots (private plan versions) — embedded in the engine and
+// reachable from SQL. The paper notes planning is "successful and
+// nevertheless overlooked"; experiment E15 compares the in-engine
+// disaggregation against the row-shipping application-layer baseline.
+package planning
+
+import (
+	"fmt"
+
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// Engine wraps a relational engine with planning operators. Plan data
+// lives in ordinary tables shaped (version VARCHAR, ..., measure DOUBLE).
+type Engine struct {
+	eng *sqlexec.Engine
+}
+
+// Attach installs the planning engine and its SQL surface:
+//
+//	PLAN_COPY('table', 'ver_col', 'from', 'to', factor, 'measure_col')
+//	PLAN_DISAGGREGATE('table', 'ver_col', 'ref', 'target', total, 'measure_col')
+func Attach(eng *sqlexec.Engine) *Engine {
+	p := &Engine{eng: eng}
+	eng.Reg.RegisterScalar("PLAN_COPY", func(a []value.Value) (value.Value, error) {
+		if len(a) != 6 {
+			return value.Null, fmt.Errorf("planning: PLAN_COPY(table, ver_col, from, to, factor, measure_col)")
+		}
+		n, err := p.CopyVersion(a[0].AsString(), a[1].AsString(), a[2].AsString(), a[3].AsString(), a[4].AsFloat(), a[5].AsString())
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Int(int64(n)), nil
+	})
+	eng.Reg.RegisterScalar("PLAN_DISAGGREGATE", func(a []value.Value) (value.Value, error) {
+		if len(a) != 6 {
+			return value.Null, fmt.Errorf("planning: PLAN_DISAGGREGATE(table, ver_col, ref, target, total, measure_col)")
+		}
+		n, err := p.Disaggregate(a[0].AsString(), a[1].AsString(), a[2].AsString(), a[3].AsString(), a[4].AsFloat(), a[5].AsString())
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Int(int64(n)), nil
+	})
+	return p
+}
+
+// CopyVersion copies every row of version `from` to version `to`, scaling
+// the measure column by factor — the "copy process" operator. Returns the
+// number of rows created. Existing `to` rows are replaced (logical
+// snapshot semantics).
+func (p *Engine) CopyVersion(table, verCol, from, to string, factor float64, measureCol string) (int, error) {
+	entry, ok := p.eng.Cat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("planning: unknown table %q", table)
+	}
+	vi := entry.Schema.ColIndex(verCol)
+	mi := entry.Schema.ColIndex(measureCol)
+	if vi < 0 || mi < 0 {
+		return 0, fmt.Errorf("planning: columns %q/%q not in %s", verCol, measureCol, table)
+	}
+	// Clear the target version, then copy inside one transaction.
+	if _, err := p.eng.Query(fmt.Sprintf("DELETE FROM %s WHERE %s = ?", table, verCol), value.String(to)); err != nil {
+		return 0, err
+	}
+	sess := p.eng.NewSession()
+	defer sess.Close()
+	if err := sess.Begin(); err != nil {
+		return 0, err
+	}
+	src, err := sess.Query(fmt.Sprintf("SELECT * FROM %s WHERE %s = ?", table, verCol), value.String(from))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, row := range src.Rows {
+		copied := row.Clone()
+		copied[vi] = value.String(to)
+		copied[mi] = value.Float(copied[mi].AsFloat() * factor)
+		params := make([]string, len(copied))
+		for i := range params {
+			params[i] = "?"
+		}
+		if _, err := sess.Query(fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, joinComma(params)), copied...); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	return n, sess.Commit()
+}
+
+// Snapshot creates a logical snapshot of a version (copy with factor 1) —
+// the versioning primitive planning sessions branch from.
+func (p *Engine) Snapshot(table, verCol, from, to, measureCol string) (int, error) {
+	return p.CopyVersion(table, verCol, from, to, 1, measureCol)
+}
+
+// Disaggregate spreads total over the cells of the target version
+// proportionally to the reference version's measure distribution. Target
+// cells are (re)created from the reference structure. Returns the number
+// of cells written. When the reference totals zero, the spread is even.
+func (p *Engine) Disaggregate(table, verCol, refVersion, targetVersion string, total float64, measureCol string) (int, error) {
+	entry, ok := p.eng.Cat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("planning: unknown table %q", table)
+	}
+	vi := entry.Schema.ColIndex(verCol)
+	mi := entry.Schema.ColIndex(measureCol)
+	if vi < 0 || mi < 0 {
+		return 0, fmt.Errorf("planning: columns %q/%q not in %s", verCol, measureCol, table)
+	}
+	if _, err := p.eng.Query(fmt.Sprintf("DELETE FROM %s WHERE %s = ?", table, verCol), value.String(targetVersion)); err != nil {
+		return 0, err
+	}
+	sess := p.eng.NewSession()
+	defer sess.Close()
+	if err := sess.Begin(); err != nil {
+		return 0, err
+	}
+	ref, err := sess.Query(fmt.Sprintf("SELECT * FROM %s WHERE %s = ?", table, verCol), value.String(refVersion))
+	if err != nil {
+		return 0, err
+	}
+	if len(ref.Rows) == 0 {
+		sess.Rollback()
+		return 0, fmt.Errorf("planning: reference version %q is empty", refVersion)
+	}
+	refTotal := 0.0
+	for _, row := range ref.Rows {
+		refTotal += row[mi].AsFloat()
+	}
+	n := 0
+	for _, row := range ref.Rows {
+		share := total / float64(len(ref.Rows))
+		if refTotal != 0 {
+			share = total * row[mi].AsFloat() / refTotal
+		}
+		cell := row.Clone()
+		cell[vi] = value.String(targetVersion)
+		cell[mi] = value.Float(share)
+		params := make([]string, len(cell))
+		for i := range params {
+			params[i] = "?"
+		}
+		if _, err := sess.Query(fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, joinComma(params)), cell...); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	return n, sess.Commit()
+}
+
+// DisaggregateAppStyle is the application-layer baseline of §III: every
+// reference cell is shipped to the "application", proportions are computed
+// there, and each target cell travels back as its own statement — two row
+// transfers per cell. Returns cells written and rows moved across the
+// app/DB boundary (experiment E15's transfer metric).
+func (p *Engine) DisaggregateAppStyle(table, verCol, refVersion, targetVersion string, total float64, measureCol string) (cells, rowsMoved int, err error) {
+	entry, ok := p.eng.Cat.Table(table)
+	if !ok {
+		return 0, 0, fmt.Errorf("planning: unknown table %q", table)
+	}
+	vi := entry.Schema.ColIndex(verCol)
+	mi := entry.Schema.ColIndex(measureCol)
+	if _, err := p.eng.Query(fmt.Sprintf("DELETE FROM %s WHERE %s = ?", table, verCol), value.String(targetVersion)); err != nil {
+		return 0, 0, err
+	}
+	// Application pulls the full reference version over the wire.
+	ref, err := p.eng.Query(fmt.Sprintf("SELECT * FROM %s WHERE %s = ?", table, verCol), value.String(refVersion))
+	if err != nil {
+		return 0, 0, err
+	}
+	rowsMoved += len(ref.Rows)
+	refTotal := 0.0
+	for _, row := range ref.Rows {
+		refTotal += row[mi].AsFloat()
+	}
+	for _, row := range ref.Rows {
+		share := total / float64(len(ref.Rows))
+		if refTotal != 0 {
+			share = total * row[mi].AsFloat() / refTotal
+		}
+		cell := row.Clone()
+		cell[vi] = value.String(targetVersion)
+		cell[mi] = value.Float(share)
+		params := make([]string, len(cell))
+		for i := range params {
+			params[i] = "?"
+		}
+		// One INSERT round trip per cell.
+		if _, err := p.eng.Query(fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, joinComma(params)), cell...); err != nil {
+			return 0, 0, err
+		}
+		rowsMoved++
+		cells++
+	}
+	return cells, rowsMoved, nil
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package planning
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sqlexec"
+)
+
+func newPlanEngine(t *testing.T) (*sqlexec.Engine, *Engine) {
+	t.Helper()
+	eng := sqlexec.NewEngine()
+	p := Attach(eng)
+	eng.MustQuery(`CREATE TABLE plan (version VARCHAR, region VARCHAR, product VARCHAR, revenue DOUBLE)`)
+	// Actuals: a skewed reference distribution.
+	cells := []struct {
+		region, product string
+		rev             float64
+	}{
+		{"EU", "soap", 600}, {"EU", "towels", 200},
+		{"US", "soap", 150}, {"US", "towels", 50},
+	}
+	for _, c := range cells {
+		eng.MustQuery(fmt.Sprintf(`INSERT INTO plan VALUES ('actual2014', '%s', '%s', %f)`, c.region, c.product, c.rev))
+	}
+	return eng, p
+}
+
+func TestCopyVersion(t *testing.T) {
+	eng, p := newPlanEngine(t)
+	n, err := p.CopyVersion("plan", "version", "actual2014", "plan2015", 1.1, "revenue")
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	r := eng.MustQuery(`SELECT SUM(revenue) FROM plan WHERE version = 'plan2015'`)
+	if math.Abs(r.Rows[0][0].F-1100) > 1e-9 {
+		t.Fatalf("sum=%v", r.Rows[0][0])
+	}
+	// Re-copy replaces rather than duplicates.
+	p.CopyVersion("plan", "version", "actual2014", "plan2015", 1.0, "revenue")
+	r = eng.MustQuery(`SELECT COUNT(*) FROM plan WHERE version = 'plan2015'`)
+	if r.Rows[0][0].I != 4 {
+		t.Fatalf("count=%v", r.Rows[0][0])
+	}
+}
+
+func TestSnapshotIsFactorOne(t *testing.T) {
+	eng, p := newPlanEngine(t)
+	if _, err := p.Snapshot("plan", "version", "actual2014", "snap1", "revenue"); err != nil {
+		t.Fatal(err)
+	}
+	r := eng.MustQuery(`SELECT SUM(revenue) FROM plan WHERE version = 'snap1'`)
+	if r.Rows[0][0].F != 1000 {
+		t.Fatalf("sum=%v", r.Rows[0][0])
+	}
+	// Private version: mutating the snapshot leaves actuals untouched.
+	eng.MustQuery(`UPDATE plan SET revenue = 0 WHERE version = 'snap1'`)
+	r = eng.MustQuery(`SELECT SUM(revenue) FROM plan WHERE version = 'actual2014'`)
+	if r.Rows[0][0].F != 1000 {
+		t.Fatal("snapshot leaked into source version")
+	}
+}
+
+func TestDisaggregateProportional(t *testing.T) {
+	eng, p := newPlanEngine(t)
+	n, err := p.Disaggregate("plan", "version", "actual2014", "target2015", 2000, "revenue")
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	// EU soap had 60% share -> 1200.
+	r := eng.MustQuery(`SELECT revenue FROM plan WHERE version = 'target2015' AND region = 'EU' AND product = 'soap'`)
+	if math.Abs(r.Rows[0][0].F-1200) > 1e-9 {
+		t.Fatalf("EU soap=%v", r.Rows[0][0])
+	}
+	// Total preserved exactly.
+	r = eng.MustQuery(`SELECT SUM(revenue) FROM plan WHERE version = 'target2015'`)
+	if math.Abs(r.Rows[0][0].F-2000) > 1e-9 {
+		t.Fatalf("total=%v", r.Rows[0][0])
+	}
+}
+
+func TestDisaggregateEvenWhenRefZero(t *testing.T) {
+	eng, p := newPlanEngine(t)
+	eng.MustQuery(`UPDATE plan SET revenue = 0 WHERE version = 'actual2014'`)
+	if _, err := p.Disaggregate("plan", "version", "actual2014", "t", 400, "revenue"); err != nil {
+		t.Fatal(err)
+	}
+	r := eng.MustQuery(`SELECT MIN(revenue), MAX(revenue) FROM plan WHERE version = 't'`)
+	if r.Rows[0][0].F != 100 || r.Rows[0][1].F != 100 {
+		t.Fatalf("even spread broken: %v", r.Rows[0])
+	}
+}
+
+func TestDisaggregateErrors(t *testing.T) {
+	_, p := newPlanEngine(t)
+	if _, err := p.Disaggregate("missing", "version", "a", "b", 1, "revenue"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	if _, err := p.Disaggregate("plan", "version", "ghost_version", "b", 1, "revenue"); err == nil {
+		t.Fatal("empty reference accepted")
+	}
+	if _, err := p.CopyVersion("plan", "nope", "a", "b", 1, "revenue"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestAppStyleBaselineMatchesButMovesRows(t *testing.T) {
+	eng, p := newPlanEngine(t)
+	cells, moved, err := p.DisaggregateAppStyle("plan", "version", "actual2014", "app2015", 2000, "revenue")
+	if err != nil || cells != 4 {
+		t.Fatalf("cells=%d err=%v", cells, err)
+	}
+	if moved != 8 { // 4 pulled + 4 pushed
+		t.Fatalf("moved=%d", moved)
+	}
+	// Same result as the in-engine operator.
+	p.Disaggregate("plan", "version", "actual2014", "eng2015", 2000, "revenue")
+	r := eng.MustQuery(`SELECT a.region, a.product FROM plan a JOIN plan b ON a.region = b.region AND a.product = b.product WHERE a.version = 'app2015' AND b.version = 'eng2015' AND a.revenue <> b.revenue`)
+	if len(r.Rows) != 0 {
+		t.Fatalf("results differ: %v", r.Rows)
+	}
+}
+
+func TestSQLSurface(t *testing.T) {
+	eng, _ := newPlanEngine(t)
+	r := eng.MustQuery(`SELECT PLAN_DISAGGREGATE('plan', 'version', 'actual2014', 'sql2015', 3000, 'revenue')`)
+	if r.Rows[0][0].I != 4 {
+		t.Fatalf("cells=%v", r.Rows[0][0])
+	}
+	r = eng.MustQuery(`SELECT PLAN_COPY('plan', 'version', 'sql2015', 'sql2016', 0.5, 'revenue')`)
+	if r.Rows[0][0].I != 4 {
+		t.Fatalf("copied=%v", r.Rows[0][0])
+	}
+	r = eng.MustQuery(`SELECT SUM(revenue) FROM plan WHERE version = 'sql2016'`)
+	if math.Abs(r.Rows[0][0].F-1500) > 1e-9 {
+		t.Fatalf("sum=%v", r.Rows[0][0])
+	}
+}

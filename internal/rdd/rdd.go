@@ -1,0 +1,301 @@
+// Package rdd provides Spark-RDD-style lazy distributed collections over
+// the simulated Hadoop stack, plus the SOE wrapping of §IV-C (integration
+// path 2): "integration is performed into the Spark framework as RDD
+// objects by utilizing SAP HANA SOE for relevant operations like join,
+// filters, aggregation" — TableRDD pushes filters, projections and
+// aggregations down into the SOE cluster and exposes the result as an
+// ordinary RDD the rest of a Spark-like pipeline can transform.
+package rdd
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/hdfs"
+	"repro/internal/soe"
+	"repro/internal/value"
+)
+
+// RDD is a lazy, partitioned collection.
+type RDD[T any] struct {
+	compute func() ([][]T, error)
+}
+
+// FromSlice partitions a slice into an RDD.
+func FromSlice[T any](xs []T, parts int) *RDD[T] {
+	if parts <= 0 {
+		parts = 1
+	}
+	return &RDD[T]{compute: func() ([][]T, error) {
+		out := make([][]T, parts)
+		for i, x := range xs {
+			p := i % parts
+			out[p] = append(out[p], x)
+		}
+		return out, nil
+	}}
+}
+
+// FromHDFSLines reads a text file as one partition per block.
+func FromHDFSLines(fs *hdfs.FS, path string) *RDD[string] {
+	return &RDD[string]{compute: func() ([][]string, error) {
+		splits, err := fs.Splits(path)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]string, len(splits))
+		var wg sync.WaitGroup
+		errs := make([]error, len(splits))
+		for i, s := range splits {
+			wg.Add(1)
+			go func(i int, s hdfs.Split) {
+				defer wg.Done()
+				chunk, err := fs.ReadSplit(s)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				for _, line := range strings.Split(string(chunk), "\n") {
+					if line != "" {
+						out[i] = append(out[i], line)
+					}
+				}
+			}(i, s)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		return out, nil
+	}}
+}
+
+// Map transforms every element.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return &RDD[U]{compute: func() ([][]U, error) {
+		parts, err := r.compute()
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]U, len(parts))
+		eachPartition(parts, func(i int, p []T) {
+			for _, x := range p {
+				out[i] = append(out[i], f(x))
+			}
+		})
+		return out, nil
+	}}
+}
+
+// Filter keeps elements matching pred.
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	return &RDD[T]{compute: func() ([][]T, error) {
+		parts, err := r.compute()
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]T, len(parts))
+		eachPartition(parts, func(i int, p []T) {
+			for _, x := range p {
+				if pred(x) {
+					out[i] = append(out[i], x)
+				}
+			}
+		})
+		return out, nil
+	}}
+}
+
+// FlatMap expands every element to zero or more outputs.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return &RDD[U]{compute: func() ([][]U, error) {
+		parts, err := r.compute()
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]U, len(parts))
+		eachPartition(parts, func(i int, p []T) {
+			for _, x := range p {
+				out[i] = append(out[i], f(x)...)
+			}
+		})
+		return out, nil
+	}}
+}
+
+func eachPartition[T any](parts [][]T, f func(i int, p []T)) {
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i, parts[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Collect materializes all elements.
+func (r *RDD[T]) Collect() ([]T, error) {
+	parts, err := r.compute()
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count returns the element count.
+func (r *RDD[T]) Count() (int, error) {
+	parts, err := r.compute()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	return n, nil
+}
+
+// Take returns up to n elements.
+func (r *RDD[T]) Take(n int) ([]T, error) {
+	all, err := r.Collect()
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}
+
+// Reduce folds all elements with f (requires at least one element).
+func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
+	var zero T
+	all, err := r.Collect()
+	if err != nil {
+		return zero, err
+	}
+	if len(all) == 0 {
+		return zero, fmt.Errorf("rdd: reduce of empty collection")
+	}
+	acc := all[0]
+	for _, x := range all[1:] {
+		acc = f(acc, x)
+	}
+	return acc, nil
+}
+
+// Pair is a keyed value for ReduceByKey.
+type Pair[V any] struct {
+	K string
+	V V
+}
+
+// ReduceByKey merges values per key with f.
+func ReduceByKey[V any](r *RDD[Pair[V]], f func(V, V) V) *RDD[Pair[V]] {
+	return &RDD[Pair[V]]{compute: func() ([][]Pair[V], error) {
+		all, err := r.Collect()
+		if err != nil {
+			return nil, err
+		}
+		acc := map[string]V{}
+		var order []string
+		for _, p := range all {
+			if v, ok := acc[p.K]; ok {
+				acc[p.K] = f(v, p.V)
+			} else {
+				acc[p.K] = p.V
+				order = append(order, p.K)
+			}
+		}
+		out := make([]Pair[V], 0, len(order))
+		for _, k := range order {
+			out = append(out, Pair[V]{k, acc[k]})
+		}
+		return [][]Pair[V]{out}, nil
+	}}
+}
+
+// --- SOE table wrapping ------------------------------------------------
+
+// TableRDD wraps a distributed SOE table as an RDD with pushdown: filters,
+// projections and aggregations accumulate into the SQL shipped to the
+// cluster instead of running element-wise in the RDD runtime.
+type TableRDD struct {
+	c     *soe.Cluster
+	table string
+	cols  []string
+	where []string
+}
+
+// FromSOETable wraps a table.
+func FromSOETable(c *soe.Cluster, table string) *TableRDD {
+	return &TableRDD{c: c, table: table}
+}
+
+// Where pushes a filter condition (SQL syntax) down to the SOE.
+func (t *TableRDD) Where(cond string) *TableRDD {
+	cp := *t
+	cp.where = append(append([]string(nil), t.where...), cond)
+	return &cp
+}
+
+// Select pushes a projection down to the SOE.
+func (t *TableRDD) Select(cols ...string) *TableRDD {
+	cp := *t
+	cp.cols = cols
+	return &cp
+}
+
+// SQL renders the pushed-down statement.
+func (t *TableRDD) SQL() string {
+	cols := "*"
+	if len(t.cols) > 0 {
+		cols = strings.Join(t.cols, ", ")
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s", cols, t.table)
+	if len(t.where) > 0 {
+		sql += " WHERE " + strings.Join(t.where, " AND ")
+	}
+	return sql
+}
+
+// Rows executes the pushed-down query and exposes the result as an RDD.
+func (t *TableRDD) Rows() *RDD[value.Row] {
+	return &RDD[value.Row]{compute: func() ([][]value.Row, error) {
+		res, err := t.c.Query(t.SQL())
+		if err != nil {
+			return nil, err
+		}
+		return [][]value.Row{res.Rows}, nil
+	}}
+}
+
+// SumBy pushes a grouped SUM aggregation into the SOE and returns keyed
+// results — the "relevant operations like ... aggregation" path.
+func (t *TableRDD) SumBy(groupCol, aggCol string) *RDD[Pair[float64]] {
+	return &RDD[Pair[float64]]{compute: func() ([][]Pair[float64], error) {
+		sql := fmt.Sprintf("SELECT %s, SUM(%s) FROM %s", groupCol, aggCol, t.table)
+		if len(t.where) > 0 {
+			sql += " WHERE " + strings.Join(t.where, " AND ")
+		}
+		sql += fmt.Sprintf(" GROUP BY %s", groupCol)
+		res, err := t.c.Query(sql)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Pair[float64], 0, len(res.Rows))
+		for _, r := range res.Rows {
+			out = append(out, Pair[float64]{K: r[0].AsString(), V: r[1].AsFloat()})
+		}
+		return [][]Pair[float64]{out}, nil
+	}}
+}

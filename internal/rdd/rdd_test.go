@@ -1,0 +1,156 @@
+package rdd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/columnstore"
+	"repro/internal/hdfs"
+	"repro/internal/soe"
+	"repro/internal/value"
+)
+
+func TestMapFilterCollect(t *testing.T) {
+	nums := FromSlice([]int{1, 2, 3, 4, 5, 6}, 3)
+	doubled := Map(nums, func(x int) int { return x * 2 })
+	big := Filter(doubled, func(x int) bool { return x > 6 })
+	got, err := big.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[int]bool{}
+	for _, x := range got {
+		set[x] = true
+	}
+	if len(got) != 3 || !set[8] || !set[10] || !set[12] {
+		t.Fatalf("got=%v", got)
+	}
+	if n, _ := big.Count(); n != 3 {
+		t.Fatalf("count=%d", n)
+	}
+}
+
+func TestFlatMapAndReduce(t *testing.T) {
+	lines := FromSlice([]string{"a b", "c d e"}, 2)
+	words := FlatMap(lines, func(s string) []string { return strings.Fields(s) })
+	if n, _ := words.Count(); n != 5 {
+		t.Fatalf("count=%d", n)
+	}
+	nums := FromSlice([]int{1, 2, 3, 4}, 2)
+	sum, err := Reduce(nums, func(a, b int) int { return a + b })
+	if err != nil || sum != 10 {
+		t.Fatalf("sum=%d err=%v", sum, err)
+	}
+	empty := FromSlice([]int{}, 1)
+	if _, err := Reduce(empty, func(a, b int) int { return a }); err == nil {
+		t.Fatal("empty reduce accepted")
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	pairs := FromSlice([]Pair[int]{{"a", 1}, {"b", 2}, {"a", 3}}, 2)
+	summed := ReduceByKey(pairs, func(a, b int) int { return a + b })
+	got, _ := summed.Collect()
+	m := map[string]int{}
+	for _, p := range got {
+		m[p.K] = p.V
+	}
+	if m["a"] != 4 || m["b"] != 2 {
+		t.Fatalf("got=%v", m)
+	}
+}
+
+func TestTakeAndLaziness(t *testing.T) {
+	executions := 0
+	r := &RDD[int]{compute: func() ([][]int, error) {
+		executions++
+		return [][]int{{1, 2, 3}}, nil
+	}}
+	mapped := Map(r, func(x int) int { return x })
+	if executions != 0 {
+		t.Fatal("transformation triggered execution")
+	}
+	got, _ := mapped.Take(2)
+	if len(got) != 2 || executions != 1 {
+		t.Fatalf("got=%v executions=%d", got, executions)
+	}
+}
+
+func TestFromHDFSLines(t *testing.T) {
+	fs := hdfs.New(2, 1<<16, 1)
+	fs.WriteFile("/data/lines.txt", []byte("one\ntwo\nthree\n"))
+	r := FromHDFSLines(fs, "/data/lines.txt")
+	got, err := r.Collect()
+	if err != nil || len(got) != 3 || got[0] != "one" {
+		t.Fatalf("got=%v err=%v", got, err)
+	}
+	bad := FromHDFSLines(fs, "/missing")
+	if _, err := bad.Collect(); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func newSOECluster(t *testing.T) *soe.Cluster {
+	t.Helper()
+	c := soe.NewCluster(soe.ClusterConfig{Nodes: 2, Mode: soe.OLTP})
+	t.Cleanup(c.Shutdown)
+	schema := columnstore.Schema{
+		{Name: "id", Kind: value.KindString},
+		{Name: "region", Kind: value.KindString},
+		{Name: "amount", Kind: value.KindFloat},
+	}
+	if _, err := c.CreateTable("sales", schema, "id", 4); err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Row
+	for i := 0; i < 20; i++ {
+		rows = append(rows, value.Row{
+			value.String(fmt.Sprintf("S%02d", i)),
+			value.String([]string{"EU", "US"}[i%2]),
+			value.Float(float64(i)),
+		})
+	}
+	if _, err := c.Insert("sales", rows...); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSOETableRDDPushdown(t *testing.T) {
+	c := newSOECluster(t)
+	table := FromSOETable(c, "sales").Where("amount >= 10").Select("id", "amount")
+	if sql := table.SQL(); sql != "SELECT id, amount FROM sales WHERE amount >= 10" {
+		t.Fatalf("sql=%q", sql)
+	}
+	rows, err := table.Rows().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// RDD transformations compose on top of the pushed-down result.
+	ids := Map(table.Rows(), func(r value.Row) string { return r[0].S })
+	got, _ := ids.Count()
+	if got != 10 {
+		t.Fatalf("ids=%d", got)
+	}
+}
+
+func TestSOESumByPushesAggregation(t *testing.T) {
+	c := newSOECluster(t)
+	sums := FromSOETable(c, "sales").Where("amount < 10").SumBy("region", "amount")
+	got, err := sums.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]float64{}
+	for _, p := range got {
+		m[p.K] = p.V
+	}
+	// amounts 0..9: EU gets evens (0+2+4+6+8=20), US odds (1+3+5+7+9=25).
+	if m["EU"] != 20 || m["US"] != 25 {
+		t.Fatalf("sums=%v", m)
+	}
+}

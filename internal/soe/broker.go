@@ -1,0 +1,126 @@
+package soe
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netsim"
+	"repro/internal/sharedlog"
+)
+
+// Broker is the v2transact service: it "executes, serializes, and
+// persists transactions to a distributed shared log". Commit requests get
+// a global timestamp, land in the log (totally ordered), and are pushed
+// synchronously to OLTP nodes; OLAP nodes pull through MsgPoll. This
+// decouples the transaction mechanism from query processing (§IV-B).
+type Broker struct {
+	Name string
+	net  *netsim.Network
+	disc *Discovery
+	log  *sharedlog.Log
+
+	clock atomic.Uint64
+
+	mu        sync.Mutex
+	oltpNodes []string
+
+	commits atomic.Int64
+}
+
+// NewBroker creates and registers the broker on the network.
+func NewBroker(name string, net *netsim.Network, disc *Discovery, log *sharedlog.Log) *Broker {
+	b := &Broker{Name: name, net: net, disc: disc, log: log}
+	b.clock.Store(1)
+	net.Register(name, b.handle)
+	disc.Announce("v2transact", name)
+	return b
+}
+
+// AddOLTPNode subscribes a node to synchronous apply.
+func (b *Broker) AddOLTPNode(node string) {
+	b.mu.Lock()
+	b.oltpNodes = append(b.oltpNodes, node)
+	b.mu.Unlock()
+}
+
+// Commits returns the number of committed transactions.
+func (b *Broker) Commits() int64 { return b.commits.Load() }
+
+// Clock returns the current commit timestamp.
+func (b *Broker) Clock() uint64 { return b.clock.Load() }
+
+// Commit serializes one write set: timestamp, log append, synchronous
+// OLTP push. Exposed directly for in-process clients (the coordinator);
+// remote clients send MsgCommit.
+func (b *Broker) Commit(writes []LogWrite) (pos uint64, ts uint64, err error) {
+	ts = b.clock.Add(1)
+	entry := LogEntry{TS: ts, Writes: writes}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return 0, 0, err
+	}
+	pos, err = b.log.Append(data)
+	if err != nil {
+		return 0, 0, err
+	}
+	entry.Pos = pos
+	b.commits.Add(1)
+
+	// OLTP nodes update "during the update transaction": synchronous push
+	// before the commit is acknowledged.
+	b.mu.Lock()
+	targets := append([]string(nil), b.oltpNodes...)
+	b.mu.Unlock()
+	req := ApplyReq{Token: b.disc.Token(), Entries: []LogEntry{entry}}
+	for _, node := range targets {
+		// A crashed OLTP node must not block commits (availability over
+		// consistency, §IV-B); it will catch up from the log on recovery.
+		call[ExecResp](b.net, b.Name, node, MsgApply, req)
+	}
+	return pos, ts, nil
+}
+
+// ReadLog serves the OLAP polling path.
+func (b *Broker) ReadLog(from uint64, max int) ([]LogEntry, uint64) {
+	raw, positions, next := b.log.ReadFrom(from, max)
+	entries := make([]LogEntry, 0, len(raw))
+	for i, d := range raw {
+		var e LogEntry
+		if json.Unmarshal(d, &e) == nil {
+			e.Pos = positions[i]
+			entries = append(entries, e)
+		}
+	}
+	return entries, next
+}
+
+func (b *Broker) handle(from string, req netsim.Message) (netsim.Message, error) {
+	switch req.Kind {
+	case MsgCommit:
+		r, err := decode[CommitReq](req)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		if !b.disc.Validate(r.Token) {
+			return netsim.Message{Kind: MsgCommit, Payload: encode(CommitResp{Err: "unauthorized"})}, nil
+		}
+		pos, ts, err := b.Commit(r.Writes)
+		if err != nil {
+			return netsim.Message{Kind: MsgCommit, Payload: encode(CommitResp{Err: err.Error()})}, nil
+		}
+		return netsim.Message{Kind: MsgCommit, Payload: encode(CommitResp{Pos: pos, TS: ts})}, nil
+
+	case MsgPoll:
+		r, err := decode[PollReq](req)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		if !b.disc.Validate(r.Token) {
+			return netsim.Message{Kind: MsgPoll, Payload: encode(PollResp{Err: "unauthorized"})}, nil
+		}
+		entries, next := b.ReadLog(r.From, r.Max)
+		return netsim.Message{Kind: MsgPoll, Payload: encode(PollResp{Entries: entries, Next: next})}, nil
+	}
+	return netsim.Message{}, nil
+}

@@ -1,0 +1,246 @@
+package soe
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/columnstore"
+	"repro/internal/value"
+)
+
+// DistTable describes one horizontally partitioned table: the catalog
+// service's schema information plus the data-discovery service's
+// partition→node map (v2catalog).
+type DistTable struct {
+	Name       string
+	Schema     columnstore.Schema
+	PartKey    string // partitioning column
+	Partitions int
+	// RangeBounds, when non-nil, selects range partitioning on an integer
+	// key: partition i covers [RangeBounds[i-1], RangeBounds[i]), with
+	// open first and last partitions (len == Partitions-1). Nil selects
+	// hash partitioning. §IV-B: "multi-level horizontal partitioning
+	// (range and hash)".
+	RangeBounds []int64
+	// NodeOf[p] names the node hosting partition p.
+	NodeOf []string
+
+	rowEstimate atomic.Int64 // maintained by the coordinator on insert
+}
+
+// addRows bumps the optimizer's row estimate.
+func (t *DistTable) addRows(n int64) { t.rowEstimate.Add(n) }
+
+// rows returns the estimated row count.
+func (t *DistTable) rows() int64 { return t.rowEstimate.Load() }
+
+// SetRowEstimate overrides the estimate (bulk loads, tests).
+func (t *DistTable) SetRowEstimate(n int64) { t.rowEstimate.Store(n) }
+
+// PartitionFor routes a row by its partition-key value.
+func (t *DistTable) PartitionFor(v value.Value) int {
+	if t.RangeBounds != nil {
+		k := v.AsInt()
+		return sort.Search(len(t.RangeBounds), func(i int) bool { return k < t.RangeBounds[i] })
+	}
+	h := v.Hash()
+	return int(h % uint64(t.Partitions))
+}
+
+// PartitionsInRange returns the partitions that can hold keys in
+// [lo, hi] (inclusive; math.MinInt64/MaxInt64 for open ends). For hash
+// partitioning every partition qualifies unless lo == hi (a point
+// lookup).
+func (t *DistTable) PartitionsInRange(lo, hi int64) []int {
+	if t.RangeBounds == nil {
+		if lo == hi {
+			return []int{t.PartitionFor(value.Int(lo))}
+		}
+		out := make([]int, t.Partitions)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	first := t.PartitionFor(value.Int(lo))
+	last := t.PartitionFor(value.Int(hi))
+	out := make([]int, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// KeyIndex returns the schema position of the partition key.
+func (t *DistTable) KeyIndex() int { return t.Schema.ColIndex(t.PartKey) }
+
+// ClusterCatalog is the v2catalog service: schemas and data distribution.
+type ClusterCatalog struct {
+	mu     sync.RWMutex
+	tables map[string]*DistTable
+}
+
+// NewClusterCatalog returns an empty catalog.
+func NewClusterCatalog() *ClusterCatalog {
+	return &ClusterCatalog{tables: map[string]*DistTable{}}
+}
+
+// Define registers a distributed table.
+func (c *ClusterCatalog) Define(t *DistTable) error {
+	if t.Schema.ColIndex(t.PartKey) < 0 {
+		return fmt.Errorf("soe: partition key %q not in schema of %s", t.PartKey, t.Name)
+	}
+	if len(t.NodeOf) != t.Partitions {
+		return fmt.Errorf("soe: %s: %d partitions but %d placements", t.Name, t.Partitions, len(t.NodeOf))
+	}
+	if t.RangeBounds != nil {
+		if len(t.RangeBounds) != t.Partitions-1 {
+			return fmt.Errorf("soe: %s: %d range bounds for %d partitions (need n-1)", t.Name, len(t.RangeBounds), t.Partitions)
+		}
+		for i := 1; i < len(t.RangeBounds); i++ {
+			if t.RangeBounds[i] <= t.RangeBounds[i-1] {
+				return fmt.Errorf("soe: %s: range bounds must be strictly ascending", t.Name)
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("soe: table %q already defined", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Table resolves a distributed table.
+func (c *ClusterCatalog) Table(name string) (*DistTable, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Tables lists table names, sorted.
+func (c *ClusterCatalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Move reassigns a partition to another node (data discovery update; the
+// cluster manager performs the physical copy).
+func (c *ClusterCatalog) Move(table string, part int, toNode string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[table]
+	if !ok {
+		return fmt.Errorf("soe: unknown table %q", table)
+	}
+	if part < 0 || part >= t.Partitions {
+		return fmt.Errorf("soe: partition %d out of range", part)
+	}
+	t.NodeOf[part] = toNode
+	return nil
+}
+
+// NodesOf returns the distinct nodes hosting a table, sorted.
+func (c *ClusterCatalog) NodesOf(table string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[table]
+	if !ok {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range t.NodeOf {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoPartitioned reports whether two tables share partition count and
+// placement and are keyed on the given join columns — the co-located join
+// precondition.
+func (c *ClusterCatalog) CoPartitioned(a, b, aKey, bKey string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ta, ok1 := c.tables[a]
+	tb, ok2 := c.tables[b]
+	if !ok1 || !ok2 {
+		return false
+	}
+	if ta.PartKey != aKey || tb.PartKey != bKey {
+		return false
+	}
+	if ta.Partitions != tb.Partitions {
+		return false
+	}
+	for i := range ta.NodeOf {
+		if ta.NodeOf[i] != tb.NodeOf[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Discovery is the v2disc&auth service: who is where, and with which
+// credentials.
+type Discovery struct {
+	mu       sync.RWMutex
+	secret   string
+	services map[string]string // service role -> node name
+}
+
+// NewDiscovery creates the service with a cluster secret.
+func NewDiscovery(secret string) *Discovery {
+	return &Discovery{secret: secret, services: map[string]string{}}
+}
+
+// Token derives the access token clients present.
+func (d *Discovery) Token() string {
+	h := sha256.Sum256([]byte("soe-token:" + d.secret))
+	return fmt.Sprintf("%x", h[:8])
+}
+
+// Validate checks a presented token.
+func (d *Discovery) Validate(token string) bool { return token == d.Token() }
+
+// Announce registers a service instance.
+func (d *Discovery) Announce(role, node string) {
+	d.mu.Lock()
+	d.services[role] = node
+	d.mu.Unlock()
+}
+
+// Lookup resolves a service role to its node.
+func (d *Discovery) Lookup(role string) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n, ok := d.services[role]
+	return n, ok
+}
+
+// Services lists announced roles, sorted.
+func (d *Discovery) Services() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.services))
+	for r := range d.services {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,184 @@
+package soe
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/columnstore"
+	"repro/internal/netsim"
+	"repro/internal/sharedlog"
+	"repro/internal/value"
+)
+
+// Cluster bundles a complete SOE landscape — every service of Figure 3 —
+// for embedding, examples and benchmarks.
+type Cluster struct {
+	Net         *netsim.Network
+	Disc        *Discovery
+	Catalog     *ClusterCatalog
+	Log         *sharedlog.Log
+	Broker      *Broker
+	Coordinator *Coordinator
+	Manager     *Manager
+	Nodes       []*DataNode
+}
+
+// ClusterConfig shapes a cluster.
+type ClusterConfig struct {
+	Nodes        int
+	Mode         Mode          // node mode (OLTP or OLAP)
+	Net          netsim.Config // link model
+	LogStripes   int
+	LogReplicas  int
+	PollInterval time.Duration // OLAP polling; 0 = manual PollOnce
+	Secret       string
+}
+
+// NewCluster boots a full landscape: shared log, broker, n data nodes,
+// coordinator, manager, discovery.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.LogStripes <= 0 {
+		cfg.LogStripes = 4
+	}
+	if cfg.LogReplicas <= 0 {
+		cfg.LogReplicas = 1
+	}
+	if cfg.Secret == "" {
+		cfg.Secret = "velocity"
+	}
+	net := netsim.New(cfg.Net)
+	disc := NewDiscovery(cfg.Secret)
+	ccat := NewClusterCatalog()
+	log := sharedlog.NewInMemory(cfg.LogStripes, cfg.LogReplicas)
+	broker := NewBroker("v2transact", net, disc, log)
+	mgr := NewManager("v2clustermgr", net, disc, ccat, broker, log)
+
+	c := &Cluster{Net: net, Disc: disc, Catalog: ccat, Log: log, Broker: broker, Manager: mgr}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := mgr.StartNode(fmt.Sprintf("node%d", i), cfg.Mode)
+		if cfg.Mode == OLAP && cfg.PollInterval > 0 {
+			n.StartPolling(cfg.PollInterval)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	c.Coordinator = NewCoordinator("v2dqp", net, disc, ccat, broker.Name)
+	return c
+}
+
+// Shutdown stops polling loops.
+func (c *Cluster) Shutdown() {
+	for _, n := range c.Nodes {
+		n.StopPolling()
+	}
+}
+
+// CreateTable defines a hash-partitioned table across the cluster's nodes
+// (round-robin placement) and installs the partitions.
+func (c *Cluster) CreateTable(name string, schema columnstore.Schema, partKey string, partitions int) (*DistTable, error) {
+	if partitions <= 0 {
+		partitions = len(c.Nodes)
+	}
+	t := &DistTable{Name: name, Schema: schema.Clone(), PartKey: partKey, Partitions: partitions}
+	for p := 0; p < partitions; p++ {
+		t.NodeOf = append(t.NodeOf, c.Nodes[p%len(c.Nodes)].Name)
+	}
+	if err := c.Catalog.Define(t); err != nil {
+		return nil, err
+	}
+	for _, n := range c.Nodes {
+		if err := n.Host(t); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// BulkLoadLocal loads rows directly into the hosting nodes' storage,
+// bypassing the broker and shared log. Benchmark/test setup only: it is
+// NOT transactional and NOT replicated — use Insert for real writes.
+func (c *Cluster) BulkLoadLocal(table string, rows []value.Row) error {
+	t, ok := c.Catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("soe: unknown table %q", table)
+	}
+	ki := t.KeyIndex()
+	byPart := map[int][]value.Row{}
+	for _, r := range rows {
+		p := t.PartitionFor(r[ki])
+		byPart[p] = append(byPart[p], r)
+	}
+	ts := c.Broker.clock.Add(1)
+	byName := map[string]*DataNode{}
+	for _, n := range c.Nodes {
+		byName[n.Name] = n
+	}
+	for p, prt := range byPart {
+		node := byName[t.NodeOf[p]]
+		if node == nil {
+			return fmt.Errorf("soe: partition %d host %q not in cluster", p, t.NodeOf[p])
+		}
+		var writes []LogWrite
+		for _, r := range prt {
+			writes = append(writes, LogWrite{Table: table, Partition: p, Kind: 0, Row: r})
+		}
+		node.applyEntries([]LogEntry{{TS: ts, Writes: writes}})
+	}
+	t.addRows(int64(len(rows)))
+	return nil
+}
+
+// Insert routes rows through the coordinator and broker.
+func (c *Cluster) Insert(table string, rows ...value.Row) (uint64, error) {
+	return c.Coordinator.Insert(table, rows)
+}
+
+// Query runs a distributed SELECT.
+func (c *Cluster) Query(sql string) (*Result, error) {
+	r, _, err := c.Coordinator.Query(sql)
+	return r, err
+}
+
+// SyncOLAP forces every OLAP node to drain the log (deterministic tests
+// and benchmarks).
+func (c *Cluster) SyncOLAP() error {
+	for _, n := range c.Nodes {
+		if n.Mode != OLAP {
+			continue
+		}
+		for {
+			applied, err := n.PollOnce(8192)
+			if err != nil {
+				return err
+			}
+			if applied == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// CreateRangeTable defines a range-partitioned table: partition i covers
+// [bounds[i-1], bounds[i]) on an integer key, with open ends (§IV-B:
+// "multi-level horizontal partitioning (range and hash)").
+func (c *Cluster) CreateRangeTable(name string, schema columnstore.Schema, partKey string, bounds []int64) (*DistTable, error) {
+	t := &DistTable{
+		Name: name, Schema: schema.Clone(), PartKey: partKey,
+		Partitions: len(bounds) + 1, RangeBounds: append([]int64(nil), bounds...),
+	}
+	for p := 0; p < t.Partitions; p++ {
+		t.NodeOf = append(t.NodeOf, c.Nodes[p%len(c.Nodes)].Name)
+	}
+	if err := c.Catalog.Define(t); err != nil {
+		return nil, err
+	}
+	for _, n := range c.Nodes {
+		if err := n.Host(t); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

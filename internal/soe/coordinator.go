@@ -1,0 +1,452 @@
+package soe
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/distql"
+	"repro/internal/netsim"
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// Coordinator is the v2dqp service: it accepts queries, translates each
+// into a DAG of tasks (scan/partial-agg tasks on query services, shuffle
+// and broadcast data movement, a final merge), and drives execution.
+type Coordinator struct {
+	Name string
+	net  *netsim.Network
+	disc *Discovery
+	ccat *ClusterCatalog
+
+	broker  string
+	queryID atomic.Uint64
+
+	// BroadcastThreshold: a join side with at most this many estimated
+	// rows is broadcast instead of repartitioned.
+	BroadcastThreshold int
+}
+
+// NewCoordinator creates and registers a coordinator.
+func NewCoordinator(name string, net *netsim.Network, disc *Discovery, ccat *ClusterCatalog, broker string) *Coordinator {
+	c := &Coordinator{Name: name, net: net, disc: disc, ccat: ccat, broker: broker, BroadcastThreshold: 10_000}
+	net.Register(name, func(from string, req netsim.Message) (netsim.Message, error) {
+		// Clients reach the coordinator through MsgExec.
+		if req.Kind != MsgExec {
+			return netsim.Message{}, fmt.Errorf("soe: coordinator: unknown message %q", req.Kind)
+		}
+		r, err := decode[ExecReq](req)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		if !disc.Validate(r.Token) {
+			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: "unauthorized"})}, nil
+		}
+		res, _, err := c.Query(r.SQL)
+		if err != nil {
+			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: err.Error()})}, nil
+		}
+		return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Cols: res.Cols, Rows: res.Rows})}, nil
+	})
+	disc.Announce("v2dqp", name)
+	return c
+}
+
+// Result is a distributed query result.
+type Result struct {
+	Cols []string
+	Rows []value.Row
+}
+
+// Insert routes rows by partition key and commits them through the
+// transaction broker.
+func (c *Coordinator) Insert(table string, rows []value.Row) (uint64, error) {
+	t, ok := c.ccat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("soe: unknown table %q", table)
+	}
+	ki := t.KeyIndex()
+	writes := make([]LogWrite, 0, len(rows))
+	for _, r := range rows {
+		if len(r) != len(t.Schema) {
+			return 0, fmt.Errorf("soe: row width %d for table %s (%d cols)", len(r), table, len(t.Schema))
+		}
+		writes = append(writes, LogWrite{Table: table, Partition: t.PartitionFor(r[ki]), Kind: 0, Row: r})
+	}
+	resp, err := call[CommitResp](c.net, c.Name, c.broker, MsgCommit, CommitReq{Token: c.disc.Token(), Writes: writes})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, fmt.Errorf("soe: commit: %s", resp.Err)
+	}
+	t.addRows(int64(len(rows)))
+	return resp.TS, nil
+}
+
+// Delete removes rows by partition-key value.
+func (c *Coordinator) Delete(table, key string) (uint64, error) {
+	t, ok := c.ccat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("soe: unknown table %q", table)
+	}
+	w := LogWrite{Table: table, Partition: t.PartitionFor(value.String(key)), Kind: 1, Key: key}
+	resp, err := call[CommitResp](c.net, c.Name, c.broker, MsgCommit, CommitReq{Token: c.disc.Token(), Writes: []LogWrite{w}})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, fmt.Errorf("soe: commit: %s", resp.Err)
+	}
+	return resp.TS, nil
+}
+
+// Query plans and executes a distributed SELECT, returning the result and
+// the plan that produced it.
+func (c *Coordinator) Query(sql string) (*Result, *distql.Plan, error) {
+	st, err := sqlexec.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*sqlexec.SelectStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("soe: coordinator executes SELECT only (DML goes through Insert/Delete)")
+	}
+	plan, err := distql.Rewrite(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := c.ccat.Table(plan.LeftTable); !ok {
+		return nil, nil, fmt.Errorf("soe: unknown table %q", plan.LeftTable)
+	}
+
+	if plan.RightTable == "" {
+		plan.Strategy = distql.StrategyLocalParallel
+		nodes := c.pruneNodes(sel, plan.LeftTable)
+		rows, err := c.fanOut(nodes, plan.LocalSQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.finish(plan, rows)
+	}
+	return c.queryJoin(sel, plan)
+}
+
+// pruneNodes narrows the fan-out for range-partitioned tables when the
+// WHERE clause bounds the partition key — distributed partition pruning.
+func (c *Coordinator) pruneNodes(sel *sqlexec.SelectStmt, table string) []string {
+	all := c.ccat.NodesOf(table)
+	t, ok := c.ccat.Table(table)
+	if !ok {
+		return all
+	}
+	lo, hi, bounded := distql.KeyBounds(sel, sel.From.Alias, t.PartKey)
+	if !bounded || lo > hi {
+		if bounded && lo > hi {
+			return nil // contradictory bounds: empty fan-out
+		}
+		return all
+	}
+	parts := t.PartitionsInRange(lo, hi)
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range parts {
+		n := t.NodeOf[p]
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForceStrategy executes a join with an explicit strategy (the E8
+// ablation); empty string means the optimizer chooses.
+func (c *Coordinator) ForceStrategy(sql string, strategy distql.Strategy) (*Result, *distql.Plan, error) {
+	st, err := sqlexec.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*sqlexec.SelectStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("soe: SELECT only")
+	}
+	plan, err := distql.Rewrite(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	if plan.RightTable == "" {
+		return nil, nil, fmt.Errorf("soe: ForceStrategy needs a join")
+	}
+	plan.Strategy = strategy
+	return c.executeJoin(sel, plan)
+}
+
+func (c *Coordinator) queryJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*Result, *distql.Plan, error) {
+	lt, lok := c.ccat.Table(plan.LeftTable)
+	rt, rok := c.ccat.Table(plan.RightTable)
+	if !lok || !rok {
+		return nil, nil, fmt.Errorf("soe: unknown join table")
+	}
+	switch {
+	case c.ccat.CoPartitioned(plan.LeftTable, plan.RightTable, plan.LeftKey, plan.RightKey):
+		plan.Strategy = distql.StrategyColocated
+	case rt.rows() <= int64(c.BroadcastThreshold) || lt.rows() <= int64(c.BroadcastThreshold):
+		plan.Strategy = distql.StrategyBroadcast
+	default:
+		plan.Strategy = distql.StrategyRepartition
+	}
+	return c.executeJoin(sel, plan)
+}
+
+func (c *Coordinator) executeJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*Result, *distql.Plan, error) {
+	switch plan.Strategy {
+	case distql.StrategyColocated:
+		rows, err := c.fanOut(c.ccat.NodesOf(plan.LeftTable), plan.LocalSQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.finish(plan, rows)
+	case distql.StrategyBroadcast:
+		return c.broadcastJoin(sel, plan)
+	case distql.StrategyRepartition:
+		return c.repartitionJoin(sel, plan)
+	default:
+		return nil, nil, fmt.Errorf("soe: strategy %v not executable for joins", plan.Strategy)
+	}
+}
+
+// broadcastJoin replicates the smaller side to every node of the bigger
+// side as a temp table.
+func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*Result, *distql.Plan, error) {
+	lt, _ := c.ccat.Table(plan.LeftTable)
+	rt, _ := c.ccat.Table(plan.RightTable)
+	small, big := rt, lt
+	smallIsRight := true
+	if lt.rows() < rt.rows() {
+		small, big = lt, rt
+		smallIsRight = false
+	}
+	plan.BroadcastTable = small.Name
+
+	// Pull the small side.
+	smallRows, err := c.fanOut(c.ccat.NodesOf(small.Name), "SELECT * FROM "+small.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var flat []value.Row
+	for _, b := range smallRows {
+		flat = append(flat, b...)
+	}
+
+	qid := c.queryID.Add(1)
+	tmp := fmt.Sprintf("tmp_bc_%d", qid)
+	bigNodes := c.ccat.NodesOf(big.Name)
+	req := CreateTempReq{Token: c.disc.Token(), Name: tmp, Cols: small.Schema.Names(), Kinds: kindsOf(small), Rows: flat}
+	for _, n := range bigNodes {
+		if resp, err := call[ExecResp](c.net, c.Name, n, MsgCreateTemp, req); err != nil {
+			return nil, nil, err
+		} else if resp.Err != "" {
+			return nil, nil, fmt.Errorf("soe: broadcast: %s", resp.Err)
+		}
+	}
+	defer c.dropTempOn(bigNodes, tmp)
+
+	// Rewrite the AST with the temp name and re-derive local SQL.
+	sub := cloneSelect(sel)
+	if smallIsRight {
+		sub.Joins[0].Table.Name = tmp
+	} else {
+		sub.From.Name = tmp
+	}
+	subPlan, err := distql.Rewrite(sub)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan.LocalSQL = subPlan.LocalSQL
+
+	rows, err := c.fanOut(bigNodes, plan.LocalSQL)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.finish(plan, rows)
+}
+
+// repartitionJoin shuffles both sides by join key across the participating
+// nodes, then joins bucket-locally. Data moves through the coordinator (a
+// star shuffle), which charges the same volume the direct node-to-node
+// shuffle would — a conservative model.
+func (c *Coordinator) repartitionJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*Result, *distql.Plan, error) {
+	lt, _ := c.ccat.Table(plan.LeftTable)
+	rt, _ := c.ccat.Table(plan.RightTable)
+	nodes := unionNodes(c.ccat.NodesOf(lt.Name), c.ccat.NodesOf(rt.Name))
+	qid := c.queryID.Add(1)
+	tmpL := fmt.Sprintf("tmp_rl_%d", qid)
+	tmpR := fmt.Sprintf("tmp_rr_%d", qid)
+
+	if err := c.shuffle(lt, plan.LeftKey, nodes, tmpL); err != nil {
+		return nil, nil, err
+	}
+	if err := c.shuffle(rt, plan.RightKey, nodes, tmpR); err != nil {
+		return nil, nil, err
+	}
+	defer c.dropTempOn(nodes, tmpL)
+	defer c.dropTempOn(nodes, tmpR)
+
+	sub := cloneSelect(sel)
+	sub.From.Name = tmpL
+	sub.Joins[0].Table.Name = tmpR
+	subPlan, err := distql.Rewrite(sub)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan.LocalSQL = subPlan.LocalSQL
+
+	rows, err := c.fanOut(nodes, plan.LocalSQL)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.finish(plan, rows)
+}
+
+// shuffle hashes a table's rows by the join key across the target nodes
+// into per-node temp tables.
+func (c *Coordinator) shuffle(t *DistTable, key string, nodes []string, tmp string) error {
+	ki := t.Schema.ColIndex(key)
+	if ki < 0 {
+		return fmt.Errorf("soe: shuffle key %q not in %s", key, t.Name)
+	}
+	batches, err := c.fanOut(c.ccat.NodesOf(t.Name), "SELECT * FROM "+t.Name)
+	if err != nil {
+		return err
+	}
+	buckets := make([][]value.Row, len(nodes))
+	for _, batch := range batches {
+		for _, row := range batch {
+			b := int(row[ki].Hash() % uint64(len(nodes)))
+			buckets[b] = append(buckets[b], row)
+		}
+	}
+	kinds := kindsOf(t)
+	for i, n := range nodes {
+		req := CreateTempReq{Token: c.disc.Token(), Name: tmp, Cols: t.Schema.Names(), Kinds: kinds, Rows: buckets[i]}
+		resp, err := call[ExecResp](c.net, c.Name, n, MsgCreateTemp, req)
+		if err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return fmt.Errorf("soe: shuffle: %s", resp.Err)
+		}
+	}
+	return nil
+}
+
+// fanOut runs SQL on every node in parallel and returns the per-node row
+// batches. An empty node list is a valid (pruned-to-nothing) fan-out.
+func (c *Coordinator) fanOut(nodes []string, sql string) ([][]value.Row, error) {
+	out := make([][]value.Row, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			resp, err := call[ExecResp](c.net, c.Name, n, MsgExec, ExecReq{Token: c.disc.Token(), SQL: sql})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.Err != "" {
+				errs[i] = fmt.Errorf("soe: %s: %s", n, resp.Err)
+				return
+			}
+			out[i] = resp.Rows
+		}(i, n)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
+}
+
+// finish merges partials and applies ORDER BY / LIMIT.
+func (c *Coordinator) finish(plan *distql.Plan, batches [][]value.Row) (*Result, *distql.Plan, error) {
+	rows := plan.MergePartials(batches)
+	if len(plan.OrderBy) > 0 {
+		idx := map[string]int{}
+		for i, n := range plan.OutCols {
+			idx[n] = i
+		}
+		keys := plan.OrderBy
+		sort.SliceStable(rows, func(a, b int) bool {
+			for _, k := range keys {
+				cr, ok := k.Expr.(*sqlexec.ColRef)
+				if !ok {
+					continue
+				}
+				ci, ok := idx[cr.Name]
+				if !ok {
+					continue
+				}
+				cmp := value.Compare(rows[a][ci], rows[b][ci])
+				if k.Desc {
+					cmp = -cmp
+				}
+				if cmp != 0 {
+					return cmp < 0
+				}
+			}
+			return false
+		})
+	}
+	if plan.Offset > 0 {
+		if plan.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[plan.Offset:]
+		}
+	}
+	if plan.Limit >= 0 && plan.Limit < len(rows) {
+		rows = rows[:plan.Limit]
+	}
+	return &Result{Cols: plan.OutCols, Rows: rows}, plan, nil
+}
+
+func (c *Coordinator) dropTempOn(nodes []string, tmp string) {
+	for _, n := range nodes {
+		call[ExecResp](c.net, c.Name, n, MsgExec, ExecReq{Token: c.disc.Token(), SQL: "DROP TABLE IF EXISTS " + tmp})
+	}
+}
+
+func kindsOf(t *DistTable) []uint8 {
+	out := make([]uint8, len(t.Schema))
+	for i, cdef := range t.Schema {
+		out[i] = uint8(cdef.Kind)
+	}
+	return out
+}
+
+func unionNodes(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cloneSelect(s *sqlexec.SelectStmt) *sqlexec.SelectStmt {
+	cp := *s
+	cp.Joins = append([]sqlexec.JoinClause(nil), s.Joins...)
+	return &cp
+}

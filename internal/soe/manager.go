@@ -1,0 +1,166 @@
+package soe
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sharedlog"
+)
+
+// Manager is the v2clustermgr service (with v2stats folded in): it
+// supervises the landscape, collects statistics, detects hotspots, starts
+// and stops query services, and orchestrates partition movement.
+type Manager struct {
+	Name string
+	net  *netsim.Network
+	disc *Discovery
+	ccat *ClusterCatalog
+
+	mu    sync.Mutex
+	nodes map[string]*DataNode
+	log   *sharedlog.Log
+	brk   *Broker
+}
+
+// NewManager creates the cluster manager.
+func NewManager(name string, net *netsim.Network, disc *Discovery, ccat *ClusterCatalog, brk *Broker, log *sharedlog.Log) *Manager {
+	m := &Manager{Name: name, net: net, disc: disc, ccat: ccat, nodes: map[string]*DataNode{}, log: log, brk: brk}
+	disc.Announce("v2clustermgr", name)
+	disc.Announce("v2stats", name)
+	return m
+}
+
+// Track registers a node object with the manager (orchestration needs the
+// handle, the network name is not enough for partition movement).
+func (m *Manager) Track(n *DataNode) {
+	m.mu.Lock()
+	m.nodes[n.Name] = n
+	m.mu.Unlock()
+}
+
+// Node returns a tracked node.
+func (m *Manager) Node(name string) (*DataNode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[name]
+	return n, ok
+}
+
+// StartNode dynamically brings up a new query-processing service
+// ("this service can dynamically start and stop other query processing
+// services").
+func (m *Manager) StartNode(name string, mode Mode) *DataNode {
+	n := NewDataNode(name, mode, m.net, m.disc, m.ccat, m.brk.Name)
+	if mode == OLTP {
+		m.brk.AddOLTPNode(name)
+	}
+	m.Track(n)
+	return n
+}
+
+// StopNode crashes a node (its partitions become unavailable until moved
+// or the node recovers).
+func (m *Manager) StopNode(name string) {
+	m.net.Crash(name)
+}
+
+// RecoverNode brings a crashed node back; OLAP nodes catch up from the
+// log on their next poll.
+func (m *Manager) RecoverNode(name string) {
+	m.net.Recover(name)
+}
+
+// Status polls every tracked node ("statistical information about the
+// current cluster usage").
+func (m *Manager) Status() []StatusResp {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.nodes))
+	for n := range m.nodes {
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	var out []StatusResp
+	for _, n := range names {
+		st, err := call[StatusResp](m.net, m.Name, n, MsgStatus, struct{}{})
+		if err != nil {
+			continue // crashed nodes are simply absent
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// HotSpots returns nodes whose query volume exceeds factor × the cluster
+// average.
+func (m *Manager) HotSpots(factor float64) []string {
+	sts := m.Status()
+	if len(sts) == 0 {
+		return nil
+	}
+	var total int64
+	for _, s := range sts {
+		total += s.QueriesRun
+	}
+	avg := float64(total) / float64(len(sts))
+	var hot []string
+	for _, s := range sts {
+		if avg > 0 && float64(s.QueriesRun) > factor*avg {
+			hot = append(hot, s.Node)
+		}
+	}
+	return hot
+}
+
+// MovePartition relocates one partition: rows travel from the source to
+// the destination, the data-discovery map updates, and subsequent queries
+// route to the new node.
+func (m *Manager) MovePartition(table string, part int, from, to string) error {
+	t, ok := m.ccat.Table(table)
+	if !ok {
+		return fmt.Errorf("soe: unknown table %q", table)
+	}
+	if part < 0 || part >= t.Partitions || t.NodeOf[part] != from {
+		return fmt.Errorf("soe: partition %d of %s is not on %s", part, table, from)
+	}
+	src, ok := m.Node(from)
+	if !ok {
+		return fmt.Errorf("soe: source node %q not tracked", from)
+	}
+	dst, ok := m.Node(to)
+	if !ok {
+		return fmt.Errorf("soe: destination node %q not tracked", to)
+	}
+	rows, err := src.Unhost(table, part)
+	if err != nil {
+		return err
+	}
+	if err := dst.AcceptPartition(t, part, rows); err != nil {
+		return err
+	}
+	return m.ccat.Move(table, part, to)
+}
+
+// WaitForFreshness blocks until every tracked node has applied the log at
+// least through ts, or the timeout elapses. Returns the laggards.
+func (m *Manager) WaitForFreshness(ts uint64, timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	for {
+		var lagging []string
+		for _, st := range m.Status() {
+			if st.AppliedTS < ts {
+				lagging = append(lagging, st.Node)
+			}
+		}
+		if len(lagging) == 0 || time.Now().After(deadline) {
+			return lagging
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// LogTail returns the shared-log tail position (monitoring).
+func (m *Manager) LogTail() uint64 { return m.log.Tail() }

@@ -1,0 +1,467 @@
+package soe
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/columnstore"
+	"repro/internal/netsim"
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// Mode selects a node's consistency behavior (§IV-B): OLTP nodes apply
+// the shared log synchronously inside the commit; OLAP nodes update
+// themselves asynchronously by polling, trading freshness for throughput.
+type Mode int
+
+// Node modes.
+const (
+	OLTP Mode = iota
+	OLAP
+)
+
+// DataNode is one v2lqp instance: a query service (local SQL over the
+// hosted partitions) plus a data service (storing and serving horizontal
+// partitions, applying the shared log).
+type DataNode struct {
+	Name   string
+	Mode   Mode
+	net    *netsim.Network
+	disc   *Discovery
+	ccat   *ClusterCatalog
+	broker string
+
+	eng *sqlexec.Engine
+
+	mu         sync.Mutex
+	hosted     map[string]map[int]*columnstore.Table // table -> part -> storage
+	appliedPos uint64
+	appliedTS  uint64
+
+	queries     atomic.Int64
+	rowsScanned atomic.Int64
+
+	pollStop chan struct{}
+}
+
+// partTableName names a physical partition in the node-local engine.
+func partTableName(table string, part int) string {
+	return fmt.Sprintf("%s__p%d", table, part)
+}
+
+// NewDataNode creates and registers a node on the network.
+func NewDataNode(name string, mode Mode, net *netsim.Network, disc *Discovery, ccat *ClusterCatalog, broker string) *DataNode {
+	n := &DataNode{
+		Name: name, Mode: mode, net: net, disc: disc, ccat: ccat, broker: broker,
+		eng:    sqlexec.NewEngine(),
+		hosted: map[string]map[int]*columnstore.Table{},
+	}
+	net.Register(name, n.handle)
+	disc.Announce("v2lqp/"+name, name)
+	return n
+}
+
+// Engine exposes the node-local relational engine (tests, local tools).
+func (n *DataNode) Engine() *sqlexec.Engine { return n.eng }
+
+// Host installs the partitions of a distributed table assigned to this
+// node: prepackaged partitions ready for "fast distribution of the data
+// when scaling out or for data recovery" (§IV-B).
+func (n *DataNode) Host(t *DistTable) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.hosted[t.Name] == nil {
+		n.hosted[t.Name] = map[int]*columnstore.Table{}
+	}
+	for p, node := range t.NodeOf {
+		if node != n.Name {
+			continue
+		}
+		if _, ok := n.hosted[t.Name][p]; ok {
+			continue
+		}
+		if err := n.attachPartition(t, p, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attachPartition wires one physical partition into the local engine,
+// optionally pre-seeding rows (partition movement). Caller holds n.mu.
+func (n *DataNode) attachPartition(t *DistTable, p int, seed []value.Row) error {
+	pname := partTableName(t.Name, p)
+	store := columnstore.NewTable(pname, t.Schema)
+	if len(seed) > 0 {
+		store.ApplyInsert(seed, 1)
+	}
+	part := &catalog.Partition{Name: pname, Table: store, Tier: catalog.TierHot}
+	if entry, ok := n.eng.Cat.Table(t.Name); ok {
+		entry.Partitions = append(entry.Partitions, part)
+	} else {
+		entry := &catalog.TableEntry{Name: t.Name, Schema: t.Schema.Clone(), Partitions: []*catalog.Partition{part}, Metadata: map[string]string{}}
+		if err := n.registerEntry(entry); err != nil {
+			return err
+		}
+	}
+	// The physical partition is addressable on its own too (partition
+	// movement, debugging).
+	pentry := &catalog.TableEntry{Name: pname, Schema: t.Schema.Clone(), Partitions: []*catalog.Partition{part}, Metadata: map[string]string{}}
+	if err := n.registerEntry(pentry); err != nil {
+		return err
+	}
+	n.eng.Mgr.Register(store)
+	n.hosted[t.Name][p] = store
+	return nil
+}
+
+// registerEntry adds a pre-built entry to the node catalog.
+func (n *DataNode) registerEntry(e *catalog.TableEntry) error {
+	// catalog.Catalog has no direct insert for pre-built entries; create
+	// then swap partitions.
+	created, err := n.eng.Cat.CreateTable(e.Name, e.Schema)
+	if err != nil {
+		return err
+	}
+	created.Partitions = e.Partitions
+	return nil
+}
+
+// Unhost detaches a partition (after movement) and returns its rows.
+func (n *DataNode) Unhost(table string, part int) ([]value.Row, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	store, ok := n.hosted[table][part]
+	if !ok {
+		return nil, fmt.Errorf("soe: %s does not host %s partition %d", n.Name, table, part)
+	}
+	snap := store.Snapshot(n.eng.Mgr.Now())
+	var rows []value.Row
+	for pos := 0; pos < snap.NumRows(); pos++ {
+		if snap.Visible(pos) {
+			rows = append(rows, snap.Row(pos))
+		}
+	}
+	delete(n.hosted[table], part)
+	pname := partTableName(table, part)
+	if entry, ok := n.eng.Cat.Table(table); ok {
+		kept := entry.Partitions[:0]
+		for _, p := range entry.Partitions {
+			if p.Name != pname {
+				kept = append(kept, p)
+			}
+		}
+		entry.Partitions = kept
+	}
+	n.eng.Cat.DropTable(pname)
+	n.eng.Mgr.Deregister(pname)
+	return rows, nil
+}
+
+// AcceptPartition installs a moved partition with its rows.
+func (n *DataNode) AcceptPartition(t *DistTable, part int, rows []value.Row) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.hosted[t.Name] == nil {
+		n.hosted[t.Name] = map[int]*columnstore.Table{}
+	}
+	if _, ok := n.hosted[t.Name][part]; ok {
+		return fmt.Errorf("soe: %s already hosts %s partition %d", n.Name, t.Name, part)
+	}
+	return n.attachPartition(t, part, rows)
+}
+
+// HostReplica installs a read replica of one partition on this node even
+// though the data-discovery map routes it elsewhere. Replicas catch up
+// either by polling the log or through snapshot fetches (§IV-B).
+func (n *DataNode) HostReplica(t *DistTable, part int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.hosted[t.Name] == nil {
+		n.hosted[t.Name] = map[int]*columnstore.Table{}
+	}
+	if _, ok := n.hosted[t.Name][part]; ok {
+		return fmt.Errorf("soe: %s already hosts %s partition %d", n.Name, t.Name, part)
+	}
+	return n.attachPartition(t, part, nil)
+}
+
+// CatchUpSnapshot replaces this node's copy of one partition with a fresh
+// snapshot fetched from a peer — the fast alternative to replaying a long
+// log suffix ("retrieving the latest snapshot of the data hosted by a
+// particular node", §IV-B). After the call, polling resumes from the
+// snapshot's log position.
+func (n *DataNode) CatchUpSnapshot(peer, table string, part int) error {
+	resp, err := call[SnapshotResp](n.net, n.Name, peer, MsgSnapshot,
+		SnapshotReq{Token: n.disc.Token(), Table: table, Partition: part})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("soe: snapshot from %s: %s", peer, resp.Err)
+	}
+	t, ok := n.ccat.Table(table)
+	if !ok {
+		return fmt.Errorf("soe: unknown table %q", table)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Replace the partition storage wholesale.
+	if _, hosted := n.hosted[table][part]; hosted {
+		pname := partTableName(table, part)
+		if entry, ok := n.eng.Cat.Table(table); ok {
+			kept := entry.Partitions[:0]
+			for _, p := range entry.Partitions {
+				if p.Name != pname {
+					kept = append(kept, p)
+				}
+			}
+			entry.Partitions = kept
+		}
+		n.eng.Cat.DropTable(pname)
+		n.eng.Mgr.Deregister(pname)
+		delete(n.hosted[table], part)
+	} else if n.hosted[table] == nil {
+		n.hosted[table] = map[int]*columnstore.Table{}
+	}
+	if err := n.attachPartition(t, part, resp.Rows); err != nil {
+		return err
+	}
+	if resp.AppliedTS > n.appliedTS {
+		n.appliedTS = resp.AppliedTS
+	}
+	if resp.NextPos > n.appliedPos {
+		n.appliedPos = resp.NextPos
+	}
+	n.eng.Mgr.AdvanceTo(resp.AppliedTS)
+	return nil
+}
+
+// AppliedTS returns the node's log high-water mark: the staleness metric
+// of experiment E7.
+func (n *DataNode) AppliedTS() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.appliedTS
+}
+
+// applyEntries installs committed writes hitting locally hosted
+// partitions.
+func (n *DataNode) applyEntries(entries []LogEntry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, e := range entries {
+		for _, w := range e.Writes {
+			store, ok := n.hosted[w.Table][w.Partition]
+			if !ok {
+				continue
+			}
+			switch w.Kind {
+			case 0:
+				store.ApplyInsert([]value.Row{w.Row}, e.TS)
+			case 1:
+				n.deleteByKey(store, w, e.TS)
+			}
+		}
+		if e.TS > n.appliedTS {
+			n.appliedTS = e.TS
+		}
+		if e.Pos+1 > n.appliedPos {
+			n.appliedPos = e.Pos + 1
+		}
+		n.eng.Mgr.AdvanceTo(e.TS)
+	}
+}
+
+func (n *DataNode) deleteByKey(store *columnstore.Table, w LogWrite, ts uint64) {
+	t, ok := n.ccat.Table(w.Table)
+	if !ok {
+		return
+	}
+	ki := t.KeyIndex()
+	snap := store.Snapshot(ts)
+	for _, pos := range snap.FindRows(ki, value.String(w.Key)) {
+		store.ApplyDelete(pos, ts)
+	}
+	// Non-string keys: FindRows compares generically, so coerce fallback.
+	if len(snap.FindRows(ki, value.String(w.Key))) == 0 {
+		for pos := 0; pos < snap.NumRows(); pos++ {
+			if snap.Visible(pos) && snap.Get(ki, pos).AsString() == w.Key {
+				store.ApplyDelete(pos, ts)
+			}
+		}
+	}
+}
+
+// PollOnce pulls and applies the next batch from the broker's log (OLAP
+// path). Returns the number of entries applied.
+func (n *DataNode) PollOnce(max int) (int, error) {
+	n.mu.Lock()
+	from := n.appliedPos
+	n.mu.Unlock()
+	resp, err := call[PollResp](n.net, n.Name, n.broker, MsgPoll, PollReq{Token: n.disc.Token(), From: from, Max: max})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, fmt.Errorf("soe: poll: %s", resp.Err)
+	}
+	n.applyEntries(resp.Entries)
+	n.mu.Lock()
+	n.appliedPos = resp.Next
+	n.mu.Unlock()
+	return len(resp.Entries), nil
+}
+
+// StartPolling launches the OLAP update loop at the given interval.
+func (n *DataNode) StartPolling(interval time.Duration) {
+	n.mu.Lock()
+	if n.pollStop != nil {
+		n.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	n.pollStop = stop
+	n.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				n.PollOnce(4096)
+			}
+		}
+	}()
+}
+
+// StopPolling halts the update loop.
+func (n *DataNode) StopPolling() {
+	n.mu.Lock()
+	if n.pollStop != nil {
+		close(n.pollStop)
+		n.pollStop = nil
+	}
+	n.mu.Unlock()
+}
+
+// handle is the node's network dispatcher.
+func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, error) {
+	switch req.Kind {
+	case MsgExec:
+		r, err := decode[ExecReq](req)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		if !n.disc.Validate(r.Token) {
+			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: "unauthorized"})}, nil
+		}
+		res, err := n.eng.Query(r.SQL)
+		if err != nil {
+			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: err.Error()})}, nil
+		}
+		n.queries.Add(1)
+		n.rowsScanned.Add(int64(res.Stats.RowsScanned))
+		return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Cols: res.Cols, Rows: res.Rows})}, nil
+
+	case MsgCreateTemp:
+		r, err := decode[CreateTempReq](req)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		if !n.disc.Validate(r.Token) {
+			return netsim.Message{Kind: MsgCreateTemp, Payload: encode(ExecResp{Err: "unauthorized"})}, nil
+		}
+		if err := n.createTemp(r); err != nil {
+			return netsim.Message{Kind: MsgCreateTemp, Payload: encode(ExecResp{Err: err.Error()})}, nil
+		}
+		return netsim.Message{Kind: MsgCreateTemp, Payload: encode(ExecResp{})}, nil
+
+	case MsgApply:
+		r, err := decode[ApplyReq](req)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		if !n.disc.Validate(r.Token) {
+			return netsim.Message{Kind: MsgApply, Payload: encode(ExecResp{Err: "unauthorized"})}, nil
+		}
+		n.applyEntries(r.Entries)
+		return netsim.Message{Kind: MsgApply, Payload: encode(ExecResp{})}, nil
+
+	case MsgSnapshot:
+		r, err := decode[SnapshotReq](req)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		if !n.disc.Validate(r.Token) {
+			return netsim.Message{Kind: MsgSnapshot, Payload: encode(SnapshotResp{Err: "unauthorized"})}, nil
+		}
+		n.mu.Lock()
+		store, ok := n.hosted[r.Table][r.Partition]
+		appliedTS, appliedPos := n.appliedTS, n.appliedPos
+		n.mu.Unlock()
+		if !ok {
+			return netsim.Message{Kind: MsgSnapshot, Payload: encode(SnapshotResp{Err: "partition not hosted"})}, nil
+		}
+		snap := store.Snapshot(n.eng.Mgr.Now())
+		var rows []value.Row
+		for pos := 0; pos < snap.NumRows(); pos++ {
+			if snap.Visible(pos) {
+				rows = append(rows, snap.Row(pos))
+			}
+		}
+		return netsim.Message{Kind: MsgSnapshot, Payload: encode(SnapshotResp{Rows: rows, AppliedTS: appliedTS, NextPos: appliedPos})}, nil
+
+	case MsgStatus:
+		n.mu.Lock()
+		st := StatusResp{
+			Node: n.Name, AppliedTS: n.appliedTS,
+			QueriesRun: n.queries.Load(), RowsScanned: n.rowsScanned.Load(),
+		}
+		for _, parts := range n.hosted {
+			st.Partitions += len(parts)
+		}
+		n.mu.Unlock()
+		return netsim.Message{Kind: MsgStatus, Payload: encode(st)}, nil
+	}
+	return netsim.Message{}, fmt.Errorf("soe: %s: unknown message %q", n.Name, req.Kind)
+}
+
+func (n *DataNode) createTemp(r CreateTempReq) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	schema := make(columnstore.Schema, len(r.Cols))
+	for i := range r.Cols {
+		schema[i] = columnstore.ColumnDef{Name: r.Cols[i], Kind: value.Kind(r.Kinds[i])}
+	}
+	entry, ok := n.eng.Cat.Table(r.Name)
+	if ok && !r.Append {
+		n.eng.Cat.DropTable(r.Name)
+		n.eng.Mgr.Deregister(r.Name)
+		ok = false
+	}
+	if !ok {
+		created, err := n.eng.Cat.CreateTable(r.Name, schema)
+		if err != nil {
+			return err
+		}
+		n.eng.Mgr.Register(created.Primary())
+		entry = created
+	}
+	entry.Primary().ApplyInsert(r.Rows, n.eng.Mgr.Now())
+	return nil
+}
+
+// DropTemp removes a temp relation after a distributed query completes.
+func (n *DataNode) DropTemp(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.eng.Cat.DropTable(name)
+	n.eng.Mgr.Deregister(name)
+}

@@ -1,0 +1,692 @@
+package soe
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/columnstore"
+	"repro/internal/distql"
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+func ordersSchema() columnstore.Schema {
+	return columnstore.Schema{
+		{Name: "id", Kind: value.KindString},
+		{Name: "region", Kind: value.KindString},
+		{Name: "amount", Kind: value.KindFloat},
+	}
+}
+
+func itemsSchema() columnstore.Schema {
+	return columnstore.Schema{
+		{Name: "id", Kind: value.KindString},
+		{Name: "order_id", Kind: value.KindString},
+		{Name: "qty", Kind: value.KindInt},
+	}
+}
+
+func newTestCluster(t *testing.T, nodes int, mode Mode) *Cluster {
+	t.Helper()
+	c := NewCluster(ClusterConfig{Nodes: nodes, Mode: mode, LogStripes: 2, LogReplicas: 2})
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func loadOrders(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	if _, err := c.CreateTable("orders", ordersSchema(), "id", 2*len(c.Nodes)); err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Row
+	for i := 0; i < n; i++ {
+		rows = append(rows, value.Row{
+			value.String(fmt.Sprintf("O%04d", i)),
+			value.String([]string{"EMEA", "AMER", "APJ"}[i%3]),
+			value.Float(float64(i)),
+		})
+	}
+	if _, err := c.Insert("orders", rows...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOLTPClusterInsertAndQuery(t *testing.T) {
+	c := newTestCluster(t, 4, OLTP)
+	loadOrders(t, c, 90)
+	// OLTP nodes applied synchronously: immediately visible.
+	r, err := c.Query(`SELECT COUNT(*) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].AsInt() != 90 {
+		t.Fatalf("count=%v", r.Rows[0][0])
+	}
+}
+
+func TestDistributedAggregation(t *testing.T) {
+	c := newTestCluster(t, 3, OLTP)
+	loadOrders(t, c, 90)
+	r, _, err := c.Coordinator.Query(`SELECT region, COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM orders GROUP BY region ORDER BY region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("groups=%d", len(r.Rows))
+	}
+	// AMER holds i%3==1: count 30, sum = sum(1,4,...,88), min 1, max 88.
+	amer := r.Rows[0]
+	if amer[0].S != "AMER" || amer[1].AsInt() != 30 {
+		t.Fatalf("amer=%v", amer)
+	}
+	var sum float64
+	for i := 1; i < 90; i += 3 {
+		sum += float64(i)
+	}
+	if amer[2].AsFloat() != sum {
+		t.Fatalf("sum=%v want %v", amer[2], sum)
+	}
+	if amer[3].AsFloat() != sum/30 {
+		t.Fatalf("avg=%v", amer[3])
+	}
+	if amer[4].AsFloat() != 1 || amer[5].AsFloat() != 88 {
+		t.Fatalf("min/max=%v/%v", amer[4], amer[5])
+	}
+}
+
+func TestDistributedFilterAndLimit(t *testing.T) {
+	c := newTestCluster(t, 3, OLTP)
+	loadOrders(t, c, 90)
+	r, err := c.Query(`SELECT id FROM orders WHERE amount >= 85 ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 || r.Rows[0][0].S != "O0085" {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+	r, err = c.Query(`SELECT id FROM orders ORDER BY id LIMIT 3 OFFSET 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 || r.Rows[0][0].S != "O0001" {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+}
+
+func TestOLAPStalenessAndCatchUp(t *testing.T) {
+	c := newTestCluster(t, 2, OLAP)
+	loadOrders(t, c, 30)
+	// OLAP nodes have not polled: data committed to the log but not yet
+	// visible (availability over freshness, §IV-B).
+	r, err := c.Query(`SELECT COUNT(*) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("stale count=%v (OLAP applied too early)", r.Rows[0][0])
+	}
+	// After draining the log, the data appears.
+	if err := c.SyncOLAP(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = c.Query(`SELECT COUNT(*) FROM orders`)
+	if r.Rows[0][0].AsInt() != 30 {
+		t.Fatalf("count after sync=%v", r.Rows[0][0])
+	}
+}
+
+func TestDeleteByKey(t *testing.T) {
+	c := newTestCluster(t, 2, OLTP)
+	loadOrders(t, c, 10)
+	if _, err := c.Coordinator.Delete("orders", "O0003"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := c.Query(`SELECT COUNT(*) FROM orders`)
+	if r.Rows[0][0].AsInt() != 9 {
+		t.Fatalf("count=%v", r.Rows[0][0])
+	}
+	r, _ = c.Query(`SELECT COUNT(*) FROM orders WHERE id = 'O0003'`)
+	if r.Rows[0][0].AsInt() != 0 {
+		t.Fatal("deleted row visible")
+	}
+}
+
+func loadJoinTables(t *testing.T, c *Cluster, orders, itemsPerOrder int, coPartition bool) {
+	t.Helper()
+	if _, err := c.CreateTable("orders", ordersSchema(), "id", 2*len(c.Nodes)); err != nil {
+		t.Fatal(err)
+	}
+	itemKey := "id"
+	if coPartition {
+		itemKey = "order_id"
+	}
+	if _, err := c.CreateTable("items", itemsSchema(), itemKey, 2*len(c.Nodes)); err != nil {
+		t.Fatal(err)
+	}
+	var orows, irows []value.Row
+	for i := 0; i < orders; i++ {
+		oid := fmt.Sprintf("O%04d", i)
+		orows = append(orows, value.Row{value.String(oid), value.String([]string{"EMEA", "AMER"}[i%2]), value.Float(float64(i))})
+		for j := 0; j < itemsPerOrder; j++ {
+			irows = append(irows, value.Row{value.String(fmt.Sprintf("%s-I%d", oid, j)), value.String(oid), value.Int(int64(j + 1))})
+		}
+	}
+	if _, err := c.Insert("orders", orows...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert("items", irows...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinStrategies(t *testing.T) {
+	for _, strat := range []distql.Strategy{distql.StrategyBroadcast, distql.StrategyRepartition} {
+		t.Run(strat.String(), func(t *testing.T) {
+			c := newTestCluster(t, 3, OLTP)
+			loadJoinTables(t, c, 20, 3, false)
+			sql := `SELECT o.region, SUM(i.qty) FROM orders o JOIN items i ON o.id = i.order_id GROUP BY o.region ORDER BY o.region`
+			r, plan, err := c.Coordinator.ForceStrategy(sql, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Strategy != strat {
+				t.Fatalf("plan=%v", plan.Strategy)
+			}
+			// 10 orders per region × items qty sum (1+2+3=6) = 60.
+			if len(r.Rows) != 2 || r.Rows[0][1].AsInt() != 60 || r.Rows[1][1].AsInt() != 60 {
+				t.Fatalf("rows=%v", r.Rows)
+			}
+		})
+	}
+}
+
+func TestColocatedJoinChosenAutomatically(t *testing.T) {
+	c := newTestCluster(t, 3, OLTP)
+	loadJoinTables(t, c, 20, 3, true) // items partitioned by order_id
+	sql := `SELECT o.region, SUM(i.qty) FROM orders o JOIN items i ON o.id = i.order_id GROUP BY o.region ORDER BY o.region`
+	r, plan, err := c.Coordinator.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != distql.StrategyColocated {
+		t.Fatalf("expected colocated, got %v", plan.Strategy)
+	}
+	if len(r.Rows) != 2 || r.Rows[0][1].AsInt() != 60 {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+}
+
+func TestBroadcastChosenForSmallSide(t *testing.T) {
+	c := newTestCluster(t, 3, OLTP)
+	loadJoinTables(t, c, 20, 3, false)
+	c.Coordinator.BroadcastThreshold = 1000
+	_, plan, err := c.Coordinator.Query(`SELECT o.region, SUM(i.qty) FROM orders o JOIN items i ON o.id = i.order_id GROUP BY o.region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != distql.StrategyBroadcast {
+		t.Fatalf("strategy=%v", plan.Strategy)
+	}
+	// Force tiny threshold: repartition.
+	c.Coordinator.BroadcastThreshold = 1
+	_, plan, err = c.Coordinator.Query(`SELECT o.region, SUM(i.qty) FROM orders o JOIN items i ON o.id = i.order_id GROUP BY o.region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != distql.StrategyRepartition {
+		t.Fatalf("strategy=%v", plan.Strategy)
+	}
+}
+
+func TestAuthRejectsBadToken(t *testing.T) {
+	c := newTestCluster(t, 1, OLTP)
+	loadOrders(t, c, 3)
+	resp, err := call[ExecResp](c.Net, "attacker", c.Nodes[0].Name, MsgExec, ExecReq{Token: "wrong", SQL: "SELECT * FROM orders"})
+	if err == nil && resp.Err == "" {
+		t.Fatal("unauthorized exec accepted")
+	}
+}
+
+func TestManagerStatusAndHotspots(t *testing.T) {
+	c := newTestCluster(t, 3, OLTP)
+	loadOrders(t, c, 30)
+	// Hammer node0 directly.
+	for i := 0; i < 20; i++ {
+		call[ExecResp](c.Net, "client", c.Nodes[0].Name, MsgExec, ExecReq{Token: c.Disc.Token(), SQL: "SELECT COUNT(*) FROM orders"})
+	}
+	sts := c.Manager.Status()
+	if len(sts) != 3 {
+		t.Fatalf("status=%v", sts)
+	}
+	hot := c.Manager.HotSpots(2)
+	if len(hot) != 1 || hot[0] != "node0" {
+		t.Fatalf("hotspots=%v", hot)
+	}
+}
+
+func TestMovePartition(t *testing.T) {
+	c := newTestCluster(t, 2, OLTP)
+	loadOrders(t, c, 40)
+	tbl, _ := c.Catalog.Table("orders")
+	part := 0
+	from := tbl.NodeOf[part]
+	to := "node1"
+	if from == to {
+		to = "node0"
+	}
+	before, _ := c.Query(`SELECT COUNT(*) FROM orders`)
+	if err := c.Manager.MovePartition("orders", part, from, to); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Query(`SELECT COUNT(*) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Rows[0][0].AsInt() != after.Rows[0][0].AsInt() {
+		t.Fatalf("rows lost in movement: %v -> %v", before.Rows[0][0], after.Rows[0][0])
+	}
+	if tbl.NodeOf[part] != to {
+		t.Fatal("catalog not updated")
+	}
+}
+
+func TestQueryServiceFailover(t *testing.T) {
+	c := newTestCluster(t, 3, OLTP)
+	loadOrders(t, c, 30)
+	victim := c.Nodes[2].Name
+	c.Manager.StopNode(victim)
+	// Queries touching the victim fail...
+	if _, err := c.Query(`SELECT COUNT(*) FROM orders`); err == nil {
+		t.Fatal("query over crashed node should fail")
+	}
+	// ...until its partitions move to survivors.
+	tbl, _ := c.Catalog.Table("orders")
+	c.Manager.RecoverNode(victim) // recover to extract rows, then drain
+	for p, n := range tbl.NodeOf {
+		if n == victim {
+			if err := c.Manager.MovePartition("orders", p, victim, "node0"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Manager.StopNode(victim)
+	r, err := c.Query(`SELECT COUNT(*) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].AsInt() != 30 {
+		t.Fatalf("count=%v after failover", r.Rows[0][0])
+	}
+}
+
+func TestOLTPNodeCrashDoesNotBlockCommits(t *testing.T) {
+	c := newTestCluster(t, 2, OLTP)
+	loadOrders(t, c, 10)
+	c.Net.Crash(c.Nodes[1].Name)
+	// Availability over consistency: the commit succeeds even though one
+	// OLTP node cannot apply it.
+	if _, err := c.Insert("orders", value.Row{value.String("O9999"), value.String("EMEA"), value.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Broker.Commits() != 2 {
+		t.Fatalf("commits=%d", c.Broker.Commits())
+	}
+}
+
+func TestDiscoveryServices(t *testing.T) {
+	c := newTestCluster(t, 2, OLTP)
+	svcs := c.Disc.Services()
+	want := map[string]bool{"v2transact": true, "v2dqp": true, "v2clustermgr": true, "v2stats": true, "v2lqp/node0": true, "v2lqp/node1": true}
+	for _, s := range svcs {
+		delete(want, s)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing services: %v (got %v)", want, svcs)
+	}
+	if n, ok := c.Disc.Lookup("v2transact"); !ok || n != "v2transact" {
+		t.Fatal("lookup failed")
+	}
+}
+
+func TestWaitForFreshness(t *testing.T) {
+	c := newTestCluster(t, 2, OLAP)
+	loadOrders(t, c, 5)
+	ts := c.Broker.Clock()
+	lag := c.Manager.WaitForFreshness(ts, 10*time.Millisecond)
+	if len(lag) != 2 {
+		t.Fatalf("expected both nodes lagging, got %v", lag)
+	}
+	c.SyncOLAP()
+	lag = c.Manager.WaitForFreshness(ts, 100*time.Millisecond)
+	if len(lag) != 0 {
+		t.Fatalf("laggards after sync: %v", lag)
+	}
+}
+
+func TestSnapshotCatchUp(t *testing.T) {
+	// §IV-B: a replica can update itself "by retrieving the latest
+	// snapshot of the data hosted by a particular node" instead of
+	// replaying the log.
+	c := newTestCluster(t, 2, OLTP)
+	loadOrders(t, c, 60)
+
+	// A fresh OLAP replica hosts copies of every orders partition.
+	replica := NewDataNode("replica0", OLAP, c.Net, c.Disc, c.Catalog, c.Broker.Name)
+	c.Manager.Track(replica)
+	tbl, _ := c.Catalog.Table("orders")
+	for p := 0; p < tbl.Partitions; p++ {
+		if err := replica.HostReplica(tbl, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Empty before catch-up.
+	r := replica.Engine().MustQuery(`SELECT COUNT(*) FROM orders`)
+	if r.Rows[0][0].I != 0 {
+		t.Fatalf("replica pre-catchup count=%v", r.Rows[0][0])
+	}
+	// Snapshot catch-up from the hosting peers.
+	for p := 0; p < tbl.Partitions; p++ {
+		if err := replica.CatchUpSnapshot(tbl.NodeOf[p], "orders", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r = replica.Engine().MustQuery(`SELECT COUNT(*) FROM orders`)
+	if r.Rows[0][0].I != 60 {
+		t.Fatalf("replica post-catchup count=%v", r.Rows[0][0])
+	}
+	// New commits reach the replica through incremental polling only —
+	// no re-replay of the already-snapshotted prefix.
+	before := replica.appliedPos
+	if before == 0 {
+		t.Fatal("snapshot did not carry a log position")
+	}
+	c.Insert("orders", value.Row{value.String("O9990"), value.String("EMEA"), value.Float(1)})
+	applied, err := replica.PollOnce(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("replica replayed %d entries (should be just the new one)", applied)
+	}
+	r = replica.Engine().MustQuery(`SELECT COUNT(*) FROM orders`)
+	if r.Rows[0][0].I != 61 {
+		t.Fatalf("replica count after poll=%v", r.Rows[0][0])
+	}
+	// Repeated catch-up replaces, not duplicates.
+	if err := replica.CatchUpSnapshot(tbl.NodeOf[0], "orders", 0); err != nil {
+		t.Fatal(err)
+	}
+	r = replica.Engine().MustQuery(`SELECT COUNT(*) FROM orders`)
+	if r.Rows[0][0].I != 61 {
+		t.Fatalf("duplicate rows after re-catchup: %v", r.Rows[0][0])
+	}
+}
+
+func TestSnapshotFromNonHostingPeerErrors(t *testing.T) {
+	c := newTestCluster(t, 2, OLTP)
+	loadOrders(t, c, 5)
+	n := c.Nodes[0]
+	if err := n.CatchUpSnapshot(c.Nodes[1].Name, "orders", 999); err == nil {
+		t.Fatal("phantom partition accepted")
+	}
+}
+
+func TestRangePartitionedDistTable(t *testing.T) {
+	c := newTestCluster(t, 4, OLTP)
+	schema := columnstore.Schema{
+		{Name: "yr", Kind: value.KindInt},
+		{Name: "amount", Kind: value.KindFloat},
+	}
+	// 4 partitions: (-inf,2012) [2012,2013) [2013,2014) [2014,+inf).
+	tbl, err := c.CreateRangeTable("sales", schema, "yr", []int64{2012, 2013, 2014})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Row
+	for i := 0; i < 120; i++ {
+		rows = append(rows, value.Row{value.Int(int64(2010 + i%6)), value.Float(float64(i))})
+	}
+	if _, err := c.Insert("sales", rows...); err != nil {
+		t.Fatal(err)
+	}
+	// Routing: 2010,2011 -> p0; 2012 -> p1; 2013 -> p2; 2014,2015 -> p3.
+	if tbl.PartitionFor(value.Int(2011)) != 0 || tbl.PartitionFor(value.Int(2012)) != 1 ||
+		tbl.PartitionFor(value.Int(2013)) != 2 || tbl.PartitionFor(value.Int(2015)) != 3 {
+		t.Fatal("range routing broken")
+	}
+	r, err := c.Query(`SELECT COUNT(*) FROM sales WHERE yr = 2013`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].AsInt() != 20 {
+		t.Fatalf("count=%v", r.Rows[0][0])
+	}
+	// Distributed pruning: a bounded query touches only the hosting node.
+	c.Net.ResetStats()
+	if _, err := c.Query(`SELECT SUM(amount) FROM sales WHERE yr >= 2014`); err != nil {
+		t.Fatal(err)
+	}
+	msgsBounded, _ := c.Net.Stats()
+	c.Net.ResetStats()
+	if _, err := c.Query(`SELECT SUM(amount) FROM sales`); err != nil {
+		t.Fatal(err)
+	}
+	msgsFull, _ := c.Net.Stats()
+	if msgsBounded >= msgsFull {
+		t.Fatalf("pruning did not reduce fan-out: %d vs %d messages", msgsBounded, msgsFull)
+	}
+	// Contradictory bounds: empty result, zero node fan-out.
+	r, err = c.Query(`SELECT yr FROM sales WHERE yr > 2015 AND yr < 2010`)
+	if err != nil || len(r.Rows) != 0 {
+		t.Fatalf("rows=%v err=%v", r.Rows, err)
+	}
+	// BETWEEN also prunes.
+	r, _ = c.Query(`SELECT COUNT(*) FROM sales WHERE yr BETWEEN 2012 AND 2012`)
+	if r.Rows[0][0].AsInt() != 20 {
+		t.Fatalf("between count=%v", r.Rows[0][0])
+	}
+}
+
+func TestRangeBoundsValidation(t *testing.T) {
+	c := newTestCluster(t, 2, OLTP)
+	schema := columnstore.Schema{{Name: "k", Kind: value.KindInt}}
+	if _, err := c.CreateRangeTable("bad", schema, "k", []int64{5, 5}); err == nil {
+		t.Fatal("non-ascending bounds accepted")
+	}
+	if _, err := c.CreateRangeTable("bad2", schema, "nope", []int64{5}); err == nil {
+		t.Fatal("missing key accepted")
+	}
+}
+
+func TestClusterSurfaces(t *testing.T) {
+	c := newTestCluster(t, 2, OLTP)
+	loadOrders(t, c, 10)
+	if got := c.Catalog.Tables(); len(got) != 1 || got[0] != "orders" {
+		t.Fatalf("tables=%v", got)
+	}
+	tbl, _ := c.Catalog.Table("orders")
+	tbl.SetRowEstimate(123)
+	if tbl.rows() != 123 {
+		t.Fatal("estimate")
+	}
+	if c.Manager.LogTail() != c.Log.Tail() {
+		t.Fatal("log tail")
+	}
+	if c.Nodes[0].AppliedTS() == 0 {
+		t.Fatal("applied ts")
+	}
+	// Coordinator reachable over the wire too.
+	resp, err := call[ExecResp](c.Net, "client", "v2dqp", MsgExec, ExecReq{Token: c.Disc.Token(), SQL: "SELECT COUNT(*) FROM orders"})
+	if err != nil || resp.Err != "" || resp.Rows[0][0].AsInt() != 10 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	// Bad token and bad SQL via the wire.
+	resp, _ = call[ExecResp](c.Net, "client", "v2dqp", MsgExec, ExecReq{Token: "nope", SQL: "SELECT 1"})
+	if resp.Err == "" {
+		t.Fatal("unauthorized coordinator call accepted")
+	}
+	resp, _ = call[ExecResp](c.Net, "client", "v2dqp", MsgExec, ExecReq{Token: c.Disc.Token(), SQL: "garbage"})
+	if resp.Err == "" {
+		t.Fatal("bad SQL accepted")
+	}
+}
+
+func TestBulkLoadLocalVisibleToQueries(t *testing.T) {
+	c := newTestCluster(t, 3, OLTP)
+	if _, err := c.CreateTable("bulk", ordersSchema(), "id", 6); err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Row
+	for i := 0; i < 500; i++ {
+		rows = append(rows, value.Row{value.String(fmt.Sprintf("B%04d", i)), value.String("EMEA"), value.Float(1)})
+	}
+	if err := c.BulkLoadLocal("bulk", rows); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Query(`SELECT COUNT(*) FROM bulk`)
+	if err != nil || r.Rows[0][0].AsInt() != 500 {
+		t.Fatalf("count=%v err=%v", r.Rows[0][0], err)
+	}
+	if err := c.BulkLoadLocal("ghost", rows); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestOLAPPollingLoop(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 1, Mode: OLAP, PollInterval: time.Millisecond})
+	defer c.Shutdown()
+	if _, err := c.CreateTable("orders", ordersSchema(), "id", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert("orders", value.Row{value.String("X"), value.String("EMEA"), value.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// The background poller catches up without explicit SyncOLAP.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		r, err := c.Query(`SELECT COUNT(*) FROM orders`)
+		if err == nil && r.Rows[0][0].AsInt() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("poller never caught up")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// StartPolling is idempotent; StopPolling twice is safe.
+	c.Nodes[0].StartPolling(time.Millisecond)
+	c.Nodes[0].StopPolling()
+	c.Nodes[0].StopPolling()
+}
+
+func TestDropTemp(t *testing.T) {
+	c := newTestCluster(t, 1, OLTP)
+	n := c.Nodes[0]
+	req := CreateTempReq{Token: c.Disc.Token(), Name: "tmp_x", Cols: []string{"a"}, Kinds: []uint8{1}, Rows: []value.Row{{value.Int(1)}}}
+	if resp, err := call[ExecResp](c.Net, "t", n.Name, MsgCreateTemp, req); err != nil || resp.Err != "" {
+		t.Fatalf("create temp: %v %v", resp.Err, err)
+	}
+	if r := n.Engine().MustQuery(`SELECT COUNT(*) FROM tmp_x`); r.Rows[0][0].I != 1 {
+		t.Fatal("temp missing")
+	}
+	n.DropTemp("tmp_x")
+	if _, err := n.Engine().Query(`SELECT * FROM tmp_x`); err == nil {
+		t.Fatal("dropped temp resolvable")
+	}
+}
+
+func TestPartitionsInRangeHash(t *testing.T) {
+	tbl := &DistTable{Name: "h", Schema: ordersSchema(), PartKey: "id", Partitions: 4, NodeOf: []string{"a", "b", "a", "b"}}
+	if got := tbl.PartitionsInRange(1, 9); len(got) != 4 {
+		t.Fatalf("range over hash=%v", got)
+	}
+	if got := tbl.PartitionsInRange(5, 5); len(got) != 1 {
+		t.Fatalf("point over hash=%v", got)
+	}
+}
+
+func TestDistributedMatchesLocalReferenceProperty(t *testing.T) {
+	// Property: for random aggregation queries, the distributed execution
+	// over 3 nodes equals a single local engine holding the same rows.
+	c := newTestCluster(t, 3, OLTP)
+	ref := sqlexec.NewEngine()
+	ref.MustQuery(`CREATE TABLE orders (id VARCHAR, region VARCHAR, amount DOUBLE)`)
+	if _, err := c.CreateTable("orders", ordersSchema(), "id", 6); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	var rows []value.Row
+	sess := ref.NewSession()
+	sess.Begin()
+	for i := 0; i < 300; i++ {
+		row := value.Row{
+			value.String(fmt.Sprintf("O%04d", i)),
+			value.String([]string{"EMEA", "AMER", "APJ"}[rng.Intn(3)]),
+			value.Float(float64(rng.Intn(1000))),
+		}
+		rows = append(rows, row)
+		sess.Query(`INSERT INTO orders VALUES (?, ?, ?)`, row...)
+	}
+	sess.Commit()
+	sess.Close()
+	if _, err := c.Insert("orders", rows...); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT region, COUNT(*), SUM(amount), MIN(amount), MAX(amount) FROM orders GROUP BY region`,
+		`SELECT COUNT(*) FROM orders WHERE amount > %d`,
+		`SELECT region, AVG(amount) FROM orders WHERE amount BETWEEN %d AND %d GROUP BY region`,
+		`SELECT id FROM orders WHERE amount = %d`,
+	}
+	for trial := 0; trial < 25; trial++ {
+		lo := rng.Intn(900)
+		hi := lo + rng.Intn(100)
+		q := queries[trial%len(queries)]
+		switch trial % len(queries) {
+		case 1, 3:
+			q = fmt.Sprintf(q, lo)
+		case 2:
+			q = fmt.Sprintf(q, lo, hi)
+		}
+		dist, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		local, err := ref.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(dist.Rows) != len(local.Rows) {
+			t.Fatalf("%s: %d vs %d rows", q, len(dist.Rows), len(local.Rows))
+		}
+		seen := map[string]int{}
+		for _, r := range dist.Rows {
+			seen[canonKey(r)]++
+		}
+		for _, r := range local.Rows {
+			seen[canonKey(r)]--
+		}
+		for k, n := range seen {
+			if n != 0 {
+				t.Fatalf("%s: result multisets differ at %q", q, k)
+			}
+		}
+	}
+}
+
+// canonKey normalizes numeric kinds (distributed results travel as JSON
+// and may come back float-typed) before comparison.
+func canonKey(r value.Row) string {
+	out := make(value.Row, len(r))
+	for i, v := range r {
+		if v.Numeric() {
+			out[i] = value.Float(v.AsFloat())
+		} else {
+			out[i] = v
+		}
+	}
+	return out.Key()
+}

@@ -1,0 +1,159 @@
+// Package soe implements the SAP HANA Scale-Out Extension of §IV: the
+// service landscape of Figure 3 running over the simulated cluster
+// network. Components and their paper names:
+//
+//	DataNode     — v2lqp: query service + data service over horizontal
+//	               table partitions, with OLTP (synchronous log apply) and
+//	               OLAP (asynchronous polling, bounded staleness) modes
+//	Broker       — v2transact: transaction broker serializing all writes
+//	               into the CORFU-style shared log (package sharedlog)
+//	ClusterCatalog — v2catalog: schemas + partition→node data discovery
+//	Discovery    — v2disc&auth: service registry and token authorization
+//	Coordinator  — v2dqp: translates SQL into a DAG of tasks executed by
+//	               the query services (package distql holds the plan model)
+//	Manager      — v2clustermgr + v2stats: supervision, statistics,
+//	               hotspot detection, partition movement
+package soe
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/value"
+)
+
+// Message kinds of the SOE wire protocol.
+const (
+	MsgExec       = "exec"        // run SQL on a node's local engine
+	MsgCreateTemp = "create_temp" // install a temp table (broadcast/shuffle)
+	MsgApply      = "apply"       // push log entries (OLTP synchronous)
+	MsgPoll       = "read_log"    // pull log entries (OLAP asynchronous)
+	MsgCommit     = "commit"      // client -> broker
+	MsgStatus     = "status"
+	MsgSnapshot   = "snapshot" // fetch a partition snapshot from a peer
+)
+
+// ExecReq asks a query service to run local SQL.
+type ExecReq struct {
+	Token string
+	SQL   string
+}
+
+// ExecResp carries a result set.
+type ExecResp struct {
+	Cols []string
+	Rows []value.Row
+	Err  string
+}
+
+// CreateTempReq installs a materialized temp relation on a node.
+type CreateTempReq struct {
+	Token  string
+	Name   string
+	Cols   []string
+	Kinds  []uint8
+	Rows   []value.Row
+	Append bool // append to existing temp (shuffle receivers)
+}
+
+// CommitReq is one transaction's write set sent to the broker.
+type CommitReq struct {
+	Token  string
+	Writes []LogWrite
+}
+
+// CommitResp acknowledges with the log position and commit timestamp.
+type CommitResp struct {
+	Pos uint64
+	TS  uint64
+	Err string
+}
+
+// LogWrite is one row operation inside a log entry.
+type LogWrite struct {
+	Table     string // logical table
+	Partition int    // horizontal partition index
+	Kind      uint8  // 0 insert, 1 delete-by-key
+	Row       value.Row
+	Key       string // delete key (value of the partition key column)
+}
+
+// LogEntry is the unit stored in the shared log. Pos is the log position,
+// filled by the broker so receivers can resume polling after a snapshot
+// catch-up.
+type LogEntry struct {
+	TS     uint64
+	Pos    uint64
+	Writes []LogWrite
+}
+
+// ApplyReq pushes entries to an OLTP node.
+type ApplyReq struct {
+	Token   string
+	Entries []LogEntry
+}
+
+// PollReq asks the broker for log entries from a position.
+type PollReq struct {
+	Token string
+	From  uint64
+	Max   int
+}
+
+// PollResp returns entries and the next poll position.
+type PollResp struct {
+	Entries []LogEntry
+	Next    uint64
+	Err     string
+}
+
+// SnapshotReq asks a peer for the current contents of one partition.
+type SnapshotReq struct {
+	Token     string
+	Table     string
+	Partition int
+}
+
+// SnapshotResp carries the partition rows plus the log position through
+// which they are current — "retrieving the latest snapshot of the data
+// hosted by a particular node" (§IV-B).
+type SnapshotResp struct {
+	Rows      []value.Row
+	AppliedTS uint64
+	NextPos   uint64
+	Err       string
+}
+
+// StatusResp is a node heartbeat.
+type StatusResp struct {
+	Node        string
+	AppliedTS   uint64
+	Partitions  int
+	QueriesRun  int64
+	RowsScanned int64
+}
+
+func encode(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("soe: encode: %v", err))
+	}
+	return b
+}
+
+func decode[T any](m netsim.Message) (T, error) {
+	var out T
+	err := json.Unmarshal(m.Payload, &out)
+	return out, err
+}
+
+// call performs a typed RPC.
+func call[T any](net *netsim.Network, from, to, kind string, req any) (T, error) {
+	var zero T
+	resp, err := net.Call(from, to, netsim.Message{Kind: kind, Payload: encode(req)})
+	if err != nil {
+		return zero, err
+	}
+	return decode[T](resp)
+}

@@ -1,0 +1,519 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/columnstore"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Engine is the relational entry point of one node: SQL in, results out.
+// It wires the parser, planner, optimizer and executors to a catalog and a
+// transaction manager. Domain engines extend it by registering scalar and
+// table functions and by installing a partition-prune hook.
+type Engine struct {
+	Cat  *catalog.Catalog
+	Mgr  *txn.Manager
+	Reg  *Registry
+	Mode Mode
+	// Prune participates in partition pruning (installed by the aging
+	// engine).
+	Prune PruneHook
+	// OnMergeDelta is invoked by MERGE DELTA OF statements; the durable
+	// store wires logged merges here. Defaults to a direct merge.
+	OnMergeDelta func(table string) error
+}
+
+// NewEngine builds an engine over its own fresh catalog and manager.
+func NewEngine() *Engine {
+	return &Engine{Cat: catalog.New(), Mgr: txn.NewManager(), Reg: NewRegistry(), Mode: ModeCompiled}
+}
+
+// NewEngineWith builds an engine over existing infrastructure.
+func NewEngineWith(cat *catalog.Catalog, mgr *txn.Manager) *Engine {
+	return &Engine{Cat: cat, Mgr: mgr, Reg: NewRegistry(), Mode: ModeCompiled}
+}
+
+// Query parses, plans and executes a statement in auto-commit mode.
+func (e *Engine) Query(sql string, params ...value.Value) (*Result, error) {
+	s := e.NewSession()
+	defer s.Close()
+	return s.Query(sql, params...)
+}
+
+// MustQuery is Query that panics on error; for tests and examples.
+func (e *Engine) MustQuery(sql string, params ...value.Value) *Result {
+	r, err := e.Query(sql, params...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ExplainSQL returns the optimized plan of a SELECT as text.
+func (e *Engine) ExplainSQL(sql string) (string, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("sql: EXPLAIN supports only SELECT")
+	}
+	pl := &Planner{Cat: e.Cat, Reg: e.Reg, TS: e.Mgr.Now(), Prune: e.Prune}
+	plan, err := pl.BuildSelect(sel)
+	if err != nil {
+		return "", err
+	}
+	return Explain(plan), nil
+}
+
+// Session executes statements; DML inside an explicit transaction is
+// buffered until COMMIT. SELECTs read the session's snapshot (committed
+// data as of transaction begin).
+type Session struct {
+	e        *Engine
+	tx       *txn.Txn
+	explicit bool
+}
+
+// NewSession opens a session in auto-commit mode.
+func (e *Engine) NewSession() *Session { return &Session{e: e} }
+
+// Close aborts any open explicit transaction.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Abort()
+		s.tx = nil
+	}
+}
+
+// Begin starts an explicit transaction.
+func (s *Session) Begin() error {
+	if s.tx != nil {
+		return fmt.Errorf("sql: transaction already open")
+	}
+	s.tx = s.e.Mgr.Begin()
+	s.explicit = true
+	return nil
+}
+
+// Commit commits the explicit transaction.
+func (s *Session) Commit() error {
+	if s.tx == nil {
+		return fmt.Errorf("sql: no open transaction")
+	}
+	_, err := s.tx.Commit()
+	s.tx = nil
+	s.explicit = false
+	return err
+}
+
+// Rollback aborts the explicit transaction.
+func (s *Session) Rollback() error {
+	if s.tx == nil {
+		return fmt.Errorf("sql: no open transaction")
+	}
+	s.tx.Abort()
+	s.tx = nil
+	s.explicit = false
+	return nil
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.explicit }
+
+// Query executes one SQL statement. Control statements (BEGIN/COMMIT/
+// ROLLBACK/EXPLAIN) are handled here; everything else goes through the
+// parser.
+func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
+	trimmed := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	switch strings.ToUpper(trimmed) {
+	case "BEGIN":
+		return &Result{}, s.Begin()
+	case "COMMIT":
+		return &Result{}, s.Commit()
+	case "ROLLBACK":
+		return &Result{}, s.Rollback()
+	}
+	if up := strings.ToUpper(trimmed); strings.HasPrefix(up, "EXPLAIN ") {
+		text, err := s.e.ExplainSQL(trimmed[len("EXPLAIN "):])
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Cols: []string{"plan"}}
+		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+			res.Rows = append(res.Rows, value.Row{value.String(line)})
+		}
+		return res, nil
+	}
+
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch x := st.(type) {
+	case *SelectStmt:
+		return s.execSelect(x, params)
+	case *InsertStmt:
+		return s.execInsert(x, params)
+	case *UpdateStmt:
+		return s.execUpdate(x, params)
+	case *DeleteStmt:
+		return s.execDelete(x, params)
+	case *CreateTableStmt:
+		return s.execCreateTable(x)
+	case *CreateViewStmt:
+		return &Result{}, s.e.Cat.CreateView(x.Name, selectSQL(sql))
+	case *DropTableStmt:
+		if !s.e.Cat.DropTable(x.Name) && !x.IfExists {
+			return nil, fmt.Errorf("sql: no table %q", x.Name)
+		}
+		s.e.Mgr.Deregister(x.Name)
+		return &Result{}, nil
+	case *MergeDeltaStmt:
+		if s.e.OnMergeDelta != nil {
+			return &Result{}, s.e.OnMergeDelta(x.Table)
+		}
+		entry, ok := s.e.Cat.Table(x.Table)
+		if !ok {
+			return nil, fmt.Errorf("sql: no table %q", x.Table)
+		}
+		wm := s.e.Mgr.MinActiveTS()
+		for _, p := range entry.Partitions {
+			p.Table.Merge(wm)
+		}
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("sql: unhandled statement %T", st)
+}
+
+// selectSQL extracts the SELECT text of a CREATE VIEW statement.
+func selectSQL(sql string) string {
+	up := strings.ToUpper(sql)
+	i := strings.Index(up, " AS ")
+	if i < 0 {
+		return sql
+	}
+	return strings.TrimSpace(sql[i+4:])
+}
+
+func (s *Session) snapshotTS() uint64 {
+	if s.tx != nil {
+		return s.tx.SnapshotTS()
+	}
+	return s.e.Mgr.Now()
+}
+
+func (s *Session) execSelect(sel *SelectStmt, params []value.Value) (*Result, error) {
+	ts := s.snapshotTS()
+	pl := &Planner{Cat: s.e.Cat, Reg: s.e.Reg, TS: ts, Prune: s.e.Prune}
+	plan, err := pl.BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return Run(plan, ts, params, s.e.Reg, s.e.Mode)
+}
+
+// currentTxn returns the session transaction, creating a one-statement
+// transaction in auto-commit mode. done() commits it when owned.
+func (s *Session) currentTxn() (tx *txn.Txn, done func() error) {
+	if s.tx != nil {
+		return s.tx, func() error { return nil }
+	}
+	tx = s.e.Mgr.Begin()
+	return tx, func() error {
+		_, err := tx.Commit()
+		return err
+	}
+}
+
+func (s *Session) execInsert(ins *InsertStmt, params []value.Value) (*Result, error) {
+	entry, ok := s.e.Cat.Table(ins.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", ins.Table)
+	}
+
+	// Source rows.
+	var src []value.Row
+	if ins.Select != nil {
+		res, err := s.execSelect(ins.Select, params)
+		if err != nil {
+			return nil, err
+		}
+		src = res.Rows
+	} else {
+		env := Env{Params: params}
+		for _, exprs := range ins.Rows {
+			row := make(value.Row, len(exprs))
+			for i, ex := range exprs {
+				f, err := compileExpr(ex, noColumns, s.e.Reg)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = f(&env)
+			}
+			src = append(src, row)
+		}
+	}
+
+	// Column mapping; flexible tables create unknown columns on the fly
+	// (§II-H).
+	colIdx := make([]int, 0, len(ins.Columns))
+	if len(ins.Columns) > 0 {
+		for _, c := range ins.Columns {
+			idx := entry.Schema.ColIndex(c)
+			if idx < 0 {
+				if !entry.Flexible {
+					return nil, fmt.Errorf("sql: unknown column %q in %s", c, ins.Table)
+				}
+				kind := value.KindString
+				if len(src) > 0 && len(colIdx) < len(src[0]) && !src[0][len(colIdx)].IsNull() {
+					kind = src[0][len(colIdx)].K
+				}
+				def := columnstore.ColumnDef{Name: c, Kind: kind}
+				for _, p := range entry.Partitions {
+					idx = p.Table.AddColumn(def)
+				}
+				entry.Schema = append(entry.Schema, def)
+			}
+			colIdx = append(colIdx, idx)
+		}
+	}
+
+	tx, done := s.currentTxn()
+	count := 0
+	for _, row := range src {
+		full := row
+		if len(ins.Columns) > 0 {
+			full = make(value.Row, len(entry.Schema))
+			for i, idx := range colIdx {
+				if i < len(row) {
+					full[idx] = row[i]
+				}
+			}
+		}
+		// Coerce to schema kinds.
+		for i := range full {
+			if i < len(entry.Schema) {
+				full[i] = value.Coerce(full[i], entry.Schema[i].Kind)
+			}
+		}
+		part := routePartition(entry, full)
+		if err := tx.Insert(part.Table.Name(), full); err != nil {
+			if s.tx == nil {
+				tx.Abort()
+			}
+			return nil, err
+		}
+		count++
+	}
+	if err := done(); err != nil {
+		return nil, err
+	}
+	return &Result{Cols: []string{"inserted"}, Rows: []value.Row{{value.Int(int64(count))}}}, nil
+}
+
+func noColumns(q, n string) (int, error) {
+	return 0, fmt.Errorf("sql: column reference %s not allowed here", joinQual(q, n))
+}
+
+func routePartition(entry *catalog.TableEntry, row value.Row) *catalog.Partition {
+	p0 := entry.Partitions[0]
+	if p0.PruneCol == "" || len(entry.Partitions) == 1 {
+		return p0
+	}
+	ci := entry.Schema.ColIndex(p0.PruneCol)
+	if ci < 0 || ci >= len(row) {
+		return p0
+	}
+	return entry.PartitionFor(row[ci])
+}
+
+// victims finds visible rows matching the WHERE clause of UPDATE/DELETE.
+type victim struct {
+	part *catalog.Partition
+	pos  int
+	row  value.Row
+}
+
+func (s *Session) findVictims(table string, where Expr, params []value.Value, ts uint64) (*catalog.TableEntry, []victim, error) {
+	entry, ok := s.e.Cat.Table(table)
+	if !ok {
+		return nil, nil, fmt.Errorf("sql: unknown table %q", table)
+	}
+	cols := make([]colInfo, len(entry.Schema))
+	for i, c := range entry.Schema {
+		cols[i] = colInfo{Qual: table, Name: c.Name}
+	}
+	var pred evalFn
+	if where != nil {
+		f, err := compileExpr(where, resolverFor(cols), s.e.Reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred = f
+	}
+	var out []victim
+	env := Env{Params: params}
+	for _, p := range entry.Partitions {
+		snap := p.Table.Snapshot(ts)
+		n := snap.NumRows()
+		for pos := 0; pos < n; pos++ {
+			if !snap.Visible(pos) {
+				continue
+			}
+			row := snap.Row(pos)
+			if pred != nil {
+				env.Row = row
+				if v := pred(&env); v.IsNull() || !v.AsBool() {
+					continue
+				}
+			}
+			out = append(out, victim{part: p, pos: pos, row: row})
+		}
+	}
+	return entry, out, nil
+}
+
+func (s *Session) execUpdate(up *UpdateStmt, params []value.Value) (*Result, error) {
+	tx, done := s.currentTxn()
+	entry, vs, err := s.findVictims(up.Table, up.Where, params, tx.SnapshotTS())
+	if err != nil {
+		if s.tx == nil {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	cols := make([]colInfo, len(entry.Schema))
+	for i, c := range entry.Schema {
+		cols[i] = colInfo{Qual: up.Table, Name: c.Name}
+	}
+	type setter struct {
+		idx int
+		fn  evalFn
+	}
+	var setters []setter
+	for _, st := range up.Set {
+		idx := entry.Schema.ColIndex(st.Col)
+		if idx < 0 {
+			if s.tx == nil {
+				tx.Abort()
+			}
+			return nil, fmt.Errorf("sql: unknown column %q", st.Col)
+		}
+		f, err := compileExpr(st.Expr, resolverFor(cols), s.e.Reg)
+		if err != nil {
+			if s.tx == nil {
+				tx.Abort()
+			}
+			return nil, err
+		}
+		setters = append(setters, setter{idx, f})
+	}
+	env := Env{Params: params}
+	for _, v := range vs {
+		newRow := v.row.Clone()
+		env.Row = v.row
+		for _, st := range setters {
+			newRow[st.idx] = value.Coerce(st.fn(&env), entry.Schema[st.idx].Kind)
+		}
+		if err := tx.Delete(v.part.Table.Name(), v.pos); err != nil {
+			if s.tx == nil {
+				tx.Abort()
+			}
+			return nil, err
+		}
+		target := routePartition(entry, newRow)
+		if err := tx.Insert(target.Table.Name(), newRow); err != nil {
+			if s.tx == nil {
+				tx.Abort()
+			}
+			return nil, err
+		}
+	}
+	if err := done(); err != nil {
+		return nil, err
+	}
+	return &Result{Cols: []string{"updated"}, Rows: []value.Row{{value.Int(int64(len(vs)))}}}, nil
+}
+
+func (s *Session) execDelete(del *DeleteStmt, params []value.Value) (*Result, error) {
+	tx, done := s.currentTxn()
+	_, vs, err := s.findVictims(del.Table, del.Where, params, tx.SnapshotTS())
+	if err != nil {
+		if s.tx == nil {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	for _, v := range vs {
+		if err := tx.Delete(v.part.Table.Name(), v.pos); err != nil {
+			if s.tx == nil {
+				tx.Abort()
+			}
+			return nil, err
+		}
+	}
+	if err := done(); err != nil {
+		return nil, err
+	}
+	return &Result{Cols: []string{"deleted"}, Rows: []value.Row{{value.Int(int64(len(vs)))}}}, nil
+}
+
+func (s *Session) execCreateTable(ct *CreateTableStmt) (*Result, error) {
+	if _, exists := s.e.Cat.Table(ct.Name); exists {
+		if ct.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sql: table %q already exists", ct.Name)
+	}
+	schema := make(columnstore.Schema, len(ct.Cols))
+	for i, c := range ct.Cols {
+		k, err := value.ParseKind(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = columnstore.ColumnDef{Name: c.Name, Kind: k}
+	}
+	var entry *catalog.TableEntry
+	var err error
+	if ct.PartitionBy != "" {
+		entry, err = s.e.Cat.CreateRangePartitioned(ct.Name, schema, ct.PartitionBy, ct.Bounds)
+	} else {
+		entry, err = s.e.Cat.CreateTable(ct.Name, schema)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range entry.Partitions {
+		s.e.Mgr.Register(p.Table)
+	}
+	for k, v := range ct.Options {
+		switch k {
+		case "flexible":
+			entry.Flexible = v == "true" || v == "1"
+		case "stable_key":
+			for _, p := range entry.Partitions {
+				if err := p.Table.SetStableKeyColumn(v); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			entry.Metadata[k] = v
+		}
+	}
+	return &Result{}, nil
+}
+
+// RegisterEntryTables registers all partitions of an externally created
+// entry with the transaction manager (engines that create tables through
+// the catalog directly use this).
+func (e *Engine) RegisterEntryTables(entry *catalog.TableEntry) {
+	for _, p := range entry.Partitions {
+		e.Mgr.Register(p.Table)
+	}
+}

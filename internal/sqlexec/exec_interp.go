@@ -1,0 +1,844 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+// ExecStats accounts what a statement touched; the aging (E6) and pushdown
+// (E5) experiments read these counters.
+type ExecStats struct {
+	RowsScanned       int
+	RowsOut           int
+	PartitionsScanned int
+	PartitionsPruned  int
+	ColdPenaltyMicros int
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Cols  []string
+	Rows  []value.Row
+	Stats ExecStats
+}
+
+// execCtx carries per-statement execution state.
+type execCtx struct {
+	ts     uint64
+	params []value.Value
+	reg    *Registry
+	stats  *ExecStats
+}
+
+// Mode selects the executor implementation (experiment E4).
+type Mode int
+
+// Executor modes.
+const (
+	ModeCompiled    Mode = iota // fused closure pipelines (default)
+	ModeInterpreted             // Volcano-style iterator tree
+)
+
+// Run executes a plan to a materialized result.
+func Run(p Plan, ts uint64, params []value.Value, reg *Registry, mode Mode) (*Result, error) {
+	res := &Result{}
+	for _, c := range p.columns() {
+		res.Cols = append(res.Cols, c.Name)
+	}
+	ctx := &execCtx{ts: ts, params: params, reg: reg, stats: &res.Stats}
+	if mode == ModeInterpreted {
+		it, err := buildIter(p, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := it.Open(); err != nil {
+			return nil, err
+		}
+		defer it.Close()
+		for {
+			row, ok, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	} else {
+		pipe, err := compilePlan(p, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := pipe(func(row value.Row) error {
+			res.Rows = append(res.Rows, row)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.RowsOut = len(res.Rows)
+	return res, nil
+}
+
+// --- Volcano-style interpreter -------------------------------------------
+
+// iterator is the classic open/next/close operator interface. Every Next
+// call crosses an interface boundary and materializes a boxed row — the
+// per-tuple interpretation overhead query compilation removes (§IV-A).
+type iterator interface {
+	Open() error
+	Next() (value.Row, bool, error)
+	Close()
+}
+
+func buildIter(p Plan, ctx *execCtx) (iterator, error) {
+	switch x := p.(type) {
+	case *ScanPlan:
+		return newScanIter(x, ctx)
+	case *TableFuncPlan:
+		return newTableFuncIter(x, ctx)
+	case *FilterPlan:
+		child, err := buildIter(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := compileExpr(x.Pred, resolverFor(x.Child.columns()), ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{child: child, pred: pred, ctx: ctx}, nil
+	case *ProjectPlan:
+		child, err := buildIter(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		res := resolverFor(x.Child.columns())
+		exprs := make([]evalFn, len(x.Exprs))
+		for i, e := range x.Exprs {
+			f, err := compileExpr(e, res, ctx.reg)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = f
+		}
+		return &projectIter{child: child, exprs: exprs, ctx: ctx}, nil
+	case *JoinPlan:
+		return newJoinIter(x, ctx)
+	case *AggPlan:
+		return newAggIter(x, ctx)
+	case *DistinctPlan:
+		child, err := buildIter(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{child: child}, nil
+	case *SortPlan:
+		return newSortIter(x, ctx)
+	case *LimitPlan:
+		child, err := buildIter(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{child: child, n: x.N, offset: x.Offset}, nil
+	case *AliasPlan:
+		return buildIter(x.Child, ctx)
+	case *ValuesPlan:
+		return newValuesIter(x, ctx)
+	}
+	return nil, fmt.Errorf("sql: no interpreter for %T", p)
+}
+
+// scanIter scans partitions row by row.
+type scanIter struct {
+	plan   *ScanPlan
+	ctx    *execCtx
+	filter evalFn
+	parts  []*catalog.Partition
+	pi     int
+	snap   snapState
+	pos    int
+	env    Env
+}
+
+type snapState struct {
+	snap interface {
+		NumRows() int
+		Visible(int) bool
+		Row(int) value.Row
+	}
+	n int
+}
+
+func newScanIter(p *ScanPlan, ctx *execCtx) (*scanIter, error) {
+	it := &scanIter{plan: p, ctx: ctx, parts: p.scanParts()}
+	if p.Filter != nil {
+		f, err := compileExpr(p.Filter, resolverFor(p.columns()), ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		it.filter = f
+	}
+	return it, nil
+}
+
+func (it *scanIter) Open() error {
+	it.ctx.stats.PartitionsPruned += it.plan.Pruned
+	it.pi = -1
+	it.snap.snap = nil
+	it.env.Params = it.ctx.params
+	return nil
+}
+
+func (it *scanIter) Next() (value.Row, bool, error) {
+	for {
+		if it.snap.snap == nil || it.pos >= it.snap.n {
+			it.pi++
+			if it.pi >= len(it.parts) {
+				return nil, false, nil
+			}
+			part := it.parts[it.pi]
+			if part.ColdReadPenalty > 0 {
+				time.Sleep(time.Duration(part.ColdReadPenalty) * time.Microsecond)
+				it.ctx.stats.ColdPenaltyMicros += part.ColdReadPenalty
+			}
+			s := part.Table.Snapshot(it.ctx.ts)
+			it.snap = snapState{snap: s, n: s.NumRows()}
+			it.pos = 0
+			it.ctx.stats.PartitionsScanned++
+			continue
+		}
+		pos := it.pos
+		it.pos++
+		if !it.snap.snap.Visible(pos) {
+			continue
+		}
+		it.ctx.stats.RowsScanned++
+		row := it.snap.snap.Row(pos)
+		if it.filter != nil {
+			it.env.Row = row
+			if v := it.filter(&it.env); v.IsNull() || !v.AsBool() {
+				continue
+			}
+		}
+		return row, true, nil
+	}
+}
+
+func (it *scanIter) Close() {}
+
+type tableFuncIter struct {
+	rows []value.Row
+	i    int
+}
+
+func newTableFuncIter(p *TableFuncPlan, ctx *execCtx) (iterator, error) {
+	fn, ok := ctx.reg.Table(p.Name)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table function %s", p.Name)
+	}
+	args, err := evalConstArgs(p.Args, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := fn.Fn(args)
+	if err != nil {
+		return nil, err
+	}
+	return &tableFuncIter{rows: rows}, nil
+}
+
+func evalConstArgs(args []Expr, ctx *execCtx) ([]value.Value, error) {
+	out := make([]value.Value, len(args))
+	env := Env{Params: ctx.params}
+	for i, a := range args {
+		f, err := compileExpr(a, func(q, n string) (int, error) {
+			return 0, fmt.Errorf("sql: table function arguments must be constants")
+		}, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f(&env)
+	}
+	return out, nil
+}
+
+func (it *tableFuncIter) Open() error { it.i = 0; return nil }
+func (it *tableFuncIter) Next() (value.Row, bool, error) {
+	if it.i >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.i]
+	it.i++
+	return r, true, nil
+}
+func (it *tableFuncIter) Close() {}
+
+type filterIter struct {
+	child iterator
+	pred  evalFn
+	ctx   *execCtx
+	env   Env
+}
+
+func (it *filterIter) Open() error {
+	it.env.Params = it.ctx.params
+	return it.child.Open()
+}
+
+func (it *filterIter) Next() (value.Row, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.env.Row = row
+		if v := it.pred(&it.env); !v.IsNull() && v.AsBool() {
+			return row, true, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() { it.child.Close() }
+
+type projectIter struct {
+	child iterator
+	exprs []evalFn
+	ctx   *execCtx
+	env   Env
+}
+
+func (it *projectIter) Open() error {
+	it.env.Params = it.ctx.params
+	return it.child.Open()
+}
+
+func (it *projectIter) Next() (value.Row, bool, error) {
+	row, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.env.Row = row
+	out := make(value.Row, len(it.exprs))
+	for i, f := range it.exprs {
+		out[i] = f(&it.env)
+	}
+	return out, true, nil
+}
+
+func (it *projectIter) Close() { it.child.Close() }
+
+// joinIter is a hash join (equi keys) or nested-loop join (none).
+type joinIter struct {
+	plan     *JoinPlan
+	ctx      *execCtx
+	left     iterator
+	right    iterator
+	lKeys    []evalFn
+	rKeys    []evalFn
+	residual evalFn
+	rWidth   int
+
+	build   map[string][]value.Row
+	rRows   []value.Row // nested-loop fallback
+	matches []value.Row
+	mi      int
+	cur     value.Row
+	matched bool
+	env     Env
+}
+
+func newJoinIter(p *JoinPlan, ctx *execCtx) (iterator, error) {
+	l, err := buildIter(p.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := buildIter(p.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	it := &joinIter{plan: p, ctx: ctx, left: l, right: r, rWidth: len(p.R.columns())}
+	lres := resolverFor(p.L.columns())
+	rres := resolverFor(p.R.columns())
+	for i := range p.EquiL {
+		lf, err := compileExpr(p.EquiL[i], lres, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := compileExpr(p.EquiR[i], rres, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		it.lKeys = append(it.lKeys, lf)
+		it.rKeys = append(it.rKeys, rf)
+	}
+	if p.Residual != nil {
+		f, err := compileExpr(p.Residual, resolverFor(p.columns()), ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		it.residual = f
+	}
+	return it, nil
+}
+
+func (it *joinIter) Open() error {
+	it.env.Params = it.ctx.params
+	if err := it.left.Open(); err != nil {
+		return err
+	}
+	if err := it.right.Open(); err != nil {
+		return err
+	}
+	// Build phase.
+	if len(it.rKeys) > 0 {
+		it.build = make(map[string][]value.Row)
+	}
+	env := Env{Params: it.ctx.params}
+	key := make(value.Row, len(it.rKeys))
+	for {
+		row, ok, err := it.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if it.build != nil {
+			env.Row = row
+			for i, f := range it.rKeys {
+				key[i] = f(&env)
+			}
+			k := key.Key()
+			it.build[k] = append(it.build[k], row)
+		} else {
+			it.rRows = append(it.rRows, row)
+		}
+	}
+	it.cur = nil
+	return nil
+}
+
+func (it *joinIter) Next() (value.Row, bool, error) {
+	for {
+		if it.cur == nil {
+			row, ok, err := it.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			it.cur = row
+			it.matched = false
+			it.mi = 0
+			if it.build != nil {
+				it.env.Row = row
+				key := make(value.Row, len(it.lKeys))
+				hasNull := false
+				for i, f := range it.lKeys {
+					key[i] = f(&it.env)
+					if key[i].IsNull() {
+						hasNull = true
+					}
+				}
+				if hasNull {
+					it.matches = nil
+				} else {
+					it.matches = it.build[key.Key()]
+				}
+			} else {
+				it.matches = it.rRows
+			}
+		}
+		for it.mi < len(it.matches) {
+			r := it.matches[it.mi]
+			it.mi++
+			combined := make(value.Row, 0, len(it.cur)+len(r))
+			combined = append(combined, it.cur...)
+			combined = append(combined, r...)
+			if it.residual != nil {
+				it.env.Row = combined
+				if v := it.residual(&it.env); v.IsNull() || !v.AsBool() {
+					continue
+				}
+			}
+			it.matched = true
+			return combined, true, nil
+		}
+		if it.plan.LeftOuter && !it.matched {
+			combined := make(value.Row, len(it.cur)+it.rWidth)
+			copy(combined, it.cur)
+			it.cur = nil
+			return combined, true, nil
+		}
+		it.cur = nil
+	}
+}
+
+func (it *joinIter) Close() {
+	it.left.Close()
+	it.right.Close()
+}
+
+// aggIter hash-aggregates its input.
+type aggIter struct {
+	plan   *AggPlan
+	ctx    *execCtx
+	child  iterator
+	groups []evalFn
+	aggs   []aggState
+	out    []value.Row
+	i      int
+}
+
+func newAggIter(p *AggPlan, ctx *execCtx) (iterator, error) {
+	child, err := buildIter(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	it := &aggIter{plan: p, ctx: ctx, child: child}
+	res := resolverFor(p.Child.columns())
+	for _, g := range p.GroupBy {
+		f, err := compileExpr(g, res, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		it.groups = append(it.groups, f)
+	}
+	for _, a := range p.Aggs {
+		st := aggState{spec: a}
+		if a.Arg != nil {
+			f, err := compileExpr(a.Arg, res, ctx.reg)
+			if err != nil {
+				return nil, err
+			}
+			st.arg = f
+		}
+		it.aggs = append(it.aggs, st)
+	}
+	return it, nil
+}
+
+type aggState struct {
+	spec aggSpec
+	arg  evalFn
+}
+
+// aggAcc is the running state of one aggregate within one group.
+type aggAcc struct {
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	min     value.Value
+	max     value.Value
+	seen    map[string]bool // DISTINCT
+}
+
+func (a *aggAcc) add(v value.Value, spec aggSpec) {
+	if spec.Star {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	if spec.Distinct {
+		if a.seen == nil {
+			a.seen = map[string]bool{}
+		}
+		k := v.AsString()
+		if a.seen[k] {
+			return
+		}
+		a.seen[k] = true
+	}
+	a.count++
+	switch v.K {
+	case value.KindFloat:
+		a.isFloat = true
+		a.sumF += v.F
+	default:
+		a.sumI += v.I
+	}
+	if a.min.IsNull() || value.Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || value.Compare(v, a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggAcc) result(spec aggSpec) value.Value {
+	switch spec.Fn {
+	case "COUNT":
+		return value.Int(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return value.Null
+		}
+		if a.isFloat {
+			return value.Float(a.sumF + float64(a.sumI))
+		}
+		return value.Int(a.sumI)
+	case "AVG":
+		if a.count == 0 {
+			return value.Null
+		}
+		return value.Float((a.sumF + float64(a.sumI)) / float64(a.count))
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	}
+	return value.Null
+}
+
+func (it *aggIter) Open() error {
+	if err := it.child.Open(); err != nil {
+		return err
+	}
+	type group struct {
+		key  value.Row
+		accs []aggAcc
+	}
+	groups := map[string]*group{}
+	var order []string
+	env := Env{Params: it.ctx.params}
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		env.Row = row
+		key := make(value.Row, len(it.groups))
+		for i, f := range it.groups {
+			key[i] = f(&env)
+		}
+		k := key.Key()
+		g := groups[k]
+		if g == nil {
+			g = &group{key: key, accs: make([]aggAcc, len(it.aggs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i := range it.aggs {
+			var v value.Value
+			if it.aggs[i].arg != nil {
+				v = it.aggs[i].arg(&env)
+			}
+			g.accs[i].add(v, it.aggs[i].spec)
+		}
+	}
+	// Aggregates without GROUP BY yield exactly one row.
+	if len(order) == 0 && len(it.groups) == 0 {
+		g := &group{accs: make([]aggAcc, len(it.aggs))}
+		groups[""] = g
+		order = append(order, "")
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make(value.Row, 0, len(g.key)+len(it.aggs))
+		row = append(row, g.key...)
+		for i := range it.aggs {
+			row = append(row, g.accs[i].result(it.aggs[i].spec))
+		}
+		it.out = append(it.out, row)
+	}
+	it.i = 0
+	return nil
+}
+
+func (it *aggIter) Next() (value.Row, bool, error) {
+	if it.i >= len(it.out) {
+		return nil, false, nil
+	}
+	r := it.out[it.i]
+	it.i++
+	return r, true, nil
+}
+
+func (it *aggIter) Close() { it.child.Close() }
+
+type distinctIter struct {
+	child iterator
+	seen  map[string]bool
+}
+
+func (it *distinctIter) Open() error {
+	it.seen = map[string]bool{}
+	return it.child.Open()
+}
+
+func (it *distinctIter) Next() (value.Row, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := row.Key()
+		if it.seen[k] {
+			continue
+		}
+		it.seen[k] = true
+		return row, true, nil
+	}
+}
+
+func (it *distinctIter) Close() { it.child.Close() }
+
+type sortIter struct {
+	plan  *SortPlan
+	ctx   *execCtx
+	child iterator
+	keys  []evalFn
+	descs []bool
+	rows  []value.Row
+	i     int
+}
+
+func newSortIter(p *SortPlan, ctx *execCtx) (iterator, error) {
+	child, err := buildIter(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	it := &sortIter{plan: p, ctx: ctx, child: child}
+	res := resolverFor(p.Child.columns())
+	for _, k := range p.Keys {
+		f, err := compileExpr(k.Expr, res, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		it.keys = append(it.keys, f)
+		it.descs = append(it.descs, k.Desc)
+	}
+	return it, nil
+}
+
+func (it *sortIter) Open() error {
+	if err := it.child.Open(); err != nil {
+		return err
+	}
+	type keyed struct {
+		row  value.Row
+		keys value.Row
+	}
+	var all []keyed
+	env := Env{Params: it.ctx.params}
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		env.Row = row
+		ks := make(value.Row, len(it.keys))
+		for i, f := range it.keys {
+			ks[i] = f(&env)
+		}
+		all = append(all, keyed{row, ks})
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		for i := range it.keys {
+			c := value.Compare(all[a].keys[i], all[b].keys[i])
+			if it.descs[i] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	it.rows = it.rows[:0]
+	for _, k := range all {
+		it.rows = append(it.rows, k.row)
+	}
+	it.i = 0
+	return nil
+}
+
+func (it *sortIter) Next() (value.Row, bool, error) {
+	if it.i >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.i]
+	it.i++
+	return r, true, nil
+}
+
+func (it *sortIter) Close() { it.child.Close() }
+
+type limitIter struct {
+	child     iterator
+	n, offset int
+	skipped   int
+	emitted   int
+}
+
+func (it *limitIter) Open() error {
+	it.skipped, it.emitted = 0, 0
+	return it.child.Open()
+}
+
+func (it *limitIter) Next() (value.Row, bool, error) {
+	for {
+		if it.emitted >= it.n {
+			return nil, false, nil
+		}
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if it.skipped < it.offset {
+			it.skipped++
+			continue
+		}
+		it.emitted++
+		return row, true, nil
+	}
+}
+
+func (it *limitIter) Close() { it.child.Close() }
+
+type valuesIter struct {
+	rows []value.Row
+	i    int
+}
+
+func newValuesIter(p *ValuesPlan, ctx *execCtx) (iterator, error) {
+	it := &valuesIter{}
+	env := Env{Params: ctx.params}
+	for _, exprs := range p.Rows {
+		row := make(value.Row, len(exprs))
+		for i, e := range exprs {
+			f, err := compileExpr(e, func(q, n string) (int, error) {
+				return 0, fmt.Errorf("sql: no columns in VALUES")
+			}, ctx.reg)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = f(&env)
+		}
+		it.rows = append(it.rows, row)
+	}
+	return it, nil
+}
+
+func (it *valuesIter) Open() error { it.i = 0; return nil }
+func (it *valuesIter) Next() (value.Row, bool, error) {
+	if it.i >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.i]
+	it.i++
+	return r, true, nil
+}
+func (it *valuesIter) Close() {}

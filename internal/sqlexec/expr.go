@@ -1,0 +1,424 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Env is the runtime environment of a compiled expression: the current
+// input row plus statement parameters.
+type Env struct {
+	Row    value.Row
+	Params []value.Value
+}
+
+// evalFn is a compiled expression: AST is resolved and bound once per
+// statement; evaluation touches no maps or name lookups.
+type evalFn func(env *Env) value.Value
+
+// colResolver maps a (qualifier, name) pair to an ordinal in Env.Row.
+type colResolver func(qual, name string) (int, error)
+
+// compileExpr binds an expression tree against a row shape. All column
+// references resolve to ordinals at compile time.
+func compileExpr(e Expr, resolve colResolver, reg *Registry) (evalFn, error) {
+	switch x := e.(type) {
+	case *Literal:
+		v := x.Val
+		return func(*Env) value.Value { return v }, nil
+
+	case *ColRef:
+		idx, err := resolve(x.Qual, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			if idx >= len(env.Row) {
+				return value.Null
+			}
+			return env.Row[idx]
+		}, nil
+
+	case *Param:
+		idx := x.Index
+		return func(env *Env) value.Value {
+			if idx >= len(env.Params) {
+				return value.Null
+			}
+			return env.Params[idx]
+		}, nil
+
+	case *BinaryExpr:
+		l, err := compileExpr(x.L, resolve, reg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(x.R, resolve, reg)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "+":
+			return func(env *Env) value.Value { return value.Add(l(env), r(env)) }, nil
+		case "-":
+			return func(env *Env) value.Value { return value.Sub(l(env), r(env)) }, nil
+		case "*":
+			return func(env *Env) value.Value { return value.Mul(l(env), r(env)) }, nil
+		case "/":
+			return func(env *Env) value.Value { return value.Div(l(env), r(env)) }, nil
+		case "%":
+			return func(env *Env) value.Value { return value.Mod(l(env), r(env)) }, nil
+		case "||":
+			return func(env *Env) value.Value {
+				a, b := l(env), r(env)
+				if a.IsNull() || b.IsNull() {
+					return value.Null
+				}
+				return value.String(a.AsString() + b.AsString())
+			}, nil
+		case "=":
+			return cmpFn(l, r, func(c int) bool { return c == 0 }), nil
+		case "<>":
+			return cmpFn(l, r, func(c int) bool { return c != 0 }), nil
+		case "<":
+			return cmpFn(l, r, func(c int) bool { return c < 0 }), nil
+		case "<=":
+			return cmpFn(l, r, func(c int) bool { return c <= 0 }), nil
+		case ">":
+			return cmpFn(l, r, func(c int) bool { return c > 0 }), nil
+		case ">=":
+			return cmpFn(l, r, func(c int) bool { return c >= 0 }), nil
+		case "AND":
+			return func(env *Env) value.Value {
+				lv := l(env)
+				if !lv.IsNull() && !lv.AsBool() {
+					return value.Bool(false)
+				}
+				rv := r(env)
+				if !rv.IsNull() && !rv.AsBool() {
+					return value.Bool(false)
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return value.Null
+				}
+				return value.Bool(true)
+			}, nil
+		case "OR":
+			return func(env *Env) value.Value {
+				lv := l(env)
+				if !lv.IsNull() && lv.AsBool() {
+					return value.Bool(true)
+				}
+				rv := r(env)
+				if !rv.IsNull() && rv.AsBool() {
+					return value.Bool(true)
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return value.Null
+				}
+				return value.Bool(false)
+			}, nil
+		case "LIKE":
+			return func(env *Env) value.Value {
+				a, b := l(env), r(env)
+				if a.IsNull() || b.IsNull() {
+					return value.Null
+				}
+				return value.Bool(likeMatch(a.AsString(), b.AsString()))
+			}, nil
+		}
+		return nil, fmt.Errorf("sql: unknown operator %q", x.Op)
+
+	case *UnaryExpr:
+		inner, err := compileExpr(x.E, resolve, reg)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			return func(env *Env) value.Value {
+				v := inner(env)
+				if v.IsNull() {
+					return value.Null
+				}
+				return value.Bool(!v.AsBool())
+			}, nil
+		}
+		return func(env *Env) value.Value { return value.Neg(inner(env)) }, nil
+
+	case *FuncExpr:
+		if aggNames[x.Name] {
+			return nil, fmt.Errorf("sql: aggregate %s not allowed here", x.Name)
+		}
+		fn, ok := reg.Scalar(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown function %s", x.Name)
+		}
+		args := make([]evalFn, len(x.Args))
+		for i, a := range x.Args {
+			f, err := compileExpr(a, resolve, reg)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = f
+		}
+		return func(env *Env) value.Value {
+			vals := make([]value.Value, len(args))
+			for i, f := range args {
+				vals[i] = f(env)
+			}
+			out, err := fn(vals)
+			if err != nil {
+				return value.Null
+			}
+			return out
+		}, nil
+
+	case *CaseExpr:
+		type arm struct{ cond, then evalFn }
+		arms := make([]arm, len(x.Whens))
+		for i, w := range x.Whens {
+			c, err := compileExpr(w.Cond, resolve, reg)
+			if err != nil {
+				return nil, err
+			}
+			t, err := compileExpr(w.Then, resolve, reg)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{c, t}
+		}
+		var els evalFn
+		if x.Else != nil {
+			f, err := compileExpr(x.Else, resolve, reg)
+			if err != nil {
+				return nil, err
+			}
+			els = f
+		}
+		return func(env *Env) value.Value {
+			for _, a := range arms {
+				if c := a.cond(env); !c.IsNull() && c.AsBool() {
+					return a.then(env)
+				}
+			}
+			if els != nil {
+				return els(env)
+			}
+			return value.Null
+		}, nil
+
+	case *InExpr:
+		inner, err := compileExpr(x.E, resolve, reg)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]evalFn, len(x.List))
+		for i, v := range x.List {
+			f, err := compileExpr(v, resolve, reg)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = f
+		}
+		not := x.Not
+		return func(env *Env) value.Value {
+			v := inner(env)
+			if v.IsNull() {
+				return value.Null
+			}
+			for _, f := range list {
+				if value.Equal(v, f(env)) {
+					return value.Bool(!not)
+				}
+			}
+			return value.Bool(not)
+		}, nil
+
+	case *BetweenExpr:
+		inner, err := compileExpr(x.E, resolve, reg)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileExpr(x.Lo, resolve, reg)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileExpr(x.Hi, resolve, reg)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(env *Env) value.Value {
+			v := inner(env)
+			if v.IsNull() {
+				return value.Null
+			}
+			in := value.Compare(v, lo(env)) >= 0 && value.Compare(v, hi(env)) <= 0
+			return value.Bool(in != not)
+		}, nil
+
+	case *IsNullExpr:
+		inner, err := compileExpr(x.E, resolve, reg)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(env *Env) value.Value {
+			return value.Bool(inner(env).IsNull() != not)
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: cannot compile %T", e)
+}
+
+func cmpFn(l, r evalFn, test func(int) bool) evalFn {
+	return func(env *Env) value.Value {
+		a, b := l(env), r(env)
+		if a.IsNull() || b.IsNull() {
+			return value.Null
+		}
+		return value.Bool(test(value.Compare(a, b)))
+	}
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || !strings.EqualFold(string(s[0]), string(p[0])) {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+// exprString renders an expression for plan explanations and error text.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Literal:
+		if x.Val.K == value.KindString {
+			return "'" + x.Val.S + "'"
+		}
+		return x.Val.AsString()
+	case *ColRef:
+		if x.Qual != "" {
+			return x.Qual + "." + x.Name
+		}
+		return x.Name
+	case *Param:
+		return "?"
+	case *BinaryExpr:
+		return "(" + exprString(x.L) + " " + x.Op + " " + exprString(x.R) + ")"
+	case *UnaryExpr:
+		return x.Op + " " + exprString(x.E)
+	case *FuncExpr:
+		var args []string
+		if x.Star {
+			args = []string{"*"}
+		}
+		for _, a := range x.Args {
+			args = append(args, exprString(a))
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *CaseExpr:
+		return "CASE ..."
+	case *InExpr:
+		return exprString(x.E) + " IN (...)"
+	case *BetweenExpr:
+		return exprString(x.E) + " BETWEEN " + exprString(x.Lo) + " AND " + exprString(x.Hi)
+	case *IsNullExpr:
+		if x.Not {
+			return exprString(x.E) + " IS NOT NULL"
+		}
+		return exprString(x.E) + " IS NULL"
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+// collectColRefs gathers all column references in an expression.
+func collectColRefs(e Expr, out *[]*ColRef) {
+	switch x := e.(type) {
+	case nil:
+	case *ColRef:
+		*out = append(*out, x)
+	case *BinaryExpr:
+		collectColRefs(x.L, out)
+		collectColRefs(x.R, out)
+	case *UnaryExpr:
+		collectColRefs(x.E, out)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			collectColRefs(a, out)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			collectColRefs(w.Cond, out)
+			collectColRefs(w.Then, out)
+		}
+		collectColRefs(x.Else, out)
+	case *InExpr:
+		collectColRefs(x.E, out)
+		for _, v := range x.List {
+			collectColRefs(v, out)
+		}
+	case *BetweenExpr:
+		collectColRefs(x.E, out)
+		collectColRefs(x.Lo, out)
+		collectColRefs(x.Hi, out)
+	case *IsNullExpr:
+		collectColRefs(x.E, out)
+	}
+}
+
+// splitConjuncts flattens a tree of ANDs into its conjuncts.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// andAll rebuilds a conjunction; nil for an empty list.
+func andAll(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: "AND", L: out, R: e}
+		}
+	}
+	return out
+}

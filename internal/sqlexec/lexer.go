@@ -1,0 +1,176 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkOp    // operators and punctuation
+	tkParam // ?
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, idents original case-folded to lower
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "ON": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"IS": true, "NULL": true, "LIKE": true, "DISTINCT": true, "ASC": true,
+	"DESC": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "VIEW": true, "DROP": true, "IF": true, "EXISTS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"TRUE": true, "FALSE": true, "MERGE": true, "DELTA": true, "OF": true,
+	"WITH": true, "PARTITION": true, "RANGE": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.lexWord()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.emit(tkParam, "?")
+			l.pos++
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emit(tkEOF, "")
+	return l.toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_' || c == '"'
+}
+
+func (l *lexer) emit(k tokenKind, s string) {
+	l.toks = append(l.toks, token{kind: k, text: s, pos: l.pos})
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	if l.src[l.pos] == '"' { // quoted identifier
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		word := l.src[start+1 : l.pos]
+		l.pos++ // closing quote
+		l.emit(tkIdent, strings.ToLower(word))
+		return
+	}
+	for l.pos < len(l.src) && (isIdentStart(rune(l.src[l.pos])) || l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.emit(tkKeyword, upper)
+	} else {
+		l.emit(tkIdent, strings.ToLower(word))
+	}
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.emit(tkNumber, l.src[start:l.pos])
+}
+
+func (l *lexer) lexString() error {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped quote
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tkString, sb.String())
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at %d", l.pos)
+}
+
+var twoCharOps = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true, "||": true}
+
+func (l *lexer) lexOp() error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharOps[two] {
+			l.emit(tkOp, two)
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '*', '+', '-', '/', '%', '=', '<', '>', ';':
+		l.emit(tkOp, string(c))
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+}

@@ -1,0 +1,937 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkOp, ";")
+	if !p.at(tkEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks   []token
+	i      int
+	src    string
+	params int
+}
+
+func (p *parser) cur() token {
+	if p.i >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF sentinel
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) next() token {
+	t := p.cur()
+	if p.i < len(p.toks) {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(k tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokenKind, text string) bool {
+	if p.at(k, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near byte %d of %q)", fmt.Sprintf(format, args...), p.cur().pos, truncate(p.src, 80))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tkKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tkKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tkKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(tkKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(tkKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(tkKeyword, "DROP"):
+		return p.parseDrop()
+	case p.at(tkKeyword, "MERGE"):
+		return p.parseMergeDelta()
+	default:
+		return nil, p.errf("unsupported statement start %q", p.cur().text)
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tkKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.accept(tkKeyword, "DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.accept(tkOp, ",") {
+			break
+		}
+	}
+
+	if p.accept(tkKeyword, "FROM") {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		s.From = ref
+		for {
+			left := false
+			switch {
+			case p.accept(tkKeyword, "JOIN"):
+			case p.at(tkKeyword, "INNER"):
+				p.next()
+				if _, err := p.expect(tkKeyword, "JOIN"); err != nil {
+					return nil, err
+				}
+			case p.at(tkKeyword, "LEFT"):
+				p.next()
+				p.accept(tkKeyword, "OUTER")
+				if _, err := p.expect(tkKeyword, "JOIN"); err != nil {
+					return nil, err
+				}
+				left = true
+			default:
+				goto afterJoins
+			}
+			jt, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Joins = append(s.Joins, JoinClause{Left: left, Table: jt, On: on})
+		}
+	}
+afterJoins:
+
+	if p.accept(tkKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.accept(tkKeyword, "GROUP") {
+		if _, err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tkKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.accept(tkKeyword, "ORDER") {
+		if _, err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tkKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tkKeyword, "ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tkKeyword, "LIMIT") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = n
+		if p.accept(tkKeyword, "OFFSET") {
+			off, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			s.Offset = off
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseIntLiteral() (int, error) {
+	t, err := p.expect(tkNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tkOp, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// alias.* form
+	if p.cur().kind == tkIdent && p.i+2 < len(p.toks) &&
+		p.toks[p.i+1].kind == tkOp && p.toks[p.i+1].text == "." &&
+		p.toks[p.i+2].kind == tkOp && p.toks[p.i+2].text == "*" {
+		qual := p.next().text
+		p.next()
+		p.next()
+		return SelectItem{Star: true, Qual: qual}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tkKeyword, "AS") {
+		t := p.next()
+		if t.kind != tkIdent && t.kind != tkString {
+			return item, p.errf("bad alias %q", t.text)
+		}
+		item.As = t.text
+	} else if p.cur().kind == tkIdent {
+		item.As = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	var ref TableRef
+	switch {
+	case p.accept(tkOp, "("):
+		sub, err := p.parseSelect()
+		if err != nil {
+			return ref, err
+		}
+		if _, err := p.expect(tkOp, ")"); err != nil {
+			return ref, err
+		}
+		ref.Subquery = sub
+	case p.accept(tkKeyword, "TABLE"):
+		if _, err := p.expect(tkOp, "("); err != nil {
+			return ref, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return ref, err
+		}
+		fe, ok := e.(*FuncExpr)
+		if !ok {
+			return ref, p.errf("TABLE(...) requires a function call")
+		}
+		if _, err := p.expect(tkOp, ")"); err != nil {
+			return ref, err
+		}
+		ref.Func = fe
+	default:
+		t := p.next()
+		if t.kind != tkIdent {
+			return ref, p.errf("expected table name, found %q", t.text)
+		}
+		ref.Name = t.text
+	}
+	if p.accept(tkKeyword, "AS") {
+		t, err := p.expect(tkIdent, "")
+		if err != nil {
+			return ref, err
+		}
+		ref.Alias = t.text
+	} else if p.cur().kind == tkIdent {
+		ref.Alias = p.next().text
+	}
+	if ref.Alias == "" {
+		ref.Alias = ref.Name
+	}
+	if ref.Alias == "" {
+		return ref, p.errf("derived tables and table functions need an alias")
+	}
+	return ref, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect(tkKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tkIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: t.text}
+	if p.accept(tkOp, "(") {
+		for {
+			c, err := p.expect(tkIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, c.text)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tkKeyword, "VALUES") {
+		for {
+			if _, err := p.expect(tkOp, "("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.accept(tkOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tkOp, ")"); err != nil {
+				return nil, err
+			}
+			st.Rows = append(st.Rows, row)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+		return st, nil
+	}
+	if p.at(tkKeyword, "SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel
+		return st, nil
+	}
+	return nil, p.errf("INSERT needs VALUES or SELECT")
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	t, err := p.expect(tkIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: t.text}
+	if _, err := p.expect(tkKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, struct {
+			Col  string
+			Expr Expr
+		}{c.text, e})
+		if !p.accept(tkOp, ",") {
+			break
+		}
+	}
+	if p.accept(tkKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tkIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: t.text}
+	if p.accept(tkKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	switch {
+	case p.accept(tkKeyword, "TABLE"):
+		st := &CreateTableStmt{Options: map[string]string{}}
+		if p.accept(tkKeyword, "IF") {
+			if _, err := p.expect(tkKeyword, "NOT"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkKeyword, "EXISTS"); err != nil {
+				return nil, err
+			}
+			st.IfNotExists = true
+		}
+		t, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st.Name = t.text
+		if _, err := p.expect(tkOp, "("); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.expect(tkIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ty := p.next()
+			if ty.kind != tkIdent && ty.kind != tkKeyword {
+				return nil, p.errf("bad type %q", ty.text)
+			}
+			st.Cols = append(st.Cols, ColDefAST{Name: c.text, Type: ty.text})
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkOp, ")"); err != nil {
+			return nil, err
+		}
+		if p.accept(tkKeyword, "PARTITION") {
+			if _, err := p.expect(tkKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkKeyword, "RANGE"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkOp, "("); err != nil {
+				return nil, err
+			}
+			c, err := p.expect(tkIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			st.PartitionBy = c.text
+			if _, err := p.expect(tkOp, ")"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkKeyword, "VALUES"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkOp, "("); err != nil {
+				return nil, err
+			}
+			for {
+				neg := p.accept(tkOp, "-")
+				n, err := p.parseIntLiteral()
+				if err != nil {
+					return nil, err
+				}
+				if neg {
+					n = -n
+				}
+				st.Bounds = append(st.Bounds, int64(n))
+				if !p.accept(tkOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tkOp, ")"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept(tkKeyword, "WITH") {
+			if _, err := p.expect(tkOp, "("); err != nil {
+				return nil, err
+			}
+			for {
+				k, err := p.expect(tkIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tkOp, "="); err != nil {
+					return nil, err
+				}
+				v := p.next()
+				if v.kind != tkString && v.kind != tkIdent && v.kind != tkNumber {
+					return nil, p.errf("bad option value %q", v.text)
+				}
+				st.Options[k.text] = v.text
+				if !p.accept(tkOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tkOp, ")"); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case p.accept(tkKeyword, "VIEW"):
+		t, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateViewStmt{Name: t.text, Select: sel}, nil
+	default:
+		return nil, p.errf("CREATE %q not supported", p.cur().text)
+	}
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.next() // DROP
+	if _, err := p.expect(tkKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	st := &DropTableStmt{}
+	if p.accept(tkKeyword, "IF") {
+		if _, err := p.expect(tkKeyword, "EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	t, err := p.expect(tkIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st.Name = t.text
+	return st, nil
+}
+
+func (p *parser) parseMergeDelta() (Statement, error) {
+	p.next() // MERGE
+	if _, err := p.expect(tkKeyword, "DELTA"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "OF"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tkIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	return &MergeDeltaStmt{Table: t.text}, nil
+}
+
+// --- expressions, precedence climbing ------------------------------------
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tkKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(tkKeyword, "IS") {
+		not := p.accept(tkKeyword, "NOT")
+		if _, err := p.expect(tkKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Not: not}, nil
+	}
+	notIn := false
+	if p.at(tkKeyword, "NOT") && p.i+1 < len(p.toks) &&
+		(p.toks[p.i+1].text == "IN" || p.toks[p.i+1].text == "BETWEEN" || p.toks[p.i+1].text == "LIKE") {
+		p.next()
+		notIn = true
+	}
+	if p.accept(tkKeyword, "IN") {
+		if _, err := p.expect(tkOp, "("); err != nil {
+			return nil, err
+		}
+		ie := &InExpr{E: l, Not: notIn}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ie.List = append(ie.List, e)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkOp, ")"); err != nil {
+			return nil, err
+		}
+		return ie, nil
+	}
+	if p.accept(tkKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Not: notIn}, nil
+	}
+	if p.accept(tkKeyword, "LIKE") {
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(&BinaryExpr{Op: "LIKE", L: l, R: r})
+		if notIn {
+			e = &UnaryExpr{Op: "NOT", E: e}
+		}
+		return e, nil
+	}
+	for {
+		var op string
+		switch {
+		case p.at(tkOp, "="), p.at(tkOp, "<"), p.at(tkOp, ">"), p.at(tkOp, "<="), p.at(tkOp, ">="), p.at(tkOp, "<>"), p.at(tkOp, "!="):
+			op = p.next().text
+			if op == "!=" {
+				op = "<>"
+			}
+		default:
+			return l, nil
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkOp, "+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "+", L: l, R: r}
+		case p.accept(tkOp, "-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "-", L: l, R: r}
+		case p.accept(tkOp, "||"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "||", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkOp, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "*", L: l, R: r}
+		case p.accept(tkOp, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "/", L: l, R: r}
+		case p.accept(tkOp, "%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "%", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tkOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Literal); ok {
+			return &Literal{Val: value.Neg(lit.Val)}, nil
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Literal{Val: value.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Literal{Val: value.Int(n)}, nil
+	case tkString:
+		p.next()
+		return &Literal{Val: value.String(t.text)}, nil
+	case tkParam:
+		p.next()
+		p.params++
+		return &Param{Index: p.params - 1}, nil
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: value.Null}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: value.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: value.Bool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+	case tkIdent:
+		p.next()
+		// Function call?
+		if p.at(tkOp, "(") {
+			return p.parseFuncCall(t.text)
+		}
+		// Qualified column?
+		if p.accept(tkOp, ".") {
+			c, err := p.expect(tkIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qual: t.text, Name: c.text}, nil
+		}
+		return &ColRef{Name: t.text}, nil
+	case tkOp:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkOp, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	p.next() // (
+	fe := &FuncExpr{Name: strings.ToUpper(name)}
+	if p.accept(tkOp, "*") {
+		fe.Star = true
+		_, err := p.expect(tkOp, ")")
+		return fe, err
+	}
+	if p.accept(tkOp, ")") {
+		return fe, nil
+	}
+	fe.Distinct = p.accept(tkKeyword, "DISTINCT")
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fe.Args = append(fe.Args, e)
+		if !p.accept(tkOp, ",") {
+			break
+		}
+	}
+	_, err := p.expect(tkOp, ")")
+	return fe, err
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.next() // CASE
+	ce := &CaseExpr{}
+	for p.accept(tkKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, struct{ Cond, Then Expr }{cond, then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errf("CASE needs at least one WHEN")
+	}
+	if p.accept(tkKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if _, err := p.expect(tkKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}

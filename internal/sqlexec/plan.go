@@ -1,0 +1,896 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/columnstore"
+	"repro/internal/value"
+)
+
+// colInfo names one output column of a plan node.
+type colInfo struct {
+	Qual string
+	Name string
+}
+
+// Plan is a logical/physical query plan node. The same tree is consumed by
+// both executors (interpreted and compiled).
+type Plan interface {
+	columns() []colInfo
+}
+
+// ScanPlan reads one logical table: all partitions surviving pruning, with
+// an optional pushed-down predicate.
+type ScanPlan struct {
+	Entry  *catalog.TableEntry
+	Alias  string
+	Filter Expr                 // conjunction over this table's columns
+	Parts  []*catalog.Partition // post-pruning; nil means "all"
+	Pruned int                  // partitions eliminated (for stats)
+	cols   []colInfo
+}
+
+func (s *ScanPlan) columns() []colInfo { return s.cols }
+
+// TableFuncPlan invokes a registered table function.
+type TableFuncPlan struct {
+	Name  string
+	Args  []Expr
+	Alias string
+	cols  []colInfo // filled at exec time if empty
+}
+
+func (s *TableFuncPlan) columns() []colInfo { return s.cols }
+
+// FilterPlan applies a residual predicate.
+type FilterPlan struct {
+	Child Plan
+	Pred  Expr
+}
+
+func (f *FilterPlan) columns() []colInfo { return f.Child.columns() }
+
+// JoinPlan is a hash join. EquiL/EquiR are the equi-key expressions over
+// the left/right child rows; Residual is evaluated on the combined row.
+type JoinPlan struct {
+	L, R      Plan
+	LeftOuter bool
+	EquiL     []Expr
+	EquiR     []Expr
+	Residual  Expr
+}
+
+func (j *JoinPlan) columns() []colInfo {
+	return append(append([]colInfo{}, j.L.columns()...), j.R.columns()...)
+}
+
+// ProjectPlan computes the select list.
+type ProjectPlan struct {
+	Child Plan
+	Exprs []Expr
+	Names []string
+}
+
+func (p *ProjectPlan) columns() []colInfo {
+	out := make([]colInfo, len(p.Names))
+	for i, n := range p.Names {
+		out[i] = colInfo{Name: n}
+	}
+	return out
+}
+
+// aggSpec is one aggregate computation.
+type aggSpec struct {
+	Fn       string // COUNT SUM AVG MIN MAX
+	Arg      Expr   // nil for COUNT(*)
+	Star     bool
+	Distinct bool
+}
+
+// AggPlan groups and aggregates. Output row = group values followed by
+// aggregate values.
+type AggPlan struct {
+	Child   Plan
+	GroupBy []Expr
+	Aggs    []aggSpec
+	outCols []colInfo
+}
+
+func (a *AggPlan) columns() []colInfo { return a.outCols }
+
+// DistinctPlan removes duplicate rows.
+type DistinctPlan struct{ Child Plan }
+
+func (d *DistinctPlan) columns() []colInfo { return d.Child.columns() }
+
+// SortPlan orders rows by compiled key expressions over its input.
+type SortPlan struct {
+	Child Plan
+	Keys  []OrderItem
+}
+
+func (s *SortPlan) columns() []colInfo { return s.Child.columns() }
+
+// LimitPlan truncates the stream.
+type LimitPlan struct {
+	Child     Plan
+	N, Offset int
+}
+
+func (l *LimitPlan) columns() []colInfo { return l.Child.columns() }
+
+// AliasPlan renames the qualifier of all child columns (derived tables).
+type AliasPlan struct {
+	Child Plan
+	Alias string
+}
+
+func (a *AliasPlan) columns() []colInfo {
+	in := a.Child.columns()
+	out := make([]colInfo, len(in))
+	for i, c := range in {
+		out[i] = colInfo{Qual: a.Alias, Name: c.Name}
+	}
+	return out
+}
+
+// PruneHook lets the aging engine (§III) participate in partition pruning
+// with semantic rules beyond simple range bounds. It returns the subset of
+// parts that must be scanned given the conjuncts.
+type PruneHook func(entry *catalog.TableEntry, conjuncts []Expr, parts []*catalog.Partition) []*catalog.Partition
+
+// Planner builds optimized plans against a catalog.
+type Planner struct {
+	Cat   *catalog.Catalog
+	Reg   *Registry
+	TS    uint64 // statement snapshot, for size estimates
+	Prune PruneHook
+	// MaxViewDepth caps view expansion recursion.
+	MaxViewDepth int
+}
+
+// BuildSelect turns a parsed SELECT into an optimized plan.
+func (pl *Planner) BuildSelect(s *SelectStmt) (Plan, error) {
+	return pl.buildSelect(s, 0)
+}
+
+func (pl *Planner) buildSelect(s *SelectStmt, depth int) (Plan, error) {
+	if depth > pl.maxDepth() {
+		return nil, fmt.Errorf("sql: view/subquery nesting too deep")
+	}
+
+	// FROM clause: left-deep join tree.
+	var root Plan
+	var err error
+	if s.From.Name != "" || s.From.Subquery != nil || s.From.Func != nil {
+		root, err = pl.buildTableRef(s.From, depth)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range s.Joins {
+			right, err := pl.buildTableRef(j.Table, depth)
+			if err != nil {
+				return nil, err
+			}
+			root = &JoinPlan{L: root, R: right, LeftOuter: j.Left, Residual: j.On}
+		}
+	} else {
+		root = &ValuesPlan{Rows: [][]Expr{{}}, Names: nil} // SELECT without FROM: one empty row
+	}
+
+	// WHERE.
+	if s.Where != nil {
+		root = &FilterPlan{Child: root, Pred: s.Where}
+	}
+
+	// Optimize the relational core before stacking agg/sort.
+	root = pl.optimize(root)
+
+	// Aggregation.
+	needAgg := len(s.GroupBy) > 0
+	for _, it := range s.Items {
+		if !it.Star && containsAggregate(it.Expr) {
+			needAgg = true
+		}
+	}
+	if s.Having != nil && !needAgg {
+		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+	}
+
+	var projExprs []Expr
+	var projNames []string
+	var aggNode *AggPlan
+
+	if needAgg {
+		agg := &AggPlan{Child: root, GroupBy: s.GroupBy}
+		aggNode = agg
+		// Rewrite select items / having / order-by over the agg output:
+		// group expressions become ColRef{#g<i>}, aggregates ColRef{#a<i>}.
+		rew := &aggRewriter{agg: agg}
+		for _, it := range s.Items {
+			if it.Star {
+				return nil, fmt.Errorf("sql: SELECT * with GROUP BY is not supported")
+			}
+			e, err := rew.rewrite(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			projExprs = append(projExprs, e)
+			projNames = append(projNames, itemName(it))
+		}
+		if s.Having != nil {
+			h, err := rew.rewrite(s.Having)
+			if err != nil {
+				return nil, err
+			}
+			agg.buildOutCols()
+			root = &FilterPlan{Child: agg, Pred: h}
+		} else {
+			agg.buildOutCols()
+			root = agg
+		}
+	} else {
+		for _, it := range s.Items {
+			if it.Star {
+				for _, c := range root.columns() {
+					if it.Qual != "" && c.Qual != it.Qual {
+						continue
+					}
+					projExprs = append(projExprs, &ColRef{Qual: c.Qual, Name: c.Name})
+					projNames = append(projNames, c.Name)
+				}
+				continue
+			}
+			projExprs = append(projExprs, it.Expr)
+			projNames = append(projNames, itemName(it))
+		}
+	}
+
+	proj := &ProjectPlan{Child: root, Exprs: projExprs, Names: projNames}
+	var out Plan = proj
+
+	if s.Distinct {
+		out = &DistinctPlan{Child: out}
+	}
+
+	if len(s.OrderBy) > 0 {
+		keys := make([]OrderItem, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			// ORDER BY ordinal (1-based) resolves to the projection; other
+			// keys resolve against output aliases first, and fall back to
+			// the pre-projection input (ORDER BY o.total with SELECT
+			// c.name, o.total).
+			if lit, ok := o.Expr.(*Literal); ok && lit.Val.K == value.KindInt {
+				idx := int(lit.Val.I)
+				if idx < 1 || idx > len(projNames) {
+					return nil, fmt.Errorf("sql: ORDER BY position %d out of range", idx)
+				}
+				keys[i] = OrderItem{Expr: &ColRef{Name: projNames[idx-1]}, Desc: o.Desc}
+				continue
+			}
+			if aggNode != nil {
+				if e, err := (&aggRewriter{agg: aggNode}).rewrite(o.Expr); err == nil {
+					aggNode.buildOutCols()
+					keys[i] = OrderItem{Expr: e, Desc: o.Desc}
+					continue
+				}
+			}
+			keys[i] = o
+		}
+		postOK := true
+		for _, k := range keys {
+			if !coveredBy(k.Expr, proj.columns()) {
+				postOK = false
+				break
+			}
+		}
+		switch {
+		case postOK:
+			out = &SortPlan{Child: out, Keys: keys}
+		default:
+			preOK := true
+			for _, k := range keys {
+				if !coveredBy(k.Expr, root.columns()) {
+					preOK = false
+					break
+				}
+			}
+			if !preOK {
+				return nil, fmt.Errorf("sql: ORDER BY key not in output or input columns")
+			}
+			// Sort below the projection (and below DISTINCT, whose output
+			// order is then preserved by the stable operators above).
+			proj.Child = &SortPlan{Child: proj.Child, Keys: keys}
+		}
+	}
+	if s.Limit >= 0 {
+		out = &LimitPlan{Child: out, N: s.Limit, Offset: s.Offset}
+	}
+	return out, nil
+}
+
+// ValuesPlan emits literal rows (used for FROM-less selects).
+type ValuesPlan struct {
+	Rows  [][]Expr
+	Names []string
+}
+
+func (v *ValuesPlan) columns() []colInfo {
+	out := make([]colInfo, len(v.Names))
+	for i, n := range v.Names {
+		out[i] = colInfo{Name: n}
+	}
+	return out
+}
+
+func (pl *Planner) maxDepth() int {
+	if pl.MaxViewDepth > 0 {
+		return pl.MaxViewDepth
+	}
+	return 8
+}
+
+func (pl *Planner) buildTableRef(ref TableRef, depth int) (Plan, error) {
+	switch {
+	case ref.Subquery != nil:
+		inner, err := pl.buildSelect(ref.Subquery, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &AliasPlan{Child: inner, Alias: ref.Alias}, nil
+	case ref.Func != nil:
+		tf, ok := pl.Reg.Table(ref.Func.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table function %s", ref.Func.Name)
+		}
+		tp := &TableFuncPlan{Name: ref.Func.Name, Args: ref.Func.Args, Alias: ref.Alias}
+		for _, c := range tf.Schema {
+			tp.cols = append(tp.cols, colInfo{Qual: ref.Alias, Name: c.Name})
+		}
+		return tp, nil
+	default:
+		if v, ok := pl.Cat.View(ref.Name); ok {
+			st, err := Parse(v.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("sql: view %q: %w", ref.Name, err)
+			}
+			sel, ok := st.(*SelectStmt)
+			if !ok {
+				return nil, fmt.Errorf("sql: view %q is not a SELECT", ref.Name)
+			}
+			inner, err := pl.buildSelect(sel, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			return &AliasPlan{Child: inner, Alias: ref.Alias}, nil
+		}
+		entry, ok := pl.Cat.Table(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", ref.Name)
+		}
+		cols := make([]colInfo, len(entry.Schema))
+		for i, c := range entry.Schema {
+			cols[i] = colInfo{Qual: ref.Alias, Name: c.Name}
+		}
+		return &ScanPlan{Entry: entry, Alias: ref.Alias, cols: cols}, nil
+	}
+}
+
+func itemName(it SelectItem) string {
+	if it.As != "" {
+		return it.As
+	}
+	if c, ok := it.Expr.(*ColRef); ok {
+		return c.Name
+	}
+	return strings.ToLower(exprString(it.Expr))
+}
+
+// --- aggregate rewriting ---------------------------------------------------
+
+// aggRewriter replaces aggregate calls and group-by expressions in a
+// select/having expression with references into the AggPlan output row:
+// #g<i> for group key i, #a<i> for aggregate i.
+type aggRewriter struct {
+	agg *AggPlan
+}
+
+func (r *aggRewriter) rewrite(e Expr) (Expr, error) {
+	// Exact group-by match?
+	for i, g := range r.agg.GroupBy {
+		if exprString(g) == exprString(e) {
+			return &ColRef{Name: fmt.Sprintf("#g%d", i)}, nil
+		}
+	}
+	switch x := e.(type) {
+	case *FuncExpr:
+		if aggNames[x.Name] {
+			idx := r.addAgg(x)
+			return &ColRef{Name: fmt.Sprintf("#a%d", idx)}, nil
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			na, err := r.rewrite(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		return &FuncExpr{Name: x.Name, Args: args}, nil
+	case *BinaryExpr:
+		l, err := r.rewrite(x.L)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.rewrite(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: x.Op, L: l, R: rr}, nil
+	case *UnaryExpr:
+		inner, err := r.rewrite(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: x.Op, E: inner}, nil
+	case *CaseExpr:
+		out := &CaseExpr{}
+		for _, w := range x.Whens {
+			c, err := r.rewrite(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			t, err := r.rewrite(w.Then)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, struct{ Cond, Then Expr }{c, t})
+		}
+		if x.Else != nil {
+			e2, err := r.rewrite(x.Else)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = e2
+		}
+		return out, nil
+	case *Literal, *Param:
+		return e, nil
+	case *ColRef:
+		return nil, fmt.Errorf("sql: column %q must appear in GROUP BY or inside an aggregate", exprString(x))
+	case *IsNullExpr:
+		inner, err := r.rewrite(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: inner, Not: x.Not}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported expression %T over aggregation", e)
+}
+
+func (r *aggRewriter) addAgg(f *FuncExpr) int {
+	var arg Expr
+	if len(f.Args) == 1 {
+		arg = f.Args[0]
+	}
+	spec := aggSpec{Fn: f.Name, Arg: arg, Star: f.Star, Distinct: f.Distinct}
+	// Reuse identical aggregates.
+	for i, a := range r.agg.Aggs {
+		if a.Fn == spec.Fn && a.Star == spec.Star && a.Distinct == spec.Distinct && exprString(a.Arg) == exprString(spec.Arg) {
+			return i
+		}
+	}
+	r.agg.Aggs = append(r.agg.Aggs, spec)
+	return len(r.agg.Aggs) - 1
+}
+
+func (a *AggPlan) buildOutCols() {
+	a.outCols = a.outCols[:0]
+	for i := range a.GroupBy {
+		a.outCols = append(a.outCols, colInfo{Name: fmt.Sprintf("#g%d", i)})
+	}
+	for i := range a.Aggs {
+		a.outCols = append(a.outCols, colInfo{Name: fmt.Sprintf("#a%d", i)})
+	}
+}
+
+// --- optimizer ------------------------------------------------------------
+
+// optimize applies predicate pushdown, equi-join extraction, partition
+// pruning, and join-side selection.
+func (pl *Planner) optimize(p Plan) Plan {
+	switch x := p.(type) {
+	case *FilterPlan:
+		child := pl.optimize(x.Child)
+		conjs := splitConjuncts(x.Pred)
+		rest := pl.pushConjuncts(child, conjs)
+		if len(rest) == 0 {
+			return child
+		}
+		return &FilterPlan{Child: child, Pred: andAll(rest)}
+	case *JoinPlan:
+		x.L = pl.optimize(x.L)
+		x.R = pl.optimize(x.R)
+		pl.extractEquiKeys(x)
+		pl.chooseBuildSide(x)
+		return x
+	case *ScanPlan:
+		pl.pruneScan(x)
+		return x
+	case *AliasPlan:
+		x.Child = pl.optimize(x.Child)
+		return x
+	case *AggPlan:
+		x.Child = pl.optimize(x.Child)
+		return x
+	default:
+		return p
+	}
+}
+
+// pushConjuncts tries to sink each conjunct into a scan (or through joins)
+// and returns the conjuncts it could not place.
+func (pl *Planner) pushConjuncts(p Plan, conjs []Expr) []Expr {
+	var rest []Expr
+	for _, c := range conjs {
+		if !pl.pushOne(p, c) {
+			rest = append(rest, c)
+		}
+	}
+	return rest
+}
+
+func (pl *Planner) pushOne(p Plan, conj Expr) bool {
+	switch x := p.(type) {
+	case *ScanPlan:
+		if coveredBy(conj, x.columns()) {
+			if x.Filter == nil {
+				x.Filter = conj
+			} else {
+				x.Filter = &BinaryExpr{Op: "AND", L: x.Filter, R: conj}
+			}
+			pl.pruneScan(x)
+			return true
+		}
+	case *JoinPlan:
+		// Pushing below a left outer join's right side changes semantics;
+		// only push to the left (preserved) side.
+		if pl.pushOne(x.L, conj) {
+			return true
+		}
+		if !x.LeftOuter && pl.pushOne(x.R, conj) {
+			return true
+		}
+		// Merging a WHERE conjunct into the ON condition is only valid for
+		// inner joins: for LEFT OUTER joins the ON clause decides matching
+		// while WHERE filters results, and the two differ for unmatched
+		// rows.
+		if !x.LeftOuter && coveredBy(conj, x.columns()) {
+			if x.Residual == nil {
+				x.Residual = conj
+			} else {
+				x.Residual = &BinaryExpr{Op: "AND", L: x.Residual, R: conj}
+			}
+			pl.extractEquiKeys(x)
+			return true
+		}
+	case *FilterPlan:
+		return pl.pushOne(x.Child, conj)
+	}
+	return false
+}
+
+// coveredBy reports whether every column reference of e resolves within
+// the given columns.
+func coveredBy(e Expr, cols []colInfo) bool {
+	var refs []*ColRef
+	collectColRefs(e, &refs)
+	for _, r := range refs {
+		found := false
+		for _, c := range cols {
+			if (r.Qual == "" || r.Qual == c.Qual) && r.Name == c.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// extractEquiKeys moves residual conjuncts of the form l.x = r.y into the
+// hash-join key lists. Extraction is append-only and idempotent: keys
+// already extracted stay; only conjuncts still in Residual are examined
+// (predicate pushdown may add residual conjuncts after the first pass).
+func (pl *Planner) extractEquiKeys(j *JoinPlan) {
+	if j.Residual == nil {
+		return
+	}
+	lcols, rcols := j.L.columns(), j.R.columns()
+	var residual []Expr
+	for _, c := range splitConjuncts(j.Residual) {
+		be, ok := c.(*BinaryExpr)
+		if ok && be.Op == "=" {
+			switch {
+			case coveredBy(be.L, lcols) && coveredBy(be.R, rcols):
+				j.EquiL = append(j.EquiL, be.L)
+				j.EquiR = append(j.EquiR, be.R)
+				continue
+			case coveredBy(be.R, lcols) && coveredBy(be.L, rcols):
+				j.EquiL = append(j.EquiL, be.R)
+				j.EquiR = append(j.EquiR, be.L)
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	j.Residual = andAll(residual)
+}
+
+// chooseBuildSide swaps inner-join children so the hash build side (right)
+// is the smaller input.
+func (pl *Planner) chooseBuildSide(j *JoinPlan) {
+	if j.LeftOuter || len(j.EquiL) == 0 {
+		return
+	}
+	if pl.estimate(j.L) < pl.estimate(j.R) {
+		j.L, j.R = j.R, j.L
+		j.EquiL, j.EquiR = j.EquiR, j.EquiL
+	}
+}
+
+func (pl *Planner) estimate(p Plan) int {
+	switch x := p.(type) {
+	case *ScanPlan:
+		n := 0
+		for _, part := range x.scanParts() {
+			n += part.Table.NumRows()
+		}
+		if x.Filter != nil {
+			n /= 3 // crude selectivity guess
+		}
+		return n
+	case *FilterPlan:
+		return pl.estimate(x.Child) / 3
+	case *JoinPlan:
+		l, r := pl.estimate(x.L), pl.estimate(x.R)
+		if l > r {
+			return l
+		}
+		return r
+	case *AliasPlan:
+		return pl.estimate(x.Child)
+	case *AggPlan:
+		return pl.estimate(x.Child) / 4
+	default:
+		return 1 << 20
+	}
+}
+
+// scanParts returns the effective partition list of a scan.
+func (s *ScanPlan) scanParts() []*catalog.Partition {
+	if s.Parts != nil {
+		return s.Parts
+	}
+	return s.Entry.Partitions
+}
+
+// pruneScan eliminates partitions that cannot contain matching rows, using
+// range bounds and the semantic prune hook.
+func (pl *Planner) pruneScan(s *ScanPlan) {
+	parts := s.Entry.Partitions
+	conjs := splitConjuncts(s.Filter)
+	if len(parts) > 1 && s.Filter != nil {
+		lo, hi := boundsFor(conjs, partPruneCol(parts))
+		if !lo.IsNull() || !hi.IsNull() {
+			var kept []*catalog.Partition
+			for _, p := range parts {
+				if p.MayContainRange(lo, hi) {
+					kept = append(kept, p)
+				}
+			}
+			parts = kept
+		}
+	}
+	if pl.Prune != nil {
+		parts = pl.Prune(s.Entry, conjs, parts)
+	}
+	s.Pruned = len(s.Entry.Partitions) - len(parts)
+	s.Parts = parts
+}
+
+func partPruneCol(parts []*catalog.Partition) string {
+	for _, p := range parts {
+		if p.PruneCol != "" {
+			return p.PruneCol
+		}
+	}
+	return ""
+}
+
+// boundsFor derives [lo, hi] bounds on col from conjuncts of the form
+// col <op> literal. NULL means unbounded.
+func boundsFor(conjs []Expr, col string) (lo, hi value.Value) {
+	if col == "" {
+		return value.Null, value.Null
+	}
+	lo, hi = value.Null, value.Null
+	tighterLo := func(v value.Value) {
+		if lo.IsNull() || value.Compare(v, lo) > 0 {
+			lo = v
+		}
+	}
+	tighterHi := func(v value.Value) {
+		if hi.IsNull() || value.Compare(v, hi) < 0 {
+			hi = v
+		}
+	}
+	for _, c := range conjs {
+		switch x := c.(type) {
+		case *BinaryExpr:
+			cr, lok := x.L.(*ColRef)
+			lit, rok := x.R.(*Literal)
+			op := x.Op
+			if !lok || !rok {
+				// literal <op> col: flip
+				if lit2, ok := x.L.(*Literal); ok {
+					if cr2, ok := x.R.(*ColRef); ok {
+						cr, lit = cr2, lit2
+						switch op {
+						case "<":
+							op = ">"
+						case "<=":
+							op = ">="
+						case ">":
+							op = "<"
+						case ">=":
+							op = "<="
+						}
+						lok, rok = true, true
+					}
+				}
+			}
+			if !lok || !rok || cr.Name != col {
+				continue
+			}
+			switch op {
+			case "=":
+				tighterLo(lit.Val)
+				tighterHi(lit.Val)
+			case "<":
+				// Strict bounds tighten by one for integer literals.
+				if lit.Val.K == value.KindInt {
+					tighterHi(value.Int(lit.Val.I - 1))
+				} else {
+					tighterHi(lit.Val)
+				}
+			case "<=":
+				tighterHi(lit.Val)
+			case ">":
+				if lit.Val.K == value.KindInt {
+					tighterLo(value.Int(lit.Val.I + 1))
+				} else {
+					tighterLo(lit.Val)
+				}
+			case ">=":
+				tighterLo(lit.Val)
+			}
+		case *BetweenExpr:
+			cr, ok := x.E.(*ColRef)
+			if !ok || cr.Name != col || x.Not {
+				continue
+			}
+			if l, ok := x.Lo.(*Literal); ok {
+				tighterLo(l.Val)
+			}
+			if h, ok := x.Hi.(*Literal); ok {
+				tighterHi(h.Val)
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Explain renders a plan tree for debugging and the shell's EXPLAIN.
+func Explain(p Plan) string {
+	var sb strings.Builder
+	explainRec(p, 0, &sb)
+	return sb.String()
+}
+
+func explainRec(p Plan, depth int, sb *strings.Builder) {
+	ind := strings.Repeat("  ", depth)
+	switch x := p.(type) {
+	case *ScanPlan:
+		sb.WriteString(ind + "Scan " + x.Entry.Name)
+		if x.Alias != x.Entry.Name {
+			sb.WriteString(" AS " + x.Alias)
+		}
+		sb.WriteString(" [" + strconv.Itoa(len(x.scanParts())) + "/" + strconv.Itoa(len(x.Entry.Partitions)) + " partitions]")
+		if x.Filter != nil {
+			sb.WriteString(" filter=" + exprString(x.Filter))
+		}
+		sb.WriteString("\n")
+	case *TableFuncPlan:
+		sb.WriteString(ind + "TableFunc " + x.Name + "\n")
+	case *FilterPlan:
+		sb.WriteString(ind + "Filter " + exprString(x.Pred) + "\n")
+		explainRec(x.Child, depth+1, sb)
+	case *JoinPlan:
+		kind := "HashJoin"
+		if len(x.EquiL) == 0 {
+			kind = "NestedLoopJoin"
+		}
+		if x.LeftOuter {
+			kind = "Left" + kind
+		}
+		sb.WriteString(ind + kind)
+		for i := range x.EquiL {
+			sb.WriteString(" " + exprString(x.EquiL[i]) + "=" + exprString(x.EquiR[i]))
+		}
+		if x.Residual != nil {
+			sb.WriteString(" residual=" + exprString(x.Residual))
+		}
+		sb.WriteString("\n")
+		explainRec(x.L, depth+1, sb)
+		explainRec(x.R, depth+1, sb)
+	case *ProjectPlan:
+		sb.WriteString(ind + "Project " + strings.Join(x.Names, ", ") + "\n")
+		explainRec(x.Child, depth+1, sb)
+	case *AggPlan:
+		sb.WriteString(ind + fmt.Sprintf("Aggregate groups=%d aggs=%d\n", len(x.GroupBy), len(x.Aggs)))
+		explainRec(x.Child, depth+1, sb)
+	case *DistinctPlan:
+		sb.WriteString(ind + "Distinct\n")
+		explainRec(x.Child, depth+1, sb)
+	case *SortPlan:
+		sb.WriteString(ind + "Sort\n")
+		explainRec(x.Child, depth+1, sb)
+	case *LimitPlan:
+		sb.WriteString(ind + fmt.Sprintf("Limit %d offset %d\n", x.N, x.Offset))
+		explainRec(x.Child, depth+1, sb)
+	case *AliasPlan:
+		sb.WriteString(ind + "Alias " + x.Alias + "\n")
+		explainRec(x.Child, depth+1, sb)
+	case *ValuesPlan:
+		sb.WriteString(ind + fmt.Sprintf("Values %d rows\n", len(x.Rows)))
+	default:
+		sb.WriteString(ind + fmt.Sprintf("%T\n", p))
+	}
+}
+
+// Resolver builds a colResolver over a plan's output columns.
+func resolverFor(cols []colInfo) colResolver {
+	return func(qual, name string) (int, error) {
+		found := -1
+		for i, c := range cols {
+			if (qual == "" || qual == c.Qual) && name == c.Name {
+				if found >= 0 && qual == "" {
+					return 0, fmt.Errorf("sql: ambiguous column %q", name)
+				}
+				found = i
+				if qual != "" {
+					return i, nil
+				}
+			}
+		}
+		if found < 0 {
+			return 0, fmt.Errorf("sql: unknown column %s", joinQual(qual, name))
+		}
+		return found, nil
+	}
+}
+
+func joinQual(q, n string) string {
+	if q == "" {
+		return n
+	}
+	return q + "." + n
+}
+
+var _ = columnstore.Schema{} // keep import for TableFunc signature docs

@@ -1,0 +1,49 @@
+package sqlexec
+
+import "strings"
+
+// String renders the result as an aligned text table (shell, examples).
+func (r *Result) String() string {
+	if r == nil || len(r.Cols) == 0 {
+		return "(no result)\n"
+	}
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(r.Cols))
+		for ci := range r.Cols {
+			s := "NULL"
+			if ci < len(row) {
+				s = row[ci].AsString()
+			}
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(v)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(v)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(r.Cols)
+	seps := make([]string, len(r.Cols))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(seps)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return sb.String()
+}

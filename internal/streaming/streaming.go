@@ -1,0 +1,372 @@
+// Package streaming implements the ESP-style streaming engine of Figure 4:
+// push-based event pipelines with filters, transformations, event-time
+// tumbling windows with aggregation, pattern triggers (alerts), and table
+// sinks that feed events straight into the column store's delta storage —
+// the streaming entry point of the ecosystem (sensor data, ticker feeds).
+package streaming
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/columnstore"
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// Stream is one pipeline. Build it with the fluent operators, then Push
+// events into it; Flush closes open windows at end of stream.
+type Stream struct {
+	mu     sync.Mutex
+	schema columnstore.Schema
+	head   stage
+	tail   *fanout
+
+	eventsIn  int
+	eventsOut int
+}
+
+// stage consumes events and forwards them downstream.
+type stage interface {
+	push(row value.Row)
+	flush()
+}
+
+// fanout is the terminal stage feeding all sinks.
+type fanout struct {
+	s     *Stream
+	sinks []func(value.Row)
+}
+
+func (f *fanout) push(row value.Row) {
+	f.s.eventsOut++
+	for _, sink := range f.sinks {
+		sink(row)
+	}
+}
+
+func (f *fanout) flush() {}
+
+// New creates a stream over the given event schema.
+func New(schema columnstore.Schema) *Stream {
+	s := &Stream{schema: schema.Clone()}
+	s.tail = &fanout{s: s}
+	s.head = s.tail
+	return s
+}
+
+// Schema returns the schema of events leaving the pipeline (windows
+// change it).
+func (s *Stream) Schema() columnstore.Schema { return s.schema }
+
+// Stats returns events accepted and events emitted to sinks.
+func (s *Stream) Stats() (in, out int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eventsIn, s.eventsOut
+}
+
+// prepend inserts a stage before the current head (operators are added in
+// declaration order, so each wraps the existing pipeline downstream).
+func (s *Stream) append(mk func(down stage) stage) {
+	// Stages chain: head -> ... -> tail. New operators go at the end,
+	// just before the fanout. Walk is unnecessary: we rebuild by wrapping
+	// the tail and letting earlier stages keep their downstream pointer,
+	// which requires operators to be added before any events flow.
+	st := mk(s.tail)
+	if s.head == s.tail {
+		s.head = st
+		return
+	}
+	// Find the stage currently pointing at the tail and repoint it.
+	cur := s.head
+	for {
+		type downer interface {
+			downstream() stage
+			setDownstream(stage)
+		}
+		d, ok := cur.(downer)
+		if !ok {
+			break
+		}
+		if d.downstream() == s.tail {
+			d.setDownstream(st)
+			return
+		}
+		cur = d.downstream()
+	}
+	s.head = st
+}
+
+// baseStage implements downstream plumbing.
+type baseStage struct {
+	down stage
+}
+
+func (b *baseStage) downstream() stage     { return b.down }
+func (b *baseStage) setDownstream(d stage) { b.down = d }
+
+// Filter keeps events matching pred.
+func (s *Stream) Filter(pred func(value.Row) bool) *Stream {
+	s.append(func(down stage) stage { return &filterStage{baseStage{down}, pred} })
+	return s
+}
+
+// FilterSQL keeps events matching a SQL condition over the event schema.
+func (s *Stream) FilterSQL(cond string) (*Stream, error) {
+	pred, err := sqlexec.CompileRowPredicate(cond, s.schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.Filter(pred), nil
+}
+
+type filterStage struct {
+	baseStage
+	pred func(value.Row) bool
+}
+
+func (f *filterStage) push(row value.Row) {
+	if f.pred(row) {
+		f.down.push(row)
+	}
+}
+func (f *filterStage) flush() { f.down.flush() }
+
+// Map transforms events.
+func (s *Stream) Map(f func(value.Row) value.Row) *Stream {
+	s.append(func(down stage) stage { return &mapStage{baseStage{down}, f} })
+	return s
+}
+
+type mapStage struct {
+	baseStage
+	f func(value.Row) value.Row
+}
+
+func (m *mapStage) push(row value.Row) { m.down.push(m.f(row)) }
+func (m *mapStage) flush()             { m.down.flush() }
+
+// WindowSpec configures a tumbling event-time window aggregation.
+type WindowSpec struct {
+	TSCol    string // event-time column (int64 micros)
+	Width    int64  // window width in micros
+	GroupCol string // optional grouping column
+	AggCol   string // aggregated column
+	Agg      string // sum, avg, min, max, count
+}
+
+// Window adds a tumbling window: events are bucketed by event time; when
+// an event arrives at or past a window's end (the watermark), the closed
+// window emits one row per group: (window_start, group, agg). The stream's
+// downstream schema changes accordingly.
+func (s *Stream) Window(spec WindowSpec) (*Stream, error) {
+	ti := s.schema.ColIndex(spec.TSCol)
+	ai := s.schema.ColIndex(spec.AggCol)
+	if ti < 0 || (ai < 0 && spec.Agg != "count") {
+		return nil, fmt.Errorf("streaming: window columns %q/%q not in schema", spec.TSCol, spec.AggCol)
+	}
+	gi := -1
+	if spec.GroupCol != "" {
+		gi = s.schema.ColIndex(spec.GroupCol)
+		if gi < 0 {
+			return nil, fmt.Errorf("streaming: group column %q not in schema", spec.GroupCol)
+		}
+	}
+	if spec.Width <= 0 {
+		return nil, fmt.Errorf("streaming: window width must be positive")
+	}
+	switch spec.Agg {
+	case "sum", "avg", "min", "max", "count":
+	default:
+		return nil, fmt.Errorf("streaming: unknown aggregate %q", spec.Agg)
+	}
+	s.append(func(down stage) stage {
+		return &windowStage{baseStage: baseStage{down}, spec: spec, ti: ti, gi: gi, ai: ai, open: map[int64]map[string]*wacc{}}
+	})
+	// Downstream schema: (window_start TIMESTAMP, group VARCHAR, val DOUBLE).
+	s.schema = columnstore.Schema{
+		{Name: "window_start", Kind: value.KindInt},
+		{Name: "grp", Kind: value.KindString},
+		{Name: "val", Kind: value.KindFloat},
+	}
+	return s, nil
+}
+
+type wacc struct {
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+type windowStage struct {
+	baseStage
+	spec       WindowSpec
+	ti, gi, ai int
+	open       map[int64]map[string]*wacc
+	watermark  int64
+}
+
+func (w *windowStage) push(row value.Row) {
+	ts := row[w.ti].AsInt()
+	start := ts - mod64(ts, w.spec.Width)
+	grp := ""
+	if w.gi >= 0 {
+		grp = row[w.gi].AsString()
+	}
+	groups := w.open[start]
+	if groups == nil {
+		groups = map[string]*wacc{}
+		w.open[start] = groups
+	}
+	a := groups[grp]
+	if a == nil {
+		a = &wacc{}
+		groups[grp] = a
+	}
+	v := 0.0
+	if w.ai >= 0 {
+		v = row[w.ai].AsFloat()
+	}
+	if a.count == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.count++
+	a.sum += v
+
+	// Watermark: event time advances; close windows strictly before the
+	// current window.
+	if ts > w.watermark {
+		w.watermark = ts
+	}
+	for ws := range w.open {
+		if ws+w.spec.Width <= w.watermark-mod64(w.watermark, w.spec.Width) {
+			w.emit(ws)
+		}
+	}
+}
+
+func (w *windowStage) emit(start int64) {
+	groups := w.open[start]
+	delete(w.open, start)
+	keys := make([]string, 0, len(groups))
+	for g := range groups {
+		keys = append(keys, g)
+	}
+	sortStrings(keys)
+	for _, g := range keys {
+		a := groups[g]
+		var v float64
+		switch w.spec.Agg {
+		case "sum":
+			v = a.sum
+		case "avg":
+			v = a.sum / float64(a.count)
+		case "min":
+			v = a.min
+		case "max":
+			v = a.max
+		case "count":
+			v = float64(a.count)
+		}
+		w.down.push(value.Row{value.Int(start), value.String(g), value.Float(v)})
+	}
+}
+
+func (w *windowStage) flush() {
+	starts := make([]int64, 0, len(w.open))
+	for s := range w.open {
+		starts = append(starts, s)
+	}
+	sortInt64s(starts)
+	for _, s := range starts {
+		w.emit(s)
+	}
+	w.down.flush()
+}
+
+// OnEvent registers a callback sink (pattern triggers, alert fan-out).
+func (s *Stream) OnEvent(f func(value.Row)) *Stream {
+	s.tail.sinks = append(s.tail.sinks, f)
+	return s
+}
+
+// IntoTable sinks events into an engine table — the stream-to-delta-store
+// ingestion path of Figure 4. Inserts run through the transaction layer,
+// so every event is immediately queryable.
+func (s *Stream) IntoTable(eng *sqlexec.Engine, table string) error {
+	entry, ok := eng.Cat.Table(table)
+	if !ok {
+		return fmt.Errorf("streaming: unknown table %q", table)
+	}
+	if len(entry.Schema) != len(s.schema) {
+		return fmt.Errorf("streaming: sink table %q has %d columns, stream emits %d", table, len(entry.Schema), len(s.schema))
+	}
+	sess := eng.NewSession()
+	params := make([]string, len(entry.Schema))
+	for i := range params {
+		params[i] = "?"
+	}
+	sql := fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, joinComma(params))
+	s.OnEvent(func(row value.Row) {
+		sess.Query(sql, row...)
+	})
+	return nil
+}
+
+// Push feeds one event through the pipeline.
+func (s *Stream) Push(row value.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eventsIn++
+	s.head.push(row)
+}
+
+// Flush closes all open windows (end of stream).
+func (s *Stream) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.head.flush()
+}
+
+func mod64(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

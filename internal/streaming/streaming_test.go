@@ -1,0 +1,170 @@
+package streaming
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/columnstore"
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+func eventSchema() columnstore.Schema {
+	return columnstore.Schema{
+		{Name: "ts", Kind: value.KindInt},
+		{Name: "sensor", Kind: value.KindString},
+		{Name: "fill", Kind: value.KindFloat},
+	}
+}
+
+func ev(ts int64, sensor string, fill float64) value.Row {
+	return value.Row{value.Int(ts), value.String(sensor), value.Float(fill)}
+}
+
+func TestFilterAndMap(t *testing.T) {
+	s := New(eventSchema())
+	var got []value.Row
+	s.Filter(func(r value.Row) bool { return r[2].F < 20 }).
+		Map(func(r value.Row) value.Row {
+			out := r.Clone()
+			out[1] = value.String("ALERT:" + r[1].S)
+			return out
+		}).
+		OnEvent(func(r value.Row) { got = append(got, r) })
+	s.Push(ev(1, "D1", 50))
+	s.Push(ev(2, "D2", 10))
+	s.Push(ev(3, "D3", 5))
+	if len(got) != 2 || got[0][1].S != "ALERT:D2" {
+		t.Fatalf("got=%v", got)
+	}
+	in, out := s.Stats()
+	if in != 3 || out != 2 {
+		t.Fatalf("in=%d out=%d", in, out)
+	}
+}
+
+func TestFilterSQL(t *testing.T) {
+	s := New(eventSchema())
+	if _, err := s.FilterSQL("fill < 20 AND sensor <> 'D9'"); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	s.OnEvent(func(value.Row) { n++ })
+	s.Push(ev(1, "D1", 10))
+	s.Push(ev(2, "D9", 10))
+	s.Push(ev(3, "D1", 90))
+	if n != 1 {
+		t.Fatalf("n=%d", n)
+	}
+	bad := New(eventSchema())
+	if _, err := bad.FilterSQL("nosuchcol = 1"); err == nil {
+		t.Fatal("bad condition accepted")
+	}
+}
+
+func TestTumblingWindowAggregation(t *testing.T) {
+	s := New(eventSchema())
+	if _, err := s.Window(WindowSpec{TSCol: "ts", Width: 100, GroupCol: "sensor", AggCol: "fill", Agg: "avg"}); err != nil {
+		t.Fatal(err)
+	}
+	var got []value.Row
+	s.OnEvent(func(r value.Row) { got = append(got, r.Clone()) })
+	// Window [0,100): D1 avg (10+30)/2, D2 avg 50.
+	s.Push(ev(10, "D1", 10))
+	s.Push(ev(20, "D2", 50))
+	s.Push(ev(90, "D1", 30))
+	if len(got) != 0 {
+		t.Fatal("window closed early")
+	}
+	// Event at 150 advances the watermark past window 0.
+	s.Push(ev(150, "D1", 99))
+	if len(got) != 2 {
+		t.Fatalf("emitted=%v", got)
+	}
+	if got[0][0].I != 0 || got[0][1].S != "D1" || got[0][2].F != 20 {
+		t.Fatalf("D1 window=%v", got[0])
+	}
+	if got[1][1].S != "D2" || got[1][2].F != 50 {
+		t.Fatalf("D2 window=%v", got[1])
+	}
+	// Flush drains the open window.
+	s.Flush()
+	if len(got) != 3 || got[2][2].F != 99 {
+		t.Fatalf("after flush=%v", got)
+	}
+}
+
+func TestWindowAggKinds(t *testing.T) {
+	for agg, want := range map[string]float64{"sum": 60, "min": 10, "max": 30, "count": 3, "avg": 20} {
+		s := New(eventSchema())
+		if _, err := s.Window(WindowSpec{TSCol: "ts", Width: 1000, AggCol: "fill", Agg: agg}); err != nil {
+			t.Fatal(err)
+		}
+		var got []value.Row
+		s.OnEvent(func(r value.Row) { got = append(got, r) })
+		s.Push(ev(1, "x", 10))
+		s.Push(ev(2, "x", 20))
+		s.Push(ev(3, "x", 30))
+		s.Flush()
+		if len(got) != 1 || got[0][2].F != want {
+			t.Fatalf("%s: got=%v want %v", agg, got, want)
+		}
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	s := New(eventSchema())
+	if _, err := s.Window(WindowSpec{TSCol: "nope", Width: 10, AggCol: "fill", Agg: "sum"}); err == nil {
+		t.Fatal("bad ts column accepted")
+	}
+	if _, err := s.Window(WindowSpec{TSCol: "ts", Width: 0, AggCol: "fill", Agg: "sum"}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := s.Window(WindowSpec{TSCol: "ts", Width: 10, AggCol: "fill", Agg: "median"}); err == nil {
+		t.Fatal("unknown agg accepted")
+	}
+}
+
+func TestIntoTableIngestsToDeltaStore(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	eng.MustQuery(`CREATE TABLE readings (ts INT, sensor VARCHAR, fill DOUBLE)`)
+	s := New(eventSchema())
+	if err := s.IntoTable(eng, "readings"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Push(ev(int64(i), fmt.Sprintf("D%d", i%2), float64(i)))
+	}
+	// Events are immediately queryable (they sit in the delta store).
+	r := eng.MustQuery(`SELECT COUNT(*), SUM(fill) FROM readings`)
+	if r.Rows[0][0].I != 10 || r.Rows[0][1].F != 45 {
+		t.Fatalf("row=%v", r.Rows[0])
+	}
+	entry, _ := eng.Cat.Table("readings")
+	if entry.Primary().DeltaRows() != 10 {
+		t.Fatalf("delta rows=%d", entry.Primary().DeltaRows())
+	}
+	if err := s.IntoTable(eng, "ghost"); err == nil {
+		t.Fatal("missing sink accepted")
+	}
+}
+
+func TestWindowedStreamIntoTable(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	eng.MustQuery(`CREATE TABLE agg (window_start INT, grp VARCHAR, val DOUBLE)`)
+	s := New(eventSchema())
+	if _, err := s.Window(WindowSpec{TSCol: "ts", Width: 100, GroupCol: "sensor", AggCol: "fill", Agg: "sum"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IntoTable(eng, "agg"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 350; i += 50 {
+		s.Push(ev(i, "D1", 1))
+	}
+	s.Flush()
+	r := eng.MustQuery(`SELECT COUNT(*) FROM agg`)
+	if r.Rows[0][0].I != 4 { // windows 0,100,200,300
+		t.Fatalf("windows=%v", r.Rows[0][0])
+	}
+}

@@ -1,0 +1,219 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Entity is one extracted, typed span (§II-C: "extract entities (like
+// names, addresses, companies, ...) and sentiments ... stored as
+// structured data").
+type Entity struct {
+	Type string // PERSON, COMPANY, LOCATION, MONEY, EMAIL, SENSOR
+	Text string
+}
+
+var companySuffixes = []string{"Inc", "Corp", "Corporation", "GmbH", "AG", "SE", "Ltd", "LLC", "Co"}
+
+var locationGazetteer = map[string]bool{
+	"Berlin": true, "Walldorf": true, "Dresden": true, "Seoul": true,
+	"Paris": true, "London": true, "Tokyo": true, "Chicago": true,
+	"Miami": true, "Houston": true, "Texas": true, "Florida": true,
+	"Germany": true, "Korea": true, "USA": true,
+}
+
+var personTitles = map[string]bool{"Mr": true, "Mrs": true, "Ms": true, "Dr": true, "Prof": true}
+
+// ExtractEntities runs the rule-based extraction pipeline over a document.
+func ExtractEntities(doc string) []Entity {
+	var out []Entity
+	words := splitWordsKeepCase(doc)
+
+	for i := 0; i < len(words); i++ {
+		w := words[i]
+		// MONEY: number followed by currency, or $/€ prefix handled by
+		// currency words since splitWords drops symbols.
+		if isNumberWord(w) && i+1 < len(words) && isCurrencyWord(words[i+1]) {
+			out = append(out, Entity{Type: "MONEY", Text: w + " " + words[i+1]})
+			i++
+			continue
+		}
+		// EMAIL survives splitting as name/host runs; detect on raw doc
+		// below instead.
+		// COMPANY: Capitalized+ followed by a legal suffix.
+		if isCapitalized(w) && i+1 < len(words) && isCompanySuffix(words[i+1]) {
+			// Extend left over preceding capitalized words.
+			start := i
+			for start > 0 && isCapitalized(words[start-1]) && !personTitles[strings.TrimRight(words[start-1], ".")] {
+				start--
+			}
+			out = append(out, Entity{Type: "COMPANY", Text: strings.Join(words[start:i+2], " ")})
+			i++
+			continue
+		}
+		// LOCATION from the gazetteer.
+		if locationGazetteer[w] {
+			out = append(out, Entity{Type: "LOCATION", Text: w})
+			continue
+		}
+		// PERSON: title + capitalized, or two adjacent capitalized words
+		// not at sentence start.
+		if personTitles[strings.TrimRight(w, ".")] && i+1 < len(words) && isCapitalized(words[i+1]) {
+			name := words[i+1]
+			if i+2 < len(words) && isCapitalized(words[i+2]) && !isCompanySuffix(words[i+2]) {
+				name += " " + words[i+2]
+				i++
+			}
+			out = append(out, Entity{Type: "PERSON", Text: name})
+			i++
+			continue
+		}
+	}
+
+	// EMAIL on the raw text.
+	for _, f := range strings.Fields(doc) {
+		f = strings.Trim(f, ".,;:()!?\"'")
+		at := strings.IndexByte(f, '@')
+		if at > 0 && strings.Contains(f[at:], ".") && !strings.ContainsAny(f, " ") {
+			out = append(out, Entity{Type: "EMAIL", Text: f})
+		}
+	}
+	// SENSOR ids (IoT flavor): tokens like SN-1234 or DISP-0007.
+	for _, f := range strings.Fields(doc) {
+		f = strings.Trim(f, ".,;:()!?\"'")
+		if i := strings.IndexByte(f, '-'); i > 0 && i < len(f)-1 {
+			prefix, rest := f[:i], f[i+1:]
+			if isAllUpper(prefix) && isAllDigit(rest) {
+				out = append(out, Entity{Type: "SENSOR", Text: f})
+			}
+		}
+	}
+	return out
+}
+
+func splitWordsKeepCase(s string) []string {
+	var out []string
+	start := -1
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '.' && start >= 0 {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, strings.TrimRight(s[start:i], "."))
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, strings.TrimRight(s[start:], "."))
+	}
+	return out
+}
+
+func isCapitalized(w string) bool {
+	if w == "" {
+		return false
+	}
+	r := rune(w[0])
+	return unicode.IsUpper(r)
+}
+
+func isCompanySuffix(w string) bool {
+	w = strings.TrimRight(w, ".")
+	for _, s := range companySuffixes {
+		if w == s {
+			return true
+		}
+	}
+	return false
+}
+
+func isNumberWord(w string) bool {
+	if w == "" {
+		return false
+	}
+	for _, r := range w {
+		if !unicode.IsDigit(r) && r != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+func isCurrencyWord(w string) bool {
+	switch strings.ToUpper(strings.TrimRight(w, ".")) {
+	case "EUR", "USD", "KRW", "DOLLARS", "EUROS", "WON":
+		return true
+	}
+	return false
+}
+
+func isAllUpper(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsUpper(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func isAllDigit(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- sentiment ---------------------------------------------------------
+
+var positiveWords = map[string]bool{
+	"good": true, "great": true, "excellent": true, "love": true,
+	"happy": true, "fast": true, "reliable": true, "amazing": true,
+	"perfect": true, "works": true, "easy": true, "best": true,
+	"recommend": true, "clean": true, "fresh": true, "full": true,
+}
+
+var negativeWords = map[string]bool{
+	"bad": true, "terrible": true, "awful": true, "hate": true, "slow": true,
+	"broken": true, "empty": true, "dirty": true, "worst": true,
+	"fail": true, "failure": true, "leak": true, "problem": true,
+	"unhappy": true, "poor": true, "missing": true, "never": true,
+}
+
+var negations = map[string]bool{"not": true, "no": true, "never": true, "isn't": true, "don't": true, "doesn't": true}
+
+// Sentiment scores a document in [-1, 1]: sign of (positives - negatives)
+// normalized by matched words, with single-step negation flipping.
+func Sentiment(doc string) float64 {
+	words := splitWords(strings.ToLower(doc))
+	score, matched := 0.0, 0
+	for i, w := range words {
+		s := 0.0
+		if positiveWords[w] {
+			s = 1
+		} else if negativeWords[w] {
+			s = -1
+		} else {
+			continue
+		}
+		if i > 0 && negations[words[i-1]] {
+			s = -s
+		}
+		score += s
+		matched++
+	}
+	if matched == 0 {
+		return 0
+	}
+	return score / float64(matched)
+}

@@ -1,0 +1,201 @@
+package text
+
+import (
+	"math"
+	"sort"
+)
+
+// Classifier is a multinomial Naive Bayes text classifier (§II-C "text
+// classification").
+type Classifier struct {
+	classDocs  map[string]int
+	termCounts map[string]map[string]int // class -> term -> count
+	classTotal map[string]int            // class -> total term count
+	vocab      map[string]bool
+	docs       int
+}
+
+// NewClassifier returns an untrained classifier.
+func NewClassifier() *Classifier {
+	return &Classifier{
+		classDocs:  map[string]int{},
+		termCounts: map[string]map[string]int{},
+		classTotal: map[string]int{},
+		vocab:      map[string]bool{},
+	}
+}
+
+// Train adds one labeled document.
+func (c *Classifier) Train(label, doc string) {
+	c.classDocs[label]++
+	c.docs++
+	if c.termCounts[label] == nil {
+		c.termCounts[label] = map[string]int{}
+	}
+	for _, t := range Tokenize(doc) {
+		c.termCounts[label][t.Term]++
+		c.classTotal[label]++
+		c.vocab[t.Term] = true
+	}
+}
+
+// Classify returns the most likely label and its log-probability margin
+// over the runner-up (0 when fewer than two classes are trained).
+func (c *Classifier) Classify(doc string) (string, float64) {
+	if c.docs == 0 {
+		return "", 0
+	}
+	type scored struct {
+		label string
+		lp    float64
+	}
+	var all []scored
+	v := float64(len(c.vocab))
+	for label, n := range c.classDocs {
+		lp := math.Log(float64(n) / float64(c.docs))
+		for _, t := range Tokenize(doc) {
+			tf := float64(c.termCounts[label][t.Term])
+			lp += math.Log((tf + 1) / (float64(c.classTotal[label]) + v))
+		}
+		all = append(all, scored{label, lp})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].lp != all[b].lp {
+			return all[a].lp > all[b].lp
+		}
+		return all[a].label < all[b].label
+	})
+	margin := 0.0
+	if len(all) > 1 {
+		margin = all[0].lp - all[1].lp
+	}
+	return all[0].label, margin
+}
+
+// --- k-means clustering -----------------------------------------------
+
+// Cluster groups documents into k clusters over TF vectors using k-means
+// with deterministic farthest-point seeding. Returns the cluster index per
+// document.
+func Cluster(docs []string, k int, iters int) []int {
+	n := len(docs)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// Vocabulary and TF vectors.
+	vocabIdx := map[string]int{}
+	vecs := make([]map[int]float64, n)
+	for i, d := range docs {
+		v := map[int]float64{}
+		for _, t := range Tokenize(d) {
+			idx, ok := vocabIdx[t.Term]
+			if !ok {
+				idx = len(vocabIdx)
+				vocabIdx[t.Term] = idx
+			}
+			v[idx]++
+		}
+		normalize(v)
+		vecs[i] = v
+	}
+
+	// Farthest-point seeding from doc 0.
+	centroids := []map[int]float64{copyVec(vecs[0])}
+	for len(centroids) < k {
+		best, bestDist := 0, -1.0
+		for i, v := range vecs {
+			d := math.MaxFloat64
+			for _, c := range centroids {
+				if dd := sqDist(v, c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestDist {
+				best, bestDist = i, d
+			}
+		}
+		centroids = append(centroids, copyVec(vecs[best]))
+	}
+
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.MaxFloat64
+			for ci, c := range centroids {
+				if d := sqDist(v, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		// Recompute centroids.
+		sums := make([]map[int]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = map[int]float64{}
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for idx, val := range v {
+				sums[c][idx] += val
+			}
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				continue
+			}
+			for idx := range sums[ci] {
+				sums[ci][idx] /= float64(counts[ci])
+			}
+			centroids[ci] = sums[ci]
+		}
+	}
+	return assign
+}
+
+func normalize(v map[int]float64) {
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm == 0 {
+		return
+	}
+	norm = math.Sqrt(norm)
+	for i := range v {
+		v[i] /= norm
+	}
+}
+
+func copyVec(v map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+func sqDist(a, b map[int]float64) float64 {
+	d := 0.0
+	for k, x := range a {
+		y := b[k]
+		d += (x - y) * (x - y)
+	}
+	for k, y := range b {
+		if _, ok := a[k]; !ok {
+			d += y * y
+		}
+	}
+	return d
+}

@@ -1,0 +1,152 @@
+// Package text implements the text engine of §II-C: tokenization with
+// stemming, an inverted index with TF-IDF ranked and fuzzy search,
+// rule-based entity and sentiment extraction, Naive-Bayes classification
+// and k-means document clustering. Results are structured data that joins
+// back to the relational store — extraction is triggered automatically
+// when documents are ingested (see Indexer).
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one analyzed term with its position in the document.
+type Token struct {
+	Term string // stemmed, lower-cased
+	Raw  string // original surface form
+	Pos  int    // token position (for phrase queries)
+}
+
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true,
+	"he": true, "in": true, "is": true, "it": true, "its": true, "of": true,
+	"on": true, "or": true, "that": true, "the": true, "to": true,
+	"was": true, "were": true, "will": true, "with": true, "this": true,
+}
+
+// Tokenize splits, lower-cases, drops stopwords and stems. Positions count
+// all word tokens (including stopwords) so phrase distances survive.
+func Tokenize(doc string) []Token {
+	var out []Token
+	pos := 0
+	for _, raw := range splitWords(doc) {
+		pos++
+		lower := strings.ToLower(raw)
+		if stopwords[lower] {
+			continue
+		}
+		out = append(out, Token{Term: Stem(lower), Raw: raw, Pos: pos - 1})
+	}
+	return out
+}
+
+// splitWords extracts letter/digit runs.
+func splitWords(s string) []string {
+	var out []string
+	start := -1
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, strings.Trim(s[start:i], "'"))
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, strings.Trim(s[start:], "'"))
+	}
+	// Drop empties from lone apostrophes.
+	clean := out[:0]
+	for _, w := range out {
+		if w != "" {
+			clean = append(clean, w)
+		}
+	}
+	return clean
+}
+
+// Stem applies a compact Porter-style suffix stripper: enough for recall
+// across inflections without a full rule table.
+func Stem(w string) string {
+	if len(w) <= 3 {
+		return w
+	}
+	for _, suf := range []string{"ational", "iveness", "fulness", "ousness"} {
+		if strings.HasSuffix(w, suf) && len(w)-len(suf) >= 3 {
+			return w[:len(w)-len(suf)+2] // ational->at etc., keep a stub
+		}
+	}
+	rules := []struct{ suf, rep string }{
+		{"sses", "ss"}, {"ies", "i"}, {"ing", ""}, {"edly", ""}, {"ed", ""},
+		{"ly", ""}, {"ment", ""}, {"ness", ""}, {"tion", "t"}, {"s", ""},
+	}
+	for _, r := range rules {
+		if strings.HasSuffix(w, r.suf) {
+			stem := w[:len(w)-len(r.suf)] + r.rep
+			if len(stem) >= 3 {
+				// Undouble final consonant (running -> run), but only when
+				// the suffix was stripped outright, not replaced
+				// (classes -> class must keep its ss).
+				if r.rep == "" && len(stem) >= 2 && stem[len(stem)-1] == stem[len(stem)-2] && !isVowel(stem[len(stem)-1]) {
+					stem = stem[:len(stem)-1]
+				}
+				return stem
+			}
+		}
+	}
+	return w
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// editDistance1 reports whether a and b are within Levenshtein distance 1
+// (fuzzy term matching).
+func editDistance1(a, b string) bool {
+	la, lb := len(a), len(b)
+	if la == lb {
+		diff := 0
+		for i := 0; i < la; i++ {
+			if a[i] != b[i] {
+				diff++
+				if diff > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if la > lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if lb-la != 1 {
+		return false
+	}
+	// b has one extra char.
+	i, j, skipped := 0, 0, false
+	for i < la {
+		if a[i] == b[j] {
+			i++
+			j++
+			continue
+		}
+		if skipped {
+			return false
+		}
+		skipped = true
+		j++
+	}
+	return true
+}

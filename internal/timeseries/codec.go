@@ -1,0 +1,226 @@
+package timeseries
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// The sensor-data codec: delta-of-delta varint encoding for timestamps
+// (regular sampling intervals collapse to single zero bytes) and
+// Gorilla-style XOR encoding for values (slowly changing sensor readings
+// collapse to single bits). This is the "powerful compression mechanism,
+// which is especially useful for sensor data" of §II-F; experiment E2
+// measures the ratios.
+
+// Encode serializes a series into the compressed representation.
+func Encode(s *Series) []byte {
+	s.ensureSorted()
+	samples := s.samples
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+
+	// Header: count.
+	n := binary.PutUvarint(tmp[:], uint64(len(samples)))
+	out = append(out, tmp[:n]...)
+	if len(samples) == 0 {
+		return out
+	}
+
+	// Timestamps: first absolute, then delta, then delta-of-delta.
+	n = binary.PutVarint(tmp[:], samples[0].TS)
+	out = append(out, tmp[:n]...)
+	var prevTS, prevDelta int64
+	prevTS = samples[0].TS
+	for i := 1; i < len(samples); i++ {
+		delta := samples[i].TS - prevTS
+		dod := delta - prevDelta
+		n = binary.PutVarint(tmp[:], dod)
+		out = append(out, tmp[:n]...)
+		prevTS, prevDelta = samples[i].TS, delta
+	}
+
+	// Values: XOR with the previous value, bit-packed.
+	bw := &bitWriter{}
+	prevBits := math.Float64bits(samples[0].Val)
+	bw.writeBits(prevBits, 64)
+	prevLead, prevTrail := uint8(65), uint8(0) // invalid -> force new window
+	for i := 1; i < len(samples); i++ {
+		cur := math.Float64bits(samples[i].Val)
+		xor := cur ^ prevBits
+		prevBits = cur
+		if xor == 0 {
+			bw.writeBit(0)
+			continue
+		}
+		bw.writeBit(1)
+		lead := uint8(bits.LeadingZeros64(xor))
+		trail := uint8(bits.TrailingZeros64(xor))
+		if lead > 31 {
+			lead = 31
+		}
+		if prevLead <= 64 && lead >= prevLead && trail >= prevTrail {
+			// Reuse the previous window.
+			bw.writeBit(0)
+			bw.writeBits(xor>>prevTrail, int(64-prevLead-prevTrail))
+		} else {
+			bw.writeBit(1)
+			bw.writeBits(uint64(lead), 5)
+			sig := 64 - lead - trail
+			bw.writeBits(uint64(sig-1), 6) // sig in [1,64] stored as sig-1
+			bw.writeBits(xor>>trail, int(sig))
+			prevLead, prevTrail = lead, trail
+		}
+	}
+	return append(out, bw.bytes()...)
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) (*Series, error) {
+	pos := 0
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("timeseries: corrupt header")
+	}
+	pos += n
+	s := New()
+	if count == 0 {
+		return s, nil
+	}
+
+	ts0, n := binary.Varint(data[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("timeseries: corrupt first timestamp")
+	}
+	pos += n
+	timestamps := make([]int64, count)
+	timestamps[0] = ts0
+	prevTS, prevDelta := ts0, int64(0)
+	for i := uint64(1); i < count; i++ {
+		dod, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("timeseries: corrupt timestamp %d", i)
+		}
+		pos += n
+		delta := prevDelta + dod
+		prevTS += delta
+		prevDelta = delta
+		timestamps[i] = prevTS
+	}
+
+	br := &bitReader{data: data[pos:]}
+	first, err := br.readBits(64)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, count)
+	vals[0] = math.Float64frombits(first)
+	prevBits := first
+	var lead, trail uint8
+	lead = 65
+	for i := uint64(1); i < count; i++ {
+		b, err := br.readBit()
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			vals[i] = math.Float64frombits(prevBits)
+			continue
+		}
+		b, err = br.readBit()
+		if err != nil {
+			return nil, err
+		}
+		if b == 1 {
+			l, err := br.readBits(5)
+			if err != nil {
+				return nil, err
+			}
+			sigBits, err := br.readBits(6)
+			if err != nil {
+				return nil, err
+			}
+			sig := sigBits + 1
+			lead = uint8(l)
+			trail = uint8(64 - l - sig)
+		}
+		sig := 64 - lead - trail
+		x, err := br.readBits(int(sig))
+		if err != nil {
+			return nil, err
+		}
+		prevBits ^= x << trail
+		vals[i] = math.Float64frombits(prevBits)
+	}
+
+	for i := uint64(0); i < count; i++ {
+		s.Append(timestamps[i], vals[i])
+	}
+	return s, nil
+}
+
+// RawSize returns the uncompressed footprint (16 bytes per sample).
+func RawSize(s *Series) int { return s.Len() * 16 }
+
+// --- bit-level IO -----------------------------------------------------
+
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nbit uint8
+}
+
+func (w *bitWriter) writeBit(b byte) {
+	w.cur = w.cur<<1 | (b & 1)
+	w.nbit++
+	if w.nbit == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+func (w *bitWriter) writeBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.writeBit(byte(v >> uint(i) & 1))
+	}
+}
+
+func (w *bitWriter) bytes() []byte {
+	out := w.buf
+	if w.nbit > 0 {
+		out = append(out, w.cur<<(8-w.nbit))
+	}
+	return out
+}
+
+type bitReader struct {
+	data []byte
+	pos  int
+	nbit uint8
+}
+
+func (r *bitReader) readBit() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("timeseries: bitstream exhausted")
+	}
+	b := r.data[r.pos] >> (7 - r.nbit) & 1
+	r.nbit++
+	if r.nbit == 8 {
+		r.pos++
+		r.nbit = 0
+	}
+	return b, nil
+}
+
+func (r *bitReader) readBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}

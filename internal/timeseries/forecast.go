@@ -1,0 +1,87 @@
+package timeseries
+
+import "fmt"
+
+// Forecasting (§II-B "a variety of forecasting algorithms"): simple and
+// double (Holt) exponential smoothing, plus seasonal Holt-Winters for
+// cyclic sensor loads.
+
+// SES returns a simple-exponential-smoothing forecast of the next h values
+// with smoothing factor alpha.
+func SES(s *Series, alpha float64, h int) ([]float64, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("timeseries: alpha must be in (0,1]")
+	}
+	samples := s.Samples()
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("timeseries: empty series")
+	}
+	level := samples[0].Val
+	for _, x := range samples[1:] {
+		level = alpha*x.Val + (1-alpha)*level
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = level
+	}
+	return out, nil
+}
+
+// Holt returns a double-exponential-smoothing (trend-aware) forecast.
+func Holt(s *Series, alpha, beta float64, h int) ([]float64, error) {
+	samples := s.Samples()
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("timeseries: Holt needs at least 2 samples")
+	}
+	level := samples[0].Val
+	trend := samples[1].Val - samples[0].Val
+	for _, x := range samples[1:] {
+		prevLevel := level
+		level = alpha*x.Val + (1-alpha)*(level+trend)
+		trend = beta*(level-prevLevel) + (1-beta)*trend
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = level + float64(i+1)*trend
+	}
+	return out, nil
+}
+
+// HoltWinters returns an additive seasonal forecast with the given season
+// length.
+func HoltWinters(s *Series, alpha, beta, gamma float64, season, h int) ([]float64, error) {
+	samples := s.Samples()
+	if season < 2 || len(samples) < 2*season {
+		return nil, fmt.Errorf("timeseries: need at least two full seasons")
+	}
+	// Initial level/trend from the first two seasons.
+	var s1, s2 float64
+	for i := 0; i < season; i++ {
+		s1 += samples[i].Val
+		s2 += samples[season+i].Val
+	}
+	s1 /= float64(season)
+	s2 /= float64(season)
+	level := s1
+	trend := (s2 - s1) / float64(season)
+	seasonal := make([]float64, season)
+	for i := 0; i < season; i++ {
+		seasonal[i] = samples[i].Val - s1
+	}
+
+	for i := season; i < len(samples); i++ {
+		x := samples[i].Val
+		si := i % season
+		prevLevel := level
+		level = alpha*(x-seasonal[si]) + (1-alpha)*(level+trend)
+		trend = beta*(level-prevLevel) + (1-beta)*trend
+		seasonal[si] = gamma*(x-level) + (1-gamma)*seasonal[si]
+	}
+
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		si := (len(samples) + i) % season
+		out[i] = level + float64(i+1)*trend + seasonal[si]
+	}
+	return out, nil
+}

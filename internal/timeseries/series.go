@@ -1,0 +1,287 @@
+// Package timeseries implements the time series engine of §II-F: a native
+// series type with "large compression factors" (delta-of-delta timestamps
+// and XOR-encoded floats, the sensor-data codec), resolution adaptation
+// (downsampling), comparison and correlation functions, transformations
+// (moving aggregates, gap filling, normalization) and forecasting (§II-B)
+// — all integrated with the relational engine through SQL functions.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one observation.
+type Sample struct {
+	TS  int64 // microseconds since epoch
+	Val float64
+}
+
+// Series is a time-ordered sequence of samples.
+type Series struct {
+	samples []Sample
+	sorted  bool
+}
+
+// New returns an empty series.
+func New() *Series { return &Series{sorted: true} }
+
+// FromSamples builds a series, sorting by timestamp.
+func FromSamples(ss []Sample) *Series {
+	s := &Series{samples: append([]Sample(nil), ss...)}
+	s.sortSamples()
+	return s
+}
+
+// Append adds one observation.
+func (s *Series) Append(ts int64, val float64) {
+	if n := len(s.samples); n > 0 && ts < s.samples[n-1].TS {
+		s.sorted = false
+	}
+	s.samples = append(s.samples, Sample{ts, val})
+}
+
+func (s *Series) sortSamples() {
+	sort.SliceStable(s.samples, func(a, b int) bool { return s.samples[a].TS < s.samples[b].TS })
+	s.sorted = true
+}
+
+func (s *Series) ensureSorted() {
+	if !s.sorted {
+		s.sortSamples()
+	}
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Samples returns the ordered observations (callers must not mutate).
+func (s *Series) Samples() []Sample {
+	s.ensureSorted()
+	return s.samples
+}
+
+// At returns the i-th sample in time order.
+func (s *Series) At(i int) Sample {
+	s.ensureSorted()
+	return s.samples[i]
+}
+
+// Slice returns the sub-series within [from, to].
+func (s *Series) Slice(from, to int64) *Series {
+	s.ensureSorted()
+	lo := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].TS >= from })
+	hi := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].TS > to })
+	return FromSamples(s.samples[lo:hi])
+}
+
+// Stats returns count, mean, min, max and standard deviation.
+func (s *Series) Stats() (n int, mean, min, max, std float64) {
+	n = len(s.samples)
+	if n == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	min, max = math.MaxFloat64, -math.MaxFloat64
+	for _, x := range s.samples {
+		mean += x.Val
+		if x.Val < min {
+			min = x.Val
+		}
+		if x.Val > max {
+			max = x.Val
+		}
+	}
+	mean /= float64(n)
+	for _, x := range s.samples {
+		std += (x.Val - mean) * (x.Val - mean)
+	}
+	std = math.Sqrt(std / float64(n))
+	return n, mean, min, max, std
+}
+
+// AggKind selects the bucket aggregate for resampling.
+type AggKind string
+
+// Supported resampling aggregates.
+const (
+	AggAvg   AggKind = "avg"
+	AggSum   AggKind = "sum"
+	AggMin   AggKind = "min"
+	AggMax   AggKind = "max"
+	AggFirst AggKind = "first"
+	AggLast  AggKind = "last"
+	AggCount AggKind = "count"
+)
+
+// Resample buckets the series at the given step (resolution adaptation,
+// §II-F). Bucket timestamps are the bucket starts; empty buckets are
+// omitted.
+func (s *Series) Resample(step int64, agg AggKind) (*Series, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: step must be positive")
+	}
+	s.ensureSorted()
+	out := New()
+	i := 0
+	for i < len(s.samples) {
+		bucket := s.samples[i].TS - mod(s.samples[i].TS, step)
+		end := bucket + step
+		var vals []float64
+		for i < len(s.samples) && s.samples[i].TS < end {
+			vals = append(vals, s.samples[i].Val)
+			i++
+		}
+		out.Append(bucket, aggregate(vals, agg))
+	}
+	return out, nil
+}
+
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+func aggregate(vals []float64, agg AggKind) float64 {
+	switch agg {
+	case AggSum:
+		t := 0.0
+		for _, v := range vals {
+			t += v
+		}
+		return t
+	case AggMin:
+		m := vals[0]
+		for _, v := range vals {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case AggMax:
+		m := vals[0]
+		for _, v := range vals {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case AggFirst:
+		return vals[0]
+	case AggLast:
+		return vals[len(vals)-1]
+	case AggCount:
+		return float64(len(vals))
+	default: // AggAvg
+		t := 0.0
+		for _, v := range vals {
+			t += v
+		}
+		return t / float64(len(vals))
+	}
+}
+
+// FillGaps inserts linearly interpolated samples so consecutive timestamps
+// are at most step apart.
+func (s *Series) FillGaps(step int64) *Series {
+	s.ensureSorted()
+	out := New()
+	for i, cur := range s.samples {
+		out.Append(cur.TS, cur.Val)
+		if i+1 >= len(s.samples) {
+			break
+		}
+		next := s.samples[i+1]
+		for ts := cur.TS + step; ts < next.TS; ts += step {
+			frac := float64(ts-cur.TS) / float64(next.TS-cur.TS)
+			out.Append(ts, cur.Val+frac*(next.Val-cur.Val))
+		}
+	}
+	return out
+}
+
+// MovingAvg returns the trailing moving average over window samples.
+func (s *Series) MovingAvg(window int) *Series {
+	s.ensureSorted()
+	out := New()
+	sum := 0.0
+	for i, x := range s.samples {
+		sum += x.Val
+		if i >= window {
+			sum -= s.samples[i-window].Val
+		}
+		n := window
+		if i+1 < window {
+			n = i + 1
+		}
+		out.Append(x.TS, sum/float64(n))
+	}
+	return out
+}
+
+// Diff returns the first difference series (len-1 samples).
+func (s *Series) Diff() *Series {
+	s.ensureSorted()
+	out := New()
+	for i := 1; i < len(s.samples); i++ {
+		out.Append(s.samples[i].TS, s.samples[i].Val-s.samples[i-1].Val)
+	}
+	return out
+}
+
+// Normalize returns the z-score transformed series.
+func (s *Series) Normalize() *Series {
+	_, mean, _, _, std := s.Stats()
+	out := New()
+	for _, x := range s.samples {
+		v := 0.0
+		if std > 0 {
+			v = (x.Val - mean) / std
+		}
+		out.Append(x.TS, v)
+	}
+	return out
+}
+
+// Correlation returns the Pearson correlation of two series joined on
+// timestamp (comparison function of §II-F). Returns 0 when fewer than two
+// common points exist.
+func Correlation(a, b *Series) float64 {
+	a.ensureSorted()
+	b.ensureSorted()
+	bv := make(map[int64]float64, b.Len())
+	for _, x := range b.samples {
+		bv[x.TS] = x.Val
+	}
+	var xs, ys []float64
+	for _, x := range a.samples {
+		if y, ok := bv[x.TS]; ok {
+			xs = append(xs, x.Val)
+			ys = append(ys, y)
+		}
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

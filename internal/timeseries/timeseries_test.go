@@ -1,0 +1,317 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlexec"
+)
+
+func TestAppendKeepsOrder(t *testing.T) {
+	s := New()
+	s.Append(30, 3)
+	s.Append(10, 1)
+	s.Append(20, 2)
+	ss := s.Samples()
+	if ss[0].TS != 10 || ss[1].TS != 20 || ss[2].TS != 30 {
+		t.Fatalf("samples=%v", ss)
+	}
+}
+
+func TestSliceAndStats(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 10; i++ {
+		s.Append(i*100, float64(i))
+	}
+	sub := s.Slice(200, 500)
+	if sub.Len() != 4 || sub.At(0).TS != 200 || sub.At(3).TS != 500 {
+		t.Fatalf("slice=%v", sub.Samples())
+	}
+	n, mean, min, max, std := s.Stats()
+	if n != 10 || mean != 4.5 || min != 0 || max != 9 {
+		t.Fatalf("stats=%v %v %v %v %v", n, mean, min, max, std)
+	}
+	if math.Abs(std-2.8722813) > 1e-6 {
+		t.Fatalf("std=%v", std)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 60; i++ {
+		s.Append(i, float64(i%10))
+	}
+	for _, c := range []struct {
+		agg  AggKind
+		val0 float64
+	}{
+		{AggAvg, 4.5}, {AggSum, 45}, {AggMin, 0}, {AggMax, 9},
+		{AggFirst, 0}, {AggLast, 9}, {AggCount, 10},
+	} {
+		rs, err := s.Resample(10, c.agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Len() != 6 || rs.At(0).Val != c.val0 {
+			t.Fatalf("%s: %v", c.agg, rs.Samples()[:1])
+		}
+	}
+	if _, err := s.Resample(0, AggAvg); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestFillGaps(t *testing.T) {
+	s := New()
+	s.Append(0, 0)
+	s.Append(40, 4)
+	filled := s.FillGaps(10)
+	if filled.Len() != 5 {
+		t.Fatalf("filled=%v", filled.Samples())
+	}
+	if filled.At(2).TS != 20 || filled.At(2).Val != 2 {
+		t.Fatalf("interp=%v", filled.At(2))
+	}
+}
+
+func TestMovingAvgAndDiff(t *testing.T) {
+	s := New()
+	for i := int64(1); i <= 5; i++ {
+		s.Append(i, float64(i))
+	}
+	ma := s.MovingAvg(2)
+	if ma.At(0).Val != 1 || ma.At(1).Val != 1.5 || ma.At(4).Val != 4.5 {
+		t.Fatalf("ma=%v", ma.Samples())
+	}
+	d := s.Diff()
+	if d.Len() != 4 {
+		t.Fatalf("diff len=%d", d.Len())
+	}
+	for _, x := range d.Samples() {
+		if x.Val != 1 {
+			t.Fatalf("diff=%v", d.Samples())
+		}
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a, b, c := New(), New(), New()
+	for i := int64(0); i < 50; i++ {
+		a.Append(i, float64(i))
+		b.Append(i, float64(i)*2+5) // perfectly correlated
+		c.Append(i, -float64(i))    // perfectly anti-correlated
+	}
+	if r := Correlation(a, b); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("corr=%v", r)
+	}
+	if r := Correlation(a, c); math.Abs(r+1) > 1e-9 {
+		t.Fatalf("anticorr=%v", r)
+	}
+	// Disjoint timestamps -> 0.
+	d := New()
+	d.Append(1000, 1)
+	if r := Correlation(a, d); r != 0 {
+		t.Fatalf("disjoint corr=%v", r)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 10; i++ {
+		s.Append(i, float64(i)*3+7)
+	}
+	n, mean, _, _, std := s.Normalize().Stats()
+	if n != 10 || math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
+		t.Fatalf("normalized mean=%v std=%v", mean, std)
+	}
+}
+
+func TestCodecRoundTripExact(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(5))
+	ts := int64(1_700_000_000_000_000)
+	val := 20.0
+	for i := 0; i < 1000; i++ {
+		ts += 60_000_000 // regular minute interval
+		if i%50 == 0 {
+			ts += int64(rng.Intn(1000)) // occasional jitter
+		}
+		val += rng.Float64() - 0.5
+		s.Append(ts, val)
+	}
+	enc := Encode(s)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != s.Len() {
+		t.Fatalf("len=%d", dec.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.At(i) != dec.At(i) {
+			t.Fatalf("sample %d: %v != %v", i, s.At(i), dec.At(i))
+		}
+	}
+}
+
+func TestCodecCompressesSensorData(t *testing.T) {
+	// Typical sensor pattern: regular timestamps, slowly drifting values.
+	s := New()
+	ts := int64(0)
+	for i := 0; i < 10000; i++ {
+		ts += 1_000_000
+		s.Append(ts, 21.5) // constant temperature
+	}
+	enc := Encode(s)
+	ratio := float64(RawSize(s)) / float64(len(enc))
+	if ratio < 12 {
+		t.Fatalf("constant-series compression ratio only %.1fx", ratio)
+	}
+}
+
+func TestCodecPropertyRandomSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func() bool {
+		s := New()
+		n := rng.Intn(200)
+		ts := int64(rng.Intn(1 << 30))
+		for i := 0; i < n; i++ {
+			ts += int64(rng.Intn(1000)) + 1
+			s.Append(ts, rng.NormFloat64()*1e6)
+		}
+		dec, err := Decode(Encode(s))
+		if err != nil || dec.Len() != s.Len() {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.At(i) != dec.At(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecEmptyAndSingle(t *testing.T) {
+	if dec, err := Decode(Encode(New())); err != nil || dec.Len() != 0 {
+		t.Fatal("empty round trip")
+	}
+	s := New()
+	s.Append(42, 3.14)
+	dec, err := Decode(Encode(s))
+	if err != nil || dec.Len() != 1 || dec.At(0) != s.At(0) {
+		t.Fatal("single round trip")
+	}
+	if _, err := Decode([]byte{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestForecastSES(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 20; i++ {
+		s.Append(i, 100)
+	}
+	fc, err := SES(s, 0.5, 3)
+	if err != nil || len(fc) != 3 || math.Abs(fc[0]-100) > 1e-9 {
+		t.Fatalf("fc=%v err=%v", fc, err)
+	}
+	if _, err := SES(New(), 0.5, 1); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := SES(s, 0, 1); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+}
+
+func TestForecastHoltTracksTrend(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 50; i++ {
+		s.Append(i, float64(i)*2) // slope 2
+	}
+	fc, err := Holt(s, 0.8, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Next value should be near 2*50 = 100 and rising ~2 per step.
+	if math.Abs(fc[0]-100) > 5 {
+		t.Fatalf("fc[0]=%v", fc[0])
+	}
+	if fc[4] <= fc[0] {
+		t.Fatal("trend not extrapolated")
+	}
+}
+
+func TestForecastHoltWintersSeasonal(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 48; i++ {
+		seasonal := 10 * math.Sin(2*math.Pi*float64(i%12)/12)
+		s.Append(i, 50+seasonal)
+	}
+	fc, err := HoltWinters(s, 0.3, 0.05, 0.3, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forecast's seasonal swing should roughly match the signal's.
+	minV, maxV := fc[0], fc[0]
+	for _, v := range fc {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV-minV < 10 {
+		t.Fatalf("seasonality lost: range=%v", maxV-minV)
+	}
+	if _, err := HoltWinters(s, 0.3, 0.05, 0.3, 40, 2); err == nil {
+		t.Fatal("insufficient seasons accepted")
+	}
+}
+
+func TestSQLSeriesView(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	v := Attach(eng)
+	eng.MustQuery(`CREATE TABLE readings (sensor VARCHAR, ts INT, val DOUBLE)`)
+	for i := 0; i < 120; i++ {
+		eng.MustQuery(fmt.Sprintf(`INSERT INTO readings VALUES ('temp', %d, %f)`, i*1_000_000, 20+float64(i)*0.1))
+		eng.MustQuery(fmt.Sprintf(`INSERT INTO readings VALUES ('humid', %d, %f)`, i*1_000_000, 80-float64(i)*0.2))
+	}
+	if err := v.CreateSeriesView("sensors", "readings", "sensor", "ts", "val"); err != nil {
+		t.Fatal(err)
+	}
+	// Resolution adaptation via SQL: 2-minute buckets.
+	r := eng.MustQuery(`SELECT COUNT(*) FROM TABLE(TS_RESAMPLE('sensors', 'temp', 60000000, 'avg')) b`)
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("buckets=%v", r.Rows[0][0])
+	}
+	// Correlation across sensors: perfectly anti-correlated.
+	r = eng.MustQuery(`SELECT TS_CORRELATION('sensors', 'temp', 'humid')`)
+	if c := r.Rows[0][0].F; math.Abs(c+1) > 1e-6 {
+		t.Fatalf("corr=%v", c)
+	}
+	// Forecast continues the trend upward.
+	r = eng.MustQuery(`SELECT val FROM TABLE(TS_FORECAST('sensors', 'temp', 3)) f WHERE f.step = 1`)
+	if r.Rows[0][0].F < 31 {
+		t.Fatalf("forecast=%v", r.Rows[0][0])
+	}
+	// Compressed size is far below raw.
+	r = eng.MustQuery(`SELECT TS_COMPRESSED_BYTES('sensors', 'temp')`)
+	if r.Rows[0][0].I >= 120*16 {
+		t.Fatalf("compressed=%v bytes", r.Rows[0][0])
+	}
+}
+
+func TestSeriesViewErrors(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	v := Attach(eng)
+	if err := v.CreateSeriesView("x", "missing", "a", "b", "c"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	if _, err := v.Series("ghost", "k"); err == nil {
+		t.Fatal("missing view accepted")
+	}
+}

@@ -1,0 +1,392 @@
+// Package txn implements the transaction layer of the in-memory store:
+// MVCC snapshot isolation with first-committer-wins write-write conflict
+// detection, a monotonic commit clock, and tracking of the oldest active
+// snapshot (the merge watermark for the column store's delta→main merge).
+//
+// The paper (§II-A) positions SAP HANA as "a fully ACID compliant
+// relational database"; this package provides the A, C and I — durability
+// is layered on by package wal, and the relaxed, availability-favoring
+// model of the scale-out extension lives in package soe.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/columnstore"
+	"repro/internal/value"
+)
+
+// ErrConflict is returned by Commit when another transaction deleted or
+// updated a row this transaction also deleted or updated.
+var ErrConflict = errors.New("txn: write-write conflict, transaction aborted")
+
+// ErrClosed is returned when operating on a finished transaction.
+var ErrClosed = errors.New("txn: transaction already committed or aborted")
+
+// CommitListener observes committed write sets; the WAL and the streaming
+// engine subscribe to it.
+type CommitListener func(commitTS uint64, writes []Write)
+
+// WriteKind discriminates the operations in a write set.
+type WriteKind uint8
+
+// The write-set operation kinds.
+const (
+	WriteInsert WriteKind = iota
+	WriteDelete
+)
+
+// Write is one operation of a transaction's write set. For inserts, Row
+// holds the payload and Pos the position assigned at commit. For deletes,
+// Pos is the victim row.
+type Write struct {
+	Kind  WriteKind
+	Table string
+	Row   value.Row
+	Pos   int
+}
+
+// Manager coordinates transactions over a set of column-store tables.
+type Manager struct {
+	mu        sync.Mutex
+	clock     atomic.Uint64  // last issued timestamp
+	active    map[uint64]int // snapshot TS -> number of active txns using it
+	tables    map[string]*columnstore.Table
+	listeners []CommitListener
+	nextID    atomic.Uint64
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// NewManager returns a Manager with an empty table registry. The clock
+// starts at 1 so that bulk loads at ts 1 are visible to all transactions.
+func NewManager() *Manager {
+	m := &Manager{
+		active: make(map[uint64]int),
+		tables: make(map[string]*columnstore.Table),
+	}
+	m.clock.Store(1)
+	return m
+}
+
+// Register makes a table visible to the transaction layer.
+func (m *Manager) Register(t *columnstore.Table) {
+	m.mu.Lock()
+	m.tables[t.Name()] = t
+	m.mu.Unlock()
+}
+
+// Deregister removes a table (DROP TABLE).
+func (m *Manager) Deregister(name string) {
+	m.mu.Lock()
+	delete(m.tables, name)
+	m.mu.Unlock()
+}
+
+// Table returns a registered table.
+func (m *Manager) Table(name string) (*columnstore.Table, bool) {
+	m.mu.Lock()
+	t, ok := m.tables[name]
+	m.mu.Unlock()
+	return t, ok
+}
+
+// OnCommit registers a commit listener (e.g. the WAL appender).
+func (m *Manager) OnCommit(l CommitListener) {
+	m.mu.Lock()
+	m.listeners = append(m.listeners, l)
+	m.mu.Unlock()
+}
+
+// Now returns the current commit clock value; snapshots taken at Now see
+// all committed transactions.
+func (m *Manager) Now() uint64 { return m.clock.Load() }
+
+// AdvanceTo moves the clock forward to at least ts; used by recovery and
+// by replicas applying a shared log.
+func (m *Manager) AdvanceTo(ts uint64) {
+	for {
+		cur := m.clock.Load()
+		if cur >= ts || m.clock.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// MinActiveTS returns the oldest snapshot any live transaction may read —
+// the watermark below which the column store may compact dead versions.
+func (m *Manager) MinActiveTS() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	min := m.clock.Load()
+	for ts := range m.active {
+		if ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// Stats returns the number of committed and aborted transactions.
+func (m *Manager) Stats() (commits, aborts uint64) {
+	return m.commits.Load(), m.aborts.Load()
+}
+
+// Begin starts a transaction reading at the current clock.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	snap := m.clock.Load()
+	m.active[snap]++
+	m.mu.Unlock()
+	return &Txn{
+		m:       m,
+		id:      m.nextID.Add(1),
+		snapTS:  snap,
+		deletes: make(map[string]map[int]bool),
+	}
+}
+
+// Txn is one transaction: a snapshot timestamp plus a buffered write set.
+// Reads go through Snapshot views overlaid with the transaction's own
+// uncommitted writes (read-your-own-writes).
+type Txn struct {
+	m      *Manager
+	id     uint64
+	snapTS uint64
+	done   bool
+
+	writes  []Write
+	deletes map[string]map[int]bool // table -> victim positions
+	inserts map[string][]value.Row  // lazy; kept in writes order too
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// SnapshotTS returns the transaction's read timestamp.
+func (t *Txn) SnapshotTS() uint64 { return t.snapTS }
+
+// Insert buffers rows for insertion into the named table.
+func (t *Txn) Insert(table string, rows ...value.Row) error {
+	if t.done {
+		return ErrClosed
+	}
+	if _, ok := t.m.Table(table); !ok {
+		return fmt.Errorf("txn: unknown table %q", table)
+	}
+	for _, r := range rows {
+		t.writes = append(t.writes, Write{Kind: WriteInsert, Table: table, Row: r.Clone()})
+	}
+	return nil
+}
+
+// Delete buffers the deletion of row pos of the named table. The conflict
+// check happens at commit (first committer wins).
+func (t *Txn) Delete(table string, pos int) error {
+	if t.done {
+		return ErrClosed
+	}
+	if _, ok := t.m.Table(table); !ok {
+		return fmt.Errorf("txn: unknown table %q", table)
+	}
+	if t.deletes[table] == nil {
+		t.deletes[table] = make(map[int]bool)
+	}
+	if t.deletes[table][pos] {
+		return nil // idempotent within the transaction
+	}
+	t.deletes[table][pos] = true
+	t.writes = append(t.writes, Write{Kind: WriteDelete, Table: table, Pos: pos})
+	return nil
+}
+
+// Update replaces row pos of the named table with newRow: MVCC delete plus
+// insert, the column-store idiom for updates.
+func (t *Txn) Update(table string, pos int, newRow value.Row) error {
+	if err := t.Delete(table, pos); err != nil {
+		return err
+	}
+	return t.Insert(table, newRow)
+}
+
+// View returns a read view of the named table combining the transaction's
+// snapshot with its own uncommitted writes.
+func (t *Txn) View(table string) (*View, error) {
+	tab, ok := t.m.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("txn: unknown table %q", table)
+	}
+	v := &View{snap: tab.Snapshot(t.snapTS), txn: t, table: table}
+	return v, nil
+}
+
+// Commit applies the write set atomically at a fresh commit timestamp.
+// On conflict every stamped delete is rolled back is impossible under
+// first-committer-wins — conflicts are detected before any stamp is
+// placed, by re-checking victim liveness under the global commit mutex.
+func (t *Txn) Commit() (uint64, error) {
+	if t.done {
+		return 0, ErrClosed
+	}
+	t.done = true
+	m := t.m
+
+	m.mu.Lock()
+	// Read-only fast path.
+	if len(t.writes) == 0 {
+		m.release(t.snapTS)
+		m.mu.Unlock()
+		m.commits.Add(1)
+		return m.clock.Load(), nil
+	}
+
+	// Validate deletes: victim must still be live (not deleted by a
+	// transaction that committed after our snapshot — or before it, which
+	// our own View would have filtered anyway).
+	for table, victims := range t.deletes {
+		tab := m.tables[table]
+		if tab == nil {
+			m.release(t.snapTS)
+			m.mu.Unlock()
+			m.aborts.Add(1)
+			return 0, fmt.Errorf("txn: table %q dropped", table)
+		}
+		latest := tab.Snapshot(m.clock.Load())
+		for pos := range victims {
+			if !latest.Visible(pos) {
+				m.release(t.snapTS)
+				m.mu.Unlock()
+				m.aborts.Add(1)
+				return 0, ErrConflict
+			}
+		}
+	}
+
+	commitTS := m.clock.Add(1)
+
+	// Apply: group inserts per table to amortize locking, stamp deletes.
+	byTable := make(map[string][]value.Row)
+	var order []string
+	for _, w := range t.writes {
+		if w.Kind == WriteInsert {
+			if _, seen := byTable[w.Table]; !seen {
+				order = append(order, w.Table)
+			}
+			byTable[w.Table] = append(byTable[w.Table], w.Row)
+		}
+	}
+	sort.Strings(order)
+	posOut := make(map[string][]int)
+	for _, table := range order {
+		posOut[table] = m.tables[table].ApplyInsert(byTable[table], commitTS)
+	}
+	next := make(map[string]int)
+	for i := range t.writes {
+		w := &t.writes[i]
+		switch w.Kind {
+		case WriteInsert:
+			w.Pos = posOut[w.Table][next[w.Table]]
+			next[w.Table]++
+		case WriteDelete:
+			if !m.tables[w.Table].ApplyDelete(w.Pos, commitTS) {
+				// Cannot happen: liveness was validated under m.mu and
+				// stamps are only placed by committers holding m.mu.
+				panic("txn: delete conflict after validation")
+			}
+		}
+	}
+	m.release(t.snapTS)
+	listeners := append([]CommitListener(nil), m.listeners...)
+	writes := t.writes
+	m.mu.Unlock()
+
+	m.commits.Add(1)
+	for _, l := range listeners {
+		l(commitTS, writes)
+	}
+	return commitTS, nil
+}
+
+// Abort discards the transaction's buffered writes.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.m.mu.Lock()
+	t.m.release(t.snapTS)
+	t.m.mu.Unlock()
+	t.m.aborts.Add(1)
+}
+
+// release decrements the active-snapshot refcount; caller holds m.mu.
+func (m *Manager) release(snapTS uint64) {
+	if n := m.active[snapTS]; n <= 1 {
+		delete(m.active, snapTS)
+	} else {
+		m.active[snapTS] = n - 1
+	}
+}
+
+// View is a transaction-consistent read view over one table: the MVCC
+// snapshot plus the transaction's uncommitted writes.
+type View struct {
+	snap  *columnstore.Snapshot
+	txn   *Txn
+	table string
+}
+
+// Snapshot exposes the underlying storage snapshot (committed data only);
+// executors use it for fast columnar scans and then overlay OwnWrites.
+func (v *View) Snapshot() *columnstore.Snapshot { return v.snap }
+
+// Visible reports whether committed row pos is visible, accounting for
+// the transaction's own uncommitted deletes.
+func (v *View) Visible(pos int) bool {
+	if v.txn.deletes[v.table][pos] {
+		return false
+	}
+	return v.snap.Visible(pos)
+}
+
+// Get reads column col of committed row pos.
+func (v *View) Get(col, pos int) value.Value { return v.snap.Get(col, pos) }
+
+// OwnInserts returns the rows this transaction has buffered for the table,
+// in insertion order.
+func (v *View) OwnInserts() []value.Row {
+	var out []value.Row
+	for _, w := range v.txn.writes {
+		if w.Kind == WriteInsert && w.Table == v.table {
+			out = append(out, w.Row)
+		}
+	}
+	return out
+}
+
+// NumRows returns the committed row slot count.
+func (v *View) NumRows() int { return v.snap.NumRows() }
+
+// RunInTxn executes fn in a transaction, committing on nil error and
+// retrying once on write-write conflict.
+func (m *Manager) RunInTxn(fn func(t *Txn) error) (uint64, error) {
+	for attempt := 0; ; attempt++ {
+		t := m.Begin()
+		if err := fn(t); err != nil {
+			t.Abort()
+			return 0, err
+		}
+		ts, err := t.Commit()
+		if err == nil {
+			return ts, nil
+		}
+		if !errors.Is(err, ErrConflict) || attempt >= 1 {
+			return 0, err
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Package value defines the dynamic value model shared by every engine in
+// the ecosystem. Columns are stored in typed, compressed form inside the
+// column store; Value is the boundary representation used by expressions,
+// query results, the wire format of the simulated cluster, and the log.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the logical data types of the ecosystem. The paper's
+// domain engines add semantic types (geometry, time series, documents) that
+// are represented at this layer as String (serialized) or via dedicated
+// tables; the relational core needs only these kinds.
+type Kind uint8
+
+// The supported logical types.
+const (
+	KindNull   Kind = iota
+	KindInt         // 64-bit signed integer
+	KindFloat       // 64-bit IEEE float
+	KindString      // UTF-8 string
+	KindBool        // boolean
+	KindTime        // instant, microseconds since Unix epoch, UTC
+)
+
+// String returns the SQL-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	case KindTime:
+		return "TIMESTAMP"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a SQL type name to a Kind. It accepts the common aliases
+// used by the shell and the DDL parser.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT":
+		return KindInt, nil
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC":
+		return KindFloat, nil
+	case "VARCHAR", "STRING", "TEXT", "CHAR", "NVARCHAR", "DOCUMENT":
+		return KindString, nil
+	case "BOOLEAN", "BOOL":
+		return KindBool, nil
+	case "TIMESTAMP", "DATE", "TIME", "DATETIME":
+		return KindTime, nil
+	default:
+		return KindNull, fmt.Errorf("value: unknown type %q", s)
+	}
+}
+
+// Value is a tagged union holding one dynamically typed value. The zero
+// Value is NULL. Values are small (no pointer chasing except strings) so
+// they can be passed by value through operator pipelines.
+type Value struct {
+	K Kind
+	I int64   // Int, Bool (0/1), Time (unix micros)
+	F float64 // Float
+	S string  // String
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float returns a floating point value.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{K: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// Time returns a timestamp value.
+func Time(t time.Time) Value { return Value{K: KindTime, I: t.UnixMicro()} }
+
+// TimeMicros returns a timestamp value from raw microseconds since epoch.
+func TimeMicros(us int64) Value { return Value{K: KindTime, I: us} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsInt returns the value as int64, coercing floats and bools.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindBool, KindTime:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	case KindString:
+		n, _ := strconv.ParseInt(v.S, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value as float64, coercing ints and bools.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindFloat:
+		return v.F
+	case KindInt, KindBool, KindTime:
+		return float64(v.I)
+	case KindString:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsBool returns the value as a boolean; non-zero numerics are true.
+func (v Value) AsBool() bool {
+	switch v.K {
+	case KindBool, KindInt, KindTime:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	case KindString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// AsString renders the value for result sets and string coercion.
+func (v Value) AsString() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindTime:
+		return v.AsTime().UTC().Format("2006-01-02 15:04:05.000000")
+	default:
+		return fmt.Sprintf("<%v>", v.K)
+	}
+}
+
+// AsTime returns the value as a time.Time (UTC).
+func (v Value) AsTime() time.Time { return time.UnixMicro(v.I).UTC() }
+
+// Numeric reports whether the value participates in arithmetic.
+func (v Value) Numeric() bool {
+	return v.K == KindInt || v.K == KindFloat || v.K == KindBool || v.K == KindTime
+}
+
+// Compare orders two values. NULL sorts first; numeric kinds compare by
+// numeric value; strings lexicographically. Cross-kind numeric/string
+// comparison coerces the string.
+func Compare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if a.K == KindString && b.K == KindString {
+		return strings.Compare(a.S, b.S)
+	}
+	if a.K == KindString || b.K == KindString {
+		// Coerce the string side to float for mixed comparisons.
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.K == KindFloat || b.K == KindFloat {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a.I < b.I:
+		return -1
+	case a.I > b.I:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Add returns a+b with numeric promotion; string operands concatenate.
+func Add(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.K == KindString || b.K == KindString {
+		return String(a.AsString() + b.AsString())
+	}
+	if a.K == KindFloat || b.K == KindFloat {
+		return Float(a.AsFloat() + b.AsFloat())
+	}
+	return Int(a.AsInt() + b.AsInt())
+}
+
+// Sub returns a-b with numeric promotion.
+func Sub(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.K == KindFloat || b.K == KindFloat {
+		return Float(a.AsFloat() - b.AsFloat())
+	}
+	return Int(a.AsInt() - b.AsInt())
+}
+
+// Mul returns a*b with numeric promotion.
+func Mul(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.K == KindFloat || b.K == KindFloat {
+		return Float(a.AsFloat() * b.AsFloat())
+	}
+	return Int(a.AsInt() * b.AsInt())
+}
+
+// Div returns a/b; division by zero yields NULL (SQL semantics would raise,
+// we degrade gracefully for analytic robustness). Integer operands divide
+// as floats when not evenly divisible.
+func Div(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	bf := b.AsFloat()
+	if bf == 0 {
+		return Null
+	}
+	if a.K == KindInt && b.K == KindInt && a.I%b.I == 0 {
+		return Int(a.I / b.I)
+	}
+	return Float(a.AsFloat() / bf)
+}
+
+// Mod returns a%b for integers; NULL on zero divisor.
+func Mod(a, b Value) Value {
+	if a.IsNull() || b.IsNull() || b.AsInt() == 0 {
+		return Null
+	}
+	return Int(a.AsInt() % b.AsInt())
+}
+
+// Neg returns -a.
+func Neg(a Value) Value {
+	switch a.K {
+	case KindInt:
+		return Int(-a.I)
+	case KindFloat:
+		return Float(-a.F)
+	default:
+		return Null
+	}
+}
+
+// Hash returns a 64-bit hash of the value, used by hash joins and
+// aggregation. Equal values (under Compare) of the same numeric family hash
+// identically: ints and floats holding the same integral value collide as
+// required.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	switch v.K {
+	case KindNull:
+		return 0x9e3779b97f4a7c15
+	case KindString:
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= prime64
+		}
+		return h
+	case KindFloat:
+		if v.F == math.Trunc(v.F) && v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+			return hashInt(int64(v.F))
+		}
+		return hashInt(int64(math.Float64bits(v.F)))
+	default:
+		return hashInt(v.I)
+	}
+}
+
+func hashInt(i int64) uint64 {
+	x := uint64(i)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Coerce converts v to kind k, returning NULL when the conversion is not
+// meaningful. Used by INSERT type adaptation and the docstore.
+func Coerce(v Value, k Kind) Value {
+	if v.IsNull() || v.K == k {
+		return v
+	}
+	switch k {
+	case KindInt:
+		return Int(v.AsInt())
+	case KindFloat:
+		return Float(v.AsFloat())
+	case KindString:
+		return String(v.AsString())
+	case KindBool:
+		return Bool(v.AsBool())
+	case KindTime:
+		if v.K == KindString {
+			for _, layout := range []string{"2006-01-02 15:04:05.000000", "2006-01-02 15:04:05", "2006-01-02"} {
+				if t, err := time.ParseInLocation(layout, v.S, time.UTC); err == nil {
+					return Time(t)
+				}
+			}
+			return Null
+		}
+		return TimeMicros(v.AsInt())
+	default:
+		return Null
+	}
+}
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (strings are immutable in Go,
+// so copying the slice suffices).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Key renders a row as a canonical grouping key. It is injective for rows
+// of the same shape and is used by hash aggregation and distinct.
+func (r Row) Key() string {
+	var sb strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			sb.WriteByte(0x1f)
+		}
+		sb.WriteByte(byte(v.K))
+		sb.WriteString(v.AsString())
+	}
+	return sb.String()
+}

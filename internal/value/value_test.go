@@ -1,0 +1,259 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 || Int(42).K != KindInt {
+		t.Fatal("Int")
+	}
+	if Float(1.5).AsFloat() != 1.5 {
+		t.Fatal("Float")
+	}
+	if String("x").AsString() != "x" {
+		t.Fatal("String")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Fatal("Bool")
+	}
+	ts := time.Date(2015, 4, 13, 9, 0, 0, 0, time.UTC) // ICDE'15 in Seoul
+	if !Time(ts).AsTime().Equal(ts) {
+		t.Fatal("Time round trip")
+	}
+	if !Null.IsNull() || Null.AsString() != "NULL" {
+		t.Fatal("Null")
+	}
+}
+
+func TestCoercions(t *testing.T) {
+	if Float(3.9).AsInt() != 3 {
+		t.Fatal("float->int truncates")
+	}
+	if String("17").AsInt() != 17 {
+		t.Fatal("string->int")
+	}
+	if Int(0).AsBool() || !Int(5).AsBool() {
+		t.Fatal("int->bool")
+	}
+	if Coerce(String("2015-04-13"), KindTime).IsNull() {
+		t.Fatal("date parse")
+	}
+	if !Coerce(String("not a date"), KindTime).IsNull() {
+		t.Fatal("bad date must be NULL")
+	}
+	if Coerce(Int(3), KindString).S != "3" {
+		t.Fatal("int->string")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Int(0), -1},
+		{Int(0), Null, 1},
+		{Null, Null, 0},
+		{Int(1), Int(2), -1},
+		{Float(2.5), Int(2), 1},
+		{Int(2), Float(2.0), 0},
+		{String("a"), String("b"), -1},
+		{String("10"), Int(9), 1}, // numeric coercion, not lexicographic
+		{Bool(true), Bool(false), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Fatalf("Compare(%v,%v)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if Add(Int(2), Int(3)).I != 5 {
+		t.Fatal("int add")
+	}
+	if Add(Int(2), Float(0.5)).F != 2.5 {
+		t.Fatal("promoted add")
+	}
+	if Add(String("a"), String("b")).S != "ab" {
+		t.Fatal("concat")
+	}
+	if !Add(Null, Int(1)).IsNull() {
+		t.Fatal("null propagation")
+	}
+	if Sub(Int(5), Int(3)).I != 2 || Mul(Int(4), Int(3)).I != 12 {
+		t.Fatal("sub/mul")
+	}
+	if Div(Int(7), Int(2)).F != 3.5 {
+		t.Fatal("non-even int div promotes")
+	}
+	if Div(Int(8), Int(2)).I != 4 {
+		t.Fatal("even int div stays int")
+	}
+	if !Div(Int(1), Int(0)).IsNull() {
+		t.Fatal("div by zero")
+	}
+	if Mod(Int(7), Int(3)).I != 1 || !Mod(Int(7), Int(0)).IsNull() {
+		t.Fatal("mod")
+	}
+	if Neg(Int(2)).I != -2 || Neg(Float(1.5)).F != -1.5 {
+		t.Fatal("neg")
+	}
+}
+
+func TestHashConsistency(t *testing.T) {
+	// Values that compare equal across numeric kinds must hash equal
+	// (hash join correctness).
+	if Int(7).Hash() != Float(7).Hash() {
+		t.Fatal("int/float hash mismatch")
+	}
+	if Int(7).Hash() == Int(8).Hash() {
+		t.Fatal("suspicious collision")
+	}
+	if String("abc").Hash() == String("abd").Hash() {
+		t.Fatal("string collision")
+	}
+	if math.IsNaN(0) { // keep math import honest
+		t.Fatal()
+	}
+}
+
+func TestCompareIsAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(a, b string) bool {
+		return Compare(String(a), String(b)) == -Compare(String(b), String(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowKeyInjective(t *testing.T) {
+	a := Row{Int(1), String("x")}
+	b := Row{Int(1), String("x")}
+	c := Row{String("1"), String("x")}
+	if a.Key() != b.Key() {
+		t.Fatal("equal rows must share keys")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("kind must participate in key")
+	}
+	if k := (Row{String("a\x1fb")}).Key(); k == (Row{String("a"), String("b")}).Key() {
+		t.Fatal("separator collision")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for s, k := range map[string]Kind{"int": KindInt, "VARCHAR": KindString, "Double": KindFloat, "bool": KindBool, "TIMESTAMP": KindTime} {
+		got, err := ParseKind(s)
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q)=%v,%v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Fatal("unknown type must error")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), String("a")}
+	c := r.Clone()
+	c[0] = Int(2)
+	if r[0].I != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestKindStringsAndNumeric(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "DOUBLE",
+		KindString: "VARCHAR", KindBool: "BOOLEAN", KindTime: "TIMESTAMP",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+	if !Int(1).Numeric() || !Float(1).Numeric() || !Bool(true).Numeric() || !TimeMicros(1).Numeric() {
+		t.Fatal("numeric kinds")
+	}
+	if String("x").Numeric() || Null.Numeric() {
+		t.Fatal("non-numeric kinds")
+	}
+}
+
+func TestAsStringAndAsBoolAllKinds(t *testing.T) {
+	if Float(2.5).AsString() != "2.5" || Bool(true).AsString() != "TRUE" || Bool(false).AsString() != "FALSE" {
+		t.Fatal("renders")
+	}
+	ts := time.Date(2015, 4, 13, 9, 30, 0, 0, time.UTC)
+	if Time(ts).AsString() != "2015-04-13 09:30:00.000000" {
+		t.Fatalf("time render: %q", Time(ts).AsString())
+	}
+	if (Value{K: Kind(99)}).AsString() == "" {
+		t.Fatal("unknown kind render")
+	}
+	if !Float(0.5).AsBool() || Float(0).AsBool() {
+		t.Fatal("float bool")
+	}
+	if !String("x").AsBool() || String("").AsBool() {
+		t.Fatal("string bool")
+	}
+	if Null.AsBool() {
+		t.Fatal("null bool")
+	}
+	if String("3.5").AsFloat() != 3.5 || Null.AsFloat() != 0 || Null.AsInt() != 0 {
+		t.Fatal("coercions")
+	}
+}
+
+func TestEqualAndSubMulNullPropagation(t *testing.T) {
+	if !Equal(Int(3), Float(3)) || Equal(Int(3), Int(4)) {
+		t.Fatal("Equal")
+	}
+	if !Sub(Null, Int(1)).IsNull() || !Mul(Int(1), Null).IsNull() {
+		t.Fatal("null propagation")
+	}
+	if Sub(Float(1.5), Int(1)).F != 0.5 || Mul(Float(2), Float(3)).F != 6 {
+		t.Fatal("float paths")
+	}
+	if !Neg(String("x")).IsNull() {
+		t.Fatal("neg of string")
+	}
+}
+
+func TestCoerceAllTargets(t *testing.T) {
+	if Coerce(Int(1), KindBool).AsBool() != true {
+		t.Fatal("int->bool")
+	}
+	if Coerce(Float(3.7), KindInt).I != 3 {
+		t.Fatal("float->int")
+	}
+	if Coerce(Bool(true), KindFloat).F != 1 {
+		t.Fatal("bool->float")
+	}
+	if Coerce(Int(5), KindTime).K != KindTime {
+		t.Fatal("int->time")
+	}
+	if Coerce(String("2015-04-13 10:00:00"), KindTime).IsNull() {
+		t.Fatal("datetime parse")
+	}
+	if !Coerce(Int(1), Kind(99)).IsNull() {
+		t.Fatal("unknown target")
+	}
+	v := Int(7)
+	if Coerce(v, KindInt) != v || !Coerce(Null, KindFloat).IsNull() {
+		t.Fatal("identity/null")
+	}
+}

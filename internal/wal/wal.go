@@ -1,0 +1,573 @@
+// Package wal provides durability for the in-memory store: a binary
+// write-ahead redo log, checkpoints that capture the exact physical state
+// of every table (positions and MVCC stamps included), backup/restore on
+// top of checkpoints, and crash recovery that loads the latest checkpoint
+// and replays the log suffix. This is the "backup, recovery and HA
+// mechanisms" layer of §II of the paper; the scale-out extension replaces
+// it with the distributed shared log (package sharedlog).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/columnstore"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Record kinds in the log stream.
+const (
+	recCommit byte = 1
+	recMerge  byte = 2
+)
+
+// SyncMode controls when the log file is fsynced.
+type SyncMode int
+
+// Supported sync modes.
+const (
+	SyncEveryCommit SyncMode = iota // full durability
+	SyncNever                       // leave it to the OS (benchmarks)
+)
+
+// WAL is an append-only redo log.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	mode SyncMode
+	lsn  uint64
+}
+
+// Open opens (creating if needed) the log file at path for appending.
+func Open(path string, mode SyncMode) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &WAL{f: f, w: bufio.NewWriter(f), mode: mode}, nil
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// LSN returns the number of records appended through this handle.
+func (w *WAL) LSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lsn
+}
+
+// AppendCommit logs one committed transaction.
+func (w *WAL) AppendCommit(ts uint64, writes []txn.Write) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.w.WriteByte(recCommit)
+	writeUvarint(w.w, ts)
+	writeUvarint(w.w, uint64(len(writes)))
+	for _, wr := range writes {
+		w.w.WriteByte(byte(wr.Kind))
+		writeString(w.w, wr.Table)
+		writeUvarint(w.w, uint64(wr.Pos))
+		writeUvarint(w.w, uint64(len(wr.Row)))
+		for _, v := range wr.Row {
+			writeValue(w.w, v)
+		}
+	}
+	return w.finish()
+}
+
+// AppendMerge logs a delta→main merge so replay compacts deterministically
+// at the same point in the redo stream.
+func (w *WAL) AppendMerge(table string, watermark uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.w.WriteByte(recMerge)
+	writeString(w.w, table)
+	writeUvarint(w.w, watermark)
+	return w.finish()
+}
+
+func (w *WAL) finish() error {
+	w.lsn++
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.mode == SyncEveryCommit {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Attach subscribes the WAL to a transaction manager: every commit is
+// appended (and synced per the mode) before control returns to the
+// committer.
+func (w *WAL) Attach(m *txn.Manager) {
+	m.OnCommit(func(ts uint64, writes []txn.Write) {
+		// A failed append in this simulation is fatal to durability; we
+		// surface it loudly rather than silently losing the tail.
+		if err := w.AppendCommit(ts, writes); err != nil {
+			panic(fmt.Sprintf("wal: append failed: %v", err))
+		}
+	})
+}
+
+// ReplayFn receives each log record during replay. mergeTable is empty for
+// commit records; writes is nil for merge records.
+type ReplayFn func(ts uint64, writes []txn.Write, mergeTable string, watermark uint64) error
+
+// Replay streams the records of the log at path. A truncated trailing
+// record (torn write at crash) terminates replay cleanly.
+func Replay(path string, fn ReplayFn) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		kind, err := r.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case recCommit:
+			ts, err := binary.ReadUvarint(r)
+			if err != nil {
+				return truncated(err)
+			}
+			n, err := binary.ReadUvarint(r)
+			if err != nil {
+				return truncated(err)
+			}
+			writes := make([]txn.Write, 0, n)
+			for i := uint64(0); i < n; i++ {
+				var wr txn.Write
+				kb, err := r.ReadByte()
+				if err != nil {
+					return truncated(err)
+				}
+				wr.Kind = txn.WriteKind(kb)
+				if wr.Table, err = readString(r); err != nil {
+					return truncated(err)
+				}
+				pos, err := binary.ReadUvarint(r)
+				if err != nil {
+					return truncated(err)
+				}
+				wr.Pos = int(pos)
+				rn, err := binary.ReadUvarint(r)
+				if err != nil {
+					return truncated(err)
+				}
+				wr.Row = make(value.Row, rn)
+				for c := range wr.Row {
+					if wr.Row[c], err = readValue(r); err != nil {
+						return truncated(err)
+					}
+				}
+				writes = append(writes, wr)
+			}
+			if err := fn(ts, writes, "", 0); err != nil {
+				return err
+			}
+		case recMerge:
+			table, err := readString(r)
+			if err != nil {
+				return truncated(err)
+			}
+			wm, err := binary.ReadUvarint(r)
+			if err != nil {
+				return truncated(err)
+			}
+			if err := fn(0, nil, table, wm); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("wal: corrupt record kind %d", kind)
+		}
+	}
+}
+
+func truncated(err error) error {
+	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil // torn tail: recover up to the last complete record
+	}
+	return err
+}
+
+// --- value / string binary codec -----------------------------------------
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeValue(w *bufio.Writer, v value.Value) {
+	w.WriteByte(byte(v.K))
+	switch v.K {
+	case value.KindNull:
+	case value.KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+		w.Write(buf[:])
+	case value.KindString:
+		writeString(w, v.S)
+	default:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+		w.Write(buf[:])
+	}
+}
+
+func readValue(r *bufio.Reader) (value.Value, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return value.Null, err
+	}
+	k := value.Kind(kb)
+	switch k {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return value.Null, err
+		}
+		return value.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case value.KindString:
+		s, err := readString(r)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.String(s), nil
+	default:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return value.Null, err
+		}
+		return value.Value{K: k, I: int64(binary.LittleEndian.Uint64(buf[:]))}, nil
+	}
+}
+
+// --- checkpoints -----------------------------------------------------------
+
+const checkpointMagic = "HNCKPT01"
+
+// WriteCheckpoint captures the exact physical state (schemas, row slots,
+// MVCC stamps) of the given tables at clock time ts into path. The write
+// is atomic: a temp file renamed into place.
+func WriteCheckpoint(path string, ts uint64, tables map[string]*columnstore.Table) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint create: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	w.WriteString(checkpointMagic)
+	writeUvarint(w, ts)
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeUvarint(w, uint64(len(names)))
+	for _, name := range names {
+		t := tables[name]
+		snap := t.Snapshot(^uint64(0) - 1)
+		writeString(w, name)
+		schema := t.Schema()
+		writeUvarint(w, uint64(len(schema)))
+		for _, c := range schema {
+			writeString(w, c.Name)
+			w.WriteByte(byte(c.Kind))
+		}
+		n := snap.NumRows()
+		writeUvarint(w, uint64(n))
+		for i := 0; i < n; i++ {
+			writeUvarint(w, snap.Created(i))
+			writeUvarint(w, snap.Deleted(i))
+			for c := range schema {
+				writeValue(w, snap.Get(c, i))
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint and returns the reconstructed tables
+// and the clock timestamp at capture.
+func LoadCheckpoint(path string) (map[string]*columnstore.Table, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != checkpointMagic {
+		return nil, 0, fmt.Errorf("wal: bad checkpoint header")
+	}
+	ts, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	nt, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	tables := make(map[string]*columnstore.Table, nt)
+	for ti := uint64(0); ti < nt; ti++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		nc, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		schema := make(columnstore.Schema, nc)
+		for c := range schema {
+			if schema[c].Name, err = readString(r); err != nil {
+				return nil, 0, err
+			}
+			kb, err := r.ReadByte()
+			if err != nil {
+				return nil, 0, err
+			}
+			schema[c].Kind = value.Kind(kb)
+		}
+		tab := columnstore.NewTable(name, schema)
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		rows := make([]value.Row, 0, n)
+		created := make([]uint64, 0, n)
+		deleted := make([]uint64, 0, n)
+		for i := uint64(0); i < n; i++ {
+			cts, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, 0, err
+			}
+			dts, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, 0, err
+			}
+			row := make(value.Row, nc)
+			for c := range row {
+				if row[c], err = readValue(r); err != nil {
+					return nil, 0, err
+				}
+			}
+			rows = append(rows, row)
+			created = append(created, cts)
+			deleted = append(deleted, dts)
+		}
+		tab.ApplyInsertStamped(rows, created, deleted)
+		tables[name] = tab
+	}
+	return tables, ts, nil
+}
+
+// --- store orchestration -----------------------------------------------
+
+// Store bundles a transaction manager with a WAL and checkpoint directory,
+// providing logged merges, checkpointing, backup/restore and recovery.
+type Store struct {
+	Dir string
+	Mgr *txn.Manager
+	Log *WAL
+
+	recovered []string // table names restored from the checkpoint
+}
+
+// OpenStore recovers (or initializes) a durable store in dir: loads the
+// latest checkpoint if present, replays the WAL suffix, and attaches a
+// fresh WAL for new commits.
+func OpenStore(dir string, mode SyncMode) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	mgr := txn.NewManager()
+	var maxTS uint64 = 1
+
+	ckptPath := filepath.Join(dir, "checkpoint.db")
+	var ckptTS uint64
+	var recovered []string
+	if tables, ts, err := LoadCheckpoint(ckptPath); err == nil {
+		ckptTS = ts
+		maxTS = ts
+		for name, t := range tables {
+			mgr.Register(t)
+			recovered = append(recovered, name)
+		}
+		sort.Strings(recovered)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	logPath := filepath.Join(dir, "redo.log")
+	err := Replay(logPath, func(ts uint64, writes []txn.Write, mergeTable string, watermark uint64) error {
+		if mergeTable != "" {
+			if t, ok := mgr.Table(mergeTable); ok && watermark > ckptTS {
+				t.Merge(watermark)
+			}
+			return nil
+		}
+		if ts <= ckptTS {
+			return nil // already in the checkpoint
+		}
+		if ts > maxTS {
+			maxTS = ts
+		}
+		for _, w := range writes {
+			t, ok := mgr.Table(w.Table)
+			if !ok {
+				continue // table dropped later; tolerated
+			}
+			switch w.Kind {
+			case txn.WriteInsert:
+				t.ApplyInsert([]value.Row{w.Row}, ts)
+			case txn.WriteDelete:
+				t.ApplyDelete(w.Pos, ts)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr.AdvanceTo(maxTS)
+
+	log, err := Open(logPath, mode)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{Dir: dir, Mgr: mgr, Log: log, recovered: recovered}
+	// One listener for the lifetime of the store; it always appends to the
+	// store's current log so checkpointing can swap the file underneath.
+	mgr.OnCommit(func(ts uint64, writes []txn.Write) {
+		if err := s.Log.AppendCommit(ts, writes); err != nil {
+			panic(fmt.Sprintf("wal: append failed: %v", err))
+		}
+	})
+	return s, nil
+}
+
+// RecoveredTables lists the tables reconstructed from the checkpoint at
+// open, so higher layers can rebuild their catalogs.
+func (s *Store) RecoveredTables() []*columnstore.Table {
+	var out []*columnstore.Table
+	for _, name := range s.recovered {
+		if t, ok := s.Mgr.Table(name); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MergeTable runs a logged delta→main merge on the named table at the
+// current watermark.
+func (s *Store) MergeTable(name string) (columnstore.MergeStats, error) {
+	t, ok := s.Mgr.Table(name)
+	if !ok {
+		return columnstore.MergeStats{}, fmt.Errorf("wal: unknown table %q", name)
+	}
+	wm := s.Mgr.MinActiveTS()
+	if err := s.Log.AppendMerge(name, wm); err != nil {
+		return columnstore.MergeStats{}, err
+	}
+	return t.Merge(wm), nil
+}
+
+// Checkpoint captures the current state and truncates the redo log.
+func (s *Store) Checkpoint(tables map[string]*columnstore.Table) error {
+	ts := s.Mgr.Now()
+	if err := WriteCheckpoint(filepath.Join(s.Dir, "checkpoint.db"), ts, tables); err != nil {
+		return err
+	}
+	// Truncate the log: records up to ts are superseded by the checkpoint.
+	// (Records after ts cannot exist yet because commits are serialized
+	// through the manager and the caller quiesced writers.)
+	if err := s.Log.Close(); err != nil {
+		return err
+	}
+	if err := os.Truncate(filepath.Join(s.Dir, "redo.log"), 0); err != nil {
+		return err
+	}
+	log, err := Open(filepath.Join(s.Dir, "redo.log"), s.Log.mode)
+	if err != nil {
+		return err
+	}
+	s.Log = log
+	return nil
+}
+
+// Backup writes a consistent full backup (a checkpoint file) to path.
+func (s *Store) Backup(path string, tables map[string]*columnstore.Table) error {
+	return WriteCheckpoint(path, s.Mgr.Now(), tables)
+}
+
+// RestoreBackup loads a backup into a fresh manager.
+func RestoreBackup(path string) (*txn.Manager, error) {
+	tables, ts, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	mgr := txn.NewManager()
+	for _, t := range tables {
+		mgr.Register(t)
+	}
+	mgr.AdvanceTo(ts)
+	return mgr, nil
+}
