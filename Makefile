@@ -1,0 +1,29 @@
+# Developer entry points. `make ci` is the gate: vet + build + race-enabled
+# tests + the experiment shape assertions.
+
+GO ?= go
+
+.PHONY: all vet build test race experiments bench ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The EXPERIMENTS.md shape assertions (E1..E17 tables must reproduce).
+experiments:
+	$(GO) test -run Experiment ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: vet build race experiments

@@ -59,11 +59,12 @@ func BenchmarkE14_InEngineAlgebra(b *testing.B) {
 func BenchmarkE15_PlanningDisagg(b *testing.B) {
 	benchExperiment(b, experiments.E15PlanningDisagg)
 }
-func BenchmarkE16_Docstore(b *testing.B)   { benchExperiment(b, experiments.E16Docstore) }
-func BenchmarkF1_Tiering(b *testing.B)     { benchExperiment(b, experiments.F1Tiering) }
-func BenchmarkF2_CrossEngine(b *testing.B) { benchExperiment(b, experiments.F2CrossEngine) }
-func BenchmarkF3_SOECluster(b *testing.B)  { benchExperiment(b, experiments.F3SOECluster) }
-func BenchmarkF4_Ecosystem(b *testing.B)   { benchExperiment(b, experiments.F4Ecosystem) }
+func BenchmarkE16_Docstore(b *testing.B)      { benchExperiment(b, experiments.E16Docstore) }
+func BenchmarkE17_MetricsReport(b *testing.B) { benchExperiment(b, experiments.E17MetricsReport) }
+func BenchmarkF1_Tiering(b *testing.B)        { benchExperiment(b, experiments.F1Tiering) }
+func BenchmarkF2_CrossEngine(b *testing.B)    { benchExperiment(b, experiments.F2CrossEngine) }
+func BenchmarkF3_SOECluster(b *testing.B)     { benchExperiment(b, experiments.F3SOECluster) }
+func BenchmarkF4_Ecosystem(b *testing.B)      { benchExperiment(b, experiments.F4Ecosystem) }
 
 // --- ablation micro-benchmarks (DESIGN.md §4) ----------------------------
 

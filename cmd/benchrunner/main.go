@@ -17,11 +17,13 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func main() {
 	which := flag.String("experiment", "", "comma-separated experiment ids (default: all)")
 	scaleFlag := flag.String("scale", "small", "small or full")
+	showStats := flag.Bool("stats", false, "print the process metrics delta after each experiment")
 	flag.Parse()
 
 	scale := experiments.Small
@@ -38,12 +40,41 @@ func main() {
 		for _, id := range strings.Split(*which, ",") {
 			f, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E16, F1..F4)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E17, F1..F4)\n", id)
 				os.Exit(1)
 			}
+			before := stats.Default.Snapshot()
 			fmt.Println(f(scale).String())
+			if *showStats {
+				printDelta(before)
+			}
 		}
 	}
 	fmt.Printf("total: %v (scale=%s rows=%d nodes=%d)\n",
 		time.Since(start).Round(time.Millisecond), *scaleFlag, scale.Rows, scale.Nodes)
+	if *showStats && *which == "" {
+		fmt.Println("\nprocess metrics (lifetime):")
+		fmt.Print(indent(stats.Default.Snapshot().String()))
+	}
+}
+
+// printDelta shows what one experiment added to the process-wide registry
+// (column store and streaming counters; SOE metrics live in per-cluster
+// registries and are shown by the experiments themselves).
+func printDelta(before stats.Snapshot) {
+	d := stats.Delta(before, stats.Default.Snapshot())
+	out := d.String()
+	if strings.TrimSpace(out) == "" {
+		return
+	}
+	fmt.Println("process metrics delta:")
+	fmt.Print(indent(out))
+}
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	return b.String()
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sqlexec"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -92,6 +93,8 @@ func command(eco *core.Ecosystem, cmd string) bool {
 		return false
 	case cmd == "\\help":
 		fmt.Println(`  \status          admin snapshot (tables, tiers, commits)
+  \stats           v2stats metrics snapshot (parse/plan/exec timings, ...)
+  \traces          recent statement traces (span trees)
   \merge           delta-merge every table
   \tables          list tables
   \objects         list business objects in the repository
@@ -106,6 +109,27 @@ func command(eco *core.Ecosystem, cmd string) bool {
 		for _, t := range st.Tables {
 			fmt.Printf("  %-24s rows=%-8d delta=%-6d partitions=%d bytes=%d tiers=%v\n",
 				t.Name, t.Rows, t.DeltaRows, t.Partitions, t.Bytes, t.Tiers)
+		}
+	case cmd == "\\stats":
+		// Engine metrics plus the process-wide default registry (column
+		// store, streaming) in one merged view.
+		snap := stats.Merge(eco.Obs.Snapshot(), stats.Default.Snapshot())
+		out := snap.String()
+		if strings.TrimSpace(out) == "" {
+			fmt.Println("  no metrics yet — run some statements first")
+			break
+		}
+		for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+			fmt.Println("  " + line)
+		}
+	case cmd == "\\traces":
+		out := eco.Tracer.Render(10)
+		if strings.TrimSpace(out) == "" {
+			fmt.Println("  no traces yet — run some statements first")
+			break
+		}
+		for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+			fmt.Println("  " + line)
 		}
 	case cmd == "\\merge":
 		eco.MergeAll()

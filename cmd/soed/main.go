@@ -3,13 +3,18 @@
 // and discovery. It loads a synthetic order workload, runs distributed
 // queries under each join strategy, demonstrates OLAP staleness, kills a
 // node and fails its partitions over, then prints the cluster state.
+// With -http it also serves the v2stats landscape on /metrics and
+// /traces and keeps running until interrupted.
 //
 // Usage: go run ./cmd/soed [-nodes 4] [-rows 20000] [-mode oltp|olap]
+//
+//	[-http :8080]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -17,6 +22,7 @@ import (
 	"repro/internal/distql"
 	"repro/internal/netsim"
 	"repro/internal/soe"
+	"repro/internal/stats"
 	"repro/internal/value"
 )
 
@@ -25,6 +31,7 @@ func main() {
 	rows := flag.Int("rows", 20000, "order rows to load")
 	mode := flag.String("mode", "oltp", "node mode: oltp or olap")
 	latency := flag.Duration("latency", 50*time.Microsecond, "simulated link latency")
+	httpAddr := flag.String("http", "", "serve /metrics and /traces on this address (e.g. :8080) after the demo")
 	flag.Parse()
 
 	m := soe.OLTP
@@ -136,6 +143,41 @@ func main() {
 		fmt.Printf("  %-8s partitions=%-3d queries=%-5d rows_scanned=%-9d applied_ts=%d\n",
 			st.Node, st.Partitions, st.QueriesRun, st.RowsScanned, st.AppliedTS)
 	}
+
+	// v2stats: the landscape-wide metrics aggregate.
+	snap := cluster.CollectStats()
+	fmt.Println("\nv2stats landscape snapshot (selected):")
+	fmt.Printf("  queries:      %d (coordinator) / %d (nodes)\n",
+		counterOf(snap, "soe_queries_total", "service=v2dqp"), nodeQueries(snap))
+	fmt.Printf("  commits:      %d\n", counterOf(snap, "soe_commits_total", "service=v2transact"))
+	fmt.Printf("  log appends:  %d (%d bytes)\n",
+		snap.CounterTotal("sharedlog_appends_total"), snap.CounterTotal("sharedlog_bytes_total"))
+	fmt.Printf("  net messages: %d (%d bytes)\n",
+		snap.CounterTotal("netsim_messages_total"), snap.CounterTotal("netsim_bytes_total"))
+	if h, ok := snap.HistogramNamed("soe_query_ms"); ok {
+		fmt.Printf("  query latency: p50=%.2fms p95=%.2fms p99=%.2fms (n=%d)\n", h.P50, h.P95, h.P99, h.Count)
+	}
+
+	if *httpAddr != "" {
+		fmt.Printf("\nserving /metrics and /traces on %s\n", *httpAddr)
+		must0(http.ListenAndServe(*httpAddr, stats.NewHandler(cluster.CollectStats, cluster.Tracer)))
+	}
+}
+
+func counterOf(snap stats.Snapshot, name string, labels ...string) int64 {
+	v, _ := snap.Counter(name, labels...)
+	return v
+}
+
+// nodeQueries sums per-node query counters (labeled node=...).
+func nodeQueries(snap stats.Snapshot) int64 {
+	var total int64
+	for _, c := range snap.CountersNamed("soe_queries_total") {
+		if _, ok := stats.LabelValue(c.Labels, "node"); ok {
+			total += c.Value
+		}
+	}
+	return total
 }
 
 func must(t *soe.DistTable, err error) {

@@ -36,8 +36,10 @@ func (d *Dictionary) Value(id int) string { return d.values[id] }
 func (d *Dictionary) Lookup(s string) (int, bool) {
 	i := sort.SearchStrings(d.values, s)
 	if i < len(d.values) && d.values[i] == s {
+		cDictHits.Inc()
 		return i, true
 	}
+	cDictMisses.Inc()
 	return i, false
 }
 

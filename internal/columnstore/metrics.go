@@ -1,0 +1,14 @@
+package columnstore
+
+import "repro/internal/stats"
+
+// The column store has no plumbing path for a per-instance registry
+// (tables are created deep inside engines), so it reports into the
+// process-wide default registry. Counters are cached at package level:
+// the hot paths pay one atomic add, never a registry lookup.
+var (
+	cSnapshots  = stats.Default.Counter("columnstore_snapshots_total")
+	cDictHits   = stats.Default.Counter("columnstore_dict_hits_total")
+	cDictMisses = stats.Default.Counter("columnstore_dict_misses_total")
+	cMerges     = stats.Default.Counter("columnstore_merges_total")
+)

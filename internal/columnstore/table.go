@@ -274,6 +274,7 @@ func (t *Table) Bytes() int {
 // remains valid across concurrent inserts and merges: it pins the column
 // structures that existed at capture time.
 func (t *Table) Snapshot(ts uint64) *Snapshot {
+	cSnapshots.Inc()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return &Snapshot{
@@ -386,6 +387,7 @@ func (s *Snapshot) LiveRows() int {
 // String dictionaries are re-sorted and references remapped unless the
 // stable-key fast path applies (§III).
 func (t *Table) Merge(minActiveTS uint64) MergeStats {
+	cMerges.Inc()
 	start := time.Now()
 	t.mu.Lock()
 

@@ -31,6 +31,7 @@ import (
 	"repro/internal/planning"
 	"repro/internal/soe"
 	"repro/internal/sqlexec"
+	"repro/internal/stats"
 	"repro/internal/streaming"
 	"repro/internal/text"
 	"repro/internal/timeseries"
@@ -60,6 +61,11 @@ type Ecosystem struct {
 
 	Repo  *Repository
 	Store *wal.Store // non-nil when durable
+
+	// Obs and Tracer observe the local engine; SOE clusters additionally
+	// carry their own landscape registry (SOE.Obs) and v2stats service.
+	Obs    *stats.Registry
+	Tracer *stats.Tracer
 }
 
 // Config shapes an ecosystem.
@@ -102,8 +108,15 @@ func New(cfg Config) (*Ecosystem, error) {
 		cfg.ReferenceCurrency = "EUR"
 	}
 
+	obs := stats.NewRegistry()
+	tracer := stats.NewTracer(128)
+	eng.Obs = obs
+	eng.Tracer = tracer
+
 	e := &Ecosystem{
 		Engine:   eng,
+		Obs:      obs,
+		Tracer:   tracer,
 		Text:     text.Attach(eng),
 		Graph:    graph.Attach(eng),
 		Geo:      geo.Attach(eng),

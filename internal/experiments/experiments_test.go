@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -100,6 +101,35 @@ func TestE10ShapePathsAgree(t *testing.T) {
 	a, b, c := cell(tab, 0, 1), cell(tab, 1, 1), cell(tab, 2, 1)
 	if a != b || b != c {
 		t.Fatalf("paths disagree: %s %s %s", a, b, c)
+	}
+}
+
+func TestE17ShapeMetricsNonZero(t *testing.T) {
+	tab := E17MetricsReport(tiny)
+	// Counters in rows 0..3 must be non-zero: the workload ran queries,
+	// commits, log appends and network messages.
+	for row := 0; row < 4; row++ {
+		if atoi(t, cell(tab, row, 1)) == 0 {
+			t.Fatalf("%s is zero after a mixed workload", cell(tab, row, 0))
+		}
+	}
+	// Latency histograms report sane quantiles (present, parseable,
+	// non-negative, p99 bounded by something absurd like a minute).
+	found := 0
+	for _, row := range tab.Rows {
+		if row[0] == "soe_query_ms" || row[0] == "soe_commit_ms" {
+			found++
+			var p99 float64
+			if _, err := fmt.Sscanf(row[1], "p99=%fms", &p99); err != nil {
+				t.Fatalf("%s: unparseable %q", row[0], row[1])
+			}
+			if p99 < 0 || p99 > 60_000 {
+				t.Fatalf("%s: insane p99 %f", row[0], p99)
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("latency histogram rows missing (found %d)", found)
 	}
 }
 

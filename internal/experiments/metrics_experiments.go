@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/soe"
+	"repro/internal/stats"
+)
+
+// E17MetricsReport — the v2stats observability subsystem: boot the full
+// Figure 3 landscape, drive a mixed OLTP/OLAP workload (broker commits
+// plus distributed scans and joins), and report the landscape-wide
+// metrics aggregate the StatsService collects from every per-node
+// registry over the network.
+func E17MetricsReport(s Scale) *Table {
+	t := &Table{
+		ID:     "E17",
+		Title:  "v2stats landscape metrics under a mixed OLTP/OLAP workload",
+		Claim:  "the v2stats service aggregates per-node registries into one live landscape view (Figure 3)",
+		Header: []string{"metric", "value", "detail"},
+	}
+	c := soe.NewCluster(soe.ClusterConfig{Nodes: s.Nodes, Mode: soe.OLTP, LogStripes: 4, LogReplicas: 2})
+	defer c.Shutdown()
+
+	if err := loadCluster(c, s.Rows/2, true); err != nil {
+		panic(err)
+	}
+	queries := 0
+	for i := 0; i < 8; i++ {
+		if _, err := c.Query(`SELECT region, COUNT(*), SUM(amount) FROM orders GROUP BY region`); err != nil {
+			panic(err)
+		}
+		queries++
+	}
+	if _, _, err := c.Coordinator.Query(`SELECT o.region, SUM(i.qty) FROM orders o JOIN items i ON o.id = i.order_id GROUP BY o.region`); err != nil {
+		panic(err)
+	}
+	queries++
+
+	st := time.Now()
+	snap := c.CollectStats()
+	collectTime := time.Since(st)
+
+	coordQ, _ := snap.Counter("soe_queries_total", "service=v2dqp")
+	var nodeQ int64
+	nodesSeen := 0
+	for _, cs := range snap.CountersNamed("soe_queries_total") {
+		if _, ok := stats.LabelValue(cs.Labels, "node"); ok {
+			nodeQ += cs.Value
+			nodesSeen++
+		}
+	}
+	commits, _ := snap.Counter("soe_commits_total", "service=v2transact")
+	t.AddRow("soe_queries_total", fmt.Sprintf("%d", coordQ), fmt.Sprintf("coordinator; %d fan-out execs on %d nodes", nodeQ, nodesSeen))
+	t.AddRow("soe_commits_total", fmt.Sprintf("%d", commits), "broker transactions through the shared log")
+	t.AddRow("sharedlog_appends_total", fmt.Sprintf("%d", snap.CounterTotal("sharedlog_appends_total")),
+		fmt.Sprintf("%d bytes", snap.CounterTotal("sharedlog_bytes_total")))
+	t.AddRow("netsim_messages_total", fmt.Sprintf("%d", snap.CounterTotal("netsim_messages_total")),
+		fmt.Sprintf("%d bytes across service pairs", snap.CounterTotal("netsim_bytes_total")))
+	if h, ok := snap.HistogramNamed("soe_query_ms"); ok {
+		t.AddRow("soe_query_ms", fmt.Sprintf("p99=%.2fms", h.P99),
+			fmt.Sprintf("p50=%.2fms p95=%.2fms n=%d", h.P50, h.P95, h.Count))
+	}
+	if h, ok := snap.HistogramNamed("soe_commit_ms"); ok {
+		t.AddRow("soe_commit_ms", fmt.Sprintf("p99=%.2fms", h.P99),
+			fmt.Sprintf("p50=%.2fms n=%d", h.P50, h.Count))
+	}
+	t.AddRow("collect", ms(collectTime), fmt.Sprintf("merged %d node registries over MsgStatsPull", nodesSeen))
+
+	t.Note("%d queries issued; traces recorded: %d (query → plan → per-node task)", queries, c.Tracer.Total())
+	if hot := c.Manager.HotSpots(1.5); len(hot) > 0 {
+		t.Note("hotspot detection (registry-backed): %v", hot)
+	}
+	return t
+}

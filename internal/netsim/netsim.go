@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // Message is one request or response payload.
@@ -49,6 +51,8 @@ type Network struct {
 	blocked   map[string]bool // "a->b"
 	msgs      atomic.Int64
 	bytesSent atomic.Int64
+
+	obs atomic.Pointer[stats.Registry]
 }
 
 // New returns a network with the given link model.
@@ -132,7 +136,19 @@ func (n *Network) Call(from, to string, req Message) (Message, error) {
 		return Message{}, err
 	}
 	n.charge(cfg, resp.Size())
+	if reg := n.obs.Load(); reg != nil {
+		pair := "pair=" + from + "->" + to
+		reg.Counter("netsim_messages_total", pair).Add(2)
+		reg.Counter("netsim_bytes_total", pair).Add(int64(req.Size() + resp.Size()))
+	}
 	return resp, nil
+}
+
+// Instrument attaches a metrics registry; every successful Call records
+// message and byte counters labeled by the from->to service pair. Nil
+// detaches.
+func (n *Network) Instrument(reg *stats.Registry) {
+	n.obs.Store(reg)
 }
 
 // Send is a one-way, fire-and-forget message (log replication fan-out).

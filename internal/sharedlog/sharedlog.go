@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
 )
 
 // Errors surfaced by the log.
@@ -142,6 +145,14 @@ type Log struct {
 	stripes   [][]*Unit
 	epoch     uint64
 	trimmedLo atomic.Uint64 // positions below are trimmed
+
+	obs atomic.Pointer[stats.Registry]
+}
+
+// Instrument attaches a metrics registry recording appends, bytes and
+// append latency. Nil detaches.
+func (l *Log) Instrument(reg *stats.Registry) {
+	l.obs.Store(reg)
 }
 
 // New assembles a log over the given striping.
@@ -182,10 +193,16 @@ func (l *Log) Epoch() uint64 {
 // Append writes data at the next position: chain replication through the
 // stripe's units, position returned once every replica acknowledged.
 func (l *Log) Append(data []byte) (uint64, error) {
+	t0 := time.Now()
 	for {
 		pos := l.seq.Next()
 		err := l.writeAt(pos, data)
 		if err == nil {
+			if reg := l.obs.Load(); reg != nil {
+				reg.Counter("sharedlog_appends_total").Inc()
+				reg.Counter("sharedlog_bytes_total").Add(int64(len(data)))
+				reg.Histogram("sharedlog_append_ms").ObserveSince(t0)
+			}
 			return pos, nil
 		}
 		if errors.Is(err, ErrWritten) {

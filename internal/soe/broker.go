@@ -2,11 +2,14 @@ package soe
 
 import (
 	"encoding/json"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/sharedlog"
+	"repro/internal/stats"
 )
 
 // Broker is the v2transact service: it "executes, serializes, and
@@ -26,6 +29,9 @@ type Broker struct {
 	oltpNodes []string
 
 	commits atomic.Int64
+
+	obs    *stats.Registry
+	tracer *stats.Tracer
 }
 
 // NewBroker creates and registers the broker on the network.
@@ -35,6 +41,13 @@ func NewBroker(name string, net *netsim.Network, disc *Discovery, log *sharedlog
 	net.Register(name, b.handle)
 	disc.Announce("v2transact", name)
 	return b
+}
+
+// Instrument attaches the landscape registry and tracer; nil disables.
+func (b *Broker) Instrument(reg *stats.Registry, tracer *stats.Tracer) {
+	b.mu.Lock()
+	b.obs, b.tracer = reg, tracer
+	b.mu.Unlock()
 }
 
 // AddOLTPNode subscribes a node to synchronous apply.
@@ -54,18 +67,29 @@ func (b *Broker) Clock() uint64 { return b.clock.Load() }
 // OLTP push. Exposed directly for in-process clients (the coordinator);
 // remote clients send MsgCommit.
 func (b *Broker) Commit(writes []LogWrite) (pos uint64, ts uint64, err error) {
+	b.mu.Lock()
+	obs, tracer := b.obs, b.tracer
+	b.mu.Unlock()
+	t0 := time.Now()
+	span := tracer.Start("commit", fmt.Sprintf("writes=%d", len(writes)))
+	defer span.Finish()
+
 	ts = b.clock.Add(1)
 	entry := LogEntry{TS: ts, Writes: writes}
 	data, err := json.Marshal(entry)
 	if err != nil {
 		return 0, 0, err
 	}
+	app := span.Child("log_append")
 	pos, err = b.log.Append(data)
+	app.Finish()
 	if err != nil {
 		return 0, 0, err
 	}
 	entry.Pos = pos
 	b.commits.Add(1)
+	obs.Counter("soe_commits_total", "service=v2transact").Inc()
+	obs.Counter("soe_commit_bytes_total", "service=v2transact").Add(int64(len(data)))
 
 	// OLTP nodes update "during the update transaction": synchronous push
 	// before the commit is acknowledged.
@@ -73,11 +97,14 @@ func (b *Broker) Commit(writes []LogWrite) (pos uint64, ts uint64, err error) {
 	targets := append([]string(nil), b.oltpNodes...)
 	b.mu.Unlock()
 	req := ApplyReq{Token: b.disc.Token(), Entries: []LogEntry{entry}}
+	push := span.Child("oltp_push", fmt.Sprintf("targets=%d", len(targets)))
 	for _, node := range targets {
 		// A crashed OLTP node must not block commits (availability over
 		// consistency, §IV-B); it will catch up from the log on recovery.
 		call[ExecResp](b.net, b.Name, node, MsgApply, req)
 	}
+	push.Finish()
+	obs.Histogram("soe_commit_ms", "service=v2transact").ObserveSince(t0)
 	return pos, ts, nil
 }
 
@@ -120,7 +147,7 @@ func (b *Broker) handle(from string, req netsim.Message) (netsim.Message, error)
 			return netsim.Message{Kind: MsgPoll, Payload: encode(PollResp{Err: "unauthorized"})}, nil
 		}
 		entries, next := b.ReadLog(r.From, r.Max)
-		return netsim.Message{Kind: MsgPoll, Payload: encode(PollResp{Entries: entries, Next: next})}, nil
+		return netsim.Message{Kind: MsgPoll, Payload: encode(PollResp{Entries: entries, Next: next, Tail: b.log.Tail()})}, nil
 	}
 	return netsim.Message{}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/columnstore"
 	"repro/internal/netsim"
 	"repro/internal/sharedlog"
+	"repro/internal/stats"
 	"repro/internal/value"
 )
 
@@ -20,7 +21,14 @@ type Cluster struct {
 	Broker      *Broker
 	Coordinator *Coordinator
 	Manager     *Manager
+	Stats       *StatsService
 	Nodes       []*DataNode
+
+	// Obs is the cluster-level registry (coordinator, broker, shared log,
+	// network); per-node metrics live in each node's own registry and are
+	// merged on demand by Stats.Collect.
+	Obs    *stats.Registry
+	Tracer *stats.Tracer
 }
 
 // ClusterConfig shapes a cluster.
@@ -56,7 +64,15 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	broker := NewBroker("v2transact", net, disc, log)
 	mgr := NewManager("v2clustermgr", net, disc, ccat, broker, log)
 
-	c := &Cluster{Net: net, Disc: disc, Catalog: ccat, Log: log, Broker: broker, Manager: mgr}
+	obs := stats.NewRegistry()
+	tracer := stats.NewTracer(256)
+	net.Instrument(obs)
+	log.Instrument(obs)
+	broker.Instrument(obs, tracer)
+	statsSvc := NewStatsService("v2stats", net, disc, obs, tracer)
+	mgr.SetStatsService(statsSvc)
+
+	c := &Cluster{Net: net, Disc: disc, Catalog: ccat, Log: log, Broker: broker, Manager: mgr, Stats: statsSvc, Obs: obs, Tracer: tracer}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := mgr.StartNode(fmt.Sprintf("node%d", i), cfg.Mode)
 		if cfg.Mode == OLAP && cfg.PollInterval > 0 {
@@ -65,7 +81,14 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		c.Nodes = append(c.Nodes, n)
 	}
 	c.Coordinator = NewCoordinator("v2dqp", net, disc, ccat, broker.Name)
+	c.Coordinator.Instrument(obs, tracer)
 	return c
+}
+
+// CollectStats returns the merged landscape metrics snapshot (cluster
+// registry + process default + every node's registry).
+func (c *Cluster) CollectStats() stats.Snapshot {
+	return c.Stats.Collect()
 }
 
 // Shutdown stops polling loops.

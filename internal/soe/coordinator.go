@@ -5,10 +5,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/distql"
 	"repro/internal/netsim"
 	"repro/internal/sqlexec"
+	"repro/internal/stats"
 	"repro/internal/value"
 )
 
@@ -27,6 +29,16 @@ type Coordinator struct {
 	// BroadcastThreshold: a join side with at most this many estimated
 	// rows is broadcast instead of repartitioned.
 	BroadcastThreshold int
+
+	obs    *stats.Registry
+	tracer *stats.Tracer
+}
+
+// Instrument attaches the landscape registry and tracer. Call during
+// boot, before the coordinator serves queries; nil receivers in the
+// stats package make uninstrumented coordinators free.
+func (c *Coordinator) Instrument(reg *stats.Registry, tracer *stats.Tracer) {
+	c.obs, c.tracer = reg, tracer
 }
 
 // NewCoordinator creates and registers a coordinator.
@@ -63,6 +75,11 @@ type Result struct {
 // Insert routes rows by partition key and commits them through the
 // transaction broker.
 func (c *Coordinator) Insert(table string, rows []value.Row) (uint64, error) {
+	t0 := time.Now()
+	span := c.tracer.Start("insert", "table="+table, fmt.Sprintf("rows=%d", len(rows)))
+	defer span.Finish()
+	defer c.obs.Histogram("soe_insert_ms", "service=v2dqp").ObserveSince(t0)
+
 	t, ok := c.ccat.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("soe: unknown table %q", table)
@@ -75,7 +92,9 @@ func (c *Coordinator) Insert(table string, rows []value.Row) (uint64, error) {
 		}
 		writes = append(writes, LogWrite{Table: table, Partition: t.PartitionFor(r[ki]), Kind: 0, Row: r})
 	}
+	commit := span.Child("commit")
 	resp, err := call[CommitResp](c.net, c.Name, c.broker, MsgCommit, CommitReq{Token: c.disc.Token(), Writes: writes})
+	commit.Finish()
 	if err != nil {
 		return 0, err
 	}
@@ -106,15 +125,25 @@ func (c *Coordinator) Delete(table, key string) (uint64, error) {
 // Query plans and executes a distributed SELECT, returning the result and
 // the plan that produced it.
 func (c *Coordinator) Query(sql string) (*Result, *distql.Plan, error) {
+	t0 := time.Now()
+	span := c.tracer.Start("query", "sql="+sql)
+	defer span.Finish()
+	defer c.obs.Histogram("soe_query_ms", "service=v2dqp").ObserveSince(t0)
+	c.obs.Counter("soe_queries_total", "service=v2dqp").Inc()
+
+	pl := span.Child("plan")
 	st, err := sqlexec.Parse(sql)
 	if err != nil {
+		pl.Finish()
 		return nil, nil, err
 	}
 	sel, ok := st.(*sqlexec.SelectStmt)
 	if !ok {
+		pl.Finish()
 		return nil, nil, fmt.Errorf("soe: coordinator executes SELECT only (DML goes through Insert/Delete)")
 	}
 	plan, err := distql.Rewrite(sel)
+	pl.Finish()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,13 +154,13 @@ func (c *Coordinator) Query(sql string) (*Result, *distql.Plan, error) {
 	if plan.RightTable == "" {
 		plan.Strategy = distql.StrategyLocalParallel
 		nodes := c.pruneNodes(sel, plan.LeftTable)
-		rows, err := c.fanOut(nodes, plan.LocalSQL)
+		rows, err := c.fanOut(span, nodes, plan.LocalSQL)
 		if err != nil {
 			return nil, nil, err
 		}
 		return c.finish(plan, rows)
 	}
-	return c.queryJoin(sel, plan)
+	return c.queryJoin(sel, plan, span)
 }
 
 // pruneNodes narrows the fan-out for range-partitioned tables when the
@@ -182,10 +211,12 @@ func (c *Coordinator) ForceStrategy(sql string, strategy distql.Strategy) (*Resu
 		return nil, nil, fmt.Errorf("soe: ForceStrategy needs a join")
 	}
 	plan.Strategy = strategy
-	return c.executeJoin(sel, plan)
+	span := c.tracer.Start("query", "sql="+sql, "forced="+strategy.String())
+	defer span.Finish()
+	return c.executeJoin(sel, plan, span)
 }
 
-func (c *Coordinator) queryJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*Result, *distql.Plan, error) {
+func (c *Coordinator) queryJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, span *stats.Span) (*Result, *distql.Plan, error) {
 	lt, lok := c.ccat.Table(plan.LeftTable)
 	rt, rok := c.ccat.Table(plan.RightTable)
 	if !lok || !rok {
@@ -199,21 +230,22 @@ func (c *Coordinator) queryJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*Re
 	default:
 		plan.Strategy = distql.StrategyRepartition
 	}
-	return c.executeJoin(sel, plan)
+	return c.executeJoin(sel, plan, span)
 }
 
-func (c *Coordinator) executeJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*Result, *distql.Plan, error) {
+func (c *Coordinator) executeJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, span *stats.Span) (*Result, *distql.Plan, error) {
+	c.obs.Counter("soe_joins_total", "service=v2dqp", "strategy="+plan.Strategy.String()).Inc()
 	switch plan.Strategy {
 	case distql.StrategyColocated:
-		rows, err := c.fanOut(c.ccat.NodesOf(plan.LeftTable), plan.LocalSQL)
+		rows, err := c.fanOut(span, c.ccat.NodesOf(plan.LeftTable), plan.LocalSQL)
 		if err != nil {
 			return nil, nil, err
 		}
 		return c.finish(plan, rows)
 	case distql.StrategyBroadcast:
-		return c.broadcastJoin(sel, plan)
+		return c.broadcastJoin(sel, plan, span)
 	case distql.StrategyRepartition:
-		return c.repartitionJoin(sel, plan)
+		return c.repartitionJoin(sel, plan, span)
 	default:
 		return nil, nil, fmt.Errorf("soe: strategy %v not executable for joins", plan.Strategy)
 	}
@@ -221,7 +253,7 @@ func (c *Coordinator) executeJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*
 
 // broadcastJoin replicates the smaller side to every node of the bigger
 // side as a temp table.
-func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*Result, *distql.Plan, error) {
+func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, span *stats.Span) (*Result, *distql.Plan, error) {
 	lt, _ := c.ccat.Table(plan.LeftTable)
 	rt, _ := c.ccat.Table(plan.RightTable)
 	small, big := rt, lt
@@ -233,7 +265,7 @@ func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) 
 	plan.BroadcastTable = small.Name
 
 	// Pull the small side.
-	smallRows, err := c.fanOut(c.ccat.NodesOf(small.Name), "SELECT * FROM "+small.Name)
+	smallRows, err := c.fanOut(span, c.ccat.NodesOf(small.Name), "SELECT * FROM "+small.Name)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -268,7 +300,7 @@ func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) 
 	}
 	plan.LocalSQL = subPlan.LocalSQL
 
-	rows, err := c.fanOut(bigNodes, plan.LocalSQL)
+	rows, err := c.fanOut(span, bigNodes, plan.LocalSQL)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -279,7 +311,7 @@ func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) 
 // nodes, then joins bucket-locally. Data moves through the coordinator (a
 // star shuffle), which charges the same volume the direct node-to-node
 // shuffle would — a conservative model.
-func (c *Coordinator) repartitionJoin(sel *sqlexec.SelectStmt, plan *distql.Plan) (*Result, *distql.Plan, error) {
+func (c *Coordinator) repartitionJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, span *stats.Span) (*Result, *distql.Plan, error) {
 	lt, _ := c.ccat.Table(plan.LeftTable)
 	rt, _ := c.ccat.Table(plan.RightTable)
 	nodes := unionNodes(c.ccat.NodesOf(lt.Name), c.ccat.NodesOf(rt.Name))
@@ -287,10 +319,10 @@ func (c *Coordinator) repartitionJoin(sel *sqlexec.SelectStmt, plan *distql.Plan
 	tmpL := fmt.Sprintf("tmp_rl_%d", qid)
 	tmpR := fmt.Sprintf("tmp_rr_%d", qid)
 
-	if err := c.shuffle(lt, plan.LeftKey, nodes, tmpL); err != nil {
+	if err := c.shuffle(span, lt, plan.LeftKey, nodes, tmpL); err != nil {
 		return nil, nil, err
 	}
-	if err := c.shuffle(rt, plan.RightKey, nodes, tmpR); err != nil {
+	if err := c.shuffle(span, rt, plan.RightKey, nodes, tmpR); err != nil {
 		return nil, nil, err
 	}
 	defer c.dropTempOn(nodes, tmpL)
@@ -305,7 +337,7 @@ func (c *Coordinator) repartitionJoin(sel *sqlexec.SelectStmt, plan *distql.Plan
 	}
 	plan.LocalSQL = subPlan.LocalSQL
 
-	rows, err := c.fanOut(nodes, plan.LocalSQL)
+	rows, err := c.fanOut(span, nodes, plan.LocalSQL)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -314,12 +346,14 @@ func (c *Coordinator) repartitionJoin(sel *sqlexec.SelectStmt, plan *distql.Plan
 
 // shuffle hashes a table's rows by the join key across the target nodes
 // into per-node temp tables.
-func (c *Coordinator) shuffle(t *DistTable, key string, nodes []string, tmp string) error {
+func (c *Coordinator) shuffle(span *stats.Span, t *DistTable, key string, nodes []string, tmp string) error {
+	sh := span.Child("shuffle", "table="+t.Name)
+	defer sh.Finish()
 	ki := t.Schema.ColIndex(key)
 	if ki < 0 {
 		return fmt.Errorf("soe: shuffle key %q not in %s", key, t.Name)
 	}
-	batches, err := c.fanOut(c.ccat.NodesOf(t.Name), "SELECT * FROM "+t.Name)
+	batches, err := c.fanOut(sh, c.ccat.NodesOf(t.Name), "SELECT * FROM "+t.Name)
 	if err != nil {
 		return err
 	}
@@ -346,7 +380,10 @@ func (c *Coordinator) shuffle(t *DistTable, key string, nodes []string, tmp stri
 
 // fanOut runs SQL on every node in parallel and returns the per-node row
 // batches. An empty node list is a valid (pruned-to-nothing) fan-out.
-func (c *Coordinator) fanOut(nodes []string, sql string) ([][]value.Row, error) {
+// Each node gets a "task" child span under the caller's span — the DAG of
+// Figure 3 made visible in the trace tree.
+func (c *Coordinator) fanOut(span *stats.Span, nodes []string, sql string) ([][]value.Row, error) {
+	t0 := time.Now()
 	out := make([][]value.Row, len(nodes))
 	errs := make([]error, len(nodes))
 	var wg sync.WaitGroup
@@ -354,6 +391,8 @@ func (c *Coordinator) fanOut(nodes []string, sql string) ([][]value.Row, error) 
 		wg.Add(1)
 		go func(i int, n string) {
 			defer wg.Done()
+			task := span.Child("task", "node="+n)
+			defer task.Finish()
 			resp, err := call[ExecResp](c.net, c.Name, n, MsgExec, ExecReq{Token: c.disc.Token(), SQL: sql})
 			if err != nil {
 				errs[i] = err
@@ -367,6 +406,7 @@ func (c *Coordinator) fanOut(nodes []string, sql string) ([][]value.Row, error) 
 		}(i, n)
 	}
 	wg.Wait()
+	c.obs.Histogram("soe_fanout_ms", "service=v2dqp").ObserveSince(t0)
 	for _, e := range errs {
 		if e != nil {
 			return nil, e

@@ -8,29 +8,40 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sharedlog"
+	"repro/internal/stats"
 )
 
-// Manager is the v2clustermgr service (with v2stats folded in): it
-// supervises the landscape, collects statistics, detects hotspots, starts
-// and stops query services, and orchestrates partition movement.
+// Manager is the v2clustermgr service: it supervises the landscape,
+// detects hotspots, starts and stops query services, and orchestrates
+// partition movement. Statistics collection lives in the dedicated
+// StatsService (v2stats); the manager consumes its aggregate snapshot.
 type Manager struct {
 	Name string
 	net  *netsim.Network
 	disc *Discovery
 	ccat *ClusterCatalog
 
-	mu    sync.Mutex
-	nodes map[string]*DataNode
-	log   *sharedlog.Log
-	brk   *Broker
+	mu       sync.Mutex
+	nodes    map[string]*DataNode
+	log      *sharedlog.Log
+	brk      *Broker
+	statsSvc *StatsService
 }
 
 // NewManager creates the cluster manager.
 func NewManager(name string, net *netsim.Network, disc *Discovery, ccat *ClusterCatalog, brk *Broker, log *sharedlog.Log) *Manager {
 	m := &Manager{Name: name, net: net, disc: disc, ccat: ccat, nodes: map[string]*DataNode{}, log: log, brk: brk}
 	disc.Announce("v2clustermgr", name)
-	disc.Announce("v2stats", name)
 	return m
+}
+
+// SetStatsService wires the v2stats service; once set, hotspot detection
+// reads the landscape metrics snapshot instead of polling node status,
+// and nodes started by the manager are subscribed as metric sources.
+func (m *Manager) SetStatsService(s *StatsService) {
+	m.mu.Lock()
+	m.statsSvc = s
+	m.mu.Unlock()
 }
 
 // Track registers a node object with the manager (orchestration needs the
@@ -58,6 +69,12 @@ func (m *Manager) StartNode(name string, mode Mode) *DataNode {
 		m.brk.AddOLTPNode(name)
 	}
 	m.Track(n)
+	m.mu.Lock()
+	svc := m.statsSvc
+	m.mu.Unlock()
+	if svc != nil {
+		svc.AddSource(name)
+	}
 	return n
 }
 
@@ -95,23 +112,51 @@ func (m *Manager) Status() []StatusResp {
 }
 
 // HotSpots returns nodes whose query volume exceeds factor × the cluster
-// average.
+// average. With a StatsService wired it reads per-node soe_queries_total
+// from the landscape metrics snapshot; otherwise it falls back to the
+// legacy per-node status poll.
 func (m *Manager) HotSpots(factor float64) []string {
-	sts := m.Status()
-	if len(sts) == 0 {
+	m.mu.Lock()
+	svc := m.statsSvc
+	m.mu.Unlock()
+	if svc != nil {
+		return hotFromCounts(nodeQueryCounts(svc.Collect()), factor)
+	}
+	counts := map[string]int64{}
+	for _, s := range m.Status() {
+		counts[s.Node] = s.QueriesRun
+	}
+	return hotFromCounts(counts, factor)
+}
+
+// nodeQueryCounts extracts per-node query volume from a landscape
+// snapshot via the node=... base label every data-node registry stamps.
+func nodeQueryCounts(snap stats.Snapshot) map[string]int64 {
+	counts := map[string]int64{}
+	for _, c := range snap.CountersNamed("soe_queries_total") {
+		if node, ok := stats.LabelValue(c.Labels, "node"); ok {
+			counts[node] += c.Value
+		}
+	}
+	return counts
+}
+
+func hotFromCounts(counts map[string]int64, factor float64) []string {
+	if len(counts) == 0 {
 		return nil
 	}
 	var total int64
-	for _, s := range sts {
-		total += s.QueriesRun
+	for _, v := range counts {
+		total += v
 	}
-	avg := float64(total) / float64(len(sts))
+	avg := float64(total) / float64(len(counts))
 	var hot []string
-	for _, s := range sts {
-		if avg > 0 && float64(s.QueriesRun) > factor*avg {
-			hot = append(hot, s.Node)
+	for node, v := range counts {
+		if avg > 0 && float64(v) > factor*avg {
+			hot = append(hot, node)
 		}
 	}
+	sort.Strings(hot)
 	return hot
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/columnstore"
 	"repro/internal/netsim"
 	"repro/internal/sqlexec"
+	"repro/internal/stats"
 	"repro/internal/value"
 )
 
@@ -45,6 +46,17 @@ type DataNode struct {
 	queries     atomic.Int64
 	rowsScanned atomic.Int64
 
+	// Per-node observability registry (v2stats pulls it via MsgStatsPull).
+	// Hot-path metrics are cached as fields so the MsgExec path never
+	// rebuilds name+label keys.
+	obs        *stats.Registry
+	cQueries   *stats.Counter
+	cRowsScan  *stats.Counter
+	cApplied   *stats.Counter
+	gAppliedTS *stats.Gauge
+	gBacklog   *stats.Gauge
+	hExec      *stats.Histogram
+
 	pollStop chan struct{}
 }
 
@@ -59,11 +71,24 @@ func NewDataNode(name string, mode Mode, net *netsim.Network, disc *Discovery, c
 		Name: name, Mode: mode, net: net, disc: disc, ccat: ccat, broker: broker,
 		eng:    sqlexec.NewEngine(),
 		hosted: map[string]map[int]*columnstore.Table{},
+		obs:    stats.NewRegistry("node=" + name),
 	}
+	n.cQueries = n.obs.Counter("soe_queries_total")
+	n.cRowsScan = n.obs.Counter("soe_rows_scanned_total")
+	n.cApplied = n.obs.Counter("soe_log_entries_applied_total")
+	n.gAppliedTS = n.obs.Gauge("soe_applied_ts")
+	n.gBacklog = n.obs.Gauge("soe_poll_backlog")
+	n.hExec = n.obs.Histogram("soe_exec_ms")
+	// The node-local SQL engine reports into the same registry, so parse/
+	// plan/exec timings surface per node in the v2stats aggregate.
+	n.eng.Obs = n.obs
 	net.Register(name, n.handle)
 	disc.Announce("v2lqp/"+name, name)
 	return n
 }
+
+// Obs exposes the node's metrics registry (tests, embedding).
+func (n *DataNode) Obs() *stats.Registry { return n.obs }
 
 // Engine exposes the node-local relational engine (tests, local tools).
 func (n *DataNode) Engine() *sqlexec.Engine { return n.eng }
@@ -275,6 +300,8 @@ func (n *DataNode) applyEntries(entries []LogEntry) {
 		}
 		n.eng.Mgr.AdvanceTo(e.TS)
 	}
+	n.cApplied.Add(int64(len(entries)))
+	n.gAppliedTS.Set(float64(n.appliedTS))
 }
 
 func (n *DataNode) deleteByKey(store *columnstore.Table, w LogWrite, ts uint64) {
@@ -314,6 +341,11 @@ func (n *DataNode) PollOnce(max int) (int, error) {
 	n.mu.Lock()
 	n.appliedPos = resp.Next
 	n.mu.Unlock()
+	// OLAP apply lag: log entries still ahead of this node after the poll
+	// — the measured form of the bounded-staleness trade-off (§IV-B).
+	if resp.Tail >= resp.Next {
+		n.gBacklog.Set(float64(resp.Tail - resp.Next))
+	}
 	return len(resp.Entries), nil
 }
 
@@ -362,12 +394,16 @@ func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, erro
 		if !n.disc.Validate(r.Token) {
 			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: "unauthorized"})}, nil
 		}
+		t0 := time.Now()
 		res, err := n.eng.Query(r.SQL)
 		if err != nil {
 			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: err.Error()})}, nil
 		}
 		n.queries.Add(1)
 		n.rowsScanned.Add(int64(res.Stats.RowsScanned))
+		n.cQueries.Inc()
+		n.cRowsScan.Add(int64(res.Stats.RowsScanned))
+		n.hExec.ObserveSince(t0)
 		return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Cols: res.Cols, Rows: res.Rows})}, nil
 
 	case MsgCreateTemp:
@@ -429,6 +465,16 @@ func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, erro
 		}
 		n.mu.Unlock()
 		return netsim.Message{Kind: MsgStatus, Payload: encode(st)}, nil
+
+	case MsgStatsPull:
+		r, err := decode[StatsReq](req)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		if !n.disc.Validate(r.Token) {
+			return netsim.Message{Kind: MsgStatsPull, Payload: encode(StatsResp{Err: "unauthorized"})}, nil
+		}
+		return netsim.Message{Kind: MsgStatsPull, Payload: encode(StatsResp{Snapshot: n.obs.Snapshot()})}, nil
 	}
 	return netsim.Message{}, fmt.Errorf("soe: %s: unknown message %q", n.Name, req.Kind)
 }

@@ -11,8 +11,11 @@
 //	Discovery    — v2disc&auth: service registry and token authorization
 //	Coordinator  — v2dqp: translates SQL into a DAG of tasks executed by
 //	               the query services (package distql holds the plan model)
-//	Manager      — v2clustermgr + v2stats: supervision, statistics,
-//	               hotspot detection, partition movement
+//	Manager      — v2clustermgr: supervision, hotspot detection,
+//	               partition movement
+//	StatsService — v2stats: landscape-wide metrics aggregation over the
+//	               per-node registries (package stats holds the registry,
+//	               histogram and tracing primitives)
 package soe
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
+	"repro/internal/stats"
 	"repro/internal/value"
 )
 
@@ -31,7 +35,8 @@ const (
 	MsgPoll       = "read_log"    // pull log entries (OLAP asynchronous)
 	MsgCommit     = "commit"      // client -> broker
 	MsgStatus     = "status"
-	MsgSnapshot   = "snapshot" // fetch a partition snapshot from a peer
+	MsgSnapshot   = "snapshot"   // fetch a partition snapshot from a peer
+	MsgStatsPull  = "stats_pull" // fetch a metrics-registry snapshot (v2stats)
 )
 
 // ExecReq asks a query service to run local SQL.
@@ -101,10 +106,12 @@ type PollReq struct {
 	Max   int
 }
 
-// PollResp returns entries and the next poll position.
+// PollResp returns entries, the next poll position, and the log tail at
+// serve time (lets pollers measure their apply backlog).
 type PollResp struct {
 	Entries []LogEntry
 	Next    uint64
+	Tail    uint64
 	Err     string
 }
 
@@ -123,6 +130,18 @@ type SnapshotResp struct {
 	AppliedTS uint64
 	NextPos   uint64
 	Err       string
+}
+
+// StatsReq asks an endpoint for its metrics-registry snapshot (v2stats).
+type StatsReq struct {
+	Token string
+}
+
+// StatsResp carries a metrics snapshot — a node's own registry, or the
+// merged landscape view when the v2stats service itself is asked.
+type StatsResp struct {
+	Snapshot stats.Snapshot
+	Err      string
 }
 
 // StatusResp is a node heartbeat.
@@ -146,6 +165,10 @@ func decode[T any](m netsim.Message) (T, error) {
 	var out T
 	err := json.Unmarshal(m.Payload, &out)
 	return out, err
+}
+
+func errUnknownMsg(svc, kind string) error {
+	return fmt.Errorf("soe: %s: unknown message %q", svc, kind)
 }
 
 // call performs a typed RPC.

@@ -3,9 +3,11 @@ package sqlexec
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/columnstore"
+	"repro/internal/stats"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
@@ -25,6 +27,11 @@ type Engine struct {
 	// OnMergeDelta is invoked by MERGE DELTA OF statements; the durable
 	// store wires logged merges here. Defaults to a direct merge.
 	OnMergeDelta func(table string) error
+	// Obs receives parse/plan/exec timings and row counts; nil-safe, so an
+	// engine without a registry pays only a nil check per statement.
+	Obs *stats.Registry
+	// Tracer records per-statement span trees when set.
+	Tracer *stats.Tracer
 }
 
 // NewEngine builds an engine over its own fresh catalog and manager.
@@ -78,6 +85,7 @@ type Session struct {
 	e        *Engine
 	tx       *txn.Txn
 	explicit bool
+	cur      *stats.Span // statement span while Query is executing
 }
 
 // NewSession opens a session in auto-commit mode.
@@ -151,10 +159,16 @@ func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
 		return res, nil
 	}
 
+	span := s.e.Tracer.Start("sql", "stmt="+firstWord(trimmed))
+	defer span.Finish()
+	tParse := time.Now()
 	st, err := Parse(sql)
+	s.e.Obs.Histogram("sql_parse_ms").ObserveSince(tParse)
 	if err != nil {
 		return nil, err
 	}
+	s.cur = span
+	defer func() { s.cur = nil }()
 	switch x := st.(type) {
 	case *SelectStmt:
 		return s.execSelect(x, params)
@@ -191,6 +205,14 @@ func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
 	return nil, fmt.Errorf("sql: unhandled statement %T", st)
 }
 
+// firstWord labels a statement span by its leading keyword.
+func firstWord(sql string) string {
+	if i := strings.IndexAny(sql, " \t\n"); i > 0 {
+		return strings.ToUpper(sql[:i])
+	}
+	return strings.ToUpper(sql)
+}
+
 // selectSQL extracts the SELECT text of a CREATE VIEW statement.
 func selectSQL(sql string) string {
 	up := strings.ToUpper(sql)
@@ -210,12 +232,25 @@ func (s *Session) snapshotTS() uint64 {
 
 func (s *Session) execSelect(sel *SelectStmt, params []value.Value) (*Result, error) {
 	ts := s.snapshotTS()
+	tPlan := time.Now()
+	psp := s.cur.Child("plan")
 	pl := &Planner{Cat: s.e.Cat, Reg: s.e.Reg, TS: ts, Prune: s.e.Prune}
 	plan, err := pl.BuildSelect(sel)
+	psp.Finish()
+	s.e.Obs.Histogram("sql_plan_ms").ObserveSince(tPlan)
 	if err != nil {
 		return nil, err
 	}
-	return Run(plan, ts, params, s.e.Reg, s.e.Mode)
+	tExec := time.Now()
+	esp := s.cur.Child("exec")
+	res, err := Run(plan, ts, params, s.e.Reg, s.e.Mode)
+	esp.Finish()
+	s.e.Obs.Histogram("sql_exec_ms").ObserveSince(tExec)
+	s.e.Obs.Counter("sql_queries_total").Inc()
+	if res != nil {
+		s.e.Obs.Counter("sql_rows_scanned_total").Add(int64(res.Stats.RowsScanned))
+	}
+	return res, err
 }
 
 // currentTxn returns the session transaction, creating a one-statement

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler serves the live observability surface of a landscape:
+//
+//	GET /metrics        — JSON Snapshot from the snapshot function
+//	GET /metrics?text=1 — the same snapshot as aligned text
+//	GET /traces[?n=K]   — the K most recent traces as a text tree
+//
+// The snapshot function is called per request, so a StatsService-backed
+// handler re-aggregates the cluster on every poll — live counters, not a
+// cached view. tracer may be nil (404 on /traces).
+func NewHandler(snapshot func() Snapshot, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := snapshot()
+		if r.URL.Query().Get("text") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(snap.String()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if tracer == nil {
+			http.NotFound(w, r)
+			return
+		}
+		n := 10
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(tracer.Render(n)))
+	})
+	return mux
+}

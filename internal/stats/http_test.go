@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	r := NewRegistry("node=n0")
+	r.Counter("q_total").Add(11)
+	r.Histogram("lat_ms").Observe(2.5)
+	tr := NewTracer(4)
+	tr.Start("query").Finish()
+
+	srv := httptest.NewServer(NewHandler(r.Snapshot, tr))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if v, ok := snap.Counter("q_total", "node=n0"); !ok || v != 11 {
+		t.Fatalf("counter over HTTP: %v %v", v, ok)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Fatalf("histogram over HTTP: %+v", snap.Histograms)
+	}
+
+	// Live view: the snapshot function is re-invoked per request.
+	r.Counter("q_total").Add(1)
+	resp2, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var snap2 Snapshot
+	json.NewDecoder(resp2.Body).Decode(&snap2)
+	if v, _ := snap2.Counter("q_total", "node=n0"); v != 12 {
+		t.Fatalf("metrics not live: %d", v)
+	}
+}
+
+func TestHandlerMetricsTextAndTraces(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	tr := NewTracer(4)
+	root := tr.Start("query")
+	root.Child("plan").Finish()
+	root.Finish()
+
+	srv := httptest.NewServer(NewHandler(r.Snapshot, tr))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics?text=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "x_total") {
+		t.Fatalf("text metrics missing counter:\n%s", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/traces?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "query") || !strings.Contains(string(body), "plan") {
+		t.Fatalf("traces endpoint wrong:\n%s", body)
+	}
+}

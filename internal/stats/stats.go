@@ -1,0 +1,524 @@
+// Package stats is the observability subsystem behind the paper's v2stats
+// service (Figure 3): a lock-cheap metrics registry (counters, gauges,
+// latency histograms with p50/p95/p99), hierarchical span tracing with a
+// ring buffer of recent traces, and snapshot types that serialize to JSON
+// for the /metrics endpoint. It is stdlib-only and imports nothing from
+// the rest of the repository, so every layer — netsim, sharedlog, the
+// column store, sqlexec, the SOE services, streaming — can instrument
+// itself without dependency cycles.
+//
+// Conventions: metric names are snake_case with a _total suffix for
+// counters and a _ms suffix for latency histograms; labels are "key=value"
+// strings. Registries may carry base labels (e.g. "node=node3") stamped
+// onto every metric they create, which is how per-node registries stay
+// distinguishable after the StatsService merges them.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. All methods are safe
+// on a nil receiver (metrics disabled), so call sites need no guards.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time float64 (queue depth, applied timestamp, lag).
+// Safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultHistogramCapacity is the sample-ring size of registry-created
+// histograms: quantiles reflect the most recent observations.
+const DefaultHistogramCapacity = 512
+
+// Histogram tracks a latency (or size) distribution: lifetime count, sum,
+// min and max, plus a bounded ring of recent samples from which quantiles
+// are computed. When the ring saturates, the oldest samples fall out, so
+// p50/p95/p99 describe recent behavior — what an operator tuning hotspot
+// detection or staleness bounds actually wants. Safe on a nil receiver.
+type Histogram struct {
+	mu    sync.Mutex
+	ring  []float64
+	next  int
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// NewHistogram returns a histogram with the given sample-ring capacity
+// (minimum 1).
+func NewHistogram(capacity int) *Histogram {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Histogram{ring: make([]float64, 0, capacity)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.ring) < cap(h.ring) {
+		h.ring = append(h.ring, v)
+	} else {
+		h.ring[h.next] = v
+		h.next = (h.next + 1) % cap(h.ring)
+	}
+	h.mu.Unlock()
+}
+
+// ObserveSince records the elapsed time since start, in milliseconds —
+// the idiom for latency instrumentation.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+// Count returns the lifetime number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1, nearest-rank) over the
+// retained samples. Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	samples := append([]float64(nil), h.ring...)
+	h.mu.Unlock()
+	return quantile(samples, q)
+}
+
+func quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	if q <= 0 {
+		return samples[0]
+	}
+	if q >= 1 {
+		return samples[len(samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return samples[idx]
+}
+
+func (h *Histogram) snapshot(name string, labels []string) HistogramSnap {
+	h.mu.Lock()
+	samples := append([]float64(nil), h.ring...)
+	snap := HistogramSnap{
+		Name: name, Labels: labels,
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+	}
+	h.mu.Unlock()
+	snap.P50 = quantile(samples, 0.50)
+	snap.P95 = quantile(samples, 0.95)
+	snap.P99 = quantile(samples, 0.99)
+	return snap
+}
+
+// Registry names and owns metrics. Lookups take a lock-free fast path
+// (sync.Map); hot call sites can additionally cache the returned pointer
+// so the name+label key is never rebuilt. All methods are safe on a nil
+// receiver and return nil metrics, so instrumentation can be wired
+// unconditionally and enabled by supplying a registry.
+type Registry struct {
+	base     []string // labels stamped on every metric
+	histCap  int
+	counters sync.Map // key -> *counterEntry
+	gauges   sync.Map // key -> *gaugeEntry
+	hists    sync.Map // key -> *histEntry
+}
+
+type counterEntry struct {
+	name   string
+	labels []string
+	c      *Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels []string
+	g      *Gauge
+}
+
+type histEntry struct {
+	name   string
+	labels []string
+	h      *Histogram
+}
+
+// NewRegistry creates a registry; baseLabels ("key=value") are attached
+// to every metric it hands out.
+func NewRegistry(baseLabels ...string) *Registry {
+	return &Registry{base: append([]string(nil), baseLabels...), histCap: DefaultHistogramCapacity}
+}
+
+// Default is the process-wide registry used by layers with no natural
+// place to plumb one through (column store internals, streaming stages).
+// The SOE StatsService folds it into every collection.
+var Default = NewRegistry()
+
+func (r *Registry) canon(labels []string) []string {
+	all := make([]string, 0, len(r.base)+len(labels))
+	all = append(all, r.base...)
+	all = append(all, labels...)
+	sort.Strings(all)
+	return all
+}
+
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(labels, ",") + "}"
+}
+
+// Counter returns (creating if needed) the counter with this name and
+// label set.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	all := r.canon(labels)
+	k := metricKey(name, all)
+	if e, ok := r.counters.Load(k); ok {
+		return e.(*counterEntry).c
+	}
+	e, _ := r.counters.LoadOrStore(k, &counterEntry{name: name, labels: all, c: &Counter{}})
+	return e.(*counterEntry).c
+}
+
+// Gauge returns (creating if needed) the gauge with this name and label
+// set.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	all := r.canon(labels)
+	k := metricKey(name, all)
+	if e, ok := r.gauges.Load(k); ok {
+		return e.(*gaugeEntry).g
+	}
+	e, _ := r.gauges.LoadOrStore(k, &gaugeEntry{name: name, labels: all, g: &Gauge{}})
+	return e.(*gaugeEntry).g
+}
+
+// Histogram returns (creating if needed) the histogram with this name and
+// label set.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	all := r.canon(labels)
+	k := metricKey(name, all)
+	if e, ok := r.hists.Load(k); ok {
+		return e.(*histEntry).h
+	}
+	e, _ := r.hists.LoadOrStore(k, &histEntry{name: name, labels: all, h: NewHistogram(r.histCap)})
+	return e.(*histEntry).h
+}
+
+// --- snapshots ------------------------------------------------------------
+
+// CounterSnap is one counter's state in a snapshot.
+type CounterSnap struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels,omitempty"`
+	Value  int64    `json:"value"`
+}
+
+// GaugeSnap is one gauge's state in a snapshot.
+type GaugeSnap struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels,omitempty"`
+	Value  float64  `json:"value"`
+}
+
+// HistogramSnap is one histogram's state in a snapshot, quantiles
+// precomputed.
+type HistogramSnap struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels,omitempty"`
+	Count  int64    `json:"count"`
+	Sum    float64  `json:"sum"`
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+	P50    float64  `json:"p50"`
+	P95    float64  `json:"p95"`
+	P99    float64  `json:"p99"`
+}
+
+// Snapshot is a typed, JSON-serializable view of a registry (or of many
+// merged registries) at one instant.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state, sorted by metric key.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.counters.Range(func(_, v any) bool {
+		e := v.(*counterEntry)
+		s.Counters = append(s.Counters, CounterSnap{Name: e.name, Labels: e.labels, Value: e.c.Value()})
+		return true
+	})
+	r.gauges.Range(func(_, v any) bool {
+		e := v.(*gaugeEntry)
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: e.name, Labels: e.labels, Value: e.g.Value()})
+		return true
+	})
+	r.hists.Range(func(_, v any) bool {
+		e := v.(*histEntry)
+		s.Histograms = append(s.Histograms, e.h.snapshot(e.name, e.labels))
+		return true
+	})
+	s.sort()
+	return s
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return metricKey(s.Counters[i].Name, s.Counters[i].Labels) < metricKey(s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return metricKey(s.Gauges[i].Name, s.Gauges[i].Labels) < metricKey(s.Gauges[j].Name, s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return metricKey(s.Histograms[i].Name, s.Histograms[i].Labels) < metricKey(s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+}
+
+// Counter returns the value of the counter with exactly this name and
+// label set, and whether it exists.
+func (s Snapshot) Counter(name string, labels ...string) (int64, bool) {
+	sort.Strings(labels)
+	k := metricKey(name, labels)
+	for _, c := range s.Counters {
+		if metricKey(c.Name, c.Labels) == k {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// CountersNamed returns every counter with the given name, across label
+// sets.
+func (s Snapshot) CountersNamed(name string) []CounterSnap {
+	var out []CounterSnap
+	for _, c := range s.Counters {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CounterTotal sums every counter with the given name across label sets —
+// the cluster-wide view of a per-node metric.
+func (s Snapshot) CounterTotal(name string) int64 {
+	var total int64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// HistogramNamed returns the first histogram with the given name (any
+// label set), and whether one exists.
+func (s Snapshot) HistogramNamed(name string) (HistogramSnap, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}
+
+// LabelValue extracts the value of a "key=value" label, if present.
+func LabelValue(labels []string, key string) (string, bool) {
+	prefix := key + "="
+	for _, l := range labels {
+		if strings.HasPrefix(l, prefix) {
+			return l[len(prefix):], true
+		}
+	}
+	return "", false
+}
+
+// Merge combines snapshots: counters with identical name+labels sum,
+// gauges take the later snapshot's value, histograms combine count/sum
+// and min/max exactly while quantiles take the per-source maximum (a
+// conservative upper bound — exact cross-source quantiles would need the
+// raw samples).
+func Merge(snaps ...Snapshot) Snapshot {
+	counters := map[string]*CounterSnap{}
+	gauges := map[string]*GaugeSnap{}
+	hists := map[string]*HistogramSnap{}
+	var order []string
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			k := "c:" + metricKey(c.Name, c.Labels)
+			if e, ok := counters[k]; ok {
+				e.Value += c.Value
+			} else {
+				cp := c
+				counters[k] = &cp
+				order = append(order, k)
+			}
+		}
+		for _, g := range s.Gauges {
+			k := "g:" + metricKey(g.Name, g.Labels)
+			if e, ok := gauges[k]; ok {
+				e.Value = g.Value
+			} else {
+				cp := g
+				gauges[k] = &cp
+				order = append(order, k)
+			}
+		}
+		for _, h := range s.Histograms {
+			k := "h:" + metricKey(h.Name, h.Labels)
+			if e, ok := hists[k]; ok {
+				if h.Count > 0 {
+					if e.Count == 0 || h.Min < e.Min {
+						e.Min = h.Min
+					}
+					if e.Count == 0 || h.Max > e.Max {
+						e.Max = h.Max
+					}
+				}
+				e.Count += h.Count
+				e.Sum += h.Sum
+				e.P50 = math.Max(e.P50, h.P50)
+				e.P95 = math.Max(e.P95, h.P95)
+				e.P99 = math.Max(e.P99, h.P99)
+			} else {
+				cp := h
+				hists[k] = &cp
+				order = append(order, k)
+			}
+		}
+	}
+	var out Snapshot
+	for _, k := range order {
+		switch k[0] {
+		case 'c':
+			out.Counters = append(out.Counters, *counters[k])
+		case 'g':
+			out.Gauges = append(out.Gauges, *gauges[k])
+		case 'h':
+			out.Histograms = append(out.Histograms, *hists[k])
+		}
+	}
+	out.sort()
+	return out
+}
+
+// Delta subtracts counter values in before from those in after (new
+// counters pass through), dropping counters that did not change. Gauges
+// and histograms are taken from after unchanged. Benchmark harnesses use
+// this to report what one phase did.
+func Delta(before, after Snapshot) Snapshot {
+	prev := map[string]int64{}
+	for _, c := range before.Counters {
+		prev[metricKey(c.Name, c.Labels)] = c.Value
+	}
+	var out Snapshot
+	for _, c := range after.Counters {
+		d := c.Value - prev[metricKey(c.Name, c.Labels)]
+		if d != 0 {
+			out.Counters = append(out.Counters, CounterSnap{Name: c.Name, Labels: c.Labels, Value: d})
+		}
+	}
+	out.Gauges = append(out.Gauges, after.Gauges...)
+	out.Histograms = append(out.Histograms, after.Histograms...)
+	out.sort()
+	return out
+}
+
+// String renders the snapshot as aligned text (shell, logs).
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&sb, "counter    %-44s %d\n", metricKey(c.Name, c.Labels), c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&sb, "gauge      %-44s %g\n", metricKey(g.Name, g.Labels), g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&sb, "histogram  %-44s n=%d sum=%.2f min=%.3f max=%.3f p50=%.3f p95=%.3f p99=%.3f\n",
+			metricKey(h.Name, h.Labels), h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99)
+	}
+	return sb.String()
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation in a hierarchical trace: query → plan →
+// per-partition task → log append. Spans are created through a Tracer
+// (roots) or a parent span (children); both are safe on nil receivers so
+// tracing can be compiled in everywhere and enabled by supplying a
+// Tracer. Children may be created from multiple goroutines (fan-out).
+type Span struct {
+	Name  string
+	Attrs []string
+	Begin time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	children []*Span
+	tracer   *Tracer // set on roots; Finish records the trace
+}
+
+// Child opens a sub-span.
+func (s *Span) Child(name string, attrs ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Attrs: attrs, Begin: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Finish closes the span; finishing a root records the trace in its
+// tracer's ring buffer.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	t := s.tracer
+	s.mu.Unlock()
+	if t != nil {
+		t.record(s)
+	}
+}
+
+// Duration returns the span's elapsed time (up to now if unfinished).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.Begin)
+	}
+	return s.end.Sub(s.Begin)
+}
+
+// Children returns a copy of the child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Tracer produces root spans and retains the most recent finished traces
+// in a ring buffer for the shell renderer and the /traces endpoint. Safe
+// on a nil receiver (tracing disabled).
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []*Span
+	next  int
+	total atomic.Int64
+}
+
+// NewTracer returns a tracer retaining up to capacity finished traces.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]*Span, 0, capacity)}
+}
+
+// Start opens a root span; Finish on it records the whole trace.
+func (t *Tracer) Start(name string, attrs ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{Name: name, Attrs: attrs, Begin: time.Now(), tracer: t}
+}
+
+func (t *Tracer) record(root *Span) {
+	t.total.Add(1)
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, root)
+	} else {
+		t.ring[t.next] = root
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the number of traces recorded since creation.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total.Load()
+}
+
+// Recent returns up to n finished traces, most recent first.
+func (t *Tracer) Recent(n int) []*Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, n)
+	for i := 0; i < len(t.ring) && len(out) < n; i++ {
+		// Walk backwards from the slot before next (the newest entry).
+		idx := (t.next - 1 - i + 2*len(t.ring)) % len(t.ring)
+		if len(t.ring) < cap(t.ring) {
+			// Ring not yet saturated: entries are [0, len) in order.
+			idx = len(t.ring) - 1 - i
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Render formats the n most recent traces as an indented text tree — the
+// shell and /traces presentation.
+func (t *Tracer) Render(n int) string {
+	traces := t.Recent(n)
+	if len(traces) == 0 {
+		return "(no traces)\n"
+	}
+	var sb strings.Builder
+	for i, root := range traces {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		renderSpan(&sb, root, 0)
+	}
+	return sb.String()
+}
+
+func renderSpan(sb *strings.Builder, s *Span, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(sb, "%s %.3fms", s.Name, float64(s.Duration())/float64(time.Millisecond))
+	if len(s.Attrs) > 0 {
+		fmt.Fprintf(sb, " [%s]", strings.Join(s.Attrs, " "))
+	}
+	sb.WriteString("\n")
+	for _, c := range s.Children() {
+		renderSpan(sb, c, depth+1)
+	}
+}

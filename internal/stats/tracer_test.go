@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerHierarchyAndRender(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("query", "sql=SELECT 1")
+	plan := root.Child("plan")
+	plan.Finish()
+	fan := root.Child("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := fan.Child("task")
+			sp.Finish()
+		}()
+	}
+	wg.Wait()
+	fan.Finish()
+	root.Finish()
+
+	if tr.Total() != 1 {
+		t.Fatalf("traces recorded = %d, want 1", tr.Total())
+	}
+	got := tr.Recent(1)
+	if len(got) != 1 || got[0].Name != "query" {
+		t.Fatalf("recent: %+v", got)
+	}
+	if n := len(got[0].Children()); n != 2 {
+		t.Fatalf("root children = %d, want 2", n)
+	}
+	text := tr.Render(1)
+	for _, want := range []string{"query", "plan", "fanout", "task", "sql=SELECT 1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+	// Child spans are indented under the root.
+	if !strings.Contains(text, "\n  plan") {
+		t.Fatalf("plan not indented:\n%s", text)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Start("op" + string(rune('a'+i))).Finish()
+	}
+	recent := tr.Recent(10)
+	if len(recent) != 3 {
+		t.Fatalf("retained = %d, want 3", len(recent))
+	}
+	if recent[0].Name != "ope" || recent[2].Name != "opc" {
+		t.Fatalf("order wrong: %s .. %s", recent[0].Name, recent[2].Name)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.Total())
+	}
+}
+
+func TestTracerRenderEmpty(t *testing.T) {
+	tr := NewTracer(2)
+	if got := tr.Render(5); got != "(no traces)\n" {
+		t.Fatalf("empty render: %q", got)
+	}
+}

@@ -11,7 +11,15 @@ import (
 
 	"repro/internal/columnstore"
 	"repro/internal/sqlexec"
+	"repro/internal/stats"
 	"repro/internal/value"
+)
+
+// Stream processing reports into the process-wide default registry (no
+// per-instance plumbing path); counters cached for the per-event path.
+var (
+	cEvents  = stats.Default.Counter("streaming_events_total")
+	cFlushes = stats.Default.Counter("streaming_window_flushes_total")
 )
 
 // Stream is one pipeline. Build it with the fluent operators, then Push
@@ -254,6 +262,7 @@ func (w *windowStage) push(row value.Row) {
 }
 
 func (w *windowStage) emit(start int64) {
+	cFlushes.Inc()
 	groups := w.open[start]
 	delete(w.open, start)
 	keys := make([]string, 0, len(groups))
@@ -323,6 +332,7 @@ func (s *Stream) IntoTable(eng *sqlexec.Engine, table string) error {
 
 // Push feeds one event through the pipeline.
 func (s *Stream) Push(row value.Row) {
+	cEvents.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.eventsIn++
