@@ -1,9 +1,10 @@
 # Developer entry points. `make ci` is the gate: vet + build + race-enabled
-# tests + the experiment shape assertions.
+# tests + the experiment shape assertions + executor parity under -race +
+# a smoke run of the vectorized-scan micro-benchmarks.
 
 GO ?= go
 
-.PHONY: all vet build test race experiments bench ci
+.PHONY: all vet build test race experiments parity benchsmoke bench ci
 
 all: ci
 
@@ -19,11 +20,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The EXPERIMENTS.md shape assertions (E1..E17 tables must reproduce).
+# The EXPERIMENTS.md shape assertions (E1..E18 tables must reproduce).
 experiments:
 	$(GO) test -run Experiment ./...
+
+# Executor parity: every query shape must produce identical output on the
+# interpreted, compiled and vectorized executors, under the race detector.
+parity:
+	$(GO) test -race -run 'TestVectorized' ./internal/sqlexec/
+
+# Quick pass over the vectorized scan/aggregation micro-benchmarks; the
+# committed baseline lives in BENCH_vectorized_baseline.json.
+benchsmoke:
+	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg' -benchtime=100x .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: vet build race experiments
+ci: vet build race experiments parity benchsmoke

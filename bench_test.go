@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/columnstore"
@@ -61,6 +62,9 @@ func BenchmarkE15_PlanningDisagg(b *testing.B) {
 }
 func BenchmarkE16_Docstore(b *testing.B)      { benchExperiment(b, experiments.E16Docstore) }
 func BenchmarkE17_MetricsReport(b *testing.B) { benchExperiment(b, experiments.E17MetricsReport) }
+func BenchmarkE18_VectorizedMorsels(b *testing.B) {
+	benchExperiment(b, experiments.E18VectorizedMorsels)
+}
 func BenchmarkF1_Tiering(b *testing.B)        { benchExperiment(b, experiments.F1Tiering) }
 func BenchmarkF2_CrossEngine(b *testing.B)    { benchExperiment(b, experiments.F2CrossEngine) }
 func BenchmarkF3_SOECluster(b *testing.B)     { benchExperiment(b, experiments.F3SOECluster) }
@@ -95,6 +99,106 @@ func BenchmarkAblation_ExecutorModes(b *testing.B) {
 		})
 	}
 }
+
+// --- vectorized executor micro-benchmarks (DESIGN.md §4, E18) ------------
+
+// vecScanEng holds the shared 1M-row engine for the scan benchmarks; rows
+// go straight into the column store (ApplyInsert + Merge) so the setup
+// cost is paid once, not per benchmark.
+var vecScanEng *sqlexec.Engine
+
+func vecScanEngine(b *testing.B) *sqlexec.Engine {
+	b.Helper()
+	if vecScanEng != nil {
+		return vecScanEng
+	}
+	eng := sqlexec.NewEngine()
+	eng.MustQuery(`CREATE TABLE big (id INT, s VARCHAR, v DOUBLE)`)
+	const n = 1_000_000
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.Int(int64(i)),
+			value.String(fmt.Sprintf("v%03d", i%256)), // ~1/256 selectivity per code
+			value.Float(float64(i % 1000)),
+		}
+	}
+	tbl := eng.Cat.MustTable("big").Primary()
+	tbl.ApplyInsert(rows, 1)
+	tbl.Merge(2)
+	eng.Mgr.AdvanceTo(2)
+	vecScanEng = eng
+	return eng
+}
+
+// vecScanQuery is a dictionary-filtered scan+aggregate: the vectorized
+// path answers the predicate by comparing dictionary codes.
+const vecScanQuery = `SELECT COUNT(*), SUM(v) FROM big WHERE s = 'v042'`
+
+func benchScanMode(b *testing.B, mode sqlexec.Mode) {
+	eng := vecScanEngine(b)
+	eng.Mode = mode
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := eng.MustQuery(vecScanQuery)
+		if len(r.Rows) != 1 {
+			b.Fatalf("bad result: %v", r.Rows)
+		}
+	}
+}
+
+func BenchmarkScanVectorized(b *testing.B)  { benchScanMode(b, sqlexec.ModeVectorized) }
+func BenchmarkScanRowAtATime(b *testing.B) { benchScanMode(b, sqlexec.ModeInterpreted) }
+
+// vecAggEng is a range-partitioned table whose partitions all carry a
+// cold-read penalty: the morsel pool overlaps those stalls, which is what
+// the ParallelAgg benchmarks measure (speedup holds even on one CPU).
+var vecAggEng *sqlexec.Engine
+
+func vecAggEngine(b *testing.B) *sqlexec.Engine {
+	b.Helper()
+	if vecAggEng != nil {
+		return vecAggEng
+	}
+	eng := sqlexec.NewEngine()
+	eng.MustQuery(`CREATE TABLE pt (k INT, grp VARCHAR, v DOUBLE) PARTITION BY RANGE(k) VALUES (1, 2, 3, 4, 5, 6, 7)`)
+	ent := eng.Cat.MustTable("pt")
+	const perPart = 2_000
+	for pi, p := range ent.Partitions {
+		p.ColdReadPenalty = 5_000 // 5ms simulated cold fetch per scan
+		rows := make([]value.Row, perPart)
+		for i := range rows {
+			rows[i] = value.Row{
+				value.Int(int64(pi)),
+				value.String(fmt.Sprintf("g%d", i%16)),
+				value.Float(float64(i % 500)),
+			}
+		}
+		p.Table.ApplyInsert(rows, 1)
+		p.Table.Merge(2)
+	}
+	eng.Mgr.AdvanceTo(2)
+	vecAggEng = eng
+	return eng
+}
+
+func benchParallelAgg(b *testing.B, workers int) {
+	eng := vecAggEngine(b)
+	eng.Mode = sqlexec.ModeVectorized
+	eng.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := eng.MustQuery(`SELECT grp, COUNT(*), SUM(v) FROM pt GROUP BY grp`)
+		if len(r.Rows) != 16 {
+			b.Fatalf("expected 16 groups, got %d", len(r.Rows))
+		}
+	}
+}
+
+func BenchmarkParallelAgg1Worker(b *testing.B)  { benchParallelAgg(b, 1) }
+func BenchmarkParallelAgg4Workers(b *testing.B) { benchParallelAgg(b, 4) }
+func BenchmarkParallelAggNWorkers(b *testing.B) { benchParallelAgg(b, runtime.NumCPU()) }
 
 // Ablation 2: delta-merge cadence — many small merges vs one big merge.
 func BenchmarkAblation_MergeCadence(b *testing.B) {

@@ -197,6 +197,34 @@ func NewRLEColumn(vals []value.Value) *RLEColumn {
 // RunCount returns the number of runs.
 func (c *RLEColumn) RunCount() int { return len(c.Ends) }
 
+// Run is one run of identical values: rows [Start, End) all carry Val.
+type Run struct {
+	Start, End int
+	Val        value.Value
+}
+
+// Runs materializes the run list. Kernels and operators iterate this
+// instead of calling Get(i) per row, which binary-searches the run ends
+// on every call.
+func (c *RLEColumn) Runs() []Run {
+	out := make([]Run, len(c.Ends))
+	start := 0
+	for k, end := range c.Ends {
+		out[k] = Run{Start: start, End: end, Val: c.Values[k]}
+		start = end
+	}
+	return out
+}
+
+// RunAt returns run k without allocating.
+func (c *RLEColumn) RunAt(k int) Run {
+	start := 0
+	if k > 0 {
+		start = c.Ends[k-1]
+	}
+	return Run{Start: start, End: c.Ends[k], Val: c.Values[k]}
+}
+
 // Kind returns the kind of the first run (columns are homogeneous).
 func (c *RLEColumn) Kind() value.Kind {
 	for _, v := range c.Values {

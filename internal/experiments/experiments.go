@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment of DESIGN.md §3 (E1–E17 for the paper's quantitative
+// per experiment of DESIGN.md §3 (E1–E18 for the paper's quantitative
 // claims, F1–F4 for its architecture figures). Each returns a formatted
 // Table with the measured rows; bench_test.go wraps them as Go benchmarks
 // and cmd/benchrunner prints them for EXPERIMENTS.md.
@@ -94,7 +94,7 @@ func All(s Scale) []*Table {
 		E7SharedLog(s), E8ScaleOutSpeedup(s), E9ScaleUpVsOut(s),
 		E10HadoopPaths(s), E11TextEngine(s), E12GraphHierarchy(s),
 		E13GeoTimeseries(s), E14InEngineAlgebra(s), E15PlanningDisagg(s),
-		E16Docstore(s), E17MetricsReport(s),
+		E16Docstore(s), E17MetricsReport(s), E18VectorizedMorsels(s),
 		F1Tiering(s), F2CrossEngine(s), F3SOECluster(s), F4Ecosystem(s),
 	}
 }
@@ -107,7 +107,7 @@ func ByID(id string) (func(Scale) *Table, bool) {
 		"E7": E7SharedLog, "E8": E8ScaleOutSpeedup, "E9": E9ScaleUpVsOut,
 		"E10": E10HadoopPaths, "E11": E11TextEngine, "E12": E12GraphHierarchy,
 		"E13": E13GeoTimeseries, "E14": E14InEngineAlgebra, "E15": E15PlanningDisagg,
-		"E16": E16Docstore, "E17": E17MetricsReport,
+		"E16": E16Docstore, "E17": E17MetricsReport, "E18": E18VectorizedMorsels,
 		"F1": F1Tiering, "F2": F2CrossEngine, "F3": F3SOECluster, "F4": F4Ecosystem,
 	}
 	f, ok := m[strings.ToUpper(id)]

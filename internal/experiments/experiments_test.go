@@ -133,6 +133,25 @@ func TestE17ShapeMetricsNonZero(t *testing.T) {
 	}
 }
 
+func TestE18ShapeVectorizedRuns(t *testing.T) {
+	tab := E18VectorizedMorsels(tiny)
+	// Every vectorized row must have actually taken the vectorized path:
+	// morsels dispatched and kernels bound, never zero.
+	for row := 1; row < len(tab.Rows); row++ {
+		if atoi(t, cell(tab, row, 3)) == 0 {
+			t.Fatalf("row %d: no morsels dispatched: %v", row, tab.Rows[row])
+		}
+		if atoi(t, cell(tab, row, 4)) == 0 {
+			t.Fatalf("row %d: no kernels bound: %v", row, tab.Rows[row])
+		}
+	}
+	// Timings are noisy at tiny scale, so assert only the structural shape:
+	// one interpreted baseline plus three vectorized worker counts.
+	if len(tab.Rows) != 4 || tab.Rows[0][0] != "interpreted" {
+		t.Fatalf("unexpected table shape: %v", tab.Rows)
+	}
+}
+
 func TestE14ShapeSameEigenvalue(t *testing.T) {
 	tab := E14InEngineAlgebra(tiny)
 	if cell(tab, 0, 1) != cell(tab, 1, 1) {

@@ -386,6 +386,7 @@ func (c *Coordinator) fanOut(span *stats.Span, nodes []string, sql string) ([][]
 	t0 := time.Now()
 	out := make([][]value.Row, len(nodes))
 	errs := make([]error, len(nodes))
+	var scanned, morsels atomic.Int64
 	var wg sync.WaitGroup
 	for i, n := range nodes {
 		wg.Add(1)
@@ -402,11 +403,17 @@ func (c *Coordinator) fanOut(span *stats.Span, nodes []string, sql string) ([][]
 				errs[i] = fmt.Errorf("soe: %s: %s", n, resp.Err)
 				return
 			}
+			scanned.Add(int64(resp.RowsScanned))
+			morsels.Add(int64(resp.Morsels))
 			out[i] = resp.Rows
 		}(i, n)
 	}
 	wg.Wait()
 	c.obs.Histogram("soe_fanout_ms", "service=v2dqp").ObserveSince(t0)
+	// Cluster-wide cost of this fan-out: rows the member scans examined
+	// and morsels their vectorized executors dispatched.
+	c.obs.Counter("soe_fanout_rows_scanned_total", "service=v2dqp").Add(scanned.Load())
+	c.obs.Counter("soe_fanout_morsels_total", "service=v2dqp").Add(morsels.Load())
 	for _, e := range errs {
 		if e != nil {
 			return nil, e

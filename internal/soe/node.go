@@ -93,6 +93,15 @@ func (n *DataNode) Obs() *stats.Registry { return n.obs }
 // Engine exposes the node-local relational engine (tests, local tools).
 func (n *DataNode) Engine() *sqlexec.Engine { return n.eng }
 
+// SetExecutor configures the node-local executor: the mode (vectorized by
+// default) and, for the vectorized mode, the morsel worker-pool size per
+// query (<=0 means one worker per CPU). Cluster setups use it to pin
+// per-partition scans to a known parallelism for experiments.
+func (n *DataNode) SetExecutor(mode sqlexec.Mode, workers int) {
+	n.eng.Mode = mode
+	n.eng.Workers = workers
+}
+
 // Host installs the partitions of a distributed table assigned to this
 // node: prepackaged partitions ready for "fast distribution of the data
 // when scaling out or for data recovery" (§IV-B).
@@ -404,7 +413,10 @@ func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, erro
 		n.cQueries.Inc()
 		n.cRowsScan.Add(int64(res.Stats.RowsScanned))
 		n.hExec.ObserveSince(t0)
-		return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Cols: res.Cols, Rows: res.Rows})}, nil
+		return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{
+			Cols: res.Cols, Rows: res.Rows,
+			RowsScanned: res.Stats.RowsScanned, Morsels: res.Stats.Morsels,
+		})}, nil
 
 	case MsgCreateTemp:
 		r, err := decode[CreateTempReq](req)

@@ -45,11 +45,16 @@ type ExecReq struct {
 	SQL   string
 }
 
-// ExecResp carries a result set.
+// ExecResp carries a result set plus the executing node's scan accounting,
+// so the coordinator can attribute distributed query cost per task: rows
+// examined and, when the node ran the query on the vectorized executor,
+// the number of morsels its worker pool dispatched.
 type ExecResp struct {
-	Cols []string
-	Rows []value.Row
-	Err  string
+	Cols        []string
+	Rows        []value.Row
+	RowsScanned int
+	Morsels     int
+	Err         string
 }
 
 // CreateTempReq installs a materialized temp relation on a node.

@@ -21,6 +21,9 @@ type Engine struct {
 	Mgr  *txn.Manager
 	Reg  *Registry
 	Mode Mode
+	// Workers sizes the vectorized executor's per-query morsel pool;
+	// <=0 means one worker per CPU. Ignored by the row-at-a-time modes.
+	Workers int
 	// Prune participates in partition pruning (installed by the aging
 	// engine).
 	Prune PruneHook
@@ -36,12 +39,12 @@ type Engine struct {
 
 // NewEngine builds an engine over its own fresh catalog and manager.
 func NewEngine() *Engine {
-	return &Engine{Cat: catalog.New(), Mgr: txn.NewManager(), Reg: NewRegistry(), Mode: ModeCompiled}
+	return &Engine{Cat: catalog.New(), Mgr: txn.NewManager(), Reg: NewRegistry(), Mode: ModeVectorized}
 }
 
 // NewEngineWith builds an engine over existing infrastructure.
 func NewEngineWith(cat *catalog.Catalog, mgr *txn.Manager) *Engine {
-	return &Engine{Cat: cat, Mgr: mgr, Reg: NewRegistry(), Mode: ModeCompiled}
+	return &Engine{Cat: cat, Mgr: mgr, Reg: NewRegistry(), Mode: ModeVectorized}
 }
 
 // Query parses, plans and executes a statement in auto-commit mode.
@@ -243,7 +246,7 @@ func (s *Session) execSelect(sel *SelectStmt, params []value.Value) (*Result, er
 	}
 	tExec := time.Now()
 	esp := s.cur.Child("exec")
-	res, err := Run(plan, ts, params, s.e.Reg, s.e.Mode)
+	res, err := RunWorkers(plan, ts, params, s.e.Reg, s.e.Mode, s.e.Workers)
 	esp.Finish()
 	s.e.Obs.Histogram("sql_exec_ms").ObserveSince(tExec)
 	s.e.Obs.Counter("sql_queries_total").Inc()

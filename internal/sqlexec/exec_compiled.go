@@ -252,12 +252,16 @@ func compileScan(s *ScanPlan, ctx *execCtx) (pipe, error) {
 				return err
 			}
 
+			// Accumulate the row count locally and flush once per
+			// partition: a per-row stats write in this loop is measurable
+			// against raw int comparisons.
+			scanned := 0
 			env := Env{Params: params}
 			for pos := 0; pos < n; pos++ {
 				if !snap.Visible(pos) {
 					continue
 				}
-				stats.RowsScanned++
+				scanned++
 				if fastPred != nil && !fastPred(pos) {
 					continue
 				}
@@ -272,9 +276,11 @@ func compileScan(s *ScanPlan, ctx *execCtx) (pipe, error) {
 					}
 				}
 				if err := emit(row); err != nil {
+					stats.RowsScanned += scanned
 					return err
 				}
 			}
+			stats.RowsScanned += scanned
 		}
 		return nil
 	}, nil

@@ -3,6 +3,7 @@ package sqlexec
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -17,6 +18,14 @@ type ExecStats struct {
 	PartitionsScanned int
 	PartitionsPruned  int
 	ColdPenaltyMicros int
+
+	// Vectorized-executor accounting (zero on the row-at-a-time paths):
+	// morsels dispatched, scan conjuncts bound to encoded-column kernels
+	// (counted per partition) and conjuncts that fell back to the generic
+	// expression evaluator.
+	Morsels         int
+	KernelHits      int
+	KernelFallbacks int
 }
 
 // Result is a materialized query result.
@@ -26,12 +35,26 @@ type Result struct {
 	Stats ExecStats
 }
 
-// execCtx carries per-statement execution state.
+// execCtx carries per-statement execution state. workers/pool/mu exist
+// for the vectorized executor: one worker pool is shared by every batch
+// operator of the statement, and morsel workers flush their stats under
+// mu.
 type execCtx struct {
-	ts     uint64
-	params []value.Value
-	reg    *Registry
-	stats  *ExecStats
+	ts      uint64
+	params  []value.Value
+	reg     *Registry
+	stats   *ExecStats
+	workers int
+	mu      sync.Mutex
+	pool    *vecPool
+}
+
+// getPool lazily starts the statement's morsel worker pool.
+func (ctx *execCtx) getPool() *vecPool {
+	if ctx.pool == nil {
+		ctx.pool = newVecPool(ctx.workers)
+	}
+	return ctx.pool
 }
 
 // Mode selects the executor implementation (experiment E4).
@@ -39,17 +62,40 @@ type Mode int
 
 // Executor modes.
 const (
-	ModeCompiled    Mode = iota // fused closure pipelines (default)
+	ModeCompiled    Mode = iota // fused closure pipelines
 	ModeInterpreted             // Volcano-style iterator tree
+	ModeVectorized              // morsel-parallel batch kernels (default)
 )
 
-// Run executes a plan to a materialized result.
+// Run executes a plan to a materialized result with the default worker
+// count (one morsel worker per CPU when vectorized).
 func Run(p Plan, ts uint64, params []value.Value, reg *Registry, mode Mode) (*Result, error) {
+	return RunWorkers(p, ts, params, reg, mode, 0)
+}
+
+// RunWorkers executes a plan to a materialized result. workers sizes the
+// vectorized executor's morsel pool (<=0 means runtime.NumCPU()); the
+// row-at-a-time modes ignore it.
+func RunWorkers(p Plan, ts uint64, params []value.Value, reg *Registry, mode Mode, workers int) (*Result, error) {
 	res := &Result{}
 	for _, c := range p.columns() {
 		res.Cols = append(res.Cols, c.Name)
 	}
-	ctx := &execCtx{ts: ts, params: params, reg: reg, stats: &res.Stats}
+	ctx := &execCtx{ts: ts, params: params, reg: reg, stats: &res.Stats, workers: workers}
+	if mode == ModeVectorized {
+		handled, err := runVectorized(p, ctx, res)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			res.Stats.RowsOut = len(res.Rows)
+			return res, nil
+		}
+		// Plan shape not covered by the batch operators: transparent
+		// fallback to the compiled row pipeline.
+		cVecPlanFallbacks.Inc()
+		mode = ModeCompiled
+	}
 	if mode == ModeInterpreted {
 		it, err := buildIter(p, ctx)
 		if err != nil {
@@ -153,16 +199,20 @@ func buildIter(p Plan, ctx *execCtx) (iterator, error) {
 	return nil, fmt.Errorf("sql: no interpreter for %T", p)
 }
 
-// scanIter scans partitions row by row.
+// scanIter scans partitions row by row. Row counts accumulate in scanned
+// and flush to the shared stats once per partition (and on Close) instead
+// of bumping the counter on every row — per-row stats writes showed up in
+// scan profiles.
 type scanIter struct {
-	plan   *ScanPlan
-	ctx    *execCtx
-	filter evalFn
-	parts  []*catalog.Partition
-	pi     int
-	snap   snapState
-	pos    int
-	env    Env
+	plan    *ScanPlan
+	ctx     *execCtx
+	filter  evalFn
+	parts   []*catalog.Partition
+	pi      int
+	snap    snapState
+	pos     int
+	scanned int
+	env     Env
 }
 
 type snapState struct {
@@ -194,9 +244,19 @@ func (it *scanIter) Open() error {
 	return nil
 }
 
+// flushStats moves the locally accumulated row count into the shared
+// statement stats. Idempotent between accumulations.
+func (it *scanIter) flushStats() {
+	if it.scanned > 0 {
+		it.ctx.stats.RowsScanned += it.scanned
+		it.scanned = 0
+	}
+}
+
 func (it *scanIter) Next() (value.Row, bool, error) {
 	for {
 		if it.snap.snap == nil || it.pos >= it.snap.n {
+			it.flushStats()
 			it.pi++
 			if it.pi >= len(it.parts) {
 				return nil, false, nil
@@ -217,7 +277,7 @@ func (it *scanIter) Next() (value.Row, bool, error) {
 		if !it.snap.snap.Visible(pos) {
 			continue
 		}
-		it.ctx.stats.RowsScanned++
+		it.scanned++
 		row := it.snap.snap.Row(pos)
 		if it.filter != nil {
 			it.env.Row = row
@@ -229,7 +289,8 @@ func (it *scanIter) Next() (value.Row, bool, error) {
 	}
 }
 
-func (it *scanIter) Close() {}
+// Close flushes counts a LIMIT may have cut short mid-partition.
+func (it *scanIter) Close() { it.flushStats() }
 
 type tableFuncIter struct {
 	rows []value.Row

@@ -1,0 +1,900 @@
+package sqlexec
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/columnstore"
+	"repro/internal/value"
+)
+
+// This file implements the vectorized executor: plans run as batch
+// pipelines over encoded column data instead of row-at-a-time iterators.
+// Scans split into ~16k-row morsels dispatched to a per-query worker pool
+// (morsel-driven parallelism); pushed-down conjuncts of kernel shape
+// evaluate directly against the compressed main representations —
+// dictionary ID intervals, frame-of-reference packed integers, whole RLE
+// runs — producing selection vectors, and only surviving positions
+// materialize boxed rows. Aggregation over a scan folds worker-local
+// partial tables merged at the end; hash-join builds partition across
+// workers. Output is kept byte-identical to the sequential executors:
+// scan batches emit in morsel order and merged aggregate groups sort by
+// first-seen input position.
+
+// errNoVector signals a plan shape the batch operators don't cover
+// (table functions, VALUES, joins without equi keys); Run falls back to
+// the row-at-a-time executors.
+var errNoVector = errors.New("sqlexec: plan not vectorizable")
+
+// vpipe pushes row batches into emit until exhausted.
+type vpipe func(emit func(rows []value.Row) error) error
+
+// runVectorized attempts the statement on the vectorized executor.
+// handled=false with a nil error means the plan isn't covered and the
+// caller should fall back; a non-nil error is a real execution failure.
+func runVectorized(p Plan, ctx *execCtx, res *Result) (bool, error) {
+	vp, err := vecCompile(p, ctx)
+	if err != nil {
+		return false, nil
+	}
+	defer func() {
+		if ctx.pool != nil {
+			ctx.pool.close()
+			ctx.pool = nil
+		}
+	}()
+	if err := vp(func(rows []value.Row) error {
+		res.Rows = append(res.Rows, rows...)
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	cVecQueries.Inc()
+	return true, nil
+}
+
+func vecCompile(p Plan, ctx *execCtx) (vpipe, error) {
+	switch x := p.(type) {
+	case *ScanPlan:
+		return vecScan(x, ctx)
+	case *FilterPlan:
+		return vecFilter(x, ctx)
+	case *ProjectPlan:
+		return vecProject(x, ctx)
+	case *AggPlan:
+		return vecAgg(x, ctx)
+	case *JoinPlan:
+		return vecJoin(x, ctx)
+	case *DistinctPlan:
+		child, err := vecCompile(x.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return func(emit func([]value.Row) error) error {
+			seen := map[string]bool{}
+			return child(func(rows []value.Row) error {
+				out := rows[:0]
+				for _, row := range rows {
+					k := row.Key()
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					out = append(out, row)
+				}
+				if len(out) == 0 {
+					return nil
+				}
+				return emit(out)
+			})
+		}, nil
+	case *SortPlan:
+		return vecSort(x, ctx)
+	case *LimitPlan:
+		return vecLimit(x, ctx)
+	case *AliasPlan:
+		return vecCompile(x.Child, ctx)
+	}
+	return nil, errNoVector
+}
+
+// --- morsel-parallel scan ---------------------------------------------------
+
+// kernelFn evaluates one bound conjunct over main rows [lo, hi), appending
+// matching positions to sel.
+type kernelFn func(lo, hi int, sel []int) []int
+
+// scanPrep is the compile-time part of a vectorized scan: validation that
+// every expression the scan may need compiles, done before the executor
+// commits to the vector path.
+type scanPrep struct {
+	plan  *ScanPlan
+	cols  []colInfo
+	ncols int
+}
+
+func prepScan(s *ScanPlan, ctx *execCtx) (*scanPrep, error) {
+	if !s.VecMarked {
+		markKernelEligible(s)
+	}
+	if s.Filter != nil {
+		if _, err := compileExpr(s.Filter, resolverFor(s.columns()), ctx.reg); err != nil {
+			return nil, err
+		}
+	}
+	return &scanPrep{plan: s, cols: s.columns(), ncols: len(s.Entry.Schema)}, nil
+}
+
+// scanTask is one morsel: rows [lo, hi) of one partition snapshot. Main
+// morsels carry bound kernels plus a compiled residual; delta morsels
+// evaluate the full filter generically (delta storage is unencoded).
+// Each task runs on exactly one worker, so its compiled resid needs no
+// synchronization.
+type scanTask struct {
+	seq     int
+	snap    *columnstore.Snapshot
+	lo, hi  int
+	kernels []kernelFn
+	resid   evalFn
+	getters []colGetter
+	cold    int // µs cold-read stall, charged by the partition's first morsel
+}
+
+type scanScratch struct{ selA, selB []int }
+
+// scanRun is one execution of a prepared scan: the morsel list plus
+// per-worker scratch selection vectors.
+type scanRun struct {
+	ctx     *execCtx
+	tasks   []*scanTask
+	scratch []scanScratch
+	stop    atomic.Bool
+}
+
+// newRun snapshots the partitions, binds kernels against each partition's
+// physical encodings, and slices the row space into morsels. Partition
+// accounting (scanned/pruned, empty-partition cold stalls) matches the
+// row executors exactly.
+func (p *scanPrep) newRun(ctx *execCtx) (*scanRun, error) {
+	s := p.plan
+	r := &scanRun{ctx: ctx, scratch: make([]scanScratch, ctx.getPool().workers)}
+	res := resolverFor(p.cols)
+	ctx.mu.Lock()
+	ctx.stats.PartitionsPruned += s.Pruned
+	ctx.mu.Unlock()
+	for _, part := range s.scanParts() {
+		cold := part.ColdReadPenalty
+		snap := part.Table.Snapshot(ctx.ts)
+		ctx.mu.Lock()
+		ctx.stats.PartitionsScanned++
+		ctx.mu.Unlock()
+		rows := snap.NumRows()
+		if rows == 0 {
+			// The row executors stall on the cold read before discovering
+			// the partition is empty; keep the accounting identical.
+			if cold > 0 {
+				time.Sleep(time.Duration(cold) * time.Microsecond)
+				ctx.mu.Lock()
+				ctx.stats.ColdPenaltyMicros += cold
+				ctx.mu.Unlock()
+			}
+			continue
+		}
+		mainRows := snap.MainRows()
+		var kernels []kernelFn
+		generic := append([]Expr(nil), s.VecResidual...)
+		if mainRows > 0 {
+			hits, falls := 0, 0
+			for _, vp := range s.VecEligible {
+				if k := bindKernel(snap, vp); k != nil {
+					kernels = append(kernels, k)
+					hits++
+				} else {
+					generic = append(generic, vp.Orig)
+					falls++
+				}
+			}
+			cVecKernelHits.Add(int64(hits))
+			cVecKernelFallbacks.Add(int64(falls))
+			ctx.mu.Lock()
+			ctx.stats.KernelHits += hits
+			ctx.stats.KernelFallbacks += falls
+			ctx.mu.Unlock()
+		} else {
+			// All rows live in the delta; kernels never apply.
+			for _, vp := range s.VecEligible {
+				generic = append(generic, vp.Orig)
+			}
+		}
+		mainResid := andAll(generic)
+		getters := make([]colGetter, p.ncols)
+		for c := range getters {
+			getters[c] = makeGetter(snap, c)
+		}
+		addTask := func(lo, hi int, ks []kernelFn, filter Expr) error {
+			var resid evalFn
+			if filter != nil {
+				f, err := compileExpr(filter, res, ctx.reg)
+				if err != nil {
+					return err
+				}
+				resid = f
+			}
+			r.tasks = append(r.tasks, &scanTask{
+				seq: len(r.tasks), snap: snap, lo: lo, hi: hi,
+				kernels: ks, resid: resid, getters: getters, cold: cold,
+			})
+			cold = 0
+			return nil
+		}
+		// Morsels never straddle the main/delta boundary: main morsels run
+		// kernels over the encoded columns, delta morsels the full filter.
+		for lo := 0; lo < mainRows; lo += morselRows {
+			if err := addTask(lo, min(lo+morselRows, mainRows), kernels, mainResid); err != nil {
+				return nil, err
+			}
+		}
+		for lo := mainRows; lo < rows; lo += morselRows {
+			if err := addTask(lo, min(lo+morselRows, rows), nil, s.Filter); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// runMorsel executes one morsel on worker w: visibility sweep, kernel
+// intersection, then row materialization with the generic residual.
+func (r *scanRun) runMorsel(t *scanTask, w int) []value.Row {
+	if r.stop.Load() {
+		return nil
+	}
+	ctx := r.ctx
+	if t.cold > 0 {
+		time.Sleep(time.Duration(t.cold) * time.Microsecond)
+		ctx.mu.Lock()
+		ctx.stats.ColdPenaltyMicros += t.cold
+		ctx.mu.Unlock()
+	}
+	scr := &r.scratch[w]
+	sel := t.snap.VisibleRange(t.lo, t.hi, scr.selA[:0])
+	visible := len(sel)
+	for _, k := range t.kernels {
+		if len(sel) == 0 {
+			break
+		}
+		scr.selB = k(t.lo, t.hi, scr.selB[:0])
+		sel = intersectInto(sel, scr.selB)
+	}
+	var out []value.Row
+	if len(sel) > 0 {
+		env := Env{Params: ctx.params}
+		for _, pos := range sel {
+			row := make(value.Row, len(t.getters))
+			for c, g := range t.getters {
+				row[c] = g(pos)
+			}
+			if t.resid != nil {
+				env.Row = row
+				if v := t.resid(&env); v.IsNull() || !v.AsBool() {
+					continue
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	scr.selA = sel[:0]
+	ctx.mu.Lock()
+	ctx.stats.RowsScanned += visible
+	ctx.stats.Morsels++
+	ctx.mu.Unlock()
+	cVecMorsels.Inc()
+	return out
+}
+
+// drain runs every morsel on the pool and emits surviving batches in
+// morsel order — vectorized output stays byte-identical to sequential.
+// Each morsel owns a buffered channel, so workers complete out of order
+// without blocking while the drain loop consumes in sequence.
+func (r *scanRun) drain(emit func([]value.Row) error) error {
+	if len(r.tasks) == 0 {
+		return nil
+	}
+	pool := r.ctx.getPool()
+	chans := make([]chan []value.Row, len(r.tasks))
+	for i := range chans {
+		chans[i] = make(chan []value.Row, 1)
+	}
+	go func() {
+		for i, t := range r.tasks {
+			i, t := i, t
+			pool.submit(func(w int) { chans[i] <- r.runMorsel(t, w) })
+		}
+	}()
+	var emitErr error
+	for _, ch := range chans {
+		rows := <-ch
+		if emitErr != nil || len(rows) == 0 {
+			continue
+		}
+		if err := emit(rows); err != nil {
+			// Remaining morsels see the stop flag and return immediately
+			// (LIMIT early exit); keep draining so no goroutine leaks.
+			emitErr = err
+			r.stop.Store(true)
+		}
+	}
+	return emitErr
+}
+
+func vecScan(s *ScanPlan, ctx *execCtx) (vpipe, error) {
+	prep, err := prepScan(s, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return func(emit func([]value.Row) error) error {
+		run, err := prep.newRun(ctx)
+		if err != nil {
+			return err
+		}
+		return run.drain(emit)
+	}, nil
+}
+
+// bindKernel resolves one eligible conjunct against a partition's main
+// encoding. The kind restrictions mirror value.Compare exactly: the
+// integer kernel compares raw int64 only when column and literal agree on
+// kind, the float kernel coerces integer literals the way Compare does,
+// the dictionary kernel binds string literals, and the RLE kernel calls
+// Compare itself once per run so any literal kind is safe. A nil return
+// sends the conjunct to the generic expression path for this partition.
+func bindKernel(snap *columnstore.Snapshot, p vecPred) kernelFn {
+	switch c := snap.MainColumn(p.Col).(type) {
+	case *columnstore.IntColumn:
+		if p.Lit.K == c.Kind() && p.Lit.K != value.KindFloat {
+			k := p.Lit.I
+			return func(lo, hi int, sel []int) []int {
+				return c.FilterRange(lo, hi, p.Op, k, sel)
+			}
+		}
+	case *columnstore.FloatColumn:
+		var k float64
+		switch p.Lit.K {
+		case value.KindFloat:
+			k = p.Lit.F
+		case value.KindInt:
+			k = float64(p.Lit.I)
+		default:
+			return nil
+		}
+		return func(lo, hi int, sel []int) []int {
+			return c.FilterRange(lo, hi, p.Op, k, sel)
+		}
+	case *columnstore.DictColumn:
+		if p.Lit.K == value.KindString {
+			return func(lo, hi int, sel []int) []int {
+				return c.FilterString(lo, hi, p.Op, p.Lit.S, sel)
+			}
+		}
+	case *columnstore.RLEColumn:
+		return func(lo, hi int, sel []int) []int {
+			return c.FilterRange(lo, hi, p.Op, p.Lit, sel)
+		}
+	}
+	return nil
+}
+
+// intersectInto keeps the elements of a that also appear in b (both
+// strictly ascending), writing the result into a's prefix.
+func intersectInto(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// --- batch filter / project -------------------------------------------------
+
+func vecFilter(x *FilterPlan, ctx *execCtx) (vpipe, error) {
+	child, err := vecCompile(x.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := compileExpr(x.Pred, resolverFor(x.Child.columns()), ctx.reg)
+	if err != nil {
+		return nil, err
+	}
+	return func(emit func([]value.Row) error) error {
+		env := Env{Params: ctx.params}
+		return child(func(rows []value.Row) error {
+			out := rows[:0]
+			for _, row := range rows {
+				env.Row = row
+				if v := pred(&env); !v.IsNull() && v.AsBool() {
+					out = append(out, row)
+				}
+			}
+			if len(out) == 0 {
+				return nil
+			}
+			return emit(out)
+		})
+	}, nil
+}
+
+func vecProject(x *ProjectPlan, ctx *execCtx) (vpipe, error) {
+	child, err := vecCompile(x.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := resolverFor(x.Child.columns())
+	exprs := make([]evalFn, len(x.Exprs))
+	for i, e := range x.Exprs {
+		f, err := compileExpr(e, res, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = f
+	}
+	return func(emit func([]value.Row) error) error {
+		env := Env{Params: ctx.params}
+		return child(func(rows []value.Row) error {
+			out := make([]value.Row, len(rows))
+			for i, row := range rows {
+				env.Row = row
+				prow := make(value.Row, len(exprs))
+				for c, f := range exprs {
+					prow[c] = f(&env)
+				}
+				out[i] = prow
+			}
+			return emit(out)
+		})
+	}, nil
+}
+
+// --- parallel partial aggregation -------------------------------------------
+
+// vecAggFold is one worker-local partial aggregation table. Groups track
+// the global rank of their first input row so merged output reproduces
+// the sequential first-seen group order.
+type vecAggFold struct {
+	groups []evalFn
+	args   []evalFn
+	specs  []aggSpec
+	table  map[string]*vecGroup
+	env    Env
+}
+
+type vecGroup struct {
+	key   value.Row
+	accs  []aggAcc
+	first int64
+}
+
+func newAggFold(p *AggPlan, res colResolver, ctx *execCtx) (*vecAggFold, error) {
+	f := &vecAggFold{specs: p.Aggs, table: map[string]*vecGroup{}, env: Env{Params: ctx.params}}
+	for _, g := range p.GroupBy {
+		fn, err := compileExpr(g, res, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		f.groups = append(f.groups, fn)
+	}
+	for _, a := range p.Aggs {
+		var fn evalFn
+		if a.Arg != nil {
+			var err error
+			fn, err = compileExpr(a.Arg, res, ctx.reg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		f.args = append(f.args, fn)
+	}
+	return f, nil
+}
+
+func (f *vecAggFold) add(row value.Row, rank int64) {
+	f.env.Row = row
+	key := make(value.Row, len(f.groups))
+	for i, fn := range f.groups {
+		key[i] = fn(&f.env)
+	}
+	k := key.Key()
+	g := f.table[k]
+	if g == nil {
+		g = &vecGroup{key: key, accs: make([]aggAcc, len(f.specs)), first: rank}
+		f.table[k] = g
+	}
+	for i := range f.specs {
+		var v value.Value
+		if f.args[i] != nil {
+			v = f.args[i](&f.env)
+		}
+		g.accs[i].add(v, f.specs[i])
+	}
+}
+
+// merge folds another accumulator for the same aggregate into a. Only
+// non-DISTINCT state merges: per-worker seen-sets cannot be reconciled
+// with the partial sums they already filtered, which is why DISTINCT
+// aggregation stays sequential.
+func (a *aggAcc) merge(b *aggAcc) {
+	a.count += b.count
+	a.sumI += b.sumI
+	a.sumF += b.sumF
+	a.isFloat = a.isFloat || b.isFloat
+	if !b.min.IsNull() && (a.min.IsNull() || value.Compare(b.min, a.min) < 0) {
+		a.min = b.min
+	}
+	if !b.max.IsNull() && (a.max.IsNull() || value.Compare(b.max, a.max) > 0) {
+		a.max = b.max
+	}
+}
+
+// finishAgg merges the partial tables and renders output rows in
+// first-seen group order, matching the sequential executors.
+func finishAgg(folds []*vecAggFold, p *AggPlan) []value.Row {
+	merged := map[string]*vecGroup{}
+	for _, f := range folds {
+		if f == nil {
+			continue
+		}
+		for k, g := range f.table {
+			m := merged[k]
+			if m == nil {
+				merged[k] = g
+				continue
+			}
+			if g.first < m.first {
+				m.first = g.first
+			}
+			for i := range p.Aggs {
+				m.accs[i].merge(&g.accs[i])
+			}
+		}
+	}
+	if len(merged) == 0 && len(p.GroupBy) == 0 {
+		merged[""] = &vecGroup{accs: make([]aggAcc, len(p.Aggs))}
+	}
+	list := make([]*vecGroup, 0, len(merged))
+	for _, g := range merged {
+		list = append(list, g)
+	}
+	sort.Slice(list, func(a, b int) bool { return list[a].first < list[b].first })
+	out := make([]value.Row, 0, len(list))
+	for _, g := range list {
+		row := make(value.Row, 0, len(g.key)+len(p.Aggs))
+		row = append(row, g.key...)
+		for i := range p.Aggs {
+			row = append(row, g.accs[i].result(p.Aggs[i]))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func vecAgg(x *AggPlan, ctx *execCtx) (vpipe, error) {
+	res := resolverFor(x.Child.columns())
+	if _, err := newAggFold(x, res, ctx); err != nil {
+		return nil, err
+	}
+	hasDistinct := false
+	for _, a := range x.Aggs {
+		if a.Distinct {
+			hasDistinct = true
+		}
+	}
+	if s, ok := x.Child.(*ScanPlan); ok && !hasDistinct {
+		return vecAggScan(x, s, res, ctx)
+	}
+	// General case: sequential fold over the child's ordered batches (the
+	// child still scans in parallel underneath).
+	child, err := vecCompile(x.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return func(emit func([]value.Row) error) error {
+		f, err := newAggFold(x, res, ctx)
+		if err != nil {
+			return err
+		}
+		rank := int64(0)
+		if err := child(func(rows []value.Row) error {
+			for _, row := range rows {
+				f.add(row, rank)
+				rank++
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		return emit(finishAgg([]*vecAggFold{f}, x))
+	}, nil
+}
+
+// vecAggScan fuses aggregation into the scan's morsel tasks: each worker
+// folds the morsels it runs into its own partial table, and the partials
+// merge once at the end. No ordered hand-off is needed, so morsels with
+// cold-read stalls overlap freely across workers.
+func vecAggScan(x *AggPlan, s *ScanPlan, res colResolver, ctx *execCtx) (vpipe, error) {
+	prep, err := prepScan(s, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return func(emit func([]value.Row) error) error {
+		run, err := prep.newRun(ctx)
+		if err != nil {
+			return err
+		}
+		pool := ctx.getPool()
+		folds := make([]*vecAggFold, pool.workers)
+		for w := range folds {
+			if folds[w], err = newAggFold(x, res, ctx); err != nil {
+				return err
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(run.tasks))
+		for _, t := range run.tasks {
+			t := t
+			pool.submit(func(w int) {
+				defer wg.Done()
+				rows := run.runMorsel(t, w)
+				if len(rows) == 0 {
+					return
+				}
+				f := folds[w]
+				// Rank = morsel sequence number × morsel capacity + offset:
+				// globally unique and ordered like the sequential row stream.
+				base := int64(t.seq) << 20
+				for i, row := range rows {
+					f.add(row, base+int64(i))
+				}
+			})
+		}
+		wg.Wait()
+		return emit(finishAgg(folds, x))
+	}, nil
+}
+
+// --- parallel partitioned hash join ----------------------------------------
+
+func vecJoin(x *JoinPlan, ctx *execCtx) (vpipe, error) {
+	if len(x.EquiL) == 0 {
+		return nil, errNoVector // nested-loop joins stay row-at-a-time
+	}
+	left, err := vecCompile(x.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := vecCompile(x.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	lres, rres := resolverFor(x.L.columns()), resolverFor(x.R.columns())
+	var lKeys, rKeys []evalFn
+	for i := range x.EquiL {
+		lf, err := compileExpr(x.EquiL[i], lres, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := compileExpr(x.EquiR[i], rres, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		lKeys, rKeys = append(lKeys, lf), append(rKeys, rf)
+	}
+	var residual evalFn
+	if x.Residual != nil {
+		if residual, err = compileExpr(x.Residual, resolverFor(x.columns()), ctx.reg); err != nil {
+			return nil, err
+		}
+	}
+	rWidth := len(x.R.columns())
+
+	return func(emit func([]value.Row) error) error {
+		pool := ctx.getPool()
+		nPart := pool.workers
+		type keyedRow struct {
+			k   string
+			row value.Row
+		}
+		// Phase 1: drain the build side, bucketing rows by key hash.
+		buckets := make([][]keyedRow, nPart)
+		env := Env{Params: ctx.params}
+		key := make(value.Row, len(rKeys))
+		if err := right(func(rows []value.Row) error {
+			for _, row := range rows {
+				env.Row = row
+				for i, f := range rKeys {
+					key[i] = f(&env)
+				}
+				k := key.Key()
+				b := int(fnv32a(k) % uint32(nPart))
+				buckets[b] = append(buckets[b], keyedRow{k, row})
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		// Phase 2: build the per-bucket hash tables in parallel.
+		maps := make([]map[string][]value.Row, nPart)
+		var wg sync.WaitGroup
+		for b := 0; b < nPart; b++ {
+			if len(buckets[b]) == 0 {
+				continue
+			}
+			b := b
+			wg.Add(1)
+			pool.submit(func(int) {
+				defer wg.Done()
+				m := make(map[string][]value.Row, len(buckets[b]))
+				for _, kr := range buckets[b] {
+					m[kr.k] = append(m[kr.k], kr.row)
+				}
+				maps[b] = m
+			})
+		}
+		wg.Wait()
+		// Phase 3: probe with the left side's ordered batches.
+		return left(func(rows []value.Row) error {
+			var out []value.Row
+			for _, lrow := range rows {
+				env.Row = lrow
+				lkey := make(value.Row, len(lKeys))
+				hasNull := false
+				for i, f := range lKeys {
+					lkey[i] = f(&env)
+					if lkey[i].IsNull() {
+						hasNull = true
+					}
+				}
+				var matches []value.Row
+				if !hasNull {
+					k := lkey.Key()
+					matches = maps[int(fnv32a(k)%uint32(nPart))][k]
+				}
+				matched := false
+				for _, rrow := range matches {
+					combined := make(value.Row, 0, len(lrow)+len(rrow))
+					combined = append(combined, lrow...)
+					combined = append(combined, rrow...)
+					if residual != nil {
+						env.Row = combined
+						if v := residual(&env); v.IsNull() || !v.AsBool() {
+							continue
+						}
+					}
+					matched = true
+					out = append(out, combined)
+				}
+				if x.LeftOuter && !matched {
+					combined := make(value.Row, len(lrow)+rWidth)
+					copy(combined, lrow)
+					out = append(out, combined)
+				}
+			}
+			if len(out) == 0 {
+				return nil
+			}
+			return emit(out)
+		})
+	}, nil
+}
+
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// --- sort / limit -----------------------------------------------------------
+
+func vecSort(x *SortPlan, ctx *execCtx) (vpipe, error) {
+	child, err := vecCompile(x.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := resolverFor(x.Child.columns())
+	keys := make([]evalFn, len(x.Keys))
+	descs := make([]bool, len(x.Keys))
+	for i, k := range x.Keys {
+		f, err := compileExpr(k.Expr, res, ctx.reg)
+		if err != nil {
+			return nil, err
+		}
+		keys[i], descs[i] = f, k.Desc
+	}
+	return func(emit func([]value.Row) error) error {
+		type keyed struct{ row, k value.Row }
+		var all []keyed
+		env := Env{Params: ctx.params}
+		if err := child(func(rows []value.Row) error {
+			for _, row := range rows {
+				env.Row = row
+				ks := make(value.Row, len(keys))
+				for i, f := range keys {
+					ks[i] = f(&env)
+				}
+				all = append(all, keyed{row, ks})
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		sort.SliceStable(all, func(a, b int) bool {
+			for i := range keys {
+				c := value.Compare(all[a].k[i], all[b].k[i])
+				if descs[i] {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		if len(all) == 0 {
+			return nil
+		}
+		out := make([]value.Row, len(all))
+		for i, kr := range all {
+			out[i] = kr.row
+		}
+		return emit(out)
+	}, nil
+}
+
+func vecLimit(x *LimitPlan, ctx *execCtx) (vpipe, error) {
+	child, err := vecCompile(x.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return func(emit func([]value.Row) error) error {
+		skipped, emitted := 0, 0
+		err := child(func(rows []value.Row) error {
+			out := rows
+			if skipped < x.Offset {
+				drop := min(x.Offset-skipped, len(out))
+				skipped += drop
+				out = out[drop:]
+			}
+			if emitted+len(out) > x.N {
+				out = out[:x.N-emitted]
+			}
+			if len(out) > 0 {
+				emitted += len(out)
+				if err := emit(out); err != nil {
+					return err
+				}
+			}
+			if emitted >= x.N {
+				return errStop
+			}
+			return nil
+		})
+		if err == errStop {
+			return nil
+		}
+		return err
+	}, nil
+}

@@ -1,0 +1,28 @@
+package sqlexec
+
+import "repro/internal/stats"
+
+// Vectorized-execution observability. Like the column store, the executor
+// has no per-instance registry path inside Run, so morsel and kernel
+// accounting reports into the process-wide default registry (the SOE
+// stats service folds it into every collection). Counters are cached at
+// package level so the hot path pays one atomic add, never a lookup.
+var (
+	// cVecQueries counts queries answered by the vectorized path;
+	// cVecPlanFallbacks counts queries that fell back to row-at-a-time
+	// because the plan contained a shape the batch operators don't cover.
+	cVecQueries       = stats.Default.Counter("sql_vec_queries_total")
+	cVecPlanFallbacks = stats.Default.Counter("sql_vec_plan_fallbacks_total")
+
+	// cVecMorsels counts dispatched morsels; cVecKernelHits counts scan
+	// conjuncts bound to an encoded-column kernel (per partition), and
+	// cVecKernelFallbacks those evaluated by the generic row expression
+	// instead.
+	cVecMorsels         = stats.Default.Counter("sql_vec_morsels_total")
+	cVecKernelHits      = stats.Default.Counter("sql_vec_kernel_hits_total")
+	cVecKernelFallbacks = stats.Default.Counter("sql_vec_kernel_fallbacks_total")
+
+	// hVecWorkerBusy records per-worker busy time per query, exposing
+	// morsel-pool utilization skew.
+	hVecWorkerBusy = stats.Default.Histogram("sql_vec_worker_busy_us")
+)

@@ -1,0 +1,75 @@
+package sqlexec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// morselRows is the scan granule of the vectorized executor: large enough
+// to amortize kernel setup and selection-vector reuse, small enough that a
+// table splits into many independently schedulable units (morsel-driven
+// parallelism). ~16k rows of a few columns stay cache-resident per worker.
+const morselRows = 16 * 1024
+
+// vecPool is the per-query worker pool. One pool is shared by every
+// vectorized operator of a statement (scan morsels, partitioned hash-join
+// build, partial aggregation), so a query never runs more than `workers`
+// goroutines regardless of plan shape.
+type vecPool struct {
+	workers int
+	jobs    chan vecJob
+	wg      sync.WaitGroup
+	busyNS  []int64 // per-worker accumulated busy time
+	stopped atomic.Bool
+}
+
+// vecJob is one unit of work; worker is the executing worker's index so
+// jobs can use per-worker scratch state without synchronization.
+type vecJob func(worker int)
+
+func newVecPool(workers int) *vecPool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &vecPool{
+		workers: workers,
+		jobs:    make(chan vecJob),
+		busyNS:  make([]int64, workers),
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				t0 := time.Now()
+				job(w)
+				p.busyNS[w] += time.Since(t0).Nanoseconds()
+			}
+		}(w)
+	}
+	return p
+}
+
+// submit hands a job to the pool, blocking until a worker is free.
+func (p *vecPool) submit(j vecJob) { p.jobs <- j }
+
+// stop requests that in-flight and queued jobs finish early (jobs poll
+// stopping); used when a LIMIT downstream has seen enough rows.
+func (p *vecPool) stop() { p.stopped.Store(true) }
+
+// stopping reports whether downstream asked to cut the query short.
+func (p *vecPool) stopping() bool { return p.stopped.Load() }
+
+// close shuts the pool down, waits for the workers, and reports each
+// worker's busy time to the observability layer.
+func (p *vecPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+	for _, ns := range p.busyNS {
+		if ns > 0 {
+			hVecWorkerBusy.Observe(float64(ns) / 1e3)
+		}
+	}
+}

@@ -31,6 +31,15 @@ type ScanPlan struct {
 	Parts  []*catalog.Partition // post-pruning; nil means "all"
 	Pruned int                  // partitions eliminated (for stats)
 	cols   []colInfo
+
+	// VecEligible/VecResidual split Filter's conjuncts by kernel shape:
+	// eligible conjuncts (column <cmp> literal) can run as batch kernels
+	// over encoded main columns, the residue needs the row-at-a-time
+	// expression evaluator. Filled by the planner (markKernelEligible);
+	// VecMarked distinguishes "not analyzed" from "nothing eligible".
+	VecMarked   bool
+	VecEligible []vecPred
+	VecResidual []Expr
 }
 
 func (s *ScanPlan) columns() []colInfo { return s.cols }
@@ -680,6 +689,87 @@ func (s *ScanPlan) scanParts() []*catalog.Partition {
 	return s.Entry.Partitions
 }
 
+// vecPred is one kernel-eligible scan conjunct: <column> <cmp> <literal>.
+// The vectorized executor binds it to an encoded-column batch kernel per
+// partition; partitions whose physical encoding has no matching kernel
+// evaluate Orig through the generic expression path instead.
+type vecPred struct {
+	Col  int // index into the scan's output columns
+	Op   columnstore.CmpOp
+	Lit  value.Value
+	Orig Expr
+}
+
+// cmpOps maps SQL comparison spellings to kernel operators.
+var cmpOps = map[string]columnstore.CmpOp{
+	"=": columnstore.CmpEQ, "<>": columnstore.CmpNE,
+	"<": columnstore.CmpLT, "<=": columnstore.CmpLE,
+	">": columnstore.CmpGT, ">=": columnstore.CmpGE,
+}
+
+// markKernelEligible classifies the scan's filter conjuncts for the
+// vectorized executor. A conjunct qualifies when it compares one of the
+// scan's columns against a non-NULL literal with a plain comparison
+// operator — the shape every batch kernel understands. Everything else
+// (functions, parameters, LIKE, IN, multi-column expressions) lands in
+// VecResidual and runs row-at-a-time on the already-thinned selection.
+func markKernelEligible(s *ScanPlan) {
+	s.VecMarked = true
+	s.VecEligible = s.VecEligible[:0]
+	s.VecResidual = s.VecResidual[:0]
+	if s.Filter == nil {
+		return
+	}
+	for _, conj := range splitConjuncts(s.Filter) {
+		if p, ok := classifyVecConjunct(conj, s.cols); ok {
+			s.VecEligible = append(s.VecEligible, p)
+		} else {
+			s.VecResidual = append(s.VecResidual, conj)
+		}
+	}
+}
+
+func classifyVecConjunct(e Expr, cols []colInfo) (vecPred, bool) {
+	be, ok := e.(*BinaryExpr)
+	if !ok {
+		return vecPred{}, false
+	}
+	op, ok := cmpOps[be.Op]
+	if !ok {
+		return vecPred{}, false
+	}
+	cr, lok := be.L.(*ColRef)
+	lit, rok := be.R.(*Literal)
+	if !lok || !rok {
+		// literal <op> column: flip the operand order and the operator.
+		cr2, c2 := be.R.(*ColRef)
+		lit2, l2 := be.L.(*Literal)
+		if !c2 || !l2 {
+			return vecPred{}, false
+		}
+		cr, lit = cr2, lit2
+		switch op {
+		case columnstore.CmpLT:
+			op = columnstore.CmpGT
+		case columnstore.CmpLE:
+			op = columnstore.CmpGE
+		case columnstore.CmpGT:
+			op = columnstore.CmpLT
+		case columnstore.CmpGE:
+			op = columnstore.CmpLE
+		}
+	}
+	if lit.Val.IsNull() {
+		return vecPred{}, false // NULL comparisons are never true
+	}
+	for i, c := range cols {
+		if (cr.Qual == "" || cr.Qual == c.Qual) && cr.Name == c.Name {
+			return vecPred{Col: i, Op: op, Lit: lit.Val, Orig: e}, true
+		}
+	}
+	return vecPred{}, false
+}
+
 // pruneScan eliminates partitions that cannot contain matching rows, using
 // range bounds and the semantic prune hook.
 func (pl *Planner) pruneScan(s *ScanPlan) {
@@ -702,6 +792,7 @@ func (pl *Planner) pruneScan(s *ScanPlan) {
 	}
 	s.Pruned = len(s.Entry.Partitions) - len(parts)
 	s.Parts = parts
+	markKernelEligible(s)
 }
 
 func partPruneCol(parts []*catalog.Partition) string {

@@ -40,17 +40,12 @@ func mustExec(t testing.TB, e *Engine, sql string, params ...value.Value) *Resul
 	return r
 }
 
-// bothModes runs the query under both executors and checks they agree.
+// bothModes runs the query under all three executors and checks they
+// agree (compiled as the baseline, interpreted and vectorized against it).
 func bothModes(t *testing.T, e *Engine, sql string, params ...value.Value) *Result {
 	t.Helper()
 	e.Mode = ModeCompiled
 	rc := mustExec(t, e, sql, params...)
-	e.Mode = ModeInterpreted
-	ri := mustExec(t, e, sql, params...)
-	e.Mode = ModeCompiled
-	if len(rc.Rows) != len(ri.Rows) {
-		t.Fatalf("%s: compiled %d rows, interpreted %d rows", sql, len(rc.Rows), len(ri.Rows))
-	}
 	normalize := func(rows []value.Row) []string {
 		out := make([]string, len(rows))
 		for i, r := range rows {
@@ -58,24 +53,36 @@ func bothModes(t *testing.T, e *Engine, sql string, params ...value.Value) *Resu
 		}
 		return out
 	}
-	a, b := normalize(rc.Rows), normalize(ri.Rows)
-	// Order-insensitive comparison unless the query has ORDER BY.
-	if !strings.Contains(strings.ToUpper(sql), "ORDER BY") {
-		am := map[string]int{}
-		for _, k := range a {
-			am[k]++
+	a := normalize(rc.Rows)
+	for _, m := range []struct {
+		name string
+		mode Mode
+	}{{"interpreted", ModeInterpreted}, {"vectorized", ModeVectorized}} {
+		e.Mode = m.mode
+		ro := mustExec(t, e, sql, params...)
+		if len(rc.Rows) != len(ro.Rows) {
+			t.Fatalf("%s: compiled %d rows, %s %d rows", sql, len(rc.Rows), m.name, len(ro.Rows))
 		}
-		for _, k := range b {
-			am[k]--
-		}
-		for _, c := range am {
-			if c != 0 {
-				t.Fatalf("%s: executors disagree", sql)
+		b := normalize(ro.Rows)
+		// Order-insensitive comparison unless the query has ORDER BY.
+		if !strings.Contains(strings.ToUpper(sql), "ORDER BY") {
+			am := map[string]int{}
+			for _, k := range a {
+				am[k]++
 			}
+			for _, k := range b {
+				am[k]--
+			}
+			for _, c := range am {
+				if c != 0 {
+					t.Fatalf("%s: compiled and %s executors disagree", sql, m.name)
+				}
+			}
+		} else if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: compiled and %s executors disagree on ordered output", sql, m.name)
 		}
-	} else if !reflect.DeepEqual(a, b) {
-		t.Fatalf("%s: executors disagree on ordered output", sql)
 	}
+	e.Mode = ModeCompiled
 	return rc
 }
 
