@@ -1,10 +1,11 @@
 # Developer entry points. `make ci` is the gate: vet + build + race-enabled
 # tests + the experiment shape assertions + executor parity under -race +
-# a smoke run of the vectorized-scan micro-benchmarks.
+# the fault-injection (chaos) suite + a smoke run of the vectorized-scan
+# micro-benchmarks.
 
 GO ?= go
 
-.PHONY: all vet build test race experiments parity benchsmoke bench ci
+.PHONY: all vet build test race experiments parity chaos benchsmoke bench ci
 
 all: ci
 
@@ -20,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The EXPERIMENTS.md shape assertions (E1..E18 tables must reproduce).
+# The EXPERIMENTS.md shape assertions (E1..E19 tables must reproduce).
 experiments:
 	$(GO) test -run Experiment ./...
 
@@ -28,6 +29,11 @@ experiments:
 # interpreted, compiled and vectorized executors, under the race detector.
 parity:
 	$(GO) test -race -run 'TestVectorized' ./internal/sqlexec/
+
+# Fault injection under the race detector: node crashes, link partitions,
+# replica failover, idempotent commit retries and shared-log hole repair.
+chaos:
+	$(GO) test -race -run 'TestFT' ./internal/soe/ ./internal/sharedlog/
 
 # Quick pass over the vectorized scan/aggregation micro-benchmarks; the
 # committed baseline lives in BENCH_vectorized_baseline.json.
@@ -37,4 +43,4 @@ benchsmoke:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: vet build race experiments parity benchsmoke
+ci: vet build race experiments parity chaos benchsmoke

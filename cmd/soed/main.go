@@ -2,7 +2,8 @@
 // transaction broker, n query/data services, coordinator, cluster manager
 // and discovery. It loads a synthetic order workload, runs distributed
 // queries under each join strategy, demonstrates OLAP staleness, kills a
-// node and fails its partitions over, then prints the cluster state.
+// node and fails its partitions over to their replicas (then a second
+// node to show labelled partial results), and prints the cluster state.
 // With -http it also serves the v2stats landscape on /metrics and
 // /traces and keeps running until interrupted.
 //
@@ -118,25 +119,36 @@ func main() {
 	must0(err)
 	fmt.Printf("optimizer chooses: %s\n\n", autoPlan.Strategy)
 
-	// Failover: kill a node, move its partitions, keep answering.
-	victim := cluster.Nodes[*nodes-1].Name
-	fmt.Printf("moving partitions off %s and stopping it...\n", victim)
-	tbl, _ := cluster.Catalog.Table("orders")
-	for p, n := range tbl.NodeOf {
-		if n == victim {
-			must0(cluster.Manager.MovePartition("orders", p, victim, cluster.Nodes[0].Name))
+	// Fault tolerance: replicate every partition, kill a node, and keep
+	// answering — the coordinator retries, then routes the victim's
+	// partitions to their replicas (catching them up to the last commit).
+	if *nodes >= 2 {
+		must0(cluster.ReplicateTable("orders"))
+		must0(cluster.ReplicateTable("items"))
+		victim := cluster.Nodes[*nodes-1].Name
+		fmt.Printf("tables replicated; stopping %s without moving its partitions...\n", victim)
+		cluster.Manager.StopNode(victim)
+		r, err = cluster.Query(`SELECT COUNT(*) FROM orders`)
+		must0(err)
+		fmt.Printf("orders answered via replica failover: %s rows (completeness %.2f)\n", r.Rows[0][0].AsString(), r.Completeness)
+
+		if *nodes >= 3 {
+			// Losing a primary and its replica exceeds the replication
+			// factor: degraded mode answers from the survivors and labels
+			// exactly what is missing instead of failing outright.
+			second := cluster.Nodes[*nodes-2].Name
+			cluster.Coordinator.PartialResults = true
+			cluster.Manager.StopNode(second)
+			r, err = cluster.Query(`SELECT COUNT(*) FROM orders`)
+			must0(err)
+			fmt.Printf("with %s also down: %s rows, completeness %.2f, lost: %v\n",
+				second, r.Rows[0][0].AsString(), r.Completeness, r.Lost)
+			cluster.Coordinator.PartialResults = false
+			cluster.Manager.RecoverNode(second)
 		}
+		cluster.Manager.RecoverNode(victim)
+		fmt.Println()
 	}
-	itbl, _ := cluster.Catalog.Table("items")
-	for p, n := range itbl.NodeOf {
-		if n == victim {
-			must0(cluster.Manager.MovePartition("items", p, victim, cluster.Nodes[0].Name))
-		}
-	}
-	cluster.Manager.StopNode(victim)
-	r, err = cluster.Query(`SELECT COUNT(*) FROM orders`)
-	must0(err)
-	fmt.Printf("orders still answered after failover: %s rows\n\n", r.Rows[0][0].AsString())
 
 	fmt.Println("cluster status:")
 	for _, st := range cluster.Manager.Status() {
@@ -154,6 +166,9 @@ func main() {
 		snap.CounterTotal("sharedlog_appends_total"), snap.CounterTotal("sharedlog_bytes_total"))
 	fmt.Printf("  net messages: %d (%d bytes)\n",
 		snap.CounterTotal("netsim_messages_total"), snap.CounterTotal("netsim_bytes_total"))
+	fmt.Printf("  fault path:   %d task retries, %d failovers, %d degraded queries\n",
+		snap.CounterTotal("soe_task_retries_total"), snap.CounterTotal("soe_failovers_total"),
+		snap.CounterTotal("soe_degraded_queries_total"))
 	if h, ok := snap.HistogramNamed("soe_query_ms"); ok {
 		fmt.Printf("  query latency: p50=%.2fms p95=%.2fms p99=%.2fms (n=%d)\n", h.P50, h.P95, h.P99, h.Count)
 	}

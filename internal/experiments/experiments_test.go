@@ -164,3 +164,52 @@ func TestE14ShapeSameEigenvalue(t *testing.T) {
 		t.Fatal("export path moved nothing")
 	}
 }
+
+func TestE19ShapeNoBareErrors(t *testing.T) {
+	tab := E19ChaosFailover(tiny)
+	// Every fault round must resolve each query as either a full answer
+	// matching the healthy baseline or a labelled partial — column 4 (bare
+	// errors) must be zero everywhere, and full+partial must account for
+	// every query in the round.
+	for row := range tab.Rows {
+		queries := atoi(t, cell(tab, row, 1))
+		full := atoi(t, cell(tab, row, 2))
+		partial := atoi(t, cell(tab, row, 3))
+		if bare := atoi(t, cell(tab, row, 4)); bare != 0 {
+			t.Fatalf("round %q: %d bare errors: %v", cell(tab, row, 0), bare, tab.Rows[row])
+		}
+		if full+partial != queries {
+			t.Fatalf("round %q: %d full + %d partial != %d queries", cell(tab, row, 0), full, partial, queries)
+		}
+	}
+	// Single-fault rounds (crash or partition with a replica available)
+	// must answer in full; the double crash must degrade to partials.
+	if atoi(t, cell(tab, 1, 2)) != atoi(t, cell(tab, 1, 1)) {
+		t.Fatalf("single crash did not fail over fully: %v", tab.Rows[1])
+	}
+	last := len(tab.Rows) - 1
+	if atoi(t, cell(tab, last, 3)) == 0 {
+		t.Fatalf("double crash produced no labelled partials: %v", tab.Rows[last])
+	}
+	// The chaos run must actually exercise the fault machinery: failovers
+	// and the sealed-unit log repair show up in the notes.
+	notes := strings.Join(tab.Notes, "\n")
+	var recoveries, repairs, fills, retries int
+	if _, err := fmt.Sscanf(notes[strings.Index(notes, "log recoveries:"):],
+		"log recoveries: %d, repairs: %d, fills: %d, append retries: %d", &recoveries, &repairs, &fills, &retries); err != nil {
+		t.Fatalf("unparseable log-repair note: %q", notes)
+	}
+	if repairs+fills+retries == 0 {
+		t.Fatal("sealed unit exercised no log repair at all")
+	}
+	var failovers int
+	if _, err := fmt.Sscanf(notes[strings.Index(notes, "fault handling:"):], "fault handling: %d failovers", &failovers); err != nil {
+		t.Fatalf("unparseable fault note: %q", notes)
+	}
+	if failovers == 0 {
+		t.Fatal("no failovers recorded across the chaos rounds")
+	}
+	if !strings.Contains(notes, "8/8 succeeded") {
+		t.Fatalf("commits lost after unit seal: %q", notes)
+	}
+}

@@ -193,6 +193,16 @@ func (n *Network) Nodes() []string {
 	return out
 }
 
+// IsUnavailable reports whether err is a network-availability failure — the
+// destination crashed, the link partitioned, or the node unregistered — as
+// opposed to an application-level error returned by the remote handler.
+// Availability failures are the retryable/failover class: the request never
+// reached a healthy handler, so re-sending (possibly elsewhere) is safe.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrCrashed) || errors.Is(err, ErrPartitioned) ||
+		errors.Is(err, ErrUnknownNode)
+}
+
 // Alive reports whether a node is registered and not crashed.
 func (n *Network) Alive(name string) bool {
 	n.mu.RLock()

@@ -101,6 +101,13 @@ func (u *Unit) Write(epoch, pos uint64, data []byte) error {
 	return u.store.Put(pos, data)
 }
 
+// Epoch returns the epoch currently in force on this unit.
+func (u *Unit) Epoch() uint64 {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.epoch
+}
+
 // Read fetches pos.
 func (u *Unit) Read(pos uint64) ([]byte, error) {
 	d, ok, err := u.store.Get(pos)
@@ -116,8 +123,25 @@ func (u *Unit) Read(pos uint64) ([]byte, error) {
 // Trim removes pos.
 func (u *Unit) Trim(pos uint64) error { return u.store.Delete(pos) }
 
-// junk is the payload of filled holes.
-var junk = []byte{0xde, 0xad}
+// Every stored entry is framed with a one-byte tag so filled holes are
+// distinguishable from real payloads whatever their bytes are — comparing
+// payloads against a junk sentinel misreports a legitimate entry that
+// happens to equal the sentinel.
+const (
+	tagFill byte = 0x00
+	tagData byte = 0x01
+)
+
+// fillFrame is the stored representation of a filled hole.
+var fillFrame = []byte{tagFill}
+
+// frame prefixes a payload with the data tag.
+func frame(data []byte) []byte {
+	f := make([]byte, len(data)+1)
+	f[0] = tagData
+	copy(f[1:], data)
+	return f
+}
 
 // Sequencer hands out log positions.
 type Sequencer struct {
@@ -190,25 +214,67 @@ func (l *Log) Epoch() uint64 {
 	return l.epoch
 }
 
+// maxAppendAttempts bounds the sequence of fresh positions one Append may
+// burn through while repairing failed writes.
+const maxAppendAttempts = 4
+
 // Append writes data at the next position: chain replication through the
 // stripe's units, position returned once every replica acknowledged.
+//
+// A failed write does not abandon its sequenced position: that would leave
+// a permanent hole ReadFrom consumers stall on. Instead Append repairs —
+// on an epoch fence (ErrSealed, a reconfiguration racing the write) it
+// reseals to adopt the new epoch and completes the chain with the real
+// payload; if the position cannot be salvaged it is filled so readers make
+// progress, and the append retries at a fresh position.
 func (l *Log) Append(data []byte) (uint64, error) {
 	t0 := time.Now()
-	for {
+	fr := frame(data)
+	var lastErr error
+	for attempts := 0; attempts < maxAppendAttempts; {
 		pos := l.seq.Next()
-		err := l.writeAt(pos, data)
+		err := l.writeAt(pos, fr)
 		if err == nil {
-			if reg := l.obs.Load(); reg != nil {
-				reg.Counter("sharedlog_appends_total").Inc()
-				reg.Counter("sharedlog_bytes_total").Add(int64(len(data)))
-				reg.Histogram("sharedlog_append_ms").ObserveSince(t0)
-			}
+			l.recordAppend(t0, len(data))
 			return pos, nil
 		}
 		if errors.Is(err, ErrWritten) {
 			continue // lost the race for this position; take the next
 		}
-		return 0, err
+		lastErr = err
+		attempts++
+		if reg := l.obs.Load(); reg != nil {
+			reg.Counter("sharedlog_append_retries_total").Inc()
+		}
+		if errors.Is(err, ErrSealed) {
+			// A seal fenced this write mid-chain (possibly after the head
+			// replica accepted it). Adopt the new epoch and complete the
+			// chain with the real payload — the append still succeeds.
+			l.Reseal()
+			if cerr := l.completeAt(pos, fr); cerr == nil {
+				if reg := l.obs.Load(); reg != nil {
+					reg.Counter("sharedlog_repairs_total").Inc()
+				}
+				l.recordAppend(t0, len(data))
+				return pos, nil
+			}
+		}
+		// The position is lost: fill it so readers pass the hole, then
+		// retry the payload at a fresh position.
+		if ferr := l.completeAt(pos, fillFrame); ferr == nil {
+			if reg := l.obs.Load(); reg != nil {
+				reg.Counter("sharedlog_fills_total").Inc()
+			}
+		}
+	}
+	return 0, lastErr
+}
+
+func (l *Log) recordAppend(t0 time.Time, n int) {
+	if reg := l.obs.Load(); reg != nil {
+		reg.Counter("sharedlog_appends_total").Inc()
+		reg.Counter("sharedlog_bytes_total").Add(int64(n))
+		reg.Histogram("sharedlog_append_ms").ObserveSince(t0)
 	}
 }
 
@@ -231,7 +297,8 @@ func (l *Log) writeAt(pos uint64, data []byte) error {
 }
 
 // Read fetches the entry at pos from the stripe's tail replica (the one
-// guaranteed complete under chain replication).
+// guaranteed complete under chain replication). The frame tag decides
+// data vs fill, so payload bytes are never misinterpreted as a fill.
 func (l *Log) Read(pos uint64) ([]byte, error) {
 	if pos < l.trimmedLo.Load() {
 		return nil, ErrTrimmed
@@ -243,20 +310,38 @@ func (l *Log) Read(pos uint64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if string(d) == string(junk) {
+	if len(d) == 0 || d[0] == tagFill {
 		return nil, ErrFilled
 	}
-	return d, nil
+	return d[1:], nil
 }
 
-// Fill writes junk into a hole so readers can make progress past a
-// crashed appender.
+// Fill marks a hole so readers can make progress past a crashed appender.
+// Replicas that already hold an entry keep it (write-once).
 func (l *Log) Fill(pos uint64) error {
-	err := l.writeAt(pos, junk)
-	if errors.Is(err, ErrWritten) {
-		return nil // someone completed it; fine either way
+	err := l.completeAt(pos, fillFrame)
+	if err == nil {
+		if reg := l.obs.Load(); reg != nil {
+			reg.Counter("sharedlog_fills_total").Inc()
+		}
 	}
 	return err
+}
+
+// completeAt writes data to every replica of pos's chain under the current
+// epoch, ignoring replicas that already hold an entry — the chain-repair
+// primitive behind fills and post-seal append completion.
+func (l *Log) completeAt(pos uint64, data []byte) error {
+	l.mu.RLock()
+	chain := l.stripes[pos%uint64(len(l.stripes))]
+	epoch := l.epoch
+	l.mu.RUnlock()
+	for _, u := range chain {
+		if err := u.Write(epoch, pos, data); err != nil && !errors.Is(err, ErrWritten) {
+			return err
+		}
+	}
+	return nil
 }
 
 // Tail returns the next position the sequencer will issue.
@@ -298,6 +383,48 @@ func (l *Log) Seal() (uint64, uint64) {
 		}
 	}
 	return epoch, l.seq.Tail()
+}
+
+// Reseal re-synchronizes the client with the highest epoch in force on any
+// unit (a lagging writer catching up after a reconfiguration sealed units
+// ahead of it) and seals every unit to that epoch. Returns the adopted
+// epoch. Unlike Seal it never advances past what is already in force.
+func (l *Log) Reseal() uint64 {
+	l.mu.RLock()
+	stripes := l.stripes
+	epoch := l.epoch
+	l.mu.RUnlock()
+	for _, chain := range stripes {
+		for _, u := range chain {
+			if e := u.Epoch(); e > epoch {
+				epoch = e
+			}
+		}
+	}
+	l.mu.Lock()
+	if epoch > l.epoch {
+		l.epoch = epoch
+	}
+	epoch = l.epoch
+	l.mu.Unlock()
+	for _, chain := range stripes {
+		for _, u := range chain {
+			u.Seal(epoch)
+		}
+	}
+	return epoch
+}
+
+// SealStripeUnit seals one unit a single epoch ahead of the client — a
+// fault-injection hook simulating a reconfiguration racing an appender
+// (chaos experiments and tests). The next append hitting that stripe fails
+// with ErrSealed and must take the repair path.
+func (l *Log) SealStripeUnit(stripe, replica int) uint64 {
+	l.mu.RLock()
+	u := l.stripes[stripe][replica]
+	epoch := l.epoch
+	l.mu.RUnlock()
+	return u.Seal(epoch + 1)
 }
 
 // Reconfigure swaps in a new striping at a new epoch (e.g. adding units).

@@ -157,9 +157,119 @@ func TestReplicationAllReplicasHoldData(t *testing.T) {
 	}
 	for r, u := range l.stripes[0] {
 		d, err := u.Read(pos)
-		if err != nil || string(d) != "replicated" {
-			t.Fatalf("replica %d missing data: %v", r, err)
+		if err != nil || len(d) == 0 || d[0] != tagData || string(d[1:]) != "replicated" {
+			t.Fatalf("replica %d missing framed data: %q %v", r, d, err)
 		}
+	}
+}
+
+// Regression: an entry whose payload equals the old fill sentinel must not
+// be misreported as a filled hole — fills are marked by the frame tag, not
+// by payload bytes.
+func TestFTSentinelCollisionPayloadReadsBack(t *testing.T) {
+	l := NewInMemory(2, 2)
+	sentinel := []byte{0xde, 0xad}
+	pos, err := l.Append(sentinel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := l.Read(pos)
+	if err != nil {
+		t.Fatalf("sentinel-valued payload misread: %v", err)
+	}
+	if string(d) != string(sentinel) {
+		t.Fatalf("payload mangled: %x", d)
+	}
+	entries, _, _ := l.ReadFrom(0, 10)
+	if len(entries) != 1 || string(entries[0]) != string(sentinel) {
+		t.Fatalf("ReadFrom skipped a real entry: %v", entries)
+	}
+}
+
+// Regression: a seal racing an append (head replica accepted the write, the
+// tail fenced it) must not abandon the sequenced position — the appender
+// reseals onto the new epoch and completes the chain, so readers make
+// progress and the entry survives on every replica.
+func TestFTReadersProgressPastSealedAppend(t *testing.T) {
+	l := NewInMemory(1, 2)
+	if _, err := l.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Fence the tail replica one epoch ahead, as a reconfiguration would.
+	l.SealStripeUnit(0, 1)
+	pos, err := l.Append([]byte("fenced"))
+	if err != nil {
+		t.Fatalf("append did not repair after seal fence: %v", err)
+	}
+	if d, err := l.Read(pos); err != nil || string(d) != "fenced" {
+		t.Fatalf("repaired entry unreadable: %q %v", d, err)
+	}
+	if _, err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, next := l.ReadFrom(0, 10)
+	if len(entries) != 3 || next != 3 {
+		t.Fatalf("readers stalled: %d entries next=%d", len(entries), next)
+	}
+	// The chain is consistent: both replicas hold the repaired entry.
+	for r, u := range l.stripes[0] {
+		if _, err := u.Read(pos); err != nil {
+			t.Fatalf("replica %d missing repaired entry: %v", r, err)
+		}
+	}
+}
+
+// faultStore fails a configurable number of Puts before behaving normally.
+type faultStore struct {
+	*MemStore
+	failures int
+}
+
+var errDisk = errors.New("injected unit fault")
+
+func (s *faultStore) Put(pos uint64, data []byte) error {
+	if s.failures > 0 {
+		s.failures--
+		return errDisk
+	}
+	return s.MemStore.Put(pos, data)
+}
+
+// Regression: when a position cannot be salvaged (unit fault, not an epoch
+// fence), Append fills the abandoned position and retries at a fresh one —
+// readers never stall on a permanent hole.
+func TestFTFailedAppendFillsAbandonedPosition(t *testing.T) {
+	fs := &faultStore{MemStore: NewMemStore(), failures: 1}
+	l, err := New(Config{Stripes: [][]*Unit{{NewUnit(fs)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := l.Append([]byte("survives"))
+	if err != nil {
+		t.Fatalf("append did not retry past unit fault: %v", err)
+	}
+	if pos != 1 {
+		t.Fatalf("expected retry at fresh position 1, got %d", pos)
+	}
+	// Position 0 was abandoned but filled, so readers pass it.
+	if _, err := l.Read(0); !errors.Is(err, ErrFilled) {
+		t.Fatalf("abandoned position not filled: %v", err)
+	}
+	entries, _, next := l.ReadFrom(0, 10)
+	if len(entries) != 1 || string(entries[0]) != "survives" || next != 2 {
+		t.Fatalf("readers stalled: entries=%v next=%d", entries, next)
+	}
+}
+
+// A persistent fault exhausts the bounded retries and surfaces the error.
+func TestFTAppendExhaustsRetries(t *testing.T) {
+	fs := &faultStore{MemStore: NewMemStore(), failures: 1 << 30}
+	l, err := New(Config{Stripes: [][]*Unit{{NewUnit(fs)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, errDisk) {
+		t.Fatalf("expected injected fault, got %v", err)
 	}
 }
 

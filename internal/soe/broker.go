@@ -30,13 +30,29 @@ type Broker struct {
 
 	commits atomic.Int64
 
+	// Idempotency cache: completed transactions by client token, so a
+	// retried commit (timeout after the append landed) is answered from
+	// here instead of being applied twice. pending serializes concurrent
+	// retries of the same in-flight transaction.
+	cmu     sync.Mutex
+	done    map[string]CommitResp
+	order   []string
+	pending map[string]chan struct{}
+
 	obs    *stats.Registry
 	tracer *stats.Tracer
 }
 
+// maxTxnCache bounds the idempotency cache (FIFO eviction). A client
+// retries within its backoff window, so only recent transactions matter.
+const maxTxnCache = 4096
+
 // NewBroker creates and registers the broker on the network.
 func NewBroker(name string, net *netsim.Network, disc *Discovery, log *sharedlog.Log) *Broker {
-	b := &Broker{Name: name, net: net, disc: disc, log: log}
+	b := &Broker{
+		Name: name, net: net, disc: disc, log: log,
+		done: map[string]CommitResp{}, pending: map[string]chan struct{}{},
+	}
 	b.clock.Store(1)
 	net.Register(name, b.handle)
 	disc.Announce("v2transact", name)
@@ -82,6 +98,15 @@ func (b *Broker) Commit(writes []LogWrite) (pos uint64, ts uint64, err error) {
 	}
 	app := span.Child("log_append")
 	pos, err = b.log.Append(data)
+	if err != nil {
+		// The log client repairs transient failures itself (hole fills,
+		// epoch adoption), so an error here means the configuration moved
+		// under this broker — a Seal/Reconfigure fenced its epoch. Re-sync
+		// with the units and retry once before failing the commit.
+		obs.Counter("soe_commit_log_recoveries_total", "service=v2transact").Inc()
+		b.log.Reseal()
+		pos, err = b.log.Append(data)
+	}
 	app.Finish()
 	if err != nil {
 		return 0, 0, err
@@ -108,6 +133,61 @@ func (b *Broker) Commit(writes []LogWrite) (pos uint64, ts uint64, err error) {
 	return pos, ts, nil
 }
 
+// commitIdempotent wraps Commit with transaction-token deduplication. A
+// retried request for a completed transaction returns the original
+// position and timestamp; a retry racing its own still-running original
+// (the network cannot cancel in-flight calls) waits for it instead of
+// committing a duplicate. Failed commits are not cached — the client's
+// next retry re-attempts them.
+func (b *Broker) commitIdempotent(r CommitReq) CommitResp {
+	if r.TxnID == "" {
+		pos, ts, err := b.Commit(r.Writes)
+		if err != nil {
+			return CommitResp{Err: err.Error()}
+		}
+		return CommitResp{Pos: pos, TS: ts}
+	}
+	for {
+		b.cmu.Lock()
+		if resp, ok := b.done[r.TxnID]; ok {
+			b.cmu.Unlock()
+			b.mu.Lock()
+			obs := b.obs
+			b.mu.Unlock()
+			obs.Counter("soe_commit_dedup_total", "service=v2transact").Inc()
+			return resp
+		}
+		if ch, ok := b.pending[r.TxnID]; ok {
+			b.cmu.Unlock()
+			<-ch // original finished (or failed); re-check the cache
+			continue
+		}
+		ch := make(chan struct{})
+		b.pending[r.TxnID] = ch
+		b.cmu.Unlock()
+
+		pos, ts, err := b.Commit(r.Writes)
+
+		b.cmu.Lock()
+		delete(b.pending, r.TxnID)
+		var resp CommitResp
+		if err != nil {
+			resp = CommitResp{Err: err.Error()}
+		} else {
+			resp = CommitResp{Pos: pos, TS: ts}
+			b.done[r.TxnID] = resp
+			b.order = append(b.order, r.TxnID)
+			if len(b.order) > maxTxnCache {
+				delete(b.done, b.order[0])
+				b.order = b.order[1:]
+			}
+		}
+		b.cmu.Unlock()
+		close(ch)
+		return resp
+	}
+}
+
 // ReadLog serves the OLAP polling path.
 func (b *Broker) ReadLog(from uint64, max int) ([]LogEntry, uint64) {
 	raw, positions, next := b.log.ReadFrom(from, max)
@@ -132,11 +212,7 @@ func (b *Broker) handle(from string, req netsim.Message) (netsim.Message, error)
 		if !b.disc.Validate(r.Token) {
 			return netsim.Message{Kind: MsgCommit, Payload: encode(CommitResp{Err: "unauthorized"})}, nil
 		}
-		pos, ts, err := b.Commit(r.Writes)
-		if err != nil {
-			return netsim.Message{Kind: MsgCommit, Payload: encode(CommitResp{Err: err.Error()})}, nil
-		}
-		return netsim.Message{Kind: MsgCommit, Payload: encode(CommitResp{Pos: pos, TS: ts})}, nil
+		return netsim.Message{Kind: MsgCommit, Payload: encode(b.commitIdempotent(r))}, nil
 
 	case MsgPoll:
 		r, err := decode[PollReq](req)

@@ -28,6 +28,11 @@ type DistTable struct {
 	// NodeOf[p] names the node hosting partition p.
 	NodeOf []string
 
+	// replicas[p] lists nodes holding read replicas of partition p
+	// (HostReplica placements). Guarded by the owning catalog's mutex;
+	// the coordinator consults it for failover routing.
+	replicas map[int][]string
+
 	rowEstimate atomic.Int64 // maintained by the coordinator on insert
 }
 
@@ -149,6 +154,45 @@ func (c *ClusterCatalog) Move(table string, part int, toNode string) error {
 	}
 	t.NodeOf[part] = toNode
 	return nil
+}
+
+// AddReplica registers a read-replica placement: node holds a copy of the
+// partition in addition to its primary host. The coordinator routes
+// failed-over reads here.
+func (c *ClusterCatalog) AddReplica(table string, part int, node string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[table]
+	if !ok {
+		return fmt.Errorf("soe: unknown table %q", table)
+	}
+	if part < 0 || part >= t.Partitions {
+		return fmt.Errorf("soe: partition %d out of range", part)
+	}
+	if t.NodeOf[part] == node {
+		return fmt.Errorf("soe: %s already hosts %s partition %d as primary", node, table, part)
+	}
+	if t.replicas == nil {
+		t.replicas = map[int][]string{}
+	}
+	for _, r := range t.replicas[part] {
+		if r == node {
+			return nil // idempotent
+		}
+	}
+	t.replicas[part] = append(t.replicas[part], node)
+	return nil
+}
+
+// Replicas returns the replica nodes registered for one partition.
+func (c *ClusterCatalog) Replicas(table string, part int) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[table]
+	if !ok || t.replicas == nil {
+		return nil
+	}
+	return append([]string(nil), t.replicas[part]...)
 }
 
 // NodesOf returns the distinct nodes hosting a table, sorted.

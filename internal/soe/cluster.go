@@ -119,6 +119,43 @@ func (c *Cluster) CreateTable(name string, schema columnstore.Schema, partKey st
 	return t, nil
 }
 
+// ReplicateTable installs one read replica of every partition of a table
+// on a node other than its primary host (round-robin placement), seeds it
+// with a snapshot from the primary, and registers the placement in the
+// cluster catalog so the coordinator can route failed-over reads to it.
+func (c *Cluster) ReplicateTable(table string) error {
+	t, ok := c.Catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("soe: unknown table %q", table)
+	}
+	if len(c.Nodes) < 2 {
+		return fmt.Errorf("soe: replication needs at least two nodes")
+	}
+	for p := 0; p < t.Partitions; p++ {
+		primary := t.NodeOf[p]
+		var replica *DataNode
+		for off := 1; off <= len(c.Nodes); off++ {
+			if cand := c.Nodes[(p+off)%len(c.Nodes)]; cand.Name != primary {
+				replica = cand
+				break
+			}
+		}
+		if replica == nil {
+			continue
+		}
+		if err := replica.HostReplica(t, p); err != nil {
+			return err
+		}
+		if err := replica.CatchUpSnapshot(primary, table, p); err != nil {
+			return err
+		}
+		if err := c.Catalog.AddReplica(table, p, replica.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // BulkLoadLocal loads rows directly into the hosting nodes' storage,
 // bypassing the broker and shared log. Benchmark/test setup only: it is
 // NOT transactional and NOT replicated — use Insert for real writes.

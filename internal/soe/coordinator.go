@@ -1,7 +1,9 @@
 package soe
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,14 +27,91 @@ type Coordinator struct {
 
 	broker  string
 	queryID atomic.Uint64
+	txnSeq  atomic.Uint64
+
+	// lastCommitTS is the newest commit timestamp this coordinator has
+	// observed; failover reads ask replicas to catch up to it (the
+	// freshness bound of degraded operation).
+	lastCommitTS atomic.Uint64
 
 	// BroadcastThreshold: a join side with at most this many estimated
 	// rows is broadcast instead of repartitioned.
 	BroadcastThreshold int
 
+	// Retry shapes the per-task fault-tolerance loop; zero fields take
+	// DefaultRetryPolicy values.
+	Retry RetryPolicy
+
+	// PartialResults selects degraded mode: when coverage is lost and no
+	// replica can serve it, return what survived (labelled with its
+	// completeness fraction) instead of failing the query.
+	PartialResults bool
+
 	obs    *stats.Registry
 	tracer *stats.Tracer
 }
+
+// RetryPolicy bounds the fault-tolerance loop around every remote task.
+type RetryPolicy struct {
+	MaxAttempts int           // attempts per target before failover
+	TaskTimeout time.Duration // per-attempt deadline (<0 disables)
+	BaseBackoff time.Duration // first retry delay; doubles per attempt
+	MaxBackoff  time.Duration // backoff cap
+}
+
+// DefaultRetryPolicy is in force where Coordinator.Retry leaves zeros.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 3,
+	TaskTimeout: 2 * time.Second,
+	BaseBackoff: time.Millisecond,
+	MaxBackoff:  50 * time.Millisecond,
+}
+
+// retry returns the effective policy with defaults filled in.
+func (c *Coordinator) retry() RetryPolicy {
+	p := c.Retry
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.TaskTimeout == 0 {
+		p.TaskTimeout = DefaultRetryPolicy.TaskTimeout
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultRetryPolicy.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultRetryPolicy.MaxBackoff
+	}
+	return p
+}
+
+// backoff sleeps before the (attempt+1)-th try: capped exponential with
+// full jitter, so synchronized retry storms against a recovering service
+// spread out.
+func (p RetryPolicy) backoff(attempt int) {
+	d := p.BaseBackoff
+	for i := 0; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	time.Sleep(d)
+}
+
+// retryable classifies errors the fault-tolerance loop may act on: the
+// request never reached a healthy handler (crash, partition) or was
+// abandoned by its deadline. Application-level errors are never retried.
+func retryable(err error) bool {
+	return netsim.IsUnavailable(err) || errors.Is(err, errTaskTimeout)
+}
+
+// sqlError is an application-level failure from a node's engine: the query
+// itself is wrong, so retrying or failing over cannot help.
+type sqlError struct{ node, msg string }
+
+func (e *sqlError) Error() string { return fmt.Sprintf("soe: %s: %s", e.node, e.msg) }
 
 // Instrument attaches the landscape registry and tracer. Call during
 // boot, before the coordinator serves queries; nil receivers in the
@@ -60,16 +139,24 @@ func NewCoordinator(name string, net *netsim.Network, disc *Discovery, ccat *Clu
 		if err != nil {
 			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: err.Error()})}, nil
 		}
-		return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Cols: res.Cols, Rows: res.Rows})}, nil
+		return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Cols: res.Cols, Rows: res.Rows, Completeness: res.Completeness})}, nil
 	})
 	disc.Announce("v2dqp", name)
 	return c
 }
 
-// Result is a distributed query result.
+// Result is a distributed query result. Completeness is the fraction of
+// required partition coverage that contributed rows: 1.0 for a complete
+// answer (including answers completed through replica failover), less when
+// the coordinator ran in degraded mode and some coverage was unreachable.
+// Lost describes the coverage that could not be served.
 type Result struct {
 	Cols []string
 	Rows []value.Row
+
+	Completeness float64
+	Partial      bool
+	Lost         []string
 }
 
 // Insert routes rows by partition key and commits them through the
@@ -92,9 +179,7 @@ func (c *Coordinator) Insert(table string, rows []value.Row) (uint64, error) {
 		}
 		writes = append(writes, LogWrite{Table: table, Partition: t.PartitionFor(r[ki]), Kind: 0, Row: r})
 	}
-	commit := span.Child("commit")
-	resp, err := call[CommitResp](c.net, c.Name, c.broker, MsgCommit, CommitReq{Token: c.disc.Token(), Writes: writes})
-	commit.Finish()
+	resp, err := c.commit(span, writes)
 	if err != nil {
 		return 0, err
 	}
@@ -111,8 +196,10 @@ func (c *Coordinator) Delete(table, key string) (uint64, error) {
 	if !ok {
 		return 0, fmt.Errorf("soe: unknown table %q", table)
 	}
+	span := c.tracer.Start("delete", "table="+table)
+	defer span.Finish()
 	w := LogWrite{Table: table, Partition: t.PartitionFor(value.String(key)), Kind: 1, Key: key}
-	resp, err := call[CommitResp](c.net, c.Name, c.broker, MsgCommit, CommitReq{Token: c.disc.Token(), Writes: []LogWrite{w}})
+	resp, err := c.commit(span, []LogWrite{w})
 	if err != nil {
 		return 0, err
 	}
@@ -120,6 +207,51 @@ func (c *Coordinator) Delete(table, key string) (uint64, error) {
 		return 0, fmt.Errorf("soe: commit: %s", resp.Err)
 	}
 	return resp.TS, nil
+}
+
+// commit sends one write set to the broker under an idempotency token,
+// retrying timeouts and availability failures with backoff. The token
+// makes the retry safe: a commit whose acknowledgement was lost (e.g. the
+// attempt timed out after the broker appended) is recognized and answered
+// from the broker's transaction cache instead of being applied twice.
+func (c *Coordinator) commit(span *stats.Span, writes []LogWrite) (CommitResp, error) {
+	pol := c.retry()
+	req := CommitReq{
+		Token:  c.disc.Token(),
+		TxnID:  fmt.Sprintf("%s-txn-%d", c.Name, c.txnSeq.Add(1)),
+		Writes: writes,
+	}
+	var lastErr error
+	for a := 0; a < pol.MaxAttempts; a++ {
+		if a > 0 {
+			c.obs.Counter("soe_commit_retries_total", "service=v2dqp").Inc()
+			pol.backoff(a - 1)
+		}
+		cm := span.Child("commit", fmt.Sprintf("attempt=%d", a+1))
+		resp, err := callWithTimeout[CommitResp](c.net, c.Name, c.broker, MsgCommit, req, pol.TaskTimeout)
+		cm.Finish()
+		if err == nil {
+			if resp.Err == "" {
+				c.observeCommitTS(resp.TS)
+			}
+			return resp, nil
+		}
+		if !retryable(err) {
+			return CommitResp{}, err
+		}
+		lastErr = err
+	}
+	return CommitResp{}, lastErr
+}
+
+// observeCommitTS advances the freshness bound failover reads must reach.
+func (c *Coordinator) observeCommitTS(ts uint64) {
+	for {
+		old := c.lastCommitTS.Load()
+		if ts <= old || c.lastCommitTS.CompareAndSwap(old, ts) {
+			return
+		}
+	}
 }
 
 // Query plans and executes a distributed SELECT, returning the result and
@@ -153,42 +285,40 @@ func (c *Coordinator) Query(sql string) (*Result, *distql.Plan, error) {
 
 	if plan.RightTable == "" {
 		plan.Strategy = distql.StrategyLocalParallel
-		nodes := c.pruneNodes(sel, plan.LeftTable)
-		rows, err := c.fanOut(span, nodes, plan.LocalSQL)
+		parts := c.pruneParts(sel, plan.LeftTable)
+		rows, rep, err := c.fanOut(span, plan.LocalSQL, c.tasksFor(plan.LeftTable, parts), plan.LeftTable, "")
 		if err != nil {
 			return nil, nil, err
 		}
-		return c.finish(plan, rows)
+		return c.finish(plan, rows, rep)
 	}
 	return c.queryJoin(sel, plan, span)
 }
 
-// pruneNodes narrows the fan-out for range-partitioned tables when the
+// pruneParts narrows the fan-out for range-partitioned tables when the
 // WHERE clause bounds the partition key — distributed partition pruning.
-func (c *Coordinator) pruneNodes(sel *sqlexec.SelectStmt, table string) []string {
-	all := c.ccat.NodesOf(table)
+// Returns the explicit partition list (possibly empty for contradictory
+// bounds).
+func (c *Coordinator) pruneParts(sel *sqlexec.SelectStmt, table string) []int {
 	t, ok := c.ccat.Table(table)
 	if !ok {
-		return all
+		return nil
 	}
 	lo, hi, bounded := distql.KeyBounds(sel, sel.From.Alias, t.PartKey)
-	if !bounded || lo > hi {
-		if bounded && lo > hi {
-			return nil // contradictory bounds: empty fan-out
-		}
-		return all
+	if bounded && lo > hi {
+		return []int{} // contradictory bounds: empty fan-out
 	}
-	parts := t.PartitionsInRange(lo, hi)
-	seen := map[string]bool{}
-	var out []string
-	for _, p := range parts {
-		n := t.NodeOf[p]
-		if !seen[n] {
-			seen[n] = true
-			out = append(out, n)
-		}
+	if !bounded {
+		return allParts(t)
 	}
-	sort.Strings(out)
+	return t.PartitionsInRange(lo, hi)
+}
+
+func allParts(t *DistTable) []int {
+	out := make([]int, t.Partitions)
+	for i := range out {
+		out[i] = i
+	}
 	return out
 }
 
@@ -237,11 +367,14 @@ func (c *Coordinator) executeJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, sp
 	c.obs.Counter("soe_joins_total", "service=v2dqp", "strategy="+plan.Strategy.String()).Inc()
 	switch plan.Strategy {
 	case distql.StrategyColocated:
-		rows, err := c.fanOut(span, c.ccat.NodesOf(plan.LeftTable), plan.LocalSQL)
+		// Scoped on both sides: a failover target must hold the same
+		// partition of both tables for the bucket-local join to be correct.
+		lt, _ := c.ccat.Table(plan.LeftTable)
+		rows, rep, err := c.fanOut(span, plan.LocalSQL, c.tasksFor(plan.LeftTable, allParts(lt)), plan.LeftTable, plan.RightTable)
 		if err != nil {
 			return nil, nil, err
 		}
-		return c.finish(plan, rows)
+		return c.finish(plan, rows, rep)
 	case distql.StrategyBroadcast:
 		return c.broadcastJoin(sel, plan, span)
 	case distql.StrategyRepartition:
@@ -264,8 +397,8 @@ func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, 
 	}
 	plan.BroadcastTable = small.Name
 
-	// Pull the small side.
-	smallRows, err := c.fanOut(span, c.ccat.NodesOf(small.Name), "SELECT * FROM "+small.Name)
+	// Pull the small side (partition-scoped, so it fails over too).
+	smallRows, smallRep, err := c.fanOut(span, "SELECT * FROM "+small.Name, c.tasksFor(small.Name, allParts(small)), small.Name, "")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -276,16 +409,28 @@ func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, 
 
 	qid := c.queryID.Add(1)
 	tmp := fmt.Sprintf("tmp_bc_%d", qid)
+	// Install the broadcast temp on every node that might execute a big-side
+	// task: the primary hosts plus registered replicas (failover targets).
+	// Unreachable targets are skipped — their tasks fail over or degrade.
 	bigNodes := c.ccat.NodesOf(big.Name)
+	targets := append([]string(nil), bigNodes...)
+	for p := 0; p < big.Partitions; p++ {
+		targets = unionNodes(targets, c.ccat.Replicas(big.Name, p))
+	}
 	req := CreateTempReq{Token: c.disc.Token(), Name: tmp, Cols: small.Schema.Names(), Kinds: kindsOf(small), Rows: flat}
-	for _, n := range bigNodes {
-		if resp, err := call[ExecResp](c.net, c.Name, n, MsgCreateTemp, req); err != nil {
+	for _, n := range targets {
+		resp, err := call[ExecResp](c.net, c.Name, n, MsgCreateTemp, req)
+		if err != nil {
+			if netsim.IsUnavailable(err) {
+				continue
+			}
 			return nil, nil, err
-		} else if resp.Err != "" {
+		}
+		if resp.Err != "" {
 			return nil, nil, fmt.Errorf("soe: broadcast: %s", resp.Err)
 		}
 	}
-	defer c.dropTempOn(bigNodes, tmp)
+	defer c.dropTempOn(targets, tmp)
 
 	// Rewrite the AST with the temp name and re-derive local SQL.
 	sub := cloneSelect(sel)
@@ -300,11 +445,11 @@ func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, 
 	}
 	plan.LocalSQL = subPlan.LocalSQL
 
-	rows, err := c.fanOut(span, bigNodes, plan.LocalSQL)
+	rows, bigRep, err := c.fanOut(span, plan.LocalSQL, c.tasksFor(big.Name, allParts(big)), big.Name, "")
 	if err != nil {
 		return nil, nil, err
 	}
-	return c.finish(plan, rows)
+	return c.finish(plan, rows, smallRep, bigRep)
 }
 
 // repartitionJoin shuffles both sides by join key across the participating
@@ -314,15 +459,22 @@ func (c *Coordinator) broadcastJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, 
 func (c *Coordinator) repartitionJoin(sel *sqlexec.SelectStmt, plan *distql.Plan, span *stats.Span) (*Result, *distql.Plan, error) {
 	lt, _ := c.ccat.Table(plan.LeftTable)
 	rt, _ := c.ccat.Table(plan.RightTable)
-	nodes := unionNodes(c.ccat.NodesOf(lt.Name), c.ccat.NodesOf(rt.Name))
+	// Shuffle buckets land only on reachable nodes: a crashed node would
+	// otherwise sink its bucket and fail the join outright.
+	nodes := c.aliveNodes(unionNodes(c.ccat.NodesOf(lt.Name), c.ccat.NodesOf(rt.Name)))
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("soe: repartition join: no reachable nodes")
+	}
 	qid := c.queryID.Add(1)
 	tmpL := fmt.Sprintf("tmp_rl_%d", qid)
 	tmpR := fmt.Sprintf("tmp_rr_%d", qid)
 
-	if err := c.shuffle(span, lt, plan.LeftKey, nodes, tmpL); err != nil {
+	repL, err := c.shuffle(span, lt, plan.LeftKey, nodes, tmpL)
+	if err != nil {
 		return nil, nil, err
 	}
-	if err := c.shuffle(span, rt, plan.RightKey, nodes, tmpR); err != nil {
+	repR, err := c.shuffle(span, rt, plan.RightKey, nodes, tmpR)
+	if err != nil {
 		return nil, nil, err
 	}
 	defer c.dropTempOn(nodes, tmpL)
@@ -337,25 +489,26 @@ func (c *Coordinator) repartitionJoin(sel *sqlexec.SelectStmt, plan *distql.Plan
 	}
 	plan.LocalSQL = subPlan.LocalSQL
 
-	rows, err := c.fanOut(span, nodes, plan.LocalSQL)
+	rows, rep, err := c.fanOut(span, plan.LocalSQL, unscopedTasks(nodes), "", "")
 	if err != nil {
 		return nil, nil, err
 	}
-	return c.finish(plan, rows)
+	return c.finish(plan, rows, repL, repR, rep)
 }
 
 // shuffle hashes a table's rows by the join key across the target nodes
-// into per-node temp tables.
-func (c *Coordinator) shuffle(span *stats.Span, t *DistTable, key string, nodes []string, tmp string) error {
+// into per-node temp tables. The pull is partition-scoped, so a crashed
+// source node fails over to replicas like any other read.
+func (c *Coordinator) shuffle(span *stats.Span, t *DistTable, key string, nodes []string, tmp string) (*fanReport, error) {
 	sh := span.Child("shuffle", "table="+t.Name)
 	defer sh.Finish()
 	ki := t.Schema.ColIndex(key)
 	if ki < 0 {
-		return fmt.Errorf("soe: shuffle key %q not in %s", key, t.Name)
+		return nil, fmt.Errorf("soe: shuffle key %q not in %s", key, t.Name)
 	}
-	batches, err := c.fanOut(sh, c.ccat.NodesOf(t.Name), "SELECT * FROM "+t.Name)
+	batches, rep, err := c.fanOut(sh, "SELECT * FROM "+t.Name, c.tasksFor(t.Name, allParts(t)), t.Name, "")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	buckets := make([][]value.Row, len(nodes))
 	for _, batch := range batches {
@@ -369,61 +522,288 @@ func (c *Coordinator) shuffle(span *stats.Span, t *DistTable, key string, nodes 
 		req := CreateTempReq{Token: c.disc.Token(), Name: tmp, Cols: t.Schema.Names(), Kinds: kinds, Rows: buckets[i]}
 		resp, err := call[ExecResp](c.net, c.Name, n, MsgCreateTemp, req)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if resp.Err != "" {
-			return fmt.Errorf("soe: shuffle: %s", resp.Err)
+			return nil, fmt.Errorf("soe: shuffle: %s", resp.Err)
 		}
 	}
-	return nil
+	return rep, nil
 }
 
-// fanOut runs SQL on every node in parallel and returns the per-node row
-// batches. An empty node list is a valid (pruned-to-nothing) fan-out.
-// Each node gets a "task" child span under the caller's span — the DAG of
-// Figure 3 made visible in the trace tree.
-func (c *Coordinator) fanOut(span *stats.Span, nodes []string, sql string) ([][]value.Row, error) {
+// fanTask is one unit of fan-out work: a target node and, for
+// partition-scoped tasks, the exact partitions it must scan there. Scoped
+// tasks can fail over partition-by-partition to replica nodes; unscoped
+// tasks (temp relations local to a node) cannot.
+type fanTask struct {
+	node  string
+	parts []int
+}
+
+// tasksFor groups a table's partitions by hosting node into scoped tasks.
+func (c *Coordinator) tasksFor(table string, parts []int) []fanTask {
+	t, ok := c.ccat.Table(table)
+	if !ok {
+		return nil
+	}
+	byNode := map[string][]int{}
+	for _, p := range parts {
+		n := t.NodeOf[p]
+		byNode[n] = append(byNode[n], p)
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	out := make([]fanTask, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, fanTask{node: n, parts: byNode[n]})
+	}
+	return out
+}
+
+func unscopedTasks(nodes []string) []fanTask {
+	out := make([]fanTask, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, fanTask{node: n})
+	}
+	return out
+}
+
+// fanReport accounts one fan-out's coverage for partial-result labelling:
+// covered/total is the fraction of required work that contributed rows.
+type fanReport struct {
+	covered, total int
+	lost           []string
+}
+
+func (r *fanReport) fraction() float64 {
+	if r == nil || r.total == 0 {
+		return 1
+	}
+	return float64(r.covered) / float64(r.total)
+}
+
+// fanOut runs SQL on every task in parallel and returns the row batches
+// plus a coverage report. An empty task list is a valid (pruned-to-nothing)
+// fan-out. Each attempt gets a "task" child span under the caller's span —
+// the DAG of Figure 3 made visible in the trace tree.
+//
+// Fault tolerance, in order: each target is retried per RetryPolicy
+// (timeouts, crashes, partitions — never SQL errors); a scoped task that
+// still fails is re-grouped partition-by-partition onto live replica nodes
+// from the catalog; coverage that cannot be served anywhere either fails
+// the query (default) or, with PartialResults, is dropped and reported in
+// the completeness fraction.
+func (c *Coordinator) fanOut(span *stats.Span, sql string, tasks []fanTask, table, table2 string) ([][]value.Row, *fanReport, error) {
 	t0 := time.Now()
-	out := make([][]value.Row, len(nodes))
-	errs := make([]error, len(nodes))
+	out := make([][]value.Row, len(tasks))
+	reps := make([]fanReport, len(tasks))
+	fatals := make([]error, len(tasks))
 	var scanned, morsels atomic.Int64
 	var wg sync.WaitGroup
-	for i, n := range nodes {
+	for i, tk := range tasks {
 		wg.Add(1)
-		go func(i int, n string) {
+		go func(i int, tk fanTask) {
 			defer wg.Done()
-			task := span.Child("task", "node="+n)
-			defer task.Finish()
-			resp, err := call[ExecResp](c.net, c.Name, n, MsgExec, ExecReq{Token: c.disc.Token(), SQL: sql})
-			if err != nil {
-				errs[i] = err
+			rep := &reps[i]
+			rep.total = 1
+			if tk.parts != nil {
+				rep.total = len(tk.parts)
+			}
+			resp, err := c.execTarget(span, sql, tk.node, table, table2, tk.parts)
+			if err == nil {
+				out[i] = resp.Rows
+				scanned.Add(int64(resp.RowsScanned))
+				morsels.Add(int64(resp.Morsels))
+				rep.covered = rep.total
 				return
 			}
-			if resp.Err != "" {
-				errs[i] = fmt.Errorf("soe: %s: %s", n, resp.Err)
+			var se *sqlError
+			if errors.As(err, &se) {
+				fatals[i] = err
 				return
 			}
-			scanned.Add(int64(resp.RowsScanned))
-			morsels.Add(int64(resp.Morsels))
-			out[i] = resp.Rows
-		}(i, n)
+			if tk.parts == nil {
+				rep.lost = []string{fmt.Sprintf("%s (%v)", tk.node, err)}
+				return
+			}
+			rows, covered, lost := c.failover(span, sql, table, table2, tk.parts, tk.node, err, &scanned, &morsels)
+			out[i] = rows
+			rep.covered = covered
+			rep.lost = lost
+		}(i, tk)
 	}
 	wg.Wait()
-	c.obs.Histogram("soe_fanout_ms", "service=v2dqp").ObserveSince(t0)
-	// Cluster-wide cost of this fan-out: rows the member scans examined
-	// and morsels their vectorized executors dispatched.
-	c.obs.Counter("soe_fanout_rows_scanned_total", "service=v2dqp").Add(scanned.Load())
-	c.obs.Counter("soe_fanout_morsels_total", "service=v2dqp").Add(morsels.Load())
-	for _, e := range errs {
+
+	rep := &fanReport{}
+	for i := range reps {
+		rep.covered += reps[i].covered
+		rep.total += reps[i].total
+		rep.lost = append(rep.lost, reps[i].lost...)
+	}
+	var err error
+	for _, e := range fatals {
 		if e != nil {
-			return nil, e
+			err = e
+			break
 		}
 	}
-	return out, nil
+	if err == nil && rep.covered < rep.total && !c.PartialResults {
+		err = fmt.Errorf("soe: fan-out lost coverage: %v", rep.lost)
+	}
+	// Outcome-labelled observability: failed fan-outs must not pollute the
+	// success latency histogram or the scan-cost counters.
+	outcome := "result=ok"
+	if err != nil {
+		outcome = "result=error"
+	}
+	c.obs.Histogram("soe_fanout_ms", "service=v2dqp", outcome).ObserveSince(t0)
+	c.obs.Counter("soe_fanout_rows_scanned_total", "service=v2dqp", outcome).Add(scanned.Load())
+	c.obs.Counter("soe_fanout_morsels_total", "service=v2dqp", outcome).Add(morsels.Load())
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
 }
 
-// finish merges partials and applies ORDER BY / LIMIT.
-func (c *Coordinator) finish(plan *distql.Plan, batches [][]value.Row) (*Result, *distql.Plan, error) {
+// execTarget is the per-target retry loop: bounded attempts with
+// exponential backoff and jitter, a deadline per attempt. SQL-level
+// failures surface immediately as *sqlError (retrying cannot help).
+func (c *Coordinator) execTarget(span *stats.Span, sql, node, table, table2 string, parts []int) (ExecResp, error) {
+	pol := c.retry()
+	req := ExecReq{Token: c.disc.Token(), SQL: sql, Parts: parts}
+	if parts != nil {
+		req.Table, req.Table2 = table, table2
+	}
+	var lastErr error
+	for a := 0; a < pol.MaxAttempts; a++ {
+		if a > 0 {
+			c.obs.Counter("soe_task_retries_total", "service=v2dqp").Inc()
+			pol.backoff(a - 1)
+		}
+		task := span.Child("task", "node="+node, fmt.Sprintf("attempt=%d", a+1))
+		resp, err := callWithTimeout[ExecResp](c.net, c.Name, node, MsgExec, req, pol.TaskTimeout)
+		task.Finish()
+		if err == nil {
+			if resp.Err != "" {
+				return ExecResp{}, &sqlError{node: node, msg: resp.Err}
+			}
+			return resp, nil
+		}
+		if !retryable(err) {
+			return ExecResp{}, err
+		}
+		lastErr = err
+	}
+	return ExecResp{}, lastErr
+}
+
+// failover re-groups a failed task's partitions onto live replica nodes.
+// For co-located joins a target must replicate the partition of both
+// tables. Replicas are asked to catch up to the coordinator's freshness
+// bound before serving. Partitions with no live replica — and SQL errors
+// on replicas, e.g. a temp relation a crashed install never reached — are
+// reported as lost, not fatal: degraded coverage is the caller's decision.
+func (c *Coordinator) failover(span *stats.Span, sql, table, table2 string, parts []int, failed string, cause error, scanned, morsels *atomic.Int64) (rows []value.Row, covered int, lost []string) {
+	group := map[string][]int{}
+	for _, p := range parts {
+		cands := c.ccat.Replicas(table, p)
+		if table2 != "" {
+			cands = intersect(cands, c.ccat.Replicas(table2, p))
+		}
+		target := ""
+		for _, cand := range cands {
+			if c.net.Alive(cand) {
+				target = cand
+				break
+			}
+		}
+		if target == "" {
+			lost = append(lost, fmt.Sprintf("%s p%d on %s (%v; no live replica)", table, p, failed, cause))
+			continue
+		}
+		group[target] = append(group[target], p)
+	}
+	targets := make([]string, 0, len(group))
+	for n := range group {
+		targets = append(targets, n)
+	}
+	sort.Strings(targets)
+	for _, rn := range targets {
+		ps := group[rn]
+		c.catchUp(span, rn, table, ps)
+		resp, err := c.execTarget(span, sql, rn, table, table2, ps)
+		if err != nil {
+			for _, p := range ps {
+				lost = append(lost, fmt.Sprintf("%s p%d replica %s (%v)", table, p, rn, err))
+			}
+			continue
+		}
+		rows = append(rows, resp.Rows...)
+		scanned.Add(int64(resp.RowsScanned))
+		morsels.Add(int64(resp.Morsels))
+		covered += len(ps)
+		c.obs.Counter("soe_failovers_total", "service=v2dqp").Inc()
+	}
+	return rows, covered, lost
+}
+
+// catchUp asks a replica to reach this coordinator's last observed commit
+// timestamp before serving a failed-over read — the freshness bound of
+// degraded OLAP operation. Best-effort: if the replica cannot catch up
+// (broker unreachable, peers gone) the read proceeds on what it has; the
+// completeness label, not silent staleness, is the contract under failure.
+func (c *Coordinator) catchUp(span *stats.Span, node, table string, parts []int) {
+	minTS := c.lastCommitTS.Load()
+	if minTS == 0 {
+		return
+	}
+	peers := map[int]string{}
+	if t, ok := c.ccat.Table(table); ok {
+		for _, p := range parts {
+			if prim := t.NodeOf[p]; c.net.Alive(prim) {
+				peers[p] = prim
+			}
+		}
+	}
+	cu := span.Child("catch_up", "node="+node)
+	defer cu.Finish()
+	callWithTimeout[CatchUpResp](c.net, c.Name, node, MsgCatchUp,
+		CatchUpReq{Token: c.disc.Token(), Table: table, MinTS: minTS, Peers: peers}, c.retry().TaskTimeout)
+}
+
+// aliveNodes filters a node list down to reachable members.
+func (c *Coordinator) aliveNodes(nodes []string) []string {
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if c.net.Alive(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func intersect(a, b []string) []string {
+	in := map[string]bool{}
+	for _, s := range b {
+		in[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if in[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// finish merges partials, applies ORDER BY / LIMIT, and folds the
+// fan-out coverage reports into the result's completeness label (the
+// product of per-stage fractions: losing coverage in any stage of a
+// multi-stage plan makes the whole answer partial).
+func (c *Coordinator) finish(plan *distql.Plan, batches [][]value.Row, reports ...*fanReport) (*Result, *distql.Plan, error) {
 	rows := plan.MergePartials(batches)
 	if len(plan.OrderBy) > 0 {
 		idx := map[string]int{}
@@ -462,7 +842,19 @@ func (c *Coordinator) finish(plan *distql.Plan, batches [][]value.Row) (*Result,
 	if plan.Limit >= 0 && plan.Limit < len(rows) {
 		rows = rows[:plan.Limit]
 	}
-	return &Result{Cols: plan.OutCols, Rows: rows}, plan, nil
+	res := &Result{Cols: plan.OutCols, Rows: rows, Completeness: 1}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		res.Completeness *= r.fraction()
+		res.Lost = append(res.Lost, r.lost...)
+	}
+	if res.Completeness < 1 {
+		res.Partial = true
+		c.obs.Counter("soe_degraded_queries_total", "service=v2dqp").Inc()
+	}
+	return res, plan, nil
 }
 
 func (c *Coordinator) dropTempOn(nodes []string, tmp string) {

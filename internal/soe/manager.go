@@ -184,7 +184,13 @@ func (m *Manager) MovePartition(table string, part int, from, to string) error {
 		return err
 	}
 	if err := dst.AcceptPartition(t, part, rows); err != nil {
-		return err
+		// The destination refused (e.g. it already holds this partition as
+		// a replica). The rows are only in our hands now — restore them to
+		// the source so the move fails cleanly instead of dropping data.
+		if rerr := src.AcceptPartition(t, part, rows); rerr != nil {
+			return fmt.Errorf("soe: move %s p%d: accept on %s failed (%v) and restore to %s failed (%v) — rows lost", table, part, to, err, from, rerr)
+		}
+		return fmt.Errorf("soe: move %s p%d to %s failed (rows restored to %s): %w", table, part, to, from, err)
 	}
 	return m.ccat.Move(table, part, to)
 }

@@ -404,19 +404,54 @@ func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, erro
 			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: "unauthorized"})}, nil
 		}
 		t0 := time.Now()
-		res, err := n.eng.Query(r.SQL)
-		if err != nil {
-			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: err.Error()})}, nil
+		var resp ExecResp
+		if r.Table != "" && len(r.Parts) > 0 {
+			resp = n.execScoped(r)
+		} else {
+			res, err := n.eng.Query(r.SQL)
+			if err != nil {
+				resp = ExecResp{Err: err.Error()}
+			} else {
+				resp = ExecResp{
+					Cols: res.Cols, Rows: res.Rows,
+					RowsScanned: res.Stats.RowsScanned, Morsels: res.Stats.Morsels,
+				}
+			}
+		}
+		if resp.Err != "" {
+			return netsim.Message{Kind: MsgExec, Payload: encode(resp)}, nil
 		}
 		n.queries.Add(1)
-		n.rowsScanned.Add(int64(res.Stats.RowsScanned))
+		n.rowsScanned.Add(int64(resp.RowsScanned))
 		n.cQueries.Inc()
-		n.cRowsScan.Add(int64(res.Stats.RowsScanned))
+		n.cRowsScan.Add(int64(resp.RowsScanned))
 		n.hExec.ObserveSince(t0)
-		return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{
-			Cols: res.Cols, Rows: res.Rows,
-			RowsScanned: res.Stats.RowsScanned, Morsels: res.Stats.Morsels,
-		})}, nil
+		return netsim.Message{Kind: MsgExec, Payload: encode(resp)}, nil
+
+	case MsgCatchUp:
+		r, err := decode[CatchUpReq](req)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		if !n.disc.Validate(r.Token) {
+			return netsim.Message{Kind: MsgCatchUp, Payload: encode(CatchUpResp{Err: "unauthorized"})}, nil
+		}
+		// Drain the log toward the bound; stop when stuck (broker down, or
+		// the bound is a timestamp the log has not surfaced yet).
+		for n.AppliedTS() < r.MinTS {
+			applied, err := n.PollOnce(4096)
+			if err != nil || applied == 0 {
+				break
+			}
+		}
+		// Snapshot fallback: fetch the partitions wholesale from live peers
+		// instead of replaying a log suffix the broker cannot serve.
+		if n.AppliedTS() < r.MinTS {
+			for part, peer := range r.Peers {
+				n.CatchUpSnapshot(peer, r.Table, part)
+			}
+		}
+		return netsim.Message{Kind: MsgCatchUp, Payload: encode(CatchUpResp{AppliedTS: n.AppliedTS()})}, nil
 
 	case MsgCreateTemp:
 		r, err := decode[CreateTempReq](req)
@@ -489,6 +524,63 @@ func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, erro
 		return netsim.Message{Kind: MsgStatsPull, Payload: encode(StatsResp{Snapshot: n.obs.Snapshot()})}, nil
 	}
 	return netsim.Message{}, fmt.Errorf("soe: %s: unknown message %q", n.Name, req.Kind)
+}
+
+// execScoped runs SQL once per listed partition, substituting the physical
+// partition relations for the logical table names, and concatenates the
+// results. This is the coordinator's partition-addressed execution mode: a
+// node hosting primaries and replicas of the same table scans exactly the
+// partitions the task names, never double-counting. Concatenating
+// per-partition partial-aggregate rows is safe because the coordinator's
+// merge combines partials by group key across all batches.
+func (n *DataNode) execScoped(r ExecReq) ExecResp {
+	st, err := sqlexec.Parse(r.SQL)
+	if err != nil {
+		return ExecResp{Err: err.Error()}
+	}
+	sel, ok := st.(*sqlexec.SelectStmt)
+	if !ok {
+		return ExecResp{Err: "soe: partition-scoped exec supports SELECT only"}
+	}
+	var out ExecResp
+	for _, p := range r.Parts {
+		n.mu.Lock()
+		_, hosted := n.hosted[r.Table][p]
+		if hosted && r.Table2 != "" {
+			_, hosted = n.hosted[r.Table2][p]
+		}
+		n.mu.Unlock()
+		if !hosted {
+			return ExecResp{Err: fmt.Sprintf("soe: %s does not host partition %d", n.Name, p)}
+		}
+		cp := *sel
+		cp.Joins = append([]sqlexec.JoinClause(nil), sel.Joins...)
+		scopeRef(&cp.From, r.Table, r.Table2, p)
+		for j := range cp.Joins {
+			scopeRef(&cp.Joins[j].Table, r.Table, r.Table2, p)
+		}
+		res, err := n.eng.Query(sqlexec.Deparse(&cp))
+		if err != nil {
+			return ExecResp{Err: err.Error()}
+		}
+		out.Cols = res.Cols
+		out.Rows = append(out.Rows, res.Rows...)
+		out.RowsScanned += res.Stats.RowsScanned
+		out.Morsels += res.Stats.Morsels
+	}
+	return out
+}
+
+// scopeRef rewrites a table reference onto one physical partition,
+// preserving how the rest of the query names its columns via an alias.
+func scopeRef(ref *sqlexec.TableRef, table, table2 string, p int) {
+	if ref.Name != table && (table2 == "" || ref.Name != table2) {
+		return
+	}
+	if ref.Alias == "" {
+		ref.Alias = ref.Name
+	}
+	ref.Name = partTableName(ref.Name, p)
 }
 
 func (n *DataNode) createTemp(r CreateTempReq) error {

@@ -20,7 +20,9 @@ package soe
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/stats"
@@ -37,12 +39,21 @@ const (
 	MsgStatus     = "status"
 	MsgSnapshot   = "snapshot"   // fetch a partition snapshot from a peer
 	MsgStatsPull  = "stats_pull" // fetch a metrics-registry snapshot (v2stats)
+	MsgCatchUp    = "catch_up"   // ask a replica to reach a freshness bound
 )
 
-// ExecReq asks a query service to run local SQL.
+// ExecReq asks a query service to run local SQL. When Parts is set the
+// request is partition-scoped: the node runs the SQL once per listed
+// partition of Table (and Table2 for co-located joins), substituting the
+// physical partition relations — the addressing mode the coordinator uses
+// so a node hosting both primaries and replicas only scans the partitions
+// a task names.
 type ExecReq struct {
-	Token string
-	SQL   string
+	Token  string
+	SQL    string
+	Table  string // logical table the scoping applies to
+	Table2 string // co-located join partner, scoped in lockstep
+	Parts  []int  // partitions of Table (and Table2) to scan
 }
 
 // ExecResp carries a result set plus the executing node's scan accounting,
@@ -54,7 +65,10 @@ type ExecResp struct {
 	Rows        []value.Row
 	RowsScanned int
 	Morsels     int
-	Err         string
+	// Completeness is set by the coordinator's client-facing endpoint:
+	// the fraction of required coverage behind the rows (1.0 = complete).
+	Completeness float64
+	Err          string
 }
 
 // CreateTempReq installs a materialized temp relation on a node.
@@ -67,9 +81,14 @@ type CreateTempReq struct {
 	Append bool // append to existing temp (shuffle receivers)
 }
 
-// CommitReq is one transaction's write set sent to the broker.
+// CommitReq is one transaction's write set sent to the broker. TxnID, when
+// non-empty, is an idempotency token: the broker remembers completed
+// transactions by it, so a client retrying after a timeout (the simulated
+// network cannot cancel an in-flight call) never applies the same write
+// set twice.
 type CommitReq struct {
 	Token  string
+	TxnID  string
 	Writes []LogWrite
 }
 
@@ -137,6 +156,23 @@ type SnapshotResp struct {
 	Err       string
 }
 
+// CatchUpReq asks a replica-holding node to reach a freshness bound before
+// serving a failover read: drain the log until MinTS is applied, falling
+// back to snapshot fetches from the listed peers (partition → node) when
+// polling makes no progress.
+type CatchUpReq struct {
+	Token string
+	Table string
+	MinTS uint64
+	Peers map[int]string
+}
+
+// CatchUpResp reports the freshness the node reached.
+type CatchUpResp struct {
+	AppliedTS uint64
+	Err       string
+}
+
 // StatsReq asks an endpoint for its metrics-registry snapshot (v2stats).
 type StatsReq struct {
 	Token string
@@ -184,4 +220,33 @@ func call[T any](net *netsim.Network, from, to, kind string, req any) (T, error)
 		return zero, err
 	}
 	return decode[T](resp)
+}
+
+// errTaskTimeout marks a call abandoned by its per-attempt deadline.
+var errTaskTimeout = errors.New("soe: task timed out")
+
+// callWithTimeout is call with a per-attempt deadline. The simulated
+// network has no cancellation: a timed-out call may still complete on the
+// server, which is why retried requests must be idempotent (commit TxnIDs,
+// read-only execs). d <= 0 disables the deadline.
+func callWithTimeout[T any](net *netsim.Network, from, to, kind string, req any, d time.Duration) (T, error) {
+	if d <= 0 {
+		return call[T](net, from, to, kind, req)
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := call[T](net, from, to, kind, req)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-time.After(d):
+		var zero T
+		return zero, fmt.Errorf("%w: %s->%s %s after %v", errTaskTimeout, from, to, kind, d)
+	}
 }
