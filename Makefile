@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The EXPERIMENTS.md shape assertions (E1..E19 tables must reproduce).
+# The EXPERIMENTS.md shape assertions (E1..E20 tables must reproduce).
 experiments:
 	$(GO) test -run Experiment ./...
 
@@ -35,10 +35,13 @@ parity:
 chaos:
 	$(GO) test -race -run 'TestFT' ./internal/soe/ ./internal/sharedlog/
 
-# Quick pass over the vectorized scan/aggregation micro-benchmarks; the
-# committed baseline lives in BENCH_vectorized_baseline.json.
+# Quick pass over the vectorized scan/aggregation micro-benchmarks, gated
+# by cmd/benchguard against the committed BENCH_vectorized_baseline.json:
+# any ns/op regression beyond 25% fails the target. benchguard also fails
+# if a baseline benchmark is missing from the output, so a crashed bench
+# run cannot slip through the pipe as a pass.
 benchsmoke:
-	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg' -benchtime=100x .
+	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg' -benchtime=100x . | $(GO) run ./cmd/benchguard
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -65,10 +65,14 @@ func BenchmarkE17_MetricsReport(b *testing.B) { benchExperiment(b, experiments.E
 func BenchmarkE18_VectorizedMorsels(b *testing.B) {
 	benchExperiment(b, experiments.E18VectorizedMorsels)
 }
-func BenchmarkF1_Tiering(b *testing.B)        { benchExperiment(b, experiments.F1Tiering) }
-func BenchmarkF2_CrossEngine(b *testing.B)    { benchExperiment(b, experiments.F2CrossEngine) }
-func BenchmarkF3_SOECluster(b *testing.B)     { benchExperiment(b, experiments.F3SOECluster) }
-func BenchmarkF4_Ecosystem(b *testing.B)      { benchExperiment(b, experiments.F4Ecosystem) }
+func BenchmarkE19_ChaosFailover(b *testing.B) { benchExperiment(b, experiments.E19ChaosFailover) }
+func BenchmarkE20_ProfileOverhead(b *testing.B) {
+	benchExperiment(b, experiments.E20ProfileOverhead)
+}
+func BenchmarkF1_Tiering(b *testing.B)     { benchExperiment(b, experiments.F1Tiering) }
+func BenchmarkF2_CrossEngine(b *testing.B) { benchExperiment(b, experiments.F2CrossEngine) }
+func BenchmarkF3_SOECluster(b *testing.B)  { benchExperiment(b, experiments.F3SOECluster) }
+func BenchmarkF4_Ecosystem(b *testing.B)   { benchExperiment(b, experiments.F4Ecosystem) }
 
 // --- ablation micro-benchmarks (DESIGN.md §4) ----------------------------
 
@@ -148,7 +152,7 @@ func benchScanMode(b *testing.B, mode sqlexec.Mode) {
 	}
 }
 
-func BenchmarkScanVectorized(b *testing.B)  { benchScanMode(b, sqlexec.ModeVectorized) }
+func BenchmarkScanVectorized(b *testing.B) { benchScanMode(b, sqlexec.ModeVectorized) }
 func BenchmarkScanRowAtATime(b *testing.B) { benchScanMode(b, sqlexec.ModeInterpreted) }
 
 // vecAggEng is a range-partitioned table whose partitions all carry a

@@ -1,0 +1,109 @@
+// benchguard gates `make benchsmoke` against the committed baseline: it
+// parses `go test -bench` output (stdin or a file argument), compares each
+// benchmark's ns/op to BENCH_vectorized_baseline.json, and exits non-zero
+// if any regresses beyond the tolerance — or if a baseline benchmark is
+// missing from the run, so a crashed bench pass cannot read as a pass.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'BenchmarkScan...' . | go run ./cmd/benchguard
+//	go run ./cmd/benchguard [-baseline file.json] [-tolerance 25] [out.txt]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	Suite   string `json:"suite"`
+	Results []struct {
+		Name    string `json:"name"`
+		NsPerOp int64  `json:"ns_per_op"`
+	} `json:"results"`
+}
+
+// benchLine matches one result row of `go test -bench` output, e.g.
+// "BenchmarkScanVectorized-4   100   7797842 ns/op   1220117 B/op ...".
+// The -N suffix is GOMAXPROCS and is stripped for baseline matching.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+func main() {
+	baseFile := flag.String("baseline", "BENCH_vectorized_baseline.json", "baseline JSON (ns_per_op per benchmark)")
+	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression over baseline, percent")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baseFile)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baseFile, err))
+	}
+	want := map[string]int64{}
+	for _, r := range base.Results {
+		want[r.Name] = r.NsPerOp
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	// Tee the bench output through so the run stays visible in CI logs,
+	// collecting measured ns/op along the way.
+	got := map[string]float64{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			ns, _ := strconv.ParseFloat(m[2], 64)
+			got[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	fmt.Printf("\nbenchguard: vs %s (tolerance %.0f%%)\n", *baseFile, *tolerance)
+	for _, r := range base.Results {
+		ns, ok := got[r.Name]
+		if !ok {
+			fmt.Printf("  FAIL %-28s missing from bench output (did the run crash?)\n", r.Name)
+			failed = true
+			continue
+		}
+		delta := (ns - float64(r.NsPerOp)) / float64(r.NsPerOp) * 100
+		verdict := "ok  "
+		if delta > *tolerance {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %s %-28s %12.0f ns/op  baseline %12d  %+6.1f%%\n", verdict, r.Name, ns, r.NsPerOp, delta)
+	}
+	if failed {
+		fmt.Println("benchguard: regression beyond tolerance — see FAIL rows above")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: within tolerance")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -1,5 +1,5 @@
 // benchrunner regenerates the reproduction experiments of DESIGN.md §3 —
-// E1..E19 for the paper's quantitative claims and F1..F4 for its
+// E1..E20 for the paper's quantitative claims and F1..F4 for its
 // architecture figures — and prints the tables EXPERIMENTS.md records.
 //
 // Usage:
@@ -7,6 +7,7 @@
 //	go run ./cmd/benchrunner                    # everything, small scale
 //	go run ./cmd/benchrunner -scale full        # EXPERIMENTS.md scale
 //	go run ./cmd/benchrunner -experiment E4,E8  # a subset
+//	go run ./cmd/benchrunner -profile           # EXPLAIN ANALYZE demo
 package main
 
 import (
@@ -17,18 +18,28 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sqlexec"
 	"repro/internal/stats"
+	"repro/internal/value"
 )
 
 func main() {
 	which := flag.String("experiment", "", "comma-separated experiment ids (default: all)")
 	scaleFlag := flag.String("scale", "small", "small or full")
 	showStats := flag.Bool("stats", false, "print the process metrics delta after each experiment")
+	profile := flag.Bool("profile", false, "run a reference join+aggregate under EXPLAIN ANALYZE on all three executors and print the operator profiles")
 	flag.Parse()
 
 	scale := experiments.Small
 	if *scaleFlag == "full" {
 		scale = experiments.Full
+	}
+	if *profile {
+		if err := runProfile(scale); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	start := time.Now()
@@ -40,7 +51,7 @@ func main() {
 		for _, id := range strings.Split(*which, ",") {
 			f, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E19, F1..F4)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E20, F1..F4)\n", id)
 				os.Exit(1)
 			}
 			before := stats.Default.Snapshot()
@@ -69,6 +80,51 @@ func printDelta(before stats.Snapshot) {
 	}
 	fmt.Println("process metrics delta:")
 	fmt.Print(indent(out))
+}
+
+// runProfile is the benchrunner face of EXPLAIN ANALYZE: one reference
+// join+aggregate over generated data, profiled on each executor, so the
+// per-operator breakdowns can be compared side by side.
+func runProfile(scale experiments.Scale) error {
+	e := sqlexec.NewEngine()
+	if _, err := e.Query(`CREATE TABLE fact (id INT, dim_id INT, grp VARCHAR, v DOUBLE)`); err != nil {
+		return err
+	}
+	if _, err := e.Query(`CREATE TABLE dim (id INT, name VARCHAR)`); err != nil {
+		return err
+	}
+	n := scale.Rows
+	if n <= 0 {
+		n = 100_000
+	}
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.Int(int64(i)), value.Int(int64(i % 500)),
+			value.String(fmt.Sprintf("g%d", i%8)), value.Float(float64(i % 1000)),
+		}
+	}
+	e.Cat.MustTable("fact").Primary().ApplyInsert(rows, 1)
+	e.Cat.MustTable("fact").Primary().Merge(2)
+	drows := make([]value.Row, 500)
+	for i := range drows {
+		drows[i] = value.Row{value.Int(int64(i)), value.String(fmt.Sprintf("n%03d", i))}
+	}
+	e.Cat.MustTable("dim").Primary().ApplyInsert(drows, 1)
+	e.Cat.MustTable("dim").Primary().Merge(2)
+	e.Mgr.AdvanceTo(2)
+
+	const q = `SELECT name, COUNT(*), SUM(v) FROM fact JOIN dim ON fact.dim_id = dim.id WHERE fact.v < 800 GROUP BY name`
+	fmt.Printf("profiling %q over %d fact rows\n\n", q, n)
+	for _, mode := range []sqlexec.Mode{sqlexec.ModeInterpreted, sqlexec.ModeCompiled, sqlexec.ModeVectorized} {
+		e.Mode = mode
+		_, prof, err := e.AnalyzeSQL(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(prof.Render())
+	}
+	return nil
 }
 
 func indent(s string) string {

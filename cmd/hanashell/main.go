@@ -1,7 +1,7 @@
 // hanashell is an interactive SQL shell against an embedded ecosystem:
 // one entry point for the relational core and every domain engine's SQL
 // surface. Statements come from stdin or -e; \commands cover the admin
-// experience (status, merge, explain).
+// experience (status, merge, explain, analyze, slow-query log).
 //
 // Usage:
 //
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sqlexec"
@@ -26,6 +27,7 @@ func main() {
 	oneShot := flag.String("e", "", "execute one statement and exit")
 	dataDir := flag.String("data", "", "durable data directory (default: in-memory)")
 	hdfsNodes := flag.Int("hdfs", 0, "attach a simulated HDFS tier with n datanodes")
+	slow := flag.Duration("slow", 0, "retain EXPLAIN ANALYZE profiles of statements slower than this (see \\slow)")
 	flag.Parse()
 
 	eco, err := core.New(core.Config{DurableDir: *dataDir, HDFSDataNodes: *hdfsNodes})
@@ -34,6 +36,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer eco.Close()
+	eco.Engine.SlowThreshold = *slow
 	sess := eco.Engine.NewSession()
 	defer sess.Close()
 
@@ -95,6 +98,10 @@ func command(eco *core.Ecosystem, cmd string) bool {
 		fmt.Println(`  \status          admin snapshot (tables, tiers, commits)
   \stats           v2stats metrics snapshot (parse/plan/exec timings, ...)
   \traces          recent statement traces (span trees)
+  \analyze <sql>   EXPLAIN ANALYZE: run the SELECT and print its operator
+                   profile (wall time, rows, kernels, occupancy)
+  \slow            slow-query log (statements over the -slow threshold,
+                   newest first, with their profiles)
   \merge           delta-merge every table
   \tables          list tables
   \objects         list business objects in the repository
@@ -131,6 +138,29 @@ func command(eco *core.Ecosystem, cmd string) bool {
 		for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
 			fmt.Println("  " + line)
 		}
+	case strings.HasPrefix(cmd, "\\analyze"):
+		sql := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(cmd, "\\analyze")), ";")
+		if sql == "" {
+			fmt.Println("  usage: \\analyze SELECT ...")
+			break
+		}
+		_, prof, err := eco.Engine.AnalyzeSQL(sql)
+		if err != nil {
+			fmt.Println("  error:", err)
+			break
+		}
+		printIndented(prof.Render())
+	case cmd == "\\slow":
+		queries := eco.Engine.SlowQueries()
+		if len(queries) == 0 {
+			fmt.Printf("  slow log empty (%d slow statements ever; start with -slow to set a threshold)\n",
+				eco.Engine.SlowQueryCount())
+			break
+		}
+		for _, q := range queries {
+			fmt.Printf("  %v  %s\n", q.Total.Round(time.Microsecond), q.SQL)
+			printIndented(q.Profile.Render())
+		}
 	case cmd == "\\merge":
 		eco.MergeAll()
 		fmt.Println("  merged")
@@ -146,4 +176,10 @@ func command(eco *core.Ecosystem, cmd string) bool {
 		fmt.Println("  unknown command; try \\help")
 	}
 	return true
+}
+
+func printIndented(out string) {
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		fmt.Println("  " + line)
+	}
 }

@@ -3,9 +3,11 @@
 // and discovery. It loads a synthetic order workload, runs distributed
 // queries under each join strategy, demonstrates OLAP staleness, kills a
 // node and fails its partitions over to their replicas (then a second
-// node to show labelled partial results), and prints the cluster state.
-// With -http it also serves the v2stats landscape on /metrics and
-// /traces and keeps running until interrupted.
+// node to show labelled partial results), and prints the cluster state
+// plus the failover's distributed trace. With -http it also serves the
+// v2stats landscape until interrupted: Prometheus text exposition on
+// /metrics (JSON on /metrics.json) and stitched trace trees on /traces
+// (one trace via /traces?trace=<id>).
 //
 // Usage: go run ./cmd/soed [-nodes 4] [-rows 20000] [-mode oltp|olap]
 //
@@ -132,6 +134,17 @@ func main() {
 		must0(err)
 		fmt.Printf("orders answered via replica failover: %s rows (completeness %.2f)\n", r.Rows[0][0].AsString(), r.Completeness)
 
+		// The failover, as one distributed trace: coordinator query, task
+		// retries, replica catch-up, and the remote exec spans the nodes
+		// recorded — stitched by the SpanContext on the message envelopes.
+		for _, root := range cluster.Tracer.Recent(16) {
+			if root.Name == "query" {
+				fmt.Println("failover trace:")
+				fmt.Print(cluster.Tracer.RenderTrace(root.TraceID))
+				break
+			}
+		}
+
 		if *nodes >= 3 {
 			// Losing a primary and its replica exceeds the replication
 			// factor: degraded mode answers from the survivors and labels
@@ -174,7 +187,7 @@ func main() {
 	}
 
 	if *httpAddr != "" {
-		fmt.Printf("\nserving /metrics and /traces on %s\n", *httpAddr)
+		fmt.Printf("\nserving /metrics (Prometheus), /metrics.json and /traces on %s\n", *httpAddr)
 		must0(http.ListenAndServe(*httpAddr, stats.NewHandler(cluster.CollectStats, cluster.Tracer)))
 	}
 }

@@ -213,3 +213,24 @@ func TestE19ShapeNoBareErrors(t *testing.T) {
 		t.Fatalf("commits lost after unit seal: %q", notes)
 	}
 }
+
+func TestE20ShapeProfileOverhead(t *testing.T) {
+	tab := E20ProfileOverhead(tiny)
+	if len(tab.Rows) != 2 || tab.Rows[0][0] != "vectorized" {
+		t.Fatalf("unexpected table shape: %v", tab.Rows)
+	}
+	// The profiled run must actually have instrumented a plan tree.
+	if atoi(t, cell(tab, 1, 3)) == 0 {
+		t.Fatalf("no operators timed: %v", tab.Rows[1])
+	}
+	// The acceptance bound: profiling must cost under 10% of wall time.
+	// E20 measures best-of-N over >=120k rows precisely so this holds even
+	// at tiny scale, where single-run timings would be too noisy.
+	var overhead float64
+	if _, err := fmt.Sscanf(cell(tab, 1, 2), "%f%%", &overhead); err != nil {
+		t.Fatalf("unparseable overhead %q: %v", cell(tab, 1, 2), err)
+	}
+	if overhead >= 10 {
+		t.Fatalf("profiling overhead %.1f%% >= 10%%:\n%s", overhead, tab.String())
+	}
+}

@@ -17,14 +17,25 @@ import (
 	"repro/internal/stats"
 )
 
-// Message is one request or response payload.
+// Message is one request or response payload. Trace is the caller's
+// span context riding the envelope (W3C traceparent style): handlers
+// that keep tracers parent their own spans under it, stitching a
+// coordinator fan-out and its remote work into one trace.
 type Message struct {
 	Kind    string
 	Payload []byte
+	Trace   stats.SpanContext
 }
 
-// Size returns the modeled wire size.
-func (m Message) Size() int { return len(m.Kind) + len(m.Payload) }
+// Size returns the modeled wire size (trace context adds the fixed two
+// IDs a binary traceparent header would).
+func (m Message) Size() int {
+	s := len(m.Kind) + len(m.Payload)
+	if m.Trace.Valid() {
+		s += 16
+	}
+	return s
+}
 
 // Handler processes an incoming request and returns the response.
 type Handler func(from string, req Message) (Message, error)

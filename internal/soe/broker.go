@@ -83,11 +83,19 @@ func (b *Broker) Clock() uint64 { return b.clock.Load() }
 // OLTP push. Exposed directly for in-process clients (the coordinator);
 // remote clients send MsgCommit.
 func (b *Broker) Commit(writes []LogWrite) (pos uint64, ts uint64, err error) {
+	return b.commitTraced(writes, stats.SpanContext{})
+}
+
+// commitTraced is Commit continuing the client's trace when its MsgCommit
+// carried a SpanContext: the broker's commit span — and the shared-log
+// append under it — lands in the same trace tree as the coordinator's
+// query. A zero context starts a fresh trace.
+func (b *Broker) commitTraced(writes []LogWrite, tc stats.SpanContext) (pos uint64, ts uint64, err error) {
 	b.mu.Lock()
 	obs, tracer := b.obs, b.tracer
 	b.mu.Unlock()
 	t0 := time.Now()
-	span := tracer.Start("commit", fmt.Sprintf("writes=%d", len(writes)))
+	span := tracer.StartRemote("commit", tc, "service=v2transact", fmt.Sprintf("writes=%d", len(writes)))
 	defer span.Finish()
 
 	ts = b.clock.Add(1)
@@ -139,9 +147,9 @@ func (b *Broker) Commit(writes []LogWrite) (pos uint64, ts uint64, err error) {
 // (the network cannot cancel in-flight calls) waits for it instead of
 // committing a duplicate. Failed commits are not cached — the client's
 // next retry re-attempts them.
-func (b *Broker) commitIdempotent(r CommitReq) CommitResp {
+func (b *Broker) commitIdempotent(r CommitReq, tc stats.SpanContext) CommitResp {
 	if r.TxnID == "" {
-		pos, ts, err := b.Commit(r.Writes)
+		pos, ts, err := b.commitTraced(r.Writes, tc)
 		if err != nil {
 			return CommitResp{Err: err.Error()}
 		}
@@ -152,9 +160,14 @@ func (b *Broker) commitIdempotent(r CommitReq) CommitResp {
 		if resp, ok := b.done[r.TxnID]; ok {
 			b.cmu.Unlock()
 			b.mu.Lock()
-			obs := b.obs
+			obs, tracer := b.obs, b.tracer
 			b.mu.Unlock()
 			obs.Counter("soe_commit_dedup_total", "service=v2transact").Inc()
+			// Record the dedup hit in the caller's trace: a retried commit
+			// answered from the transaction cache is an event worth seeing.
+			if tc.Valid() {
+				tracer.StartRemote("commit", tc, "service=v2transact", "dedup=true").Finish()
+			}
 			return resp
 		}
 		if ch, ok := b.pending[r.TxnID]; ok {
@@ -166,7 +179,7 @@ func (b *Broker) commitIdempotent(r CommitReq) CommitResp {
 		b.pending[r.TxnID] = ch
 		b.cmu.Unlock()
 
-		pos, ts, err := b.Commit(r.Writes)
+		pos, ts, err := b.commitTraced(r.Writes, tc)
 
 		b.cmu.Lock()
 		delete(b.pending, r.TxnID)
@@ -212,7 +225,7 @@ func (b *Broker) handle(from string, req netsim.Message) (netsim.Message, error)
 		if !b.disc.Validate(r.Token) {
 			return netsim.Message{Kind: MsgCommit, Payload: encode(CommitResp{Err: "unauthorized"})}, nil
 		}
-		return netsim.Message{Kind: MsgCommit, Payload: encode(b.commitIdempotent(r))}, nil
+		return netsim.Message{Kind: MsgCommit, Payload: encode(b.commitIdempotent(r, req.Trace))}, nil
 
 	case MsgPoll:
 		r, err := decode[PollReq](req)

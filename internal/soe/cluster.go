@@ -75,6 +75,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	c := &Cluster{Net: net, Disc: disc, Catalog: ccat, Log: log, Broker: broker, Manager: mgr, Stats: statsSvc, Obs: obs, Tracer: tracer}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := mgr.StartNode(fmt.Sprintf("node%d", i), cfg.Mode)
+		n.SetTracer(tracer)
 		if cfg.Mode == OLAP && cfg.PollInterval > 0 {
 			n.StartPolling(cfg.PollInterval)
 		}

@@ -135,7 +135,9 @@ func NewCoordinator(name string, net *netsim.Network, disc *Discovery, ccat *Clu
 		if !disc.Validate(r.Token) {
 			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: "unauthorized"})}, nil
 		}
-		res, _, err := c.Query(r.SQL)
+		// Continue the client's trace (if its message carried one): the
+		// whole distributed execution lands under the caller's TraceID.
+		res, _, err := c.queryFrom(req.Trace, r.SQL)
 		if err != nil {
 			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: err.Error()})}, nil
 		}
@@ -228,7 +230,7 @@ func (c *Coordinator) commit(span *stats.Span, writes []LogWrite) (CommitResp, e
 			pol.backoff(a - 1)
 		}
 		cm := span.Child("commit", fmt.Sprintf("attempt=%d", a+1))
-		resp, err := callWithTimeout[CommitResp](c.net, c.Name, c.broker, MsgCommit, req, pol.TaskTimeout)
+		resp, err := callTracedTimeout[CommitResp](c.net, c.Name, c.broker, MsgCommit, req, cm.Context(), pol.TaskTimeout)
 		cm.Finish()
 		if err == nil {
 			if resp.Err == "" {
@@ -257,8 +259,14 @@ func (c *Coordinator) observeCommitTS(ts uint64) {
 // Query plans and executes a distributed SELECT, returning the result and
 // the plan that produced it.
 func (c *Coordinator) Query(sql string) (*Result, *distql.Plan, error) {
+	return c.queryFrom(stats.SpanContext{}, sql)
+}
+
+// queryFrom is Query continuing a trace started elsewhere (a client whose
+// MsgExec carried a SpanContext); a zero parent starts a fresh trace.
+func (c *Coordinator) queryFrom(parent stats.SpanContext, sql string) (*Result, *distql.Plan, error) {
 	t0 := time.Now()
-	span := c.tracer.Start("query", "sql="+sql)
+	span := c.tracer.StartRemote("query", parent, "sql="+sql)
 	defer span.Finish()
 	defer c.obs.Histogram("soe_query_ms", "service=v2dqp").ObserveSince(t0)
 	c.obs.Counter("soe_queries_total", "service=v2dqp").Inc()
@@ -684,7 +692,7 @@ func (c *Coordinator) execTarget(span *stats.Span, sql, node, table, table2 stri
 			pol.backoff(a - 1)
 		}
 		task := span.Child("task", "node="+node, fmt.Sprintf("attempt=%d", a+1))
-		resp, err := callWithTimeout[ExecResp](c.net, c.Name, node, MsgExec, req, pol.TaskTimeout)
+		resp, err := callTracedTimeout[ExecResp](c.net, c.Name, node, MsgExec, req, task.Context(), pol.TaskTimeout)
 		task.Finish()
 		if err == nil {
 			if resp.Err != "" {
@@ -725,6 +733,21 @@ func (c *Coordinator) failover(span *stats.Span, sql, table, table2 string, part
 			continue
 		}
 		group[target] = append(group[target], p)
+	}
+	// A coordinator that has never committed holds no freshness bound to
+	// hand a replica — lastCommitTS only tracks this coordinator's own
+	// writes — so catchUp would silently no-op and the failover read could
+	// serve arbitrarily stale data. An empty idempotent commit serializes
+	// behind every completed transaction in the shared log and returns the
+	// broker's authoritative commit timestamp: the barrier replicas must
+	// catch up to. Best-effort — with the broker unreachable the read
+	// proceeds and staleness is bounded only by the completeness label.
+	if len(group) > 0 && c.lastCommitTS.Load() == 0 {
+		bc := span.Child("barrier_commit")
+		if resp, err := c.commit(bc, nil); err == nil && resp.Err == "" {
+			c.obs.Counter("soe_barrier_commits_total", "service=v2dqp").Inc()
+		}
+		bc.Finish()
 	}
 	targets := make([]string, 0, len(group))
 	for n := range group {
@@ -770,8 +793,8 @@ func (c *Coordinator) catchUp(span *stats.Span, node, table string, parts []int)
 	}
 	cu := span.Child("catch_up", "node="+node)
 	defer cu.Finish()
-	callWithTimeout[CatchUpResp](c.net, c.Name, node, MsgCatchUp,
-		CatchUpReq{Token: c.disc.Token(), Table: table, MinTS: minTS, Peers: peers}, c.retry().TaskTimeout)
+	callTracedTimeout[CatchUpResp](c.net, c.Name, node, MsgCatchUp,
+		CatchUpReq{Token: c.disc.Token(), Table: table, MinTS: minTS, Peers: peers}, cu.Context(), c.retry().TaskTimeout)
 }
 
 // aliveNodes filters a node list down to reachable members.

@@ -304,6 +304,37 @@ func TestFTFanoutMetricsLabelledByOutcome(t *testing.T) {
 	}
 }
 
+// The fault-path counters must survive the trip through the Prometheus
+// text exposition: a scrape of a wounded cluster shows the failover,
+// retry and outcome-labelled fan-out series a dashboard would alert on,
+// with TYPE headers and quoted labels — not just the internal snapshot.
+func TestFTChaosMetricsExposedAsPrometheus(t *testing.T) {
+	c := newTestCluster(t, 2, OLTP)
+	c.Coordinator.Retry = fastRetry
+	loadOrders(t, c, 20)
+	if err := c.ReplicateTable("orders"); err != nil {
+		t.Fatal(err)
+	}
+	c.Net.Crash(c.Nodes[1].Name)
+	if _, err := c.Query(`SELECT COUNT(*) FROM orders`); err != nil {
+		t.Fatalf("query did not fail over: %v", err)
+	}
+
+	text := c.Obs.Snapshot().Prometheus()
+	for _, want := range []string{
+		"# TYPE soe_failovers_total counter",
+		`soe_failovers_total{service="v2dqp"}`,
+		"# TYPE soe_task_retries_total counter",
+		"# TYPE soe_fanout_ms histogram",
+		`soe_fanout_ms_count{`,
+		`result="ok"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
 // A node that can never reach the broker stays a laggard and is reported
 // as such, while caught-up peers are not.
 func TestFTWaitForFreshnessReportsStuckLaggard(t *testing.T) {

@@ -57,6 +57,11 @@ type DataNode struct {
 	gBacklog   *stats.Gauge
 	hExec      *stats.Histogram
 
+	// tracer records this node's side of distributed operations: exec and
+	// catch-up requests arriving with a SpanContext continue the caller's
+	// trace here. Nil disables (stand-alone nodes).
+	tracer *stats.Tracer
+
 	pollStop chan struct{}
 }
 
@@ -89,6 +94,10 @@ func NewDataNode(name string, mode Mode, net *netsim.Network, disc *Discovery, c
 
 // Obs exposes the node's metrics registry (tests, embedding).
 func (n *DataNode) Obs() *stats.Registry { return n.obs }
+
+// SetTracer attaches the landscape tracer so remote requests carrying a
+// SpanContext continue their trace on this node; nil disables.
+func (n *DataNode) SetTracer(t *stats.Tracer) { n.tracer = t }
 
 // Engine exposes the node-local relational engine (tests, local tools).
 func (n *DataNode) Engine() *sqlexec.Engine { return n.eng }
@@ -404,11 +413,16 @@ func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, erro
 			return netsim.Message{Kind: MsgExec, Payload: encode(ExecResp{Err: "unauthorized"})}, nil
 		}
 		t0 := time.Now()
+		// Continue the coordinator's trace on this node: the task span that
+		// issued the request becomes this exec span's remote parent.
+		sp := n.tracer.StartRemote("exec", req.Trace, "node="+n.Name)
 		var resp ExecResp
 		if r.Table != "" && len(r.Parts) > 0 {
-			resp = n.execScoped(r)
+			resp = n.execScoped(r, sp)
 		} else {
+			sc := sp.Child("scan")
 			res, err := n.eng.Query(r.SQL)
+			sc.Finish()
 			if err != nil {
 				resp = ExecResp{Err: err.Error()}
 			} else {
@@ -418,6 +432,14 @@ func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, erro
 				}
 			}
 		}
+		if sp != nil {
+			if resp.Err != "" {
+				sp.Attrs = append(sp.Attrs, "error="+resp.Err)
+			} else {
+				sp.Attrs = append(sp.Attrs, fmt.Sprintf("rows_scanned=%d", resp.RowsScanned))
+			}
+		}
+		sp.Finish()
 		if resp.Err != "" {
 			return netsim.Message{Kind: MsgExec, Payload: encode(resp)}, nil
 		}
@@ -436,21 +458,27 @@ func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, erro
 		if !n.disc.Validate(r.Token) {
 			return netsim.Message{Kind: MsgCatchUp, Payload: encode(CatchUpResp{Err: "unauthorized"})}, nil
 		}
+		sp := n.tracer.StartRemote("catch_up", req.Trace, "node="+n.Name, fmt.Sprintf("min_ts=%d", r.MinTS))
 		// Drain the log toward the bound; stop when stuck (broker down, or
 		// the bound is a timestamp the log has not surfaced yet).
+		pl := sp.Child("poll_log")
 		for n.AppliedTS() < r.MinTS {
 			applied, err := n.PollOnce(4096)
 			if err != nil || applied == 0 {
 				break
 			}
 		}
+		pl.Finish()
 		// Snapshot fallback: fetch the partitions wholesale from live peers
 		// instead of replaying a log suffix the broker cannot serve.
 		if n.AppliedTS() < r.MinTS {
 			for part, peer := range r.Peers {
+				sf := sp.Child("snapshot_fetch", "peer="+peer, fmt.Sprintf("part=%d", part))
 				n.CatchUpSnapshot(peer, r.Table, part)
+				sf.Finish()
 			}
 		}
+		sp.Finish()
 		return netsim.Message{Kind: MsgCatchUp, Payload: encode(CatchUpResp{AppliedTS: n.AppliedTS()})}, nil
 
 	case MsgCreateTemp:
@@ -533,7 +561,7 @@ func (n *DataNode) handle(from string, req netsim.Message) (netsim.Message, erro
 // partitions the task names, never double-counting. Concatenating
 // per-partition partial-aggregate rows is safe because the coordinator's
 // merge combines partials by group key across all batches.
-func (n *DataNode) execScoped(r ExecReq) ExecResp {
+func (n *DataNode) execScoped(r ExecReq, sp *stats.Span) ExecResp {
 	st, err := sqlexec.Parse(r.SQL)
 	if err != nil {
 		return ExecResp{Err: err.Error()}
@@ -559,7 +587,9 @@ func (n *DataNode) execScoped(r ExecReq) ExecResp {
 		for j := range cp.Joins {
 			scopeRef(&cp.Joins[j].Table, r.Table, r.Table2, p)
 		}
+		sc := sp.Child("scan", "partition="+partTableName(r.Table, p))
 		res, err := n.eng.Query(sqlexec.Deparse(&cp))
+		sc.Finish()
 		if err != nil {
 			return ExecResp{Err: err.Error()}
 		}

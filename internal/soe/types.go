@@ -214,8 +214,16 @@ func errUnknownMsg(svc, kind string) error {
 
 // call performs a typed RPC.
 func call[T any](net *netsim.Network, from, to, kind string, req any) (T, error) {
+	return callTraced[T](net, from, to, kind, req, stats.SpanContext{})
+}
+
+// callTraced is call with a span context riding the message envelope, so
+// the remote handler can parent its own spans into the caller's trace
+// (cross-node propagation: one TraceID covers coordinator, nodes, broker
+// and shared log). A zero context degrades to an untraced call.
+func callTraced[T any](net *netsim.Network, from, to, kind string, req any, tc stats.SpanContext) (T, error) {
 	var zero T
-	resp, err := net.Call(from, to, netsim.Message{Kind: kind, Payload: encode(req)})
+	resp, err := net.Call(from, to, netsim.Message{Kind: kind, Payload: encode(req), Trace: tc})
 	if err != nil {
 		return zero, err
 	}
@@ -230,8 +238,13 @@ var errTaskTimeout = errors.New("soe: task timed out")
 // server, which is why retried requests must be idempotent (commit TxnIDs,
 // read-only execs). d <= 0 disables the deadline.
 func callWithTimeout[T any](net *netsim.Network, from, to, kind string, req any, d time.Duration) (T, error) {
+	return callTracedTimeout[T](net, from, to, kind, req, stats.SpanContext{}, d)
+}
+
+// callTracedTimeout is callWithTimeout carrying a span context.
+func callTracedTimeout[T any](net *netsim.Network, from, to, kind string, req any, tc stats.SpanContext, d time.Duration) (T, error) {
 	if d <= 0 {
-		return call[T](net, from, to, kind, req)
+		return callTraced[T](net, from, to, kind, req, tc)
 	}
 	type outcome struct {
 		v   T
@@ -239,7 +252,7 @@ func callWithTimeout[T any](net *netsim.Network, from, to, kind string, req any,
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		v, err := call[T](net, from, to, kind, req)
+		v, err := callTraced[T](net, from, to, kind, req, tc)
 		ch <- outcome{v, err}
 	}()
 	select {

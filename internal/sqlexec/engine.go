@@ -35,6 +35,14 @@ type Engine struct {
 	Obs *stats.Registry
 	// Tracer records per-statement span trees when set.
 	Tracer *stats.Tracer
+	// SlowThreshold enables always-on profiling: SELECTs run with a
+	// Profile attached and the ones slower than this are retained —
+	// profile included — in the slow-query log. Zero disables profiling
+	// outside EXPLAIN ANALYZE / AnalyzeSQL.
+	SlowThreshold time.Duration
+	// SlowLogCap bounds the slow-query log ring (default 32).
+	SlowLogCap int
+	slow       slowLog
 }
 
 // NewEngine builds an engine over its own fresh catalog and manager.
@@ -81,6 +89,33 @@ func (e *Engine) ExplainSQL(sql string) (string, error) {
 	return Explain(plan), nil
 }
 
+// AnalyzeSQL executes a SELECT with per-operator profiling attached and
+// returns both the result and the annotated plan (EXPLAIN ANALYZE). The
+// statement actually runs — the timings are measured, not estimated.
+func (e *Engine) AnalyzeSQL(sql string, params ...value.Value) (*Result, *Profile, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("sql: EXPLAIN ANALYZE supports only SELECT")
+	}
+	ts := e.Mgr.Now()
+	pl := &Planner{Cat: e.Cat, Reg: e.Reg, TS: ts, Prune: e.Prune}
+	plan, err := pl.BuildSelect(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, prof, err := RunAnalyzed(plan, ts, params, e.Reg, e.Mode, e.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof.SQL = sql
+	e.maybeRecordSlow(sql, prof)
+	return res, prof, nil
+}
+
 // Session executes statements; DML inside an explicit transaction is
 // buffered until COMMIT. SELECTs read the session's snapshot (committed
 // data as of transaction begin).
@@ -89,6 +124,7 @@ type Session struct {
 	tx       *txn.Txn
 	explicit bool
 	cur      *stats.Span // statement span while Query is executing
+	curSQL   string      // statement text, for the slow-query log
 }
 
 // NewSession opens a session in auto-commit mode.
@@ -150,16 +186,18 @@ func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
 	case "ROLLBACK":
 		return &Result{}, s.Rollback()
 	}
-	if up := strings.ToUpper(trimmed); strings.HasPrefix(up, "EXPLAIN ") {
+	if up := strings.ToUpper(trimmed); strings.HasPrefix(up, "EXPLAIN ANALYZE ") {
+		_, prof, err := s.e.AnalyzeSQL(trimmed[len("EXPLAIN ANALYZE "):], params...)
+		if err != nil {
+			return nil, err
+		}
+		return textResult(prof.Render()), nil
+	} else if strings.HasPrefix(up, "EXPLAIN ") {
 		text, err := s.e.ExplainSQL(trimmed[len("EXPLAIN "):])
 		if err != nil {
 			return nil, err
 		}
-		res := &Result{Cols: []string{"plan"}}
-		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
-			res.Rows = append(res.Rows, value.Row{value.String(line)})
-		}
-		return res, nil
+		return textResult(text), nil
 	}
 
 	span := s.e.Tracer.Start("sql", "stmt="+firstWord(trimmed))
@@ -171,7 +209,8 @@ func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
 		return nil, err
 	}
 	s.cur = span
-	defer func() { s.cur = nil }()
+	s.curSQL = trimmed
+	defer func() { s.cur = nil; s.curSQL = "" }()
 	switch x := st.(type) {
 	case *SelectStmt:
 		return s.execSelect(x, params)
@@ -206,6 +245,15 @@ func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
 		return &Result{}, nil
 	}
 	return nil, fmt.Errorf("sql: unhandled statement %T", st)
+}
+
+// textResult renders multi-line text as a one-column result set.
+func textResult(text string) *Result {
+	res := &Result{Cols: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, value.Row{value.String(line)})
+	}
+	return res
 }
 
 // firstWord labels a statement span by its leading keyword.
@@ -246,7 +294,16 @@ func (s *Session) execSelect(sel *SelectStmt, params []value.Value) (*Result, er
 	}
 	tExec := time.Now()
 	esp := s.cur.Child("exec")
-	res, err := RunWorkers(plan, ts, params, s.e.Reg, s.e.Mode, s.e.Workers)
+	var res *Result
+	if s.e.SlowThreshold > 0 {
+		// Always-on profiling: the slow execution is captured with its
+		// operator breakdown, not re-run after the fact.
+		var prof *Profile
+		res, prof, err = RunAnalyzed(plan, ts, params, s.e.Reg, s.e.Mode, s.e.Workers)
+		s.e.maybeRecordSlow(s.curSQL, prof)
+	} else {
+		res, err = RunWorkers(plan, ts, params, s.e.Reg, s.e.Mode, s.e.Workers)
+	}
 	esp.Finish()
 	s.e.Obs.Histogram("sql_exec_ms").ObserveSince(tExec)
 	s.e.Obs.Counter("sql_queries_total").Inc()

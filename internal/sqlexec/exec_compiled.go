@@ -23,7 +23,17 @@ type pipe func(emit func(value.Row) error) error
 // errStop terminates a pipeline early (LIMIT).
 var errStop = fmt.Errorf("sqlexec: pipeline stop")
 
+// compilePlan specializes a plan node into a pipe, attaching the analyze
+// wrapper when the statement is profiled.
 func compilePlan(p Plan, ctx *execCtx) (pipe, error) {
+	pp, err := compilePlanRaw(p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.prof.wrapPipe(p, pp), nil
+}
+
+func compilePlanRaw(p Plan, ctx *execCtx) (pipe, error) {
 	switch x := p.(type) {
 	case *ScanPlan:
 		return compileScan(x, ctx)
@@ -228,9 +238,13 @@ func compileScan(s *ScanPlan, ctx *execCtx) (pipe, error) {
 	params := ctx.params
 	ts := ctx.ts
 	stats := ctx.stats
+	op := ctx.prof.node(s)
 
 	return func(emit func(value.Row) error) error {
 		stats.PartitionsPruned += pruned
+		if op != nil {
+			op.partsPruned.Add(int64(pruned))
+		}
 		for _, part := range parts {
 			if part.ColdReadPenalty > 0 {
 				time.Sleep(time.Duration(part.ColdReadPenalty) * time.Microsecond)
@@ -238,6 +252,9 @@ func compileScan(s *ScanPlan, ctx *execCtx) (pipe, error) {
 			}
 			snap := part.Table.Snapshot(ts)
 			stats.PartitionsScanned++
+			if op != nil {
+				op.partsScanned.Add(1)
+			}
 			n := snap.NumRows()
 
 			getters := make([]colGetter, ncols)
@@ -277,10 +294,16 @@ func compileScan(s *ScanPlan, ctx *execCtx) (pipe, error) {
 				}
 				if err := emit(row); err != nil {
 					stats.RowsScanned += scanned
+					if op != nil {
+						op.rowsScanned.Add(int64(scanned))
+					}
 					return err
 				}
 			}
 			stats.RowsScanned += scanned
+			if op != nil {
+				op.rowsScanned.Add(int64(scanned))
+			}
 		}
 		return nil
 	}, nil

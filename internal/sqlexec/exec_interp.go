@@ -47,12 +47,16 @@ type execCtx struct {
 	workers int
 	mu      sync.Mutex
 	pool    *vecPool
+	prof    *Profile // non-nil under EXPLAIN ANALYZE
 }
 
 // getPool lazily starts the statement's morsel worker pool.
 func (ctx *execCtx) getPool() *vecPool {
 	if ctx.pool == nil {
 		ctx.pool = newVecPool(ctx.workers)
+		if ctx.prof != nil {
+			ctx.prof.Workers = ctx.pool.workers
+		}
 	}
 	return ctx.pool
 }
@@ -77,38 +81,69 @@ func Run(p Plan, ts uint64, params []value.Value, reg *Registry, mode Mode) (*Re
 // vectorized executor's morsel pool (<=0 means runtime.NumCPU()); the
 // row-at-a-time modes ignore it.
 func RunWorkers(p Plan, ts uint64, params []value.Value, reg *Registry, mode Mode, workers int) (*Result, error) {
+	res, _, err := runMaybeProfiled(p, ts, params, reg, mode, workers, false)
+	return res, err
+}
+
+// RunAnalyzed executes a plan like RunWorkers while also recording a
+// per-operator Profile — the engine of EXPLAIN ANALYZE. The profile's
+// Mode reflects the executor that actually ran the statement (a plan the
+// batch operators don't cover falls back to the compiled pipeline).
+func RunAnalyzed(p Plan, ts uint64, params []value.Value, reg *Registry, mode Mode, workers int) (*Result, *Profile, error) {
+	return runMaybeProfiled(p, ts, params, reg, mode, workers, true)
+}
+
+func runMaybeProfiled(p Plan, ts uint64, params []value.Value, reg *Registry, mode Mode, workers int, profiled bool) (*Result, *Profile, error) {
 	res := &Result{}
 	for _, c := range p.columns() {
 		res.Cols = append(res.Cols, c.Name)
 	}
 	ctx := &execCtx{ts: ts, params: params, reg: reg, stats: &res.Stats, workers: workers}
+	var prof *Profile
+	var t0 time.Time
+	if profiled {
+		prof = newProfile(p, mode, 0)
+		ctx.prof = prof
+		t0 = time.Now()
+	}
+	finish := func() {
+		if prof == nil {
+			return
+		}
+		prof.Total = time.Since(t0)
+		prof.finish(p)
+	}
 	if mode == ModeVectorized {
 		handled, err := runVectorized(p, ctx, res)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if handled {
 			res.Stats.RowsOut = len(res.Rows)
-			return res, nil
+			finish()
+			return res, prof, nil
 		}
 		// Plan shape not covered by the batch operators: transparent
 		// fallback to the compiled row pipeline.
 		cVecPlanFallbacks.Inc()
 		mode = ModeCompiled
+		if prof != nil {
+			prof.Mode = mode
+		}
 	}
 	if mode == ModeInterpreted {
 		it, err := buildIter(p, ctx)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := it.Open(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer it.Close()
 		for {
 			row, ok, err := it.Next()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if !ok {
 				break
@@ -118,17 +153,18 @@ func RunWorkers(p Plan, ts uint64, params []value.Value, reg *Registry, mode Mod
 	} else {
 		pipe, err := compilePlan(p, ctx)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := pipe(func(row value.Row) error {
 			res.Rows = append(res.Rows, row)
 			return nil
 		}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	res.Stats.RowsOut = len(res.Rows)
-	return res, nil
+	finish()
+	return res, prof, nil
 }
 
 // --- Volcano-style interpreter -------------------------------------------
@@ -142,7 +178,17 @@ type iterator interface {
 	Close()
 }
 
+// buildIter constructs the operator for a plan node, attaching the
+// analyze wrapper when the statement is profiled.
 func buildIter(p Plan, ctx *execCtx) (iterator, error) {
+	it, err := buildIterRaw(p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.prof.wrapIter(p, it), nil
+}
+
+func buildIterRaw(p Plan, ctx *execCtx) (iterator, error) {
 	switch x := p.(type) {
 	case *ScanPlan:
 		return newScanIter(x, ctx)
@@ -213,6 +259,7 @@ type scanIter struct {
 	pos     int
 	scanned int
 	env     Env
+	op      *OpProfile // per-operator analyze counters; may be nil
 }
 
 type snapState struct {
@@ -225,7 +272,7 @@ type snapState struct {
 }
 
 func newScanIter(p *ScanPlan, ctx *execCtx) (*scanIter, error) {
-	it := &scanIter{plan: p, ctx: ctx, parts: p.scanParts()}
+	it := &scanIter{plan: p, ctx: ctx, parts: p.scanParts(), op: ctx.prof.node(p)}
 	if p.Filter != nil {
 		f, err := compileExpr(p.Filter, resolverFor(p.columns()), ctx.reg)
 		if err != nil {
@@ -238,6 +285,9 @@ func newScanIter(p *ScanPlan, ctx *execCtx) (*scanIter, error) {
 
 func (it *scanIter) Open() error {
 	it.ctx.stats.PartitionsPruned += it.plan.Pruned
+	if it.op != nil {
+		it.op.partsPruned.Add(int64(it.plan.Pruned))
+	}
 	it.pi = -1
 	it.snap.snap = nil
 	it.env.Params = it.ctx.params
@@ -249,6 +299,9 @@ func (it *scanIter) Open() error {
 func (it *scanIter) flushStats() {
 	if it.scanned > 0 {
 		it.ctx.stats.RowsScanned += it.scanned
+		if it.op != nil {
+			it.op.rowsScanned.Add(int64(it.scanned))
+		}
 		it.scanned = 0
 	}
 }
@@ -270,6 +323,9 @@ func (it *scanIter) Next() (value.Row, bool, error) {
 			it.snap = snapState{snap: s, n: s.NumRows()}
 			it.pos = 0
 			it.ctx.stats.PartitionsScanned++
+			if it.op != nil {
+				it.op.partsScanned.Add(1)
+			}
 			continue
 		}
 		pos := it.pos

@@ -56,7 +56,17 @@ func runVectorized(p Plan, ctx *execCtx, res *Result) (bool, error) {
 	return true, nil
 }
 
+// vecCompile builds the batch pipeline for a plan node, attaching the
+// analyze wrapper when the statement is profiled.
 func vecCompile(p Plan, ctx *execCtx) (vpipe, error) {
+	vp, err := vecCompileRaw(p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.prof.wrapVPipe(p, vp), nil
+}
+
+func vecCompileRaw(p Plan, ctx *execCtx) (vpipe, error) {
 	switch x := p.(type) {
 	case *ScanPlan:
 		return vecScan(x, ctx)
@@ -152,6 +162,7 @@ type scanRun struct {
 	tasks   []*scanTask
 	scratch []scanScratch
 	stop    atomic.Bool
+	op      *OpProfile // scan operator's analyze counters; may be nil
 }
 
 // newRun snapshots the partitions, binds kernels against each partition's
@@ -160,17 +171,23 @@ type scanRun struct {
 // row executors exactly.
 func (p *scanPrep) newRun(ctx *execCtx) (*scanRun, error) {
 	s := p.plan
-	r := &scanRun{ctx: ctx, scratch: make([]scanScratch, ctx.getPool().workers)}
+	r := &scanRun{ctx: ctx, scratch: make([]scanScratch, ctx.getPool().workers), op: ctx.prof.node(s)}
 	res := resolverFor(p.cols)
 	ctx.mu.Lock()
 	ctx.stats.PartitionsPruned += s.Pruned
 	ctx.mu.Unlock()
+	if r.op != nil {
+		r.op.partsPruned.Add(int64(s.Pruned))
+	}
 	for _, part := range s.scanParts() {
 		cold := part.ColdReadPenalty
 		snap := part.Table.Snapshot(ctx.ts)
 		ctx.mu.Lock()
 		ctx.stats.PartitionsScanned++
 		ctx.mu.Unlock()
+		if r.op != nil {
+			r.op.partsScanned.Add(1)
+		}
 		rows := snap.NumRows()
 		if rows == 0 {
 			// The row executors stall on the cold read before discovering
@@ -203,6 +220,10 @@ func (p *scanPrep) newRun(ctx *execCtx) (*scanRun, error) {
 			ctx.stats.KernelHits += hits
 			ctx.stats.KernelFallbacks += falls
 			ctx.mu.Unlock()
+			if r.op != nil {
+				r.op.kernelHits.Add(int64(hits))
+				r.op.kernelFallbacks.Add(int64(falls))
+			}
 		} else {
 			// All rows live in the delta; kernels never apply.
 			for _, vp := range s.VecEligible {
@@ -252,6 +273,10 @@ func (r *scanRun) runMorsel(t *scanTask, w int) []value.Row {
 	if r.stop.Load() {
 		return nil
 	}
+	if r.op != nil {
+		t0 := time.Now()
+		defer func() { r.op.busyNS.Add(time.Since(t0).Nanoseconds()) }()
+	}
 	ctx := r.ctx
 	if t.cold > 0 {
 		time.Sleep(time.Duration(t.cold) * time.Microsecond)
@@ -291,6 +316,10 @@ func (r *scanRun) runMorsel(t *scanTask, w int) []value.Row {
 	ctx.stats.RowsScanned += visible
 	ctx.stats.Morsels++
 	ctx.mu.Unlock()
+	if r.op != nil {
+		r.op.rowsScanned.Add(int64(visible))
+		r.op.morsels.Add(1)
+	}
 	cVecMorsels.Inc()
 	return out
 }
@@ -638,6 +667,14 @@ func vecAggScan(x *AggPlan, s *ScanPlan, res colResolver, ctx *execCtx) (vpipe, 
 		return nil, err
 	}
 	return func(emit func([]value.Row) error) error {
+		// The scan child never passes through vecCompile here — its wall
+		// time is charged to the fused aggregate, while morsel/kernel/row
+		// counters still reach the scan node via the scanRun hook. Marked
+		// at run time so an aborted vectorized compile leaves no stale
+		// flag for the fallback executor.
+		if op := ctx.prof.node(s); op != nil {
+			op.fused = true
+		}
 		run, err := prep.newRun(ctx)
 		if err != nil {
 			return err

@@ -8,9 +8,12 @@ import (
 
 // NewHandler serves the live observability surface of a landscape:
 //
-//	GET /metrics        — JSON Snapshot from the snapshot function
-//	GET /metrics?text=1 — the same snapshot as aligned text
-//	GET /traces[?n=K]   — the K most recent traces as a text tree
+//	GET /metrics           — Prometheus text exposition (scrapeable)
+//	GET /metrics?text=1    — the same snapshot as aligned text
+//	GET /metrics.json      — the snapshot as JSON
+//	GET /traces[?n=K]      — the K most recent traces as stitched text trees
+//	GET /traces?trace=<id> — one trace (hex or decimal TraceID), every
+//	                         retained root stitched into a single tree
 //
 // The snapshot function is called per request, so a StatsService-backed
 // handler re-aggregates the cluster on every poll — live counters, not a
@@ -24,14 +27,30 @@ func NewHandler(snapshot func() Snapshot, tracer *Tracer) http.Handler {
 			w.Write([]byte(snap.String()))
 			return
 		}
+		w.Header().Set("Content-Type", PrometheusContentType)
+		w.Write([]byte(snap.Prometheus()))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(snap)
+		enc.Encode(snapshot())
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		if tracer == nil {
 			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, err := strconv.ParseUint(q, 16, 64)
+			if err != nil {
+				if id, err = strconv.ParseUint(q, 10, 64); err != nil {
+					http.Error(w, "bad trace id (hex or decimal)", http.StatusBadRequest)
+					return
+				}
+			}
+			w.Write([]byte(tracer.RenderTrace(id)))
 			return
 		}
 		n := 10
@@ -40,7 +59,6 @@ func NewHandler(snapshot func() Snapshot, tracer *Tracer) http.Handler {
 				n = v
 			}
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte(tracer.Render(n)))
 	})
 	return mux

@@ -18,7 +18,7 @@ func TestHandlerMetricsJSON(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(r.Snapshot, tr))
 	defer srv.Close()
 
-	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	resp, err := srv.Client().Get(srv.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestHandlerMetricsJSON(t *testing.T) {
 
 	// Live view: the snapshot function is re-invoked per request.
 	r.Counter("q_total").Add(1)
-	resp2, err := srv.Client().Get(srv.URL + "/metrics")
+	resp2, err := srv.Client().Get(srv.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,6 +48,40 @@ func TestHandlerMetricsJSON(t *testing.T) {
 	json.NewDecoder(resp2.Body).Decode(&snap2)
 	if v, _ := snap2.Counter("q_total", "node=n0"); v != 12 {
 		t.Fatalf("metrics not live: %d", v)
+	}
+}
+
+func TestHandlerMetricsPrometheus(t *testing.T) {
+	r := NewRegistry("node=n0")
+	r.Counter("q_total").Add(11)
+	r.Histogram("lat_ms").Observe(2.5)
+	srv := httptest.NewServer(NewHandler(r.Snapshot, nil))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE q_total counter", `q_total{node="n0"} 11`,
+		"# TYPE lat_ms histogram", `lat_ms_bucket{le="+Inf",node="n0"} 1`,
+		`lat_ms_count{node="n0"} 1`, `lat_ms_p95{node="n0"} 2.5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+	if errs := checkPrometheusText(text); len(errs) > 0 {
+		t.Fatalf("invalid exposition: %v\n%s", errs, text)
 	}
 }
 

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+)
+
+// checkPrometheusText parses text-format exposition the way a scraper
+// would: every line is a comment, a well-formed `# TYPE` line, or a
+// sample; each sample's family was declared at most once; histogram
+// bucket counts are cumulative and end at the `+Inf` == `_count` total.
+func checkPrometheusText(text string) []string {
+	var errs []string
+	declared := map[string]bool{}
+	type hist struct {
+		lastLE    float64
+		lastCount int64
+		count     int64
+		hasCount  bool
+	}
+	hists := map[string]*hist{} // family+labels(without le)
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				if !promTypeRe.MatchString(line) {
+					errs = append(errs, fmt.Sprintf("line %d: bad TYPE line %q", i+1, line))
+					continue
+				}
+				fam := strings.Fields(line)[2]
+				if declared[fam] {
+					errs = append(errs, fmt.Sprintf("line %d: family %s declared twice", i+1, fam))
+				}
+				declared[fam] = true
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			errs = append(errs, fmt.Sprintf("line %d: unparseable sample %q", i+1, line))
+			continue
+		}
+		name, labels := m[1], m[2]
+		if strings.HasSuffix(name, "_bucket") {
+			key := strings.TrimSuffix(name, "_bucket") + stripLE(labels)
+			h := hists[key]
+			if h == nil {
+				h = &hist{lastLE: math.Inf(-1)}
+				hists[key] = h
+			}
+			le := leOf(labels)
+			n, _ := strconv.ParseInt(m[7], 10, 64)
+			if le <= h.lastLE {
+				errs = append(errs, fmt.Sprintf("line %d: bucket le not increasing (%g after %g)", i+1, le, h.lastLE))
+			}
+			if n < h.lastCount {
+				errs = append(errs, fmt.Sprintf("line %d: bucket count not cumulative (%d after %d)", i+1, n, h.lastCount))
+			}
+			h.lastLE, h.lastCount = le, n
+		}
+		if strings.HasSuffix(name, "_count") {
+			key := strings.TrimSuffix(name, "_count") + labels
+			if h := hists[key]; h != nil {
+				h.count, _ = strconv.ParseInt(m[7], 10, 64)
+				h.hasCount = true
+			}
+		}
+	}
+	for key, h := range hists {
+		if !math.IsInf(h.lastLE, 1) {
+			errs = append(errs, fmt.Sprintf("%s: buckets do not end at +Inf", key))
+		}
+		if !h.hasCount {
+			errs = append(errs, fmt.Sprintf("%s: histogram without _count", key))
+		} else if h.lastCount != h.count {
+			errs = append(errs, fmt.Sprintf("%s: +Inf bucket %d != count %d", key, h.lastCount, h.count))
+		}
+	}
+	return errs
+}
+
+func stripLE(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var keep []string
+	for _, p := range strings.Split(inner, ",") {
+		if !strings.HasPrefix(p, `le="`) {
+			keep = append(keep, p)
+		}
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(keep, ",") + "}"
+}
+
+func leOf(labels string) float64 {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	for _, p := range strings.Split(inner, ",") {
+		if strings.HasPrefix(p, `le="`) {
+			v := strings.TrimSuffix(strings.TrimPrefix(p, `le="`), `"`)
+			if v == "+Inf" {
+				return math.Inf(1)
+			}
+			f, _ := strconv.ParseFloat(v, 64)
+			return f
+		}
+	}
+	return math.NaN()
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry("service=v2dqp")
+	r.Counter("soe_queries_total", "result=ok").Add(7)
+	r.Counter("soe_queries_total", "result=error").Add(2)
+	r.Gauge("soe_backlog", "node=node0").Set(3.5)
+	h := r.Histogram("soe_query_ms")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	// A label value with quote and backslash must be escaped, not break
+	// the format.
+	r.Counter("netsim_messages_total", `pair=a"b\c`).Inc()
+
+	text := r.Snapshot().Prometheus()
+	if errs := checkPrometheusText(text); len(errs) > 0 {
+		t.Fatalf("invalid exposition: %v\n%s", errs, text)
+	}
+	for _, want := range []string{
+		`soe_queries_total{result="error",service="v2dqp"} 2`,
+		`soe_queries_total{result="ok",service="v2dqp"} 7`,
+		`soe_backlog{node="node0",service="v2dqp"} 3.5`,
+		`soe_query_ms_bucket{le="25",service="v2dqp"} 26`,
+		`soe_query_ms_bucket{le="+Inf",service="v2dqp"} 100`,
+		`soe_query_ms_sum{service="v2dqp"} 4950`,
+		`soe_query_ms_count{service="v2dqp"} 100`,
+		`pair="a\"b\\c"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	// p50/p95/p99 appear with the same values as the JSON snapshot
+	// (consistent export across both surfaces).
+	snap := r.Snapshot()
+	hs, _ := snap.HistogramNamed("soe_query_ms")
+	for q, v := range map[string]float64{"p50": hs.P50, "p95": hs.P95, "p99": hs.P99} {
+		want := fmt.Sprintf("soe_query_ms_%s{service=\"v2dqp\"} %s", q, formatFloat(v))
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing quantile line %q in:\n%s", want, text)
+		}
+	}
+}
+
+// The quantile sample ring is a sliding window: after capacity is
+// exceeded, old observations no longer influence p50/p95/p99, while the
+// lifetime buckets/count/sum still include them. This pins the
+// documented eviction contract.
+func TestHistogramQuantilesAtCapacity(t *testing.T) {
+	h := NewHistogram(10)
+	// 100 old samples at 1000, then 10 recent samples 1..10: the window
+	// holds only the recent ten.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	snap := h.snapshot("lat_ms", nil)
+	if snap.Count != 110 {
+		t.Fatalf("lifetime count %d, want 110", snap.Count)
+	}
+	if snap.Max != 1000 || snap.Min != 1 {
+		t.Fatalf("lifetime min/max %v/%v", snap.Min, snap.Max)
+	}
+	if snap.P50 != 5 || snap.P99 != 10 {
+		t.Fatalf("window quantiles p50=%v p99=%v, want 5 and 10 (old samples must be evicted)", snap.P50, snap.P99)
+	}
+	// Buckets are lifetime: the 1000s are still counted under le=1000.
+	var le1000 int64
+	for _, b := range snap.Buckets {
+		if b.LE == 1000 {
+			le1000 = b.N
+		}
+	}
+	if le1000 != 110 {
+		t.Fatalf("le=1000 bucket %d, want 110 (buckets never evict)", le1000)
+	}
+
+	// Exactly at capacity, quantiles cover all samples ever observed.
+	h2 := NewHistogram(5)
+	for _, v := range []float64{5, 1, 4, 2, 3} {
+		h2.Observe(v)
+	}
+	if got := h2.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 at capacity = %v, want 3", got)
+	}
+}

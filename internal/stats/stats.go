@@ -73,28 +73,52 @@ func (g *Gauge) Value() float64 {
 // histograms: quantiles reflect the most recent observations.
 const DefaultHistogramCapacity = 512
 
-// Histogram tracks a latency (or size) distribution: lifetime count, sum,
-// min and max, plus a bounded ring of recent samples from which quantiles
-// are computed. When the ring saturates, the oldest samples fall out, so
-// p50/p95/p99 describe recent behavior — what an operator tuning hotspot
-// detection or staleness bounds actually wants. Safe on a nil receiver.
+// DefaultBuckets are the cumulative-bucket upper bounds of registry
+// histograms, in the metric's own unit (milliseconds for _ms latency
+// histograms, raw values otherwise). Bucket counts are lifetime totals —
+// unlike the quantile sample ring they never evict — so the Prometheus
+// exposition can emit a true cumulative histogram.
+var DefaultBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Histogram tracks a latency (or size) distribution along two axes:
+//
+//   - Lifetime state: count, sum, min, max and per-bucket counts
+//     (DefaultBuckets bounds). These are exact over every observation
+//     ever made and never evict.
+//   - A bounded ring of the most recent `capacity` samples, from which
+//     p50/p95/p99 are computed by nearest rank. Once the ring saturates
+//     (after `capacity` observations) each new sample overwrites the
+//     oldest — a sliding window, not a reservoir — so quantiles describe
+//     the last `capacity` observations only, which is what an operator
+//     tuning hotspot detection or staleness bounds actually wants.
+//     TestHistogramQuantilesAtCapacity pins this eviction contract.
+//
+// Both the JSON snapshot and the Prometheus exposition export the same
+// precomputed P50/P95/P99 fields, so the two surfaces can never disagree.
+// Safe on a nil receiver.
 type Histogram struct {
-	mu    sync.Mutex
-	ring  []float64
-	next  int
-	count int64
-	sum   float64
-	min   float64
-	max   float64
+	mu      sync.Mutex
+	ring    []float64
+	next    int
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	bounds  []float64 // bucket upper bounds (ascending); nil = no buckets
+	buckets []int64   // non-cumulative per-bound counts; values > last bound land only in count
 }
 
 // NewHistogram returns a histogram with the given sample-ring capacity
-// (minimum 1).
+// (minimum 1) and DefaultBuckets bucket bounds.
 func NewHistogram(capacity int) *Histogram {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Histogram{ring: make([]float64, 0, capacity)}
+	return &Histogram{
+		ring:    make([]float64, 0, capacity),
+		bounds:  DefaultBuckets,
+		buckets: make([]int64, len(DefaultBuckets)),
+	}
 }
 
 // Observe records one sample.
@@ -111,6 +135,9 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if i := sort.SearchFloat64s(h.bounds, v); i < len(h.buckets) {
+		h.buckets[i]++
+	}
 	if len(h.ring) < cap(h.ring) {
 		h.ring = append(h.ring, v)
 	} else {
@@ -172,6 +199,13 @@ func (h *Histogram) snapshot(name string, labels []string) HistogramSnap {
 	snap := HistogramSnap{
 		Name: name, Labels: labels,
 		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+	}
+	// Export buckets cumulatively (Prometheus `le` semantics); the
+	// implicit +Inf bucket equals Count and is synthesized on exposition.
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i]
+		snap.Buckets = append(snap.Buckets, BucketSnap{LE: b, N: cum})
 	}
 	h.mu.Unlock()
 	snap.P50 = quantile(samples, 0.50)
@@ -298,18 +332,28 @@ type GaugeSnap struct {
 	Value  float64  `json:"value"`
 }
 
+// BucketSnap is one cumulative histogram bucket: N observations were
+// ≤ LE. Only finite bounds are listed; the +Inf bucket is the lifetime
+// Count.
+type BucketSnap struct {
+	LE float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
 // HistogramSnap is one histogram's state in a snapshot, quantiles
-// precomputed.
+// precomputed. P50/P95/P99 come from the recent-sample ring (see
+// Histogram); Buckets are exact lifetime cumulative counts.
 type HistogramSnap struct {
-	Name   string   `json:"name"`
-	Labels []string `json:"labels,omitempty"`
-	Count  int64    `json:"count"`
-	Sum    float64  `json:"sum"`
-	Min    float64  `json:"min"`
-	Max    float64  `json:"max"`
-	P50    float64  `json:"p50"`
-	P95    float64  `json:"p95"`
-	P99    float64  `json:"p99"`
+	Name    string       `json:"name"`
+	Labels  []string     `json:"labels,omitempty"`
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	P50     float64      `json:"p50"`
+	P95     float64      `json:"p95"`
+	P99     float64      `json:"p99"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
 }
 
 // Snapshot is a typed, JSON-serializable view of a registry (or of many
@@ -463,6 +507,22 @@ func Merge(snaps ...Snapshot) Snapshot {
 				e.P50 = math.Max(e.P50, h.P50)
 				e.P95 = math.Max(e.P95, h.P95)
 				e.P99 = math.Max(e.P99, h.P99)
+				// Bucket counts sum exactly when both sides share the
+				// standard bounds; a shape mismatch drops buckets rather
+				// than merge misaligned bounds.
+				if len(e.Buckets) == len(h.Buckets) {
+					merged := append([]BucketSnap(nil), e.Buckets...)
+					for i := range merged {
+						if merged[i].LE != h.Buckets[i].LE {
+							merged = nil
+							break
+						}
+						merged[i].N += h.Buckets[i].N
+					}
+					e.Buckets = merged
+				} else {
+					e.Buckets = nil
+				}
 			} else {
 				cp := h
 				hists[k] = &cp

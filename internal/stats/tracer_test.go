@@ -41,9 +41,91 @@ func TestTracerHierarchyAndRender(t *testing.T) {
 			t.Fatalf("render missing %q:\n%s", want, text)
 		}
 	}
-	// Child spans are indented under the root.
-	if !strings.Contains(text, "\n  plan") {
+	// Child spans are indented under the root (which itself sits under
+	// the "trace <id>" heading).
+	if !strings.Contains(text, "\n    plan") {
 		t.Fatalf("plan not indented:\n%s", text)
+	}
+	if root.TraceID == 0 || root.SpanID == 0 {
+		t.Fatalf("root has no ids: %+v", root)
+	}
+	if plan.TraceID != root.TraceID || plan.ParentID != root.SpanID {
+		t.Fatalf("child ids not inherited: root=%d/%d child=%d/%d", root.TraceID, root.SpanID, plan.TraceID, plan.ParentID)
+	}
+}
+
+// A remote continuation (StartRemote from a propagated SpanContext) must
+// stitch under the span that issued it in both Render and RenderTrace.
+func TestTracerRemoteSpansStitchIntoOneTrace(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("query")
+	task := root.Child("task", "attempt=1")
+
+	remote := tr.StartRemote("exec", task.Context(), "node=node1")
+	remote.Child("scan").Finish()
+	remote.Finish()
+
+	task.Finish()
+	root.Finish()
+
+	if remote.TraceID != root.TraceID {
+		t.Fatalf("remote trace id %d != %d", remote.TraceID, root.TraceID)
+	}
+	got := tr.RenderTrace(root.TraceID)
+	for _, want := range []string{"query", "task", "exec", "scan", "node=node1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stitched trace missing %q:\n%s", want, got)
+		}
+	}
+	// The remote exec span renders nested under the task span.
+	ti := strings.Index(got, "task")
+	ei := strings.Index(got, "exec")
+	if ti < 0 || ei < ti {
+		t.Fatalf("exec not under task:\n%s", got)
+	}
+	execLine := ""
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "exec") {
+			execLine = line
+		}
+	}
+	if !strings.HasPrefix(execLine, strings.Repeat("  ", 3)) {
+		t.Fatalf("exec not indented below task: %q", execLine)
+	}
+	// One trace, rendered once: Render must not list the remote root as
+	// a second top-level trace.
+	all := tr.Render(10)
+	if strings.Count(all, "trace ") != 1 {
+		t.Fatalf("remote root leaked as separate trace:\n%s", all)
+	}
+}
+
+// Regression: evicting the origin root from the ring must not orphan or
+// leak its surviving remote continuations — they render exactly once,
+// marked detached, instead of disappearing or duplicating.
+func TestTracerEvictedParentDoesNotOrphanRemoteChildren(t *testing.T) {
+	// Record the origin first so it is evicted first, leaving the remote
+	// continuation behind in the ring.
+	tr2 := NewTracer(2)
+	root2 := tr2.Start("query")
+	root2.Finish() // recorded first -> evicted first
+	remote2 := tr2.StartRemote("exec", root2.Context(), "node=node0")
+	remote2.Finish()
+	tr2.Start("filler").Finish() // evicts root2, keeps remote2
+
+	got := tr2.RenderTrace(root2.TraceID)
+	if !strings.Contains(got, "exec") {
+		t.Fatalf("surviving remote child lost:\n%s", got)
+	}
+	if strings.Count(got, "exec") != 1 {
+		t.Fatalf("remote child duplicated:\n%s", got)
+	}
+	if !strings.Contains(got, "detached") {
+		t.Fatalf("evicted parent not flagged:\n%s", got)
+	}
+	all := tr2.Render(10)
+	if strings.Count(all, "exec") != 1 {
+		t.Fatalf("orphaned child leaked or lost in /traces view:\n%s", all)
 	}
 }
 
