@@ -1,13 +1,22 @@
-# Developer entry points. `make ci` is the gate: vet + build + race-enabled
-# tests + the experiment shape assertions + executor parity under -race +
-# the fault-injection (chaos) suite + a smoke run of the vectorized-scan
-# micro-benchmarks.
+# Developer entry points. `make ci` is the gate: lint (gofmt + vet) +
+# build + race-enabled tests + the experiment shape assertions + executor
+# parity (hot and tiered) under -race + the fault-injection (chaos) suite
+# + a smoke run of the vectorized-scan micro-benchmarks.
 
 GO ?= go
 
-.PHONY: all vet build test race experiments parity chaos benchsmoke bench ci
+.PHONY: all lint vet build test race experiments parity chaos benchsmoke benchbaseline bench ci
 
 all: ci
+
+# Formatting and static checks; fails on any gofmt diff so the wide
+# refactor surface stays canonical.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -21,14 +30,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The EXPERIMENTS.md shape assertions (E1..E20 tables must reproduce).
+# The EXPERIMENTS.md shape assertions (E1..E21 tables must reproduce).
 experiments:
 	$(GO) test -run Experiment ./...
 
 # Executor parity: every query shape must produce identical output on the
 # interpreted, compiled and vectorized executors, under the race detector.
 parity:
-	$(GO) test -race -run 'TestVectorized' ./internal/sqlexec/
+	$(GO) test -race -run 'TestVectorized|TestTierParity' ./internal/sqlexec/
 
 # Fault injection under the race detector: node crashes, link partitions,
 # replica failover, idempotent commit retries and shared-log hole repair.
@@ -43,7 +52,13 @@ chaos:
 benchsmoke:
 	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg' -benchtime=100x . | $(GO) run ./cmd/benchguard
 
+# Regenerate the committed benchmark baseline after an intentional perf
+# change; benchguard -write preserves the workload prose and recomputes
+# the derived speedups. See README "Benchmark baseline" for the workflow.
+benchbaseline:
+	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg' -benchtime=10x -benchmem . | $(GO) run ./cmd/benchguard -write
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: vet build race experiments parity chaos benchsmoke
+ci: lint build race experiments parity chaos benchsmoke

@@ -69,6 +69,9 @@ func BenchmarkE19_ChaosFailover(b *testing.B) { benchExperiment(b, experiments.E
 func BenchmarkE20_ProfileOverhead(b *testing.B) {
 	benchExperiment(b, experiments.E20ProfileOverhead)
 }
+func BenchmarkE21_ExtendedStoreTiering(b *testing.B) {
+	benchExperiment(b, experiments.E21ExtendedStoreTiering)
+}
 func BenchmarkF1_Tiering(b *testing.B)     { benchExperiment(b, experiments.F1Tiering) }
 func BenchmarkF2_CrossEngine(b *testing.B) { benchExperiment(b, experiments.F2CrossEngine) }
 func BenchmarkF3_SOECluster(b *testing.B)  { benchExperiment(b, experiments.F3SOECluster) }

@@ -4,10 +4,17 @@
 // if any regresses beyond the tolerance — or if a baseline benchmark is
 // missing from the run, so a crashed bench pass cannot read as a pass.
 //
+// With -write it regenerates the baseline instead of gating: measured
+// results replace the committed ones (suite/workload prose and per-result
+// notes are carried over), derived speedups and the acceptance verdict
+// are recomputed, and the file is rewritten in place. `make benchbaseline`
+// is the one-command wrapper.
+//
 // Usage:
 //
 //	go test -run xxx -bench 'BenchmarkScan...' . | go run ./cmd/benchguard
 //	go run ./cmd/benchguard [-baseline file.json] [-tolerance 25] [out.txt]
+//	go test -bench ... -benchmem . | go run ./cmd/benchguard -write
 package main
 
 import (
@@ -16,27 +23,50 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
+	"time"
 )
 
+type result struct {
+	Name        string `json:"name"`
+	Iterations  int64  `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	Note        string `json:"note,omitempty"`
+}
+
 type baseline struct {
-	Suite   string `json:"suite"`
-	Results []struct {
-		Name    string `json:"name"`
-		NsPerOp int64  `json:"ns_per_op"`
-	} `json:"results"`
+	Suite      string             `json:"suite"`
+	Date       string             `json:"date"`
+	Goos       string             `json:"goos"`
+	Goarch     string             `json:"goarch"`
+	CPU        string             `json:"cpu"`
+	CPUs       int                `json:"cpus"`
+	Command    string             `json:"command"`
+	Workloads  map[string]string  `json:"workloads"`
+	Results    []result           `json:"results"`
+	Derived    map[string]float64 `json:"derived"`
+	Acceptance struct {
+		ScanTarget string `json:"scan_speedup_target"`
+		AggTarget  string `json:"parallel_agg_speedup_target"`
+		Met        bool   `json:"met"`
+	} `json:"acceptance"`
 }
 
 // benchLine matches one result row of `go test -bench` output, e.g.
 // "BenchmarkScanVectorized-4   100   7797842 ns/op   1220117 B/op ...".
 // The -N suffix is GOMAXPROCS and is stripped for baseline matching.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	baseFile := flag.String("baseline", "BENCH_vectorized_baseline.json", "baseline JSON (ns_per_op per benchmark)")
 	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression over baseline, percent")
+	write := flag.Bool("write", false, "regenerate the baseline from the bench output instead of gating against it")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baseFile)
@@ -63,20 +93,35 @@ func main() {
 	}
 
 	// Tee the bench output through so the run stays visible in CI logs,
-	// collecting measured ns/op along the way.
+	// collecting measured results along the way.
 	got := map[string]float64{}
+	var measured []result
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
 		if m := benchLine.FindStringSubmatch(line); m != nil {
-			ns, _ := strconv.ParseFloat(m[2], 64)
+			iters, _ := strconv.ParseInt(m[2], 10, 64)
+			ns, _ := strconv.ParseFloat(m[3], 64)
 			got[m[1]] = ns
+			r := result{Name: m[1], Iterations: iters, NsPerOp: int64(math.Round(ns))}
+			if m[4] != "" {
+				r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+				r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			measured = append(measured, r)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
+	}
+
+	if *write {
+		if err := writeBaseline(*baseFile, base, measured); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	failed := false
@@ -101,6 +146,53 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: within tolerance")
+}
+
+// writeBaseline rewrites the baseline JSON from the measured results.
+// Prose metadata (suite, workloads, command, per-result notes) carries
+// over from the committed file; machine facts and derived speedups are
+// recomputed from this run.
+func writeBaseline(path string, old baseline, measured []result) error {
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark results parsed — nothing to write")
+	}
+	next := old
+	next.Date = time.Now().Format("2006-01-02")
+	next.Goos, next.Goarch, next.CPUs = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
+	notes := map[string]string{}
+	for _, r := range old.Results {
+		notes[r.Name] = r.Note
+	}
+	next.Results = nil
+	ns := map[string]float64{}
+	for _, r := range measured {
+		r.Note = notes[r.Name]
+		next.Results = append(next.Results, r)
+		ns[r.Name] = float64(r.NsPerOp)
+	}
+	round1 := func(x float64) float64 { return math.Round(x*10) / 10 }
+	scan, agg := 0.0, 0.0
+	if v := ns["BenchmarkScanVectorized"]; v > 0 {
+		scan = round1(ns["BenchmarkScanRowAtATime"] / v)
+	}
+	if v := ns["BenchmarkParallelAgg4Workers"]; v > 0 {
+		agg = round1(ns["BenchmarkParallelAgg1Worker"] / v)
+	}
+	next.Derived = map[string]float64{
+		"scan_speedup_vectorized_vs_row_at_a_time": scan,
+		"parallel_agg_speedup_4_workers_vs_1":      agg,
+	}
+	next.Acceptance.Met = scan >= 3 && agg >= 2
+	out, err := json.MarshalIndent(next, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nbenchguard: wrote %s (%d benchmarks, scan %.1fx, parallel agg %.1fx, acceptance met=%v)\n",
+		path, len(next.Results), scan, agg, next.Acceptance.Met)
+	return nil
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/sqlexec"
 	"repro/internal/stats"
@@ -103,6 +104,10 @@ func command(eco *core.Ecosystem, cmd string) bool {
   \slow            slow-query log (statements over the -slow threshold,
                    newest first, with their profiles)
   \merge           delta-merge every table
+  \tiers           per-table partition tiers, page-fault counts and
+                   buffer-pool occupancy of the warm tier
+  \demote <table>  page a table out to the warm tier
+  \promote <table> re-hydrate a table into memory
   \tables          list tables
   \objects         list business objects in the repository
   \q               quit
@@ -164,6 +169,49 @@ func command(eco *core.Ecosystem, cmd string) bool {
 	case cmd == "\\merge":
 		eco.MergeAll()
 		fmt.Println("  merged")
+	case cmd == "\\tiers":
+		pool := eco.Warm.Pool()
+		fmt.Printf("  buffer pool: %d/%d pages resident (%d chunks), store=%d pages of %d bytes\n",
+			pool.ResidentPages, pool.BudgetPages, pool.Chunks, eco.Warm.Pages(), eco.Warm.PageSize())
+		faults := eco.Warm.FaultsByTable()
+		for _, name := range eco.Engine.Cat.Tables() {
+			entry, ok := eco.Engine.Cat.Table(name)
+			if !ok {
+				continue
+			}
+			for _, p := range entry.Partitions {
+				line := fmt.Sprintf("  %-24s %-12s tier=%-8s", name, p.Name, p.Tier)
+				if p.Tier == catalog.TierExtended {
+					line += fmt.Sprintf(" resident_pages=%d faults=%d",
+						residentPages(p), faults[p.Table.Name()])
+				}
+				fmt.Println(line)
+			}
+		}
+	case strings.HasPrefix(cmd, "\\demote"):
+		name := strings.TrimSpace(strings.TrimPrefix(cmd, "\\demote"))
+		if name == "" {
+			fmt.Println("  usage: \\demote <table>")
+			break
+		}
+		n, err := eco.DemoteTable(name)
+		if err != nil {
+			fmt.Println("  error:", err)
+			break
+		}
+		fmt.Printf("  demoted %d partitions of %s to the warm tier\n", n, name)
+	case strings.HasPrefix(cmd, "\\promote"):
+		name := strings.TrimSpace(strings.TrimPrefix(cmd, "\\promote"))
+		if name == "" {
+			fmt.Println("  usage: \\promote <table>")
+			break
+		}
+		n, err := eco.PromoteTable(name)
+		if err != nil {
+			fmt.Println("  error:", err)
+			break
+		}
+		fmt.Printf("  promoted %d partitions of %s to the hot tier\n", n, name)
 	case cmd == "\\tables":
 		for _, t := range eco.Engine.Cat.Tables() {
 			fmt.Println("  " + t)
@@ -176,6 +224,19 @@ func command(eco *core.Ecosystem, cmd string) bool {
 		fmt.Println("  unknown command; try \\help")
 	}
 	return true
+}
+
+// residentPages sums the buffer-pool-resident pages of a warm partition's
+// paged columns.
+func residentPages(p *catalog.Partition) int {
+	snap := p.Table.Snapshot(^uint64(0))
+	n := 0
+	for c := range snap.Schema() {
+		if pc, ok := snap.MainColumn(c).(interface{ ResidentPages() int }); ok {
+			n += pc.ResidentPages()
+		}
+	}
+	return n
 }
 
 func printIndented(out string) {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/columnstore"
+	"repro/internal/extstore"
 	"repro/internal/sqlexec"
 	"repro/internal/txn"
 	"repro/internal/value"
@@ -65,6 +66,11 @@ type Manager struct {
 	// ColdReadPenaltyMicros is charged per cold-partition scan to model
 	// extended-storage access latency (Figure 1's tiers).
 	ColdReadPenaltyMicros int
+
+	// Warm, when set, makes rule evaluation the demote policy: after each
+	// aging run the cold partition is paged out to the extended store, so
+	// aged rows actually leave memory instead of staying fully resident.
+	Warm *extstore.Store
 }
 
 // Attach creates the aging manager and installs its pruner into the
@@ -206,6 +212,22 @@ func (m *Manager) RunAging(now time.Time) (map[string]int, error) {
 	return moved, nil
 }
 
+// demoteCold pages the table's cold partition out to the extended store
+// and reports its footprint. Cold-partition accounting is in bytes of
+// encoded size — not row counts — so E6 and the tiering experiment E21
+// share one memory-footprint metric.
+func (m *Manager) demoteCold(table string, c *coldMeta) error {
+	if m.Warm != nil && c.partition.Table.NumRows() > 0 {
+		if err := m.Warm.Demote(c.partition, m.eng.Mgr.MinActiveTS()); err != nil {
+			return fmt.Errorf("aging: demote %s: %w", table, err)
+		}
+	}
+	if m.eng.Obs != nil {
+		m.eng.Obs.Gauge("aging_cold_bytes", "table="+table).Set(float64(c.partition.Table.Bytes()))
+	}
+	return nil
+}
+
 func (m *Manager) ageTable(table string, now time.Time) (int, error) {
 	m.mu.Lock()
 	rule := m.rules[table]
@@ -284,6 +306,9 @@ func (m *Manager) ageTable(table string, now time.Time) (int, error) {
 	}
 	if cold.maxDate < cutoff {
 		cold.maxDate = cutoff
+	}
+	if err := m.demoteCold(table, cold); err != nil {
+		return moved, err
 	}
 	return moved, nil
 }

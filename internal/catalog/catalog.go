@@ -38,6 +38,12 @@ type Partition struct {
 	// ColdReadPenalty simulates the extra per-scan latency of non-hot
 	// tiers; the executor charges it once per scanned partition.
 	ColdReadPenalty int // microseconds
+	// Zone is the per-column min/max/count synopsis recorded when the
+	// partition was demoted to the warm tier; the planner prunes against
+	// it before any extended-store page is faulted. Nil for hot
+	// partitions and invalidated (by its Rows/Merges stamps) when the
+	// table changes after demotion.
+	Zone *columnstore.ZoneMap
 }
 
 // Covers reports whether a row with partition-column value v belongs here.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/columnstore"
 	"repro/internal/docstore"
+	"repro/internal/extstore"
 	"repro/internal/federation"
 	"repro/internal/geo"
 	"repro/internal/graph"
@@ -60,7 +61,8 @@ type Ecosystem struct {
 	SOE     *soe.Cluster
 
 	Repo  *Repository
-	Store *wal.Store // non-nil when durable
+	Store *wal.Store      // non-nil when durable
+	Warm  *extstore.Store // page-based extended store (warm tier)
 
 	// Obs and Tracer observe the local engine; SOE clusters additionally
 	// carry their own landscape registry (SOE.Obs) and v2stats service.
@@ -79,6 +81,9 @@ type Config struct {
 	HDFSBlockSize int
 	// SOE attaches a scale-out cluster when non-nil.
 	SOE *soe.ClusterConfig
+	// ExtStore shapes the warm tier (page size, pool budget, chunk rows);
+	// zero values take the extstore defaults.
+	ExtStore extstore.Options
 }
 
 // New assembles an ecosystem.
@@ -132,6 +137,22 @@ func New(cfg Config) (*Ecosystem, error) {
 	}
 	e.Fed = federation.Attach(eng)
 
+	// The warm tier: durable ecosystems page into a file next to the WAL,
+	// everything else uses an anonymous temp file.
+	var warm *extstore.Store
+	var err error
+	if cfg.DurableDir != "" {
+		warm, err = extstore.Open(cfg.DurableDir+"/extstore.pages", cfg.ExtStore)
+	} else {
+		warm, err = extstore.OpenTemp(cfg.ExtStore)
+	}
+	if err != nil {
+		return nil, err
+	}
+	warm.SetTracer(tracer)
+	e.Warm = warm
+	e.Aging.Warm = warm
+
 	if cfg.HDFSDataNodes > 0 {
 		bs := cfg.HDFSBlockSize
 		if bs <= 0 {
@@ -152,6 +173,9 @@ func New(cfg Config) (*Ecosystem, error) {
 func (e *Ecosystem) Close() {
 	if e.SOE != nil {
 		e.SOE.Shutdown()
+	}
+	if e.Warm != nil {
+		e.Warm.Close()
 	}
 	if e.Store != nil {
 		e.Store.Log.Close()
@@ -227,6 +251,34 @@ func (e *Ecosystem) Status() Status {
 		st.HDFSFiles = len(e.HDFS.List("/"))
 	}
 	return st
+}
+
+// DemoteTable pages every partition of a table out to the warm tier.
+func (e *Ecosystem) DemoteTable(name string) (int, error) {
+	entry, ok := e.Engine.Cat.Table(name)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown table %q", name)
+	}
+	return e.Warm.DemoteTable(entry, e.Engine.Mgr.MinActiveTS())
+}
+
+// PromoteTable re-hydrates every warm partition of a table into memory.
+func (e *Ecosystem) PromoteTable(name string) (int, error) {
+	entry, ok := e.Engine.Cat.Table(name)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown table %q", name)
+	}
+	n := 0
+	wm := e.Engine.Mgr.MinActiveTS()
+	for _, p := range entry.Partitions {
+		if p.Tier == catalog.TierExtended {
+			if err := e.Warm.Promote(p, wm); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
 }
 
 // MergeAll runs a delta merge on every hot partition (housekeeping).

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment of DESIGN.md §3 (E1–E20 for the paper's quantitative
+// per experiment of DESIGN.md §3 (E1–E21 for the paper's quantitative
 // claims, F1–F4 for its architecture figures). Each returns a formatted
 // Table with the measured rows; bench_test.go wraps them as Go benchmarks
 // and cmd/benchrunner prints them for EXPERIMENTS.md.
@@ -95,7 +95,7 @@ func All(s Scale) []*Table {
 		E10HadoopPaths(s), E11TextEngine(s), E12GraphHierarchy(s),
 		E13GeoTimeseries(s), E14InEngineAlgebra(s), E15PlanningDisagg(s),
 		E16Docstore(s), E17MetricsReport(s), E18VectorizedMorsels(s),
-		E19ChaosFailover(s), E20ProfileOverhead(s),
+		E19ChaosFailover(s), E20ProfileOverhead(s), E21ExtendedStoreTiering(s),
 		F1Tiering(s), F2CrossEngine(s), F3SOECluster(s), F4Ecosystem(s),
 	}
 }
@@ -109,7 +109,7 @@ func ByID(id string) (func(Scale) *Table, bool) {
 		"E10": E10HadoopPaths, "E11": E11TextEngine, "E12": E12GraphHierarchy,
 		"E13": E13GeoTimeseries, "E14": E14InEngineAlgebra, "E15": E15PlanningDisagg,
 		"E16": E16Docstore, "E17": E17MetricsReport, "E18": E18VectorizedMorsels,
-		"E19": E19ChaosFailover, "E20": E20ProfileOverhead,
+		"E19": E19ChaosFailover, "E20": E20ProfileOverhead, "E21": E21ExtendedStoreTiering,
 		"F1": F1Tiering, "F2": F2CrossEngine, "F3": F3SOECluster, "F4": F4Ecosystem,
 	}
 	f, ok := m[strings.ToUpper(id)]

@@ -214,6 +214,45 @@ func TestE19ShapeNoBareErrors(t *testing.T) {
 	}
 }
 
+func TestE21ShapeTieredScanParity(t *testing.T) {
+	tab := E21ExtendedStoreTiering(tiny)
+	if len(tab.Rows) != 3 || tab.Rows[0][0] != "all-hot" {
+		t.Fatalf("unexpected table shape: %v", tab.Rows)
+	}
+	// The warm scans must read exactly the hot row count — cross-tier
+	// execution is transparent.
+	hotRows := cell(tab, 0, 2)
+	for row := 1; row < 3; row++ {
+		if cell(tab, row, 2) != hotRows {
+			t.Fatalf("warm phase %q scanned %s rows vs hot %s", cell(tab, row, 0), cell(tab, row, 2), hotRows)
+		}
+		if atoi(t, cell(tab, row, 3)) == 0 {
+			t.Fatalf("warm phase %q faulted no pages: %v", cell(tab, row, 0), tab.Rows[row])
+		}
+	}
+	notes := strings.Join(tab.Notes, "\n")
+	if strings.Contains(notes, "ROW MISMATCH") {
+		t.Fatalf("warm scan diverged: %q", notes)
+	}
+	// The acceptance ratio: the on-disk dataset must be >=5x the pool
+	// budget, so the buffer pool genuinely cannot hold the working set.
+	var pages, budget int
+	var x float64
+	if _, err := fmt.Sscanf(notes, "dataset %d pages vs pool budget %d pages: %fx", &pages, &budget, &x); err != nil {
+		t.Fatalf("unparseable ratio note: %q", notes)
+	}
+	if x < 5 {
+		t.Fatalf("dataset-to-budget ratio %.1fx < 5x (%d pages, budget %d)", x, pages, budget)
+	}
+	// Pool counters must both move and be scrapeable.
+	if atoi(t, cell(tab, 1, 5)) == 0 {
+		t.Fatalf("cold-pool scan recorded no pool misses: %v", tab.Rows[1])
+	}
+	if !strings.Contains(notes, "6/6 extstore pool metrics present") {
+		t.Fatalf("extstore metrics missing from the Prometheus exposition: %q", notes)
+	}
+}
+
 func TestE20ShapeProfileOverhead(t *testing.T) {
 	tab := E20ProfileOverhead(tiny)
 	if len(tab.Rows) != 2 || tab.Rows[0][0] != "vectorized" {

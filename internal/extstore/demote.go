@@ -1,0 +1,169 @@
+// Demote/Promote: the tier transitions driven by the aging policy. Demote
+// merges a partition's delta, serializes every column into extended-store
+// chunks, records the zone-map synopsis on the catalog partition and swaps
+// paged columns into the table. Promote is a merge: the delta→main merge
+// always rebuilds hot encodings, so merging a warm table re-hydrates it —
+// an OnMerge hook keeps the catalog tier tag honest when merges happen
+// behind the store's back (MERGE DELTA OF a demoted table).
+package extstore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/columnstore"
+	"repro/internal/value"
+)
+
+// Demote serializes partition p to the warm tier: delta merged, columns
+// re-encoded into pages, zone map recorded, catalog tier flipped to
+// extended. Safe to call on an already-warm partition (re-demotes any
+// rows that arrived since; a no-op when nothing changed). Demotion is a
+// policy action, not a query-path one: callers (the aging manager, tests)
+// run it while no concurrent merge of the same table is in flight.
+func (s *Store) Demote(p *catalog.Partition, minActiveTS uint64) error {
+	t := p.Table
+	if s.isWarm(t) && t.DeltaRows() == 0 {
+		return nil // already fully paged out and unchanged
+	}
+	// Fold the delta (and any prior paged main — merge reads through Get,
+	// faulting as needed) into fresh hot encodings first, so the chunks
+	// below serialize one flat main store.
+	t.Merge(minActiveTS)
+	snap := t.Snapshot(math.MaxUint64)
+	rows := snap.MainRows()
+	schema := snap.Schema()
+
+	zone := columnstore.BuildZoneMap(snap)
+	zone.Merges = t.MergeCount()
+
+	cols := make([]columnstore.MainColumn, len(schema))
+	for c := range schema {
+		pc, err := s.pageColumn(snap, c, rows, t.Name())
+		if err != nil {
+			return err
+		}
+		cols[c] = pc
+	}
+	if err := t.ReplaceMain(cols); err != nil {
+		return err
+	}
+	s.installHook(t, p)
+	s.markWarm(t, true)
+	p.Tier = catalog.TierExtended
+	p.Zone = zone
+	cDemotions.Inc()
+	return nil
+}
+
+// Promote re-hydrates partition p to the hot tier. The delta→main merge
+// rebuilds in-memory encodings from the paged columns (faulting every
+// chunk once); the installed hook flips the catalog tier back.
+func (s *Store) Promote(p *catalog.Partition, minActiveTS uint64) error {
+	if p.Tier != catalog.TierExtended {
+		return nil
+	}
+	p.Table.Merge(minActiveTS)
+	p.Tier = catalog.TierHot
+	p.Zone = nil
+	cPromotions.Inc()
+	return nil
+}
+
+// DemoteTable demotes every partition of a catalog entry, returning how
+// many moved.
+func (s *Store) DemoteTable(e *catalog.TableEntry, minActiveTS uint64) (int, error) {
+	n := 0
+	for _, p := range e.Partitions {
+		if err := s.Demote(p, minActiveTS); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// pageColumn encodes one column into chunks and returns the paged column
+// wrapper matching the schema kind's capabilities.
+func (s *Store) pageColumn(snap *columnstore.Snapshot, col, rows int, table string) (columnstore.MainColumn, error) {
+	kind := snap.Schema()[col].Kind
+	base := PagedColumn{store: s, table: table, kind: kind, n: rows}
+	boxed := false
+	for lo := 0; lo < rows; lo += s.chunkRows {
+		hi := lo + s.chunkRows
+		if hi > rows {
+			hi = rows
+		}
+		enc := encodeChunk(snap, col, lo, hi, kind)
+		if enc[0] == encBoxed {
+			boxed = true
+		}
+		loc, err := s.writeChunk(enc)
+		if err != nil {
+			return nil, fmt.Errorf("extstore: demote %s column %d: %w", table, col, err)
+		}
+		base.chunk = append(base.chunk, chunkMeta{rowLo: lo, rowHi: hi, loc: loc})
+	}
+	if boxed {
+		return &PagedValues{base}, nil
+	}
+	switch kind {
+	case value.KindString:
+		return &PagedStrings{base}, nil
+	case value.KindFloat:
+		return &PagedFloats{base}, nil
+	default:
+		return &PagedInts{base}, nil
+	}
+}
+
+// installHook registers the re-hydration hook once per table: any merge of
+// a demoted table rebuilds hot columns, so the catalog tier tags and zone
+// maps of every partition wrapper over it must be cleared when that
+// happens.
+func (s *Store) installHook(t *columnstore.Table, p *catalog.Partition) {
+	s.mu.Lock()
+	found := false
+	for _, q := range s.parts[t] {
+		if q == p {
+			found = true
+			break
+		}
+	}
+	if !found {
+		s.parts[t] = append(s.parts[t], p)
+	}
+	already := s.hooked[t]
+	s.hooked[t] = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	t.OnMerge(func([]int) { s.onRehydrate(t) })
+}
+
+// onRehydrate runs after any merge of a demoted table: the merge already
+// rebuilt hot columns, so only the metadata needs to catch up.
+func (s *Store) onRehydrate(t *columnstore.Table) {
+	s.mu.Lock()
+	s.warm[t] = false
+	ps := append([]*catalog.Partition(nil), s.parts[t]...)
+	s.mu.Unlock()
+	for _, p := range ps {
+		p.Tier = catalog.TierHot
+		p.Zone = nil
+	}
+}
+
+func (s *Store) isWarm(t *columnstore.Table) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warm[t]
+}
+
+func (s *Store) markWarm(t *columnstore.Table, warm bool) {
+	s.mu.Lock()
+	s.warm[t] = warm
+	s.mu.Unlock()
+}

@@ -1,0 +1,42 @@
+package extstore
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Buffer-pool gauges and counters, exported through the process registry
+// and therefore visible in the Prometheus /metrics exposition.
+var (
+	cPoolHits      = stats.Default.Counter("extstore_pool_hits_total")
+	cPoolMisses    = stats.Default.Counter("extstore_pool_misses_total")
+	cPoolEvictions = stats.Default.Counter("extstore_pool_evictions_total")
+	cPageFaults    = stats.Default.Counter("extstore_page_faults_total")
+	cFaultedBytes  = stats.Default.Counter("extstore_faulted_bytes_total")
+	cFaultNanos    = stats.Default.Counter("extstore_fault_nanos_total")
+	cDemotions     = stats.Default.Counter("extstore_demotions_total")
+	cPromotions    = stats.Default.Counter("extstore_promotions_total")
+	gPoolResident  = stats.Default.Gauge("extstore_resident_pages")
+	gPoolBudget    = stats.Default.Gauge("extstore_pool_budget_pages")
+)
+
+// Process-wide fault accounting (across all stores and pools). The
+// executors snapshot these around a partition or morsel and attribute the
+// delta to the operator that triggered the faults; under concurrent
+// queries the attribution is approximate, the totals exact.
+var (
+	faultCount     int64
+	faultNanos     int64
+	residentglobal int64
+)
+
+// FaultCounters returns the process-wide page-fault count and the
+// cumulative nanoseconds spent faulting.
+func FaultCounters() (n, nanos int64) {
+	return atomic.LoadInt64(&faultCount), atomic.LoadInt64(&faultNanos)
+}
+
+func globalResidentAdd(delta int) {
+	gPoolResident.Set(float64(atomic.AddInt64(&residentglobal, int64(delta))))
+}

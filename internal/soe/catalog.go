@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/catalog"
 	"repro/internal/columnstore"
 	"repro/internal/value"
 )
@@ -32,6 +33,10 @@ type DistTable struct {
 	// (HostReplica placements). Guarded by the owning catalog's mutex;
 	// the coordinator consults it for failover routing.
 	replicas map[int][]string
+
+	// tiers[p] records the storage tier of partition p; absent means hot.
+	// Guarded by the owning catalog's mutex.
+	tiers map[int]catalog.Tier
 
 	rowEstimate atomic.Int64 // maintained by the coordinator on insert
 }

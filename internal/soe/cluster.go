@@ -92,10 +92,11 @@ func (c *Cluster) CollectStats() stats.Snapshot {
 	return c.Stats.Collect()
 }
 
-// Shutdown stops polling loops.
+// Shutdown stops polling loops and releases node-local extended stores.
 func (c *Cluster) Shutdown() {
 	for _, n := range c.Nodes {
 		n.StopPolling()
+		n.closeWarm()
 	}
 }
 

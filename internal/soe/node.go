@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/columnstore"
+	"repro/internal/extstore"
 	"repro/internal/netsim"
 	"repro/internal/sqlexec"
 	"repro/internal/stats"
@@ -40,6 +41,7 @@ type DataNode struct {
 
 	mu         sync.Mutex
 	hosted     map[string]map[int]*columnstore.Table // table -> part -> storage
+	warm       *extstore.Store                       // node-local extended store, lazily created
 	appliedPos uint64
 	appliedTS  uint64
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/columnstore"
+	"repro/internal/extstore"
 	"repro/internal/value"
 )
 
@@ -250,6 +251,7 @@ func compileScan(s *ScanPlan, ctx *execCtx) (pipe, error) {
 				time.Sleep(time.Duration(part.ColdReadPenalty) * time.Microsecond)
 				stats.ColdPenaltyMicros += part.ColdReadPenalty
 			}
+			faults0, faultNS0 := extstore.FaultCounters()
 			snap := part.Table.Snapshot(ts)
 			stats.PartitionsScanned++
 			if op != nil {
@@ -304,9 +306,27 @@ func compileScan(s *ScanPlan, ctx *execCtx) (pipe, error) {
 			if op != nil {
 				op.rowsScanned.Add(int64(scanned))
 			}
+			attributeFaults(stats, op, faults0, faultNS0)
 		}
 		return nil
 	}, nil
+}
+
+// attributeFaults charges the page faults that happened since the given
+// extstore counter snapshot to the stats block and operator profile.
+// Under concurrent queries the per-operator attribution is approximate
+// (the process-wide counters stay exact).
+func attributeFaults(stats *ExecStats, op *OpProfile, faults0, faultNS0 int64) {
+	faults1, faultNS1 := extstore.FaultCounters()
+	if faults1 == faults0 {
+		return
+	}
+	stats.PageFaults += int(faults1 - faults0)
+	stats.PageFaultMicros += int((faultNS1 - faultNS0) / 1000)
+	if op != nil {
+		op.pageFaults.Add(faults1 - faults0)
+		op.faultNS.Add(faultNS1 - faultNS0)
+	}
 }
 
 // makeGetter builds a specialized accessor spanning main and delta parts.
@@ -324,42 +344,36 @@ func makeGetter(snap *columnstore.Snapshot, col int) colGetter {
 	if mc == nil {
 		return deltaGet
 	}
-	switch m := mc.(type) {
-	case *columnstore.IntColumn:
-		kind := m.Kind()
+	// Specialize on reader capabilities, not concrete structs: hot and
+	// paged warm columns expose the same accessors.
+	kind := mc.Kind()
+	if m, ok := mc.(columnstore.IntAccessor); ok && kind != value.KindFloat && kind != value.KindString {
 		return func(pos int) value.Value {
 			if pos < mainRows {
-				if m.IsNull(pos) {
+				if mc.IsNull(pos) {
 					return value.Null
 				}
 				return value.Value{K: kind, I: m.Int64(pos)}
 			}
 			return deltaGet(pos)
 		}
-	case *columnstore.FloatColumn:
+	}
+	if m, ok := mc.(columnstore.FloatAccessor); ok && kind == value.KindFloat {
 		return func(pos int) value.Value {
 			if pos < mainRows {
-				if m.IsNull(pos) {
+				if mc.IsNull(pos) {
 					return value.Null
 				}
 				return value.Float(m.Float64(pos))
 			}
 			return deltaGet(pos)
 		}
-	case *columnstore.DictColumn:
-		return func(pos int) value.Value {
-			if pos < mainRows {
-				return m.Get(pos)
-			}
-			return deltaGet(pos)
+	}
+	return func(pos int) value.Value {
+		if pos < mainRows {
+			return mc.Get(pos)
 		}
-	default:
-		return func(pos int) value.Value {
-			if pos < mainRows {
-				return mc.Get(pos)
-			}
-			return deltaGet(pos)
-		}
+		return deltaGet(pos)
 	}
 }
 
@@ -370,16 +384,23 @@ type intReader func(pos int) (int64, bool)
 func makeIntReader(snap *columnstore.Snapshot, col int) intReader {
 	mainRows := snap.MainRows()
 	mc, dc := snap.MainColumn(col), snap.DeltaColumn(col)
-	m, mok := mc.(*columnstore.IntColumn)
+	m, mok := mc.(columnstore.IntAccessor)
+	if mok {
+		switch mc.Kind() {
+		case value.KindInt, value.KindTime, value.KindBool:
+		default:
+			mok = false
+		}
+	}
 	if dc != nil && dc.Kind() != value.KindInt && dc.Kind() != value.KindTime && dc.Kind() != value.KindBool {
 		return nil
 	}
 	if !mok && mc != nil && mc.Len() > 0 {
-		return nil // main part not integer-packed (e.g. RLE): generic path
+		return nil // main part not integer-addressable (e.g. RLE): generic path
 	}
 	return func(pos int) (int64, bool) {
 		if pos < mainRows {
-			if m == nil || m.IsNull(pos) {
+			if !mok || mc.IsNull(pos) {
 				return 0, false
 			}
 			return m.Int64(pos), true
@@ -496,18 +517,20 @@ func tryFastConjunct(e Expr, snap *columnstore.Snapshot, cols []colInfo) func(po
 	}
 
 	// Dictionary equality fast path: compare value IDs in main storage.
+	// Requires a table-wide dictionary (DictIndexed); paged warm columns
+	// use per-chunk dictionaries and take the generic path instead.
 	if lit.Val.K == value.KindString && op == "=" {
-		mc, ok := snap.MainColumn(col).(*columnstore.DictColumn)
+		mc, ok := snap.MainColumn(col).(columnstore.DictIndexed)
 		if !ok {
 			return nil
 		}
 		mainRows := snap.MainRows()
 		dc := snap.DeltaColumn(col)
-		id, found := mc.Dict.Lookup(lit.Val.S)
+		id, found := mc.LookupID(lit.Val.S)
 		want := lit.Val.S
 		return func(pos int) bool {
 			if pos < mainRows {
-				return found && !mc.IsNull(pos) && mc.ValueID(pos) == id
+				return found && !mc.IsNull(pos) && mc.IDAt(pos) == id
 			}
 			d := pos - mainRows
 			if dc == nil || d >= dc.Len() || dc.IsNull(d) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/extstore"
 	"repro/internal/value"
 )
 
@@ -26,6 +27,13 @@ type ExecStats struct {
 	Morsels         int
 	KernelHits      int
 	KernelFallbacks int
+
+	// Extended-store accounting: buffer-pool chunk faults triggered while
+	// scanning warm partitions, and the wall time spent reading and
+	// decoding their pages. Attribution is approximate under concurrent
+	// queries (the counters diff a process-wide total).
+	PageFaults      int
+	PageFaultMicros int
 }
 
 // Result is a materialized query result.
@@ -260,6 +268,12 @@ type scanIter struct {
 	scanned int
 	env     Env
 	op      *OpProfile // per-operator analyze counters; may be nil
+
+	// Extended-store fault baseline, re-armed per partition so warm-scan
+	// faults are charged to this operator.
+	faults0  int64
+	faultNS0 int64
+	tracking bool
 }
 
 type snapState struct {
@@ -304,6 +318,10 @@ func (it *scanIter) flushStats() {
 		}
 		it.scanned = 0
 	}
+	if it.tracking {
+		attributeFaults(it.ctx.stats, it.op, it.faults0, it.faultNS0)
+		it.faults0, it.faultNS0 = extstore.FaultCounters()
+	}
 }
 
 func (it *scanIter) Next() (value.Row, bool, error) {
@@ -322,6 +340,8 @@ func (it *scanIter) Next() (value.Row, bool, error) {
 			s := part.Table.Snapshot(it.ctx.ts)
 			it.snap = snapState{snap: s, n: s.NumRows()}
 			it.pos = 0
+			it.faults0, it.faultNS0 = extstore.FaultCounters()
+			it.tracking = true
 			it.ctx.stats.PartitionsScanned++
 			if it.op != nil {
 				it.op.partsScanned.Add(1)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/columnstore"
+	"repro/internal/extstore"
 	"repro/internal/value"
 )
 
@@ -284,6 +285,7 @@ func (r *scanRun) runMorsel(t *scanTask, w int) []value.Row {
 		ctx.stats.ColdPenaltyMicros += t.cold
 		ctx.mu.Unlock()
 	}
+	faults0, faultNS0 := extstore.FaultCounters()
 	scr := &r.scratch[w]
 	sel := t.snap.VisibleRange(t.lo, t.hi, scr.selA[:0])
 	visible := len(sel)
@@ -315,6 +317,7 @@ func (r *scanRun) runMorsel(t *scanTask, w int) []value.Row {
 	ctx.mu.Lock()
 	ctx.stats.RowsScanned += visible
 	ctx.stats.Morsels++
+	attributeFaults(ctx.stats, r.op, faults0, faultNS0)
 	ctx.mu.Unlock()
 	if r.op != nil {
 		r.op.rowsScanned.Add(int64(visible))
@@ -381,15 +384,22 @@ func vecScan(s *ScanPlan, ctx *execCtx) (vpipe, error) {
 // Compare itself once per run so any literal kind is safe. A nil return
 // sends the conjunct to the generic expression path for this partition.
 func bindKernel(snap *columnstore.Snapshot, p vecPred) kernelFn {
-	switch c := snap.MainColumn(p.Col).(type) {
-	case *columnstore.IntColumn:
-		if p.Lit.K == c.Kind() && p.Lit.K != value.KindFloat {
+	mc := snap.MainColumn(p.Col)
+	if mc == nil {
+		return nil
+	}
+	// Capability interfaces instead of concrete structs: hot columns and
+	// paged warm columns bind the same kernels.
+	if c, ok := mc.(columnstore.IntFilterer); ok {
+		if p.Lit.K == mc.Kind() && p.Lit.K != value.KindFloat {
 			k := p.Lit.I
 			return func(lo, hi int, sel []int) []int {
-				return c.FilterRange(lo, hi, p.Op, k, sel)
+				return c.FilterInts(lo, hi, p.Op, k, sel)
 			}
 		}
-	case *columnstore.FloatColumn:
+		return nil
+	}
+	if c, ok := mc.(columnstore.FloatFilterer); ok {
 		var k float64
 		switch p.Lit.K {
 		case value.KindFloat:
@@ -400,17 +410,20 @@ func bindKernel(snap *columnstore.Snapshot, p vecPred) kernelFn {
 			return nil
 		}
 		return func(lo, hi int, sel []int) []int {
-			return c.FilterRange(lo, hi, p.Op, k, sel)
+			return c.FilterFloats(lo, hi, p.Op, k, sel)
 		}
-	case *columnstore.DictColumn:
+	}
+	if c, ok := mc.(columnstore.StringFilterer); ok {
 		if p.Lit.K == value.KindString {
 			return func(lo, hi int, sel []int) []int {
 				return c.FilterString(lo, hi, p.Op, p.Lit.S, sel)
 			}
 		}
-	case *columnstore.RLEColumn:
+		return nil
+	}
+	if c, ok := mc.(columnstore.ValueFilterer); ok {
 		return func(lo, hi int, sel []int) []int {
-			return c.FilterRange(lo, hi, p.Op, p.Lit, sel)
+			return c.FilterValues(lo, hi, p.Op, p.Lit, sel)
 		}
 	}
 	return nil
@@ -618,6 +631,39 @@ func finishAgg(folds []*vecAggFold, p *AggPlan) []value.Row {
 	return out
 }
 
+// aggFloatOrderSensitive reports whether any aggregate of x accumulates
+// a floating-point sum over s, whose value depends on addition order.
+// Such plans must not take the fused per-worker fold: morsel→worker
+// assignment is scheduler-dependent, so the float addends would group
+// differently run to run and the output would no longer be byte-identical
+// to the sequential executors. They use the ordered general path instead
+// (parallel scan, sequential fold in morsel order). SUM/AVG over a plain
+// integer column — and COUNT/MIN/MAX over anything — are exact under any
+// grouping and keep the fused path.
+func aggFloatOrderSensitive(x *AggPlan, s *ScanPlan) bool {
+	schema := s.Entry.Schema
+	for _, a := range x.Aggs {
+		if a.Fn != "SUM" && a.Fn != "AVG" {
+			continue
+		}
+		cr, ok := a.Arg.(*ColRef)
+		if !ok {
+			return true // computed argument: kind unknown statically
+		}
+		idx := -1
+		for i, c := range s.cols {
+			if c.Name == cr.Name && (cr.Qual == "" || cr.Qual == c.Qual) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 || idx >= len(schema) || schema[idx].Kind != value.KindInt {
+			return true
+		}
+	}
+	return false
+}
+
 func vecAgg(x *AggPlan, ctx *execCtx) (vpipe, error) {
 	res := resolverFor(x.Child.columns())
 	if _, err := newAggFold(x, res, ctx); err != nil {
@@ -629,7 +675,7 @@ func vecAgg(x *AggPlan, ctx *execCtx) (vpipe, error) {
 			hasDistinct = true
 		}
 	}
-	if s, ok := x.Child.(*ScanPlan); ok && !hasDistinct {
+	if s, ok := x.Child.(*ScanPlan); ok && !hasDistinct && !aggFloatOrderSensitive(x, s) {
 		return vecAggScan(x, s, res, ctx)
 	}
 	// General case: sequential fold over the child's ordered batches (the
@@ -660,7 +706,11 @@ func vecAgg(x *AggPlan, ctx *execCtx) (vpipe, error) {
 // vecAggScan fuses aggregation into the scan's morsel tasks: each worker
 // folds the morsels it runs into its own partial table, and the partials
 // merge once at the end. No ordered hand-off is needed, so morsels with
-// cold-read stalls overlap freely across workers.
+// cold-read stalls overlap freely across workers. Only order-insensitive
+// accumulators may come here (see aggFloatOrderSensitive): which worker
+// ran which morsel is scheduler-dependent, so a float sum folded this
+// way would drift by association — integer sums, counts and min/max are
+// exact under any grouping.
 func vecAggScan(x *AggPlan, s *ScanPlan, res colResolver, ctx *execCtx) (vpipe, error) {
 	prep, err := prepScan(s, ctx)
 	if err != nil {

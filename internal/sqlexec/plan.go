@@ -790,6 +790,9 @@ func (pl *Planner) pruneScan(s *ScanPlan) {
 	if pl.Prune != nil {
 		parts = pl.Prune(s.Entry, conjs, parts)
 	}
+	if s.Filter != nil {
+		parts = zonePrune(s, conjs, parts)
+	}
 	s.Pruned = len(s.Entry.Partitions) - len(parts)
 	s.Parts = parts
 	markKernelEligible(s)

@@ -38,6 +38,8 @@ type OpProfile struct {
 	kernelHits      atomic.Int64
 	kernelFallbacks atomic.Int64
 	busyNS          atomic.Int64 // summed worker-side morsel time
+	pageFaults      atomic.Int64 // scans: extended-store chunk faults
+	faultNS         atomic.Int64 // scans: time inside those faults
 	buildRows       atomic.Int64 // joins: hash-table input
 	probeRows       atomic.Int64 // joins: probe-side input
 	fused           bool         // executed inside the parent (agg+scan fusion)
@@ -159,6 +161,9 @@ func (p *Profile) renderOp(sb *strings.Builder, o *OpProfile, depth int) {
 	}
 	if h, f := o.kernelHits.Load(), o.kernelFallbacks.Load(); h+f > 0 {
 		fmt.Fprintf(sb, " kernels=%d/%d", h, f)
+	}
+	if n := o.pageFaults.Load(); n > 0 {
+		fmt.Fprintf(sb, " page_faults=%d fault_time=%s", n, fmtDur(time.Duration(o.faultNS.Load())))
 	}
 	if busy := o.busyNS.Load(); busy > 0 {
 		fmt.Fprintf(sb, " worker_busy=%s", fmtDur(time.Duration(busy)))
