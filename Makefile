@@ -1,11 +1,12 @@
 # Developer entry points. `make ci` is the gate: lint (gofmt + vet) +
 # build + race-enabled tests + the experiment shape assertions + executor
 # parity (hot and tiered) under -race + the fault-injection (chaos) suite
-# + a smoke run of the vectorized-scan micro-benchmarks.
+# + the wire-protocol conformance/loadgen smoke suite + a smoke run of
+# the vectorized-scan micro-benchmarks.
 
 GO ?= go
 
-.PHONY: all lint vet build test race experiments parity chaos benchsmoke benchbaseline bench ci
+.PHONY: all lint vet build test race experiments parity chaos wire benchsmoke benchbaseline bench ci
 
 all: ci
 
@@ -30,7 +31,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The EXPERIMENTS.md shape assertions (E1..E21 tables must reproduce).
+# The EXPERIMENTS.md shape assertions (E1..E22 tables must reproduce).
 experiments:
 	$(GO) test -run Experiment ./...
 
@@ -43,6 +44,13 @@ parity:
 # replica failover, idempotent commit retries and shared-log hole repair.
 chaos:
 	$(GO) test -race -run 'TestFT' ./internal/soe/ ./internal/sharedlog/
+
+# Wire-protocol conformance under the race detector: the e2e client/server
+# suite, the extended-protocol state machine (malformed frames, Bind to a
+# missing statement, skip-until-Sync), and the loadgen smoke run — a small
+# in-process connection fleet, bounded duration, zero protocol errors.
+wire:
+	$(GO) test -race -run 'TestWire|TestState|TestLoadSmoke' ./internal/pgwire/
 
 # Quick pass over the vectorized scan/aggregation micro-benchmarks, gated
 # by cmd/benchguard against the committed BENCH_vectorized_baseline.json:
@@ -61,4 +69,4 @@ benchbaseline:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: lint build race experiments parity chaos benchsmoke
+ci: lint build race experiments parity chaos wire benchsmoke

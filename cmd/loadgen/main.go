@@ -1,0 +1,62 @@
+// loadgen drives a mixed workload against any PostgreSQL wire-protocol
+// endpoint — the soed -pgport front end or a standalone pgwire server —
+// over N concurrent connections and reports per-op p50/p99/p999 latency,
+// throughput, admission rejections and protocol errors. All latencies
+// flow through the stats pipeline, so the printed report and a
+// Prometheus scrape of the same registry can never disagree.
+//
+// Usage: go run ./cmd/loadgen -addr 127.0.0.1:5433 [-conns 1000]
+//
+//	[-duration 10s] [-point 70] [-agg 10] [-insert 20]
+//	[-seed-rows 10000] [-no-setup]
+//
+// Exit status is non-zero when any protocol error occurred: coded
+// SQLSTATE errors (including 53xxx admission rejections) are expected
+// outcomes under overload, transport or framing failures never are.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/pgwire"
+)
+
+func main() {
+	addr := flag.String("addr", "", "server address host:port (required)")
+	conns := flag.Int("conns", 1000, "concurrent connections")
+	duration := flag.Duration("duration", 10*time.Second, "steady-state run time")
+	point := flag.Int("point", 70, "point-lookup weight")
+	agg := flag.Int("agg", 10, "analytic-aggregate weight")
+	insert := flag.Int("insert", 20, "ingest weight")
+	seedRows := flag.Int("seed-rows", 10000, "rows seeded into the workload tables")
+	noSetup := flag.Bool("no-setup", false, "skip table creation and seeding")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := pgwire.RunLoad(pgwire.LoadConfig{
+		Addr:         *addr,
+		Conns:        *conns,
+		Duration:     *duration,
+		PointWeight:  *point,
+		AggWeight:    *agg,
+		InsertWeight: *insert,
+		SeedRows:     *seedRows,
+		NoSetup:      *noSetup,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+	if rep.ProtocolErrors > 0 {
+		os.Exit(1)
+	}
+}

@@ -9,22 +9,35 @@
 // /metrics (JSON on /metrics.json) and stitched trace trees on /traces
 // (one trace via /traces?trace=<id>).
 //
+// With -pgport it also serves a PostgreSQL wire-protocol front end over a
+// gateway engine mirroring the demo data: any libpq client (psql included)
+// can connect, run simple and extended queries, and use explicit
+// transactions. SIGTERM/SIGINT drains gracefully — new startups are
+// refused, in-flight queries finish — and /healthz reports "draining"
+// during that window.
+//
 // Usage: go run ./cmd/soed [-nodes 4] [-rows 20000] [-mode oltp|olap]
 //
-//	[-http :8080]
+//	[-http :8080] [-pgport :5433]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/columnstore"
 	"repro/internal/distql"
 	"repro/internal/netsim"
+	"repro/internal/pgwire"
 	"repro/internal/soe"
+	"repro/internal/sqlexec"
 	"repro/internal/stats"
 	"repro/internal/value"
 )
@@ -35,6 +48,7 @@ func main() {
 	mode := flag.String("mode", "oltp", "node mode: oltp or olap")
 	latency := flag.Duration("latency", 50*time.Microsecond, "simulated link latency")
 	httpAddr := flag.String("http", "", "serve /metrics and /traces on this address (e.g. :8080) after the demo")
+	pgAddr := flag.String("pgport", "", "serve the PostgreSQL wire protocol on this address (e.g. :5433) after the demo")
 	flag.Parse()
 
 	m := soe.OLTP
@@ -186,10 +200,123 @@ func main() {
 		fmt.Printf("  query latency: p50=%.2fms p95=%.2fms p99=%.2fms (n=%d)\n", h.P50, h.P95, h.P99, h.Count)
 	}
 
-	if *httpAddr != "" {
-		fmt.Printf("\nserving /metrics (Prometheus), /metrics.json and /traces on %s\n", *httpAddr)
-		must0(http.ListenAndServe(*httpAddr, stats.NewHandler(cluster.CollectStats, cluster.Tracer)))
+	// Wire front end: a gateway engine mirroring the demo data, served
+	// over the PostgreSQL v3 protocol with admission control.
+	var pgSrv *pgwire.Server
+	wireObs := stats.NewRegistry("service=pgwire")
+	if *pgAddr != "" {
+		gw := sqlexec.NewEngine()
+		seedGateway(gw, *rows)
+		var err error
+		pgSrv, err = pgwire.Serve(pgwire.EngineBackend{Engine: gw}, pgwire.Config{Addr: *pgAddr, Obs: wireObs})
+		must0(err)
+		fmt.Printf("\npgwire front end on %s — try: psql \"host=127.0.0.1 port=%d user=soe\" -c 'SELECT region, COUNT(*) FROM orders GROUP BY region'\n",
+			pgSrv.Addr(), addrPort(pgSrv.Addr().String()))
 	}
+
+	// Landscape metrics plus wire-front-end metrics in one scrape.
+	collect := func() stats.Snapshot {
+		return stats.Merge(cluster.CollectStats(), wireObs.Snapshot())
+	}
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", stats.NewHandler(collect, cluster.Tracer))
+		// Readiness: "draining" (503) once graceful shutdown has begun, so
+		// load balancers stop routing before connections disappear.
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if pgSrv != nil && pgSrv.Draining() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "draining")
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+		fmt.Printf("serving /metrics (Prometheus), /metrics.json, /traces and /healthz on %s\n", *httpAddr)
+		go func() { must0(http.ListenAndServe(*httpAddr, mux)) }()
+	}
+
+	if *pgAddr != "" || *httpAddr != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		<-sig
+		if pgSrv != nil {
+			fmt.Println("\ndraining pgwire connections...")
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			must0(pgSrv.Shutdown(ctx))
+			fmt.Println("drain complete")
+		}
+	}
+}
+
+// seedGateway mirrors the demo orders/items schema and rows into the
+// wire gateway's engine.
+func seedGateway(gw *sqlexec.Engine, rows int) {
+	gw.MustQuery(`CREATE TABLE orders (id VARCHAR, region VARCHAR, amount DOUBLE)`)
+	gw.MustQuery(`CREATE TABLE items (id VARCHAR, order_id VARCHAR, qty INT)`)
+	regions := []string{"EMEA", "AMER", "APJ"}
+	sess := gw.NewSession()
+	defer sess.Close()
+	mustV(0, sessQuery(sess, `BEGIN`))
+	const batch = 1000
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		ords := make([]value.Row, 0, batch)
+		its := make([]value.Row, 0, 2*batch)
+		for i := lo; i < hi; i++ {
+			oid := fmt.Sprintf("O%08d", i)
+			ords = append(ords, value.Row{value.String(oid), value.String(regions[i%3]), value.Float(float64(i % 1000))})
+			for j := 0; j < 2; j++ {
+				its = append(its, value.Row{value.String(fmt.Sprintf("%s-I%d", oid, j)), value.String(oid), value.Int(int64(j + 1))})
+			}
+		}
+		mustV(0, insertRows(sess, "orders", ords))
+		mustV(0, insertRows(sess, "items", its))
+	}
+	mustV(0, sessQuery(sess, `COMMIT`))
+}
+
+func sessQuery(sess *sqlexec.Session, sql string, params ...value.Value) error {
+	_, err := sess.Query(sql, params...)
+	return err
+}
+
+// insertRows appends rows through one parameterized multi-row INSERT.
+func insertRows(sess *sqlexec.Session, table string, rows []value.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	var sb []byte
+	sb = append(sb, "INSERT INTO "...)
+	sb = append(sb, table...)
+	sb = append(sb, " VALUES "...)
+	params := make([]value.Value, 0, len(rows)*len(rows[0]))
+	for r, row := range rows {
+		if r > 0 {
+			sb = append(sb, ", "...)
+		}
+		sb = append(sb, '(')
+		for c, v := range row {
+			if c > 0 {
+				sb = append(sb, ", "...)
+			}
+			sb = append(sb, '?')
+			params = append(params, v)
+		}
+		sb = append(sb, ')')
+	}
+	return sessQuery(sess, string(sb), params...)
+}
+
+// addrPort extracts the numeric port of a listen address for display.
+func addrPort(addr string) int {
+	p := 0
+	fmt.Sscanf(addr[strings.LastIndex(addr, ":")+1:], "%d", &p)
+	return p
 }
 
 func counterOf(snap stats.Snapshot, name string, labels ...string) int64 {

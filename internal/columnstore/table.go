@@ -272,17 +272,23 @@ func (t *Table) Bytes() int {
 
 // Snapshot captures a consistent read view at timestamp ts. The snapshot
 // remains valid across concurrent inserts and merges: it pins the column
-// structures that existed at capture time.
+// structures that existed at capture time. Delta columns are pinned as
+// frozen views — the live delta keeps growing in place under the table
+// lock, and a view taken here can never observe a mid-append reallocation.
 func (t *Table) Snapshot(ts uint64) *Snapshot {
 	cSnapshots.Inc()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	delta := make([]*DeltaColumn, len(t.delta))
+	for i, dc := range t.delta {
+		delta[i] = dc.view()
+	}
 	return &Snapshot{
 		ts:       ts,
 		schema:   t.schema,
 		main:     t.main,
 		mainRows: t.mainRows,
-		delta:    t.delta,
+		delta:    delta,
 		created:  t.created,
 		deleted:  t.deleted,
 		rows:     len(t.created),

@@ -273,3 +273,24 @@ func TestE20ShapeProfileOverhead(t *testing.T) {
 		t.Fatalf("profiling overhead %.1f%% >= 10%%:\n%s", overhead, tab.String())
 	}
 }
+
+func TestE22ShapeWireLoad(t *testing.T) {
+	tab := E22WireLoad(tiny)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("unexpected table shape: %v", tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if atoi(t, row[1]) == 0 {
+			t.Fatalf("op %q never ran: %v", row[0], tab.Rows)
+		}
+	}
+	notes := strings.Join(tab.Notes, "\n")
+	// Transport failures are never acceptable, under load or overload.
+	if strings.Contains(notes, "PROTOCOL ERRORS") || !strings.Contains(notes, " 0 protocol errors") {
+		t.Fatalf("protocol errors:\n%s", notes)
+	}
+	// Graceful drain must not drop a single confirmed response.
+	if !strings.Contains(notes, " 0 dropped") {
+		t.Fatalf("drain dropped responses:\n%s", notes)
+	}
+}

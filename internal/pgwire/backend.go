@@ -1,0 +1,36 @@
+package pgwire
+
+import (
+	"repro/internal/sqlexec"
+	"repro/internal/value"
+)
+
+// Session is what one wire connection executes against: the sqlexec
+// session surface (auto-commit queries, explicit transactions, positional
+// parameters). Implementations are used by exactly one connection
+// goroutine at a time — the same single-goroutine contract sqlexec.Session
+// documents.
+type Session interface {
+	Query(sql string, params ...value.Value) (*sqlexec.Result, error)
+	Begin() error
+	Commit() error
+	Rollback() error
+	InTxn() bool
+	Close()
+}
+
+// Backend hands out per-connection sessions. The server calls NewSession
+// once per accepted startup and Close when the connection ends.
+type Backend interface {
+	NewSession() Session
+}
+
+// EngineBackend adapts a sqlexec.Engine: every connection gets its own
+// session over the shared engine, which is the concurrency model the
+// engine supports (engine shared, session per goroutine).
+type EngineBackend struct {
+	Engine *sqlexec.Engine
+}
+
+// NewSession opens an engine session for one connection.
+func (b EngineBackend) NewSession() Session { return b.Engine.NewSession() }

@@ -1,0 +1,286 @@
+package pgwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// Extended-protocol state-machine tests: malformed and truncated frames,
+// Bind against a missing statement, and the skip-until-Sync semantics
+// after an error in the middle of an extended batch. These drive the wire
+// by hand so broken clients are representable.
+
+// rawDial completes the startup handshake and returns the naked socket
+// plus a buffered reader positioned after the first ReadyForQuery.
+func rawDial(t *testing.T, srv *Server) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	body := []byte{0, 3, 0, 0}
+	body = append(body, "user\x00raw\x00\x00"...)
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(4+len(body)))
+	copy(frame[4:], body)
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatalf("startup write: %v", err)
+	}
+	r := bufio.NewReader(nc)
+	for {
+		typ, _, err := readFrame(r, DefaultMaxMessage)
+		if err != nil {
+			t.Fatalf("startup read: %v", err)
+		}
+		if typ == msgReadyForQuery {
+			return nc, r
+		}
+	}
+}
+
+// writeMsg frames a typed message by hand.
+func writeMsg(t *testing.T, nc net.Conn, typ byte, payload []byte) {
+	t.Helper()
+	frame := make([]byte, 5+len(payload))
+	frame[0] = typ
+	binary.BigEndian.PutUint32(frame[1:], uint32(4+len(payload)))
+	copy(frame[5:], payload)
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatalf("write %q: %v", typ, err)
+	}
+}
+
+// collectUntilReady gathers message types until ReadyForQuery, recording
+// the first error code seen.
+func collectUntilReady(t *testing.T, r *bufio.Reader) (types []byte, code string) {
+	t.Helper()
+	for {
+		typ, payload, err := readFrame(r, DefaultMaxMessage)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		types = append(types, typ)
+		if typ == msgErrorResponse && code == "" {
+			code = decodeError(&msgReader{buf: payload}).Code
+		}
+		if typ == msgReadyForQuery {
+			return types, code
+		}
+	}
+}
+
+func TestStateBindMissingStatement(t *testing.T) {
+	srv, _ := startServer(t, Config{})
+	nc, r := rawDial(t, srv)
+
+	// Bind portal "" to statement "nope" that was never parsed.
+	var p []byte
+	p = append(p, "\x00"...)     // portal name
+	p = append(p, "nope\x00"...) // statement name
+	p = append(p, 0, 0)          // no format codes
+	p = append(p, 0, 0)          // no params
+	p = append(p, 0, 0)          // no result formats
+	writeMsg(t, nc, msgBind, p)
+	writeMsg(t, nc, msgSync, nil)
+
+	_, code := collectUntilReady(t, r)
+	if code != CodeInvalidStatement {
+		t.Fatalf("want 26000, got %q", code)
+	}
+
+	// The connection stays usable.
+	writeMsg(t, nc, msgQuery, []byte("SELECT 1\x00"))
+	types, code := collectUntilReady(t, r)
+	if code != "" {
+		t.Fatalf("follow-up query failed: %s", code)
+	}
+	if !containsByte(types, msgDataRow) {
+		t.Fatalf("no data row in %q", types)
+	}
+}
+
+func TestStateSkipUntilSync(t *testing.T) {
+	srv, eng := startServer(t, Config{})
+	eng.MustQuery(`CREATE TABLE s (a INT)`)
+	eng.MustQuery(`INSERT INTO s VALUES (42)`)
+	nc, r := rawDial(t, srv)
+
+	// Batch: Parse(broken) / Bind / Execute / Parse(good) / Bind / Execute
+	// / Sync. Everything between the failed Parse and Sync must be
+	// discarded — exactly one ErrorResponse, no results from either
+	// statement, then ReadyForQuery.
+	parse := func(sql string) []byte {
+		var p []byte
+		p = append(p, "\x00"...) // unnamed statement
+		p = append(p, sql...)
+		p = append(p, 0)
+		p = append(p, 0, 0) // no declared param types
+		return p
+	}
+	bind := []byte("\x00\x00\x00\x00\x00\x00\x00\x00") // unnamed/unnamed, 0 formats, 0 params, 0 result formats
+	exec := []byte("\x00\x00\x00\x00\x00")             // unnamed portal, no row limit
+
+	writeMsg(t, nc, msgParse, parse("SELECT FROM WHERE"))
+	writeMsg(t, nc, msgBind, bind)
+	writeMsg(t, nc, msgExecute, exec)
+	writeMsg(t, nc, msgParse, parse("SELECT a FROM s"))
+	writeMsg(t, nc, msgBind, bind)
+	writeMsg(t, nc, msgExecute, exec)
+	writeMsg(t, nc, msgSync, nil)
+
+	types, code := collectUntilReady(t, r)
+	if code != CodeSyntaxError {
+		t.Fatalf("want 42601, got %q", code)
+	}
+	errs := 0
+	for _, typ := range types {
+		switch typ {
+		case msgErrorResponse:
+			errs++
+		case msgDataRow, msgCommandComplete, msgParseComplete, msgBindComplete:
+			t.Fatalf("message %q leaked through skip-until-Sync (types %q)", typ, types)
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("want exactly 1 ErrorResponse, got %d", errs)
+	}
+
+	// After Sync the state machine is clean: the same good batch runs.
+	writeMsg(t, nc, msgParse, parse("SELECT a FROM s"))
+	writeMsg(t, nc, msgBind, bind)
+	writeMsg(t, nc, msgExecute, exec)
+	writeMsg(t, nc, msgSync, nil)
+	types, code = collectUntilReady(t, r)
+	if code != "" {
+		t.Fatalf("post-Sync batch failed: %s", code)
+	}
+	if !containsByte(types, msgDataRow) {
+		t.Fatalf("no data row after recovery in %q", types)
+	}
+}
+
+func TestStateTruncatedFrame(t *testing.T) {
+	srv, _ := startServer(t, Config{})
+	nc, r := rawDial(t, srv)
+
+	// A Bind whose declared payload runs out before the fields do: the
+	// reader must fail it as a protocol violation, not hang or crash.
+	writeMsg(t, nc, msgBind, []byte{'p'}) // 1 byte: unterminated portal name
+	writeMsg(t, nc, msgSync, nil)
+	_, code := collectUntilReady(t, r)
+	if code != CodeProtocolViolation {
+		t.Fatalf("want 08P01, got %q", code)
+	}
+}
+
+func TestStateUnknownMessageType(t *testing.T) {
+	srv, _ := startServer(t, Config{})
+	nc, r := rawDial(t, srv)
+
+	writeMsg(t, nc, 'z', []byte("junk"))
+	typ, payload, err := readFrame(r, DefaultMaxMessage)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if typ != msgErrorResponse {
+		t.Fatalf("want ErrorResponse, got %q", typ)
+	}
+	if got := decodeError(&msgReader{buf: payload}).Code; got != CodeProtocolViolation {
+		t.Fatalf("want 08P01, got %q", got)
+	}
+	// The server closes after a protocol violation.
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		if _, _, err := readFrame(r, DefaultMaxMessage); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return
+			}
+			t.Fatalf("want EOF after protocol violation, got %v", err)
+		}
+	}
+}
+
+func TestStateOversizeFrame(t *testing.T) {
+	srv, _ := startServer(t, Config{MaxMessage: 1 << 10})
+	nc, r := rawDial(t, srv)
+
+	// Declared length far beyond the server's limit: reject, don't allocate.
+	header := []byte{msgQuery, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(header[1:], 1<<30)
+	if _, err := nc.Write(header); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	sawErr := false
+	for {
+		typ, payload, err := readFrame(r, DefaultMaxMessage)
+		if err != nil {
+			break // closed — acceptable
+		}
+		if typ == msgErrorResponse {
+			sawErr = true
+			if got := decodeError(&msgReader{buf: payload}).Code; got != CodeProtocolViolation {
+				t.Fatalf("want 08P01, got %q", got)
+			}
+		}
+	}
+	if !sawErr {
+		t.Fatal("no ErrorResponse before close")
+	}
+}
+
+func TestStateBadStartupLength(t *testing.T) {
+	srv, _ := startServer(t, Config{})
+	nc, err := net.DialTimeout("tcp", srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	// Startup frame claiming a 2-byte total length: invalid (min is 8).
+	if _, err := nc.Write([]byte{0, 0, 0, 2}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := nc.Read(buf); err != nil {
+			return // server hung up, as it must
+		}
+	}
+}
+
+func TestStateFlushWithoutSync(t *testing.T) {
+	srv, eng := startServer(t, Config{})
+	eng.MustQuery(`CREATE TABLE f (a INT)`)
+	nc, r := rawDial(t, srv)
+
+	// Parse + Flush must deliver ParseComplete without a Sync.
+	var p []byte
+	p = append(p, "st\x00"...)
+	p = append(p, "SELECT a FROM f\x00"...)
+	p = append(p, 0, 0)
+	writeMsg(t, nc, msgParse, p)
+	writeMsg(t, nc, msgFlush, nil)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	typ, _, err := readFrame(r, DefaultMaxMessage)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if typ != msgParseComplete {
+		t.Fatalf("want ParseComplete after Flush, got %q", typ)
+	}
+}
+
+func containsByte(s []byte, b byte) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

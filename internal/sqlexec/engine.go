@@ -119,6 +119,13 @@ func (e *Engine) AnalyzeSQL(sql string, params ...value.Value) (*Result, *Profil
 // Session executes statements; DML inside an explicit transaction is
 // buffered until COMMIT. SELECTs read the session's snapshot (committed
 // data as of transaction begin).
+//
+// Concurrency contract: a Session is owned by exactly one goroutine at a
+// time — its transaction pointer, statement span and slow-log fields are
+// unsynchronized by design, mirroring a database connection. Concurrency
+// comes from many sessions over one Engine (which is fully safe to
+// share); the wire front end opens one session per connection for exactly
+// this reason. Sharing one Session across goroutines is a data race.
 type Session struct {
 	e        *Engine
 	tx       *txn.Txn
@@ -148,7 +155,10 @@ func (s *Session) Begin() error {
 	return nil
 }
 
-// Commit commits the explicit transaction.
+// Commit commits the explicit transaction. The transaction is finished
+// either way: a conflict abort surfaces as a wrapped error (never bare —
+// callers and the wire layer classify it by errors.Is on txn.ErrConflict)
+// and the session returns to auto-commit mode.
 func (s *Session) Commit() error {
 	if s.tx == nil {
 		return fmt.Errorf("sql: no open transaction")
@@ -156,7 +166,10 @@ func (s *Session) Commit() error {
 	_, err := s.tx.Commit()
 	s.tx = nil
 	s.explicit = false
-	return err
+	if err != nil {
+		return fmt.Errorf("sql: commit failed: %w", err)
+	}
+	return nil
 }
 
 // Rollback aborts the explicit transaction.
@@ -172,6 +185,41 @@ func (s *Session) Rollback() error {
 
 // InTxn reports whether an explicit transaction is open.
 func (s *Session) InTxn() bool { return s.explicit }
+
+// Describe returns the output column names of a SELECT without executing
+// it — the plan is built, not run. Non-SELECT statements (including the
+// BEGIN/COMMIT/ROLLBACK control statements) return (nil, nil): they
+// produce no row set. The wire front end uses this for the extended
+// protocol's Describe message.
+func (s *Session) Describe(sql string) ([]string, error) {
+	trimmed := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	switch strings.ToUpper(trimmed) {
+	case "BEGIN", "COMMIT", "ROLLBACK":
+		return nil, nil
+	}
+	if up := strings.ToUpper(trimmed); strings.HasPrefix(up, "EXPLAIN") {
+		return []string{"plan"}, nil
+	}
+	st, err := Parse(trimmed)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, nil
+	}
+	pl := &Planner{Cat: s.e.Cat, Reg: s.e.Reg, TS: s.snapshotTS(), Prune: s.e.Prune}
+	plan, err := pl.BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	cols := plan.columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return names, nil
+}
 
 // Query executes one SQL statement. Control statements (BEGIN/COMMIT/
 // ROLLBACK/EXPLAIN) are handled here; everything else goes through the
@@ -203,10 +251,13 @@ func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
 	span := s.e.Tracer.Start("sql", "stmt="+firstWord(trimmed))
 	defer span.Finish()
 	tParse := time.Now()
-	st, err := Parse(sql)
+	st, need, err := ParseWithParams(sql)
 	s.e.Obs.Histogram("sql_parse_ms").ObserveSince(tParse)
 	if err != nil {
 		return nil, err
+	}
+	if need > len(params) {
+		return nil, fmt.Errorf("sql: statement requires parameter $%d, got %d", need, len(params))
 	}
 	s.cur = span
 	s.curSQL = trimmed
@@ -314,15 +365,18 @@ func (s *Session) execSelect(sel *SelectStmt, params []value.Value) (*Result, er
 }
 
 // currentTxn returns the session transaction, creating a one-statement
-// transaction in auto-commit mode. done() commits it when owned.
+// transaction in auto-commit mode. done() commits it when owned; like
+// Commit it never returns a bare txn error (errors.Is still unwraps).
 func (s *Session) currentTxn() (tx *txn.Txn, done func() error) {
 	if s.tx != nil {
 		return s.tx, func() error { return nil }
 	}
 	tx = s.e.Mgr.Begin()
 	return tx, func() error {
-		_, err := tx.Commit()
-		return err
+		if _, err := tx.Commit(); err != nil {
+			return fmt.Errorf("sql: auto-commit failed: %w", err)
+		}
+		return nil
 	}
 }
 

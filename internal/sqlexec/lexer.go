@@ -15,7 +15,7 @@ const (
 	tkNumber
 	tkString
 	tkOp    // operators and punctuation
-	tkParam // ?
+	tkParam // ? (sequential) or $N (explicit 1-based index)
 )
 
 type token struct {
@@ -66,6 +66,17 @@ func lex(src string) ([]token, error) {
 		case c == '?':
 			l.emit(tkParam, "?")
 			l.pos++
+		case c == '$':
+			// $N positional parameter (PostgreSQL style); 1-based.
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			if l.pos == start+1 {
+				return nil, fmt.Errorf("sql: bare $ at %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tkParam, text: l.src[start:l.pos], pos: start})
 		default:
 			if err := l.lexOp(); err != nil {
 				return nil, err

@@ -10,20 +10,28 @@ import (
 
 // Parse parses a single SQL statement.
 func Parse(src string) (Statement, error) {
+	st, _, err := ParseWithParams(src)
+	return st, err
+}
+
+// ParseWithParams parses a single SQL statement and also reports how many
+// positional parameter bindings it requires: the number of `?` occurrences
+// or the highest `$N` reference, whichever the statement uses.
+func ParseWithParams(src string) (Statement, int, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &parser{toks: toks, src: src}
 	st, err := p.parseStatement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.accept(tkOp, ";")
 	if !p.at(tkEOF, "") {
-		return nil, p.errf("trailing input %q", p.cur().text)
+		return nil, 0, p.errf("trailing input %q", p.cur().text)
 	}
-	return st, nil
+	return st, p.params, nil
 }
 
 type parser struct {
@@ -829,6 +837,18 @@ func (p *parser) parseAtom() (Expr, error) {
 		return &Literal{Val: value.String(t.text)}, nil
 	case tkParam:
 		p.next()
+		if strings.HasPrefix(t.text, "$") {
+			// $N references parameter N (1-based), PostgreSQL style; the
+			// same parameter may appear more than once.
+			n, err := strconv.Atoi(t.text[1:])
+			if err != nil || n < 1 {
+				return nil, p.errf("bad parameter reference %q", t.text)
+			}
+			if n > p.params {
+				p.params = n
+			}
+			return &Param{Index: n - 1}, nil
+		}
 		p.params++
 		return &Param{Index: p.params - 1}, nil
 	case tkKeyword:

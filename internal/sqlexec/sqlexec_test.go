@@ -298,6 +298,34 @@ func TestParams(t *testing.T) {
 	}
 }
 
+func TestDollarParams(t *testing.T) {
+	e := newTestEngine(t)
+	// $N is explicit and 1-based; the same parameter may repeat.
+	r := bothModes(t, e, `SELECT id FROM orders WHERE status = $1 AND total > $2 AND total > $2 - 1`,
+		value.String("PAID"), value.Float(30))
+	want := bothModes(t, e, `SELECT id FROM orders WHERE status = ? AND total > ? AND total > ? - 1`,
+		value.String("PAID"), value.Float(30), value.Float(30))
+	if len(r.Rows) == 0 || len(r.Rows) != len(want.Rows) {
+		t.Fatalf("$N rows=%d, ? rows=%d", len(r.Rows), len(want.Rows))
+	}
+	// Out-of-order references bind by index, not arrival.
+	r = bothModes(t, e, `SELECT COUNT(*) FROM orders WHERE total > $2 AND status = $1`,
+		value.String("PAID"), value.Float(30))
+	if r.Rows[0][0].I == 0 {
+		t.Fatal("out-of-order $N bound nothing")
+	}
+	// Missing bindings and malformed references are errors.
+	if _, err := e.Query(`SELECT id FROM orders WHERE total > $3`, value.Float(1)); err == nil {
+		t.Fatal("want error for unbound $3")
+	}
+	if _, err := e.Query(`SELECT id FROM orders WHERE total > $0`); err == nil {
+		t.Fatal("want error for $0")
+	}
+	if _, err := e.Query(`SELECT id FROM orders WHERE total > $`); err == nil {
+		t.Fatal("want error for bare $")
+	}
+}
+
 func TestInsertSelectUpdateDelete(t *testing.T) {
 	e := newTestEngine(t)
 	mustExec(t, e, `CREATE TABLE archive (id INT, total DOUBLE)`)

@@ -251,6 +251,16 @@ func NewRegistry(baseLabels ...string) *Registry {
 	return &Registry{base: append([]string(nil), baseLabels...), histCap: DefaultHistogramCapacity}
 }
 
+// SetHistogramCapacity changes the sample-ring size of histograms created
+// after the call — harnesses that report tail quantiles (p999) need a
+// deeper ring than the operator-dashboard default. Call it before the
+// first Histogram lookup; it does not resize existing rings.
+func (r *Registry) SetHistogramCapacity(n int) {
+	if r != nil && n > 0 {
+		r.histCap = n
+	}
+}
+
 // Default is the process-wide registry used by layers with no natural
 // place to plumb one through (column store internals, streaming stages).
 // The SOE StatsService folds it into every collection.
