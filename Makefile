@@ -1,12 +1,12 @@
 # Developer entry points. `make ci` is the gate: lint (gofmt + vet) +
 # build + race-enabled tests + the experiment shape assertions + executor
 # parity (hot and tiered) under -race + the fault-injection (chaos) suite
-# + the wire-protocol conformance/loadgen smoke suite + a smoke run of
-# the vectorized-scan micro-benchmarks.
+# + the wire-protocol conformance/loadgen smoke suite + smoke runs of
+# the vectorized-scan and compressed-execution micro-benchmarks.
 
 GO ?= go
 
-.PHONY: all lint vet build test race experiments parity chaos wire benchsmoke benchbaseline bench ci
+.PHONY: all lint vet build test race experiments parity chaos wire benchsmoke benchcompressed benchbaseline bench ci
 
 all: ci
 
@@ -31,7 +31,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The EXPERIMENTS.md shape assertions (E1..E22 tables must reproduce).
+# The EXPERIMENTS.md shape assertions (E1..E23 tables must reproduce).
 experiments:
 	$(GO) test -run Experiment ./...
 
@@ -58,15 +58,21 @@ wire:
 # if a baseline benchmark is missing from the output, so a crashed bench
 # run cannot slip through the pipe as a pass.
 benchsmoke:
-	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg' -benchtime=100x . | $(GO) run ./cmd/benchguard
+	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg' -benchtime=100x . | $(GO) run ./cmd/benchguard -match 'BenchmarkScan|BenchmarkParallelAgg'
+
+# Compressed-execution micro-benchmarks: the code-valued join probe and
+# the run-folding group-by against their row-at-a-time counterparts,
+# gated by the same baseline file (join/group-by subset via -match).
+benchcompressed:
+	$(GO) test -run xxx -bench 'BenchmarkJoinDict|BenchmarkGroupByRLE' -benchtime=20x . | $(GO) run ./cmd/benchguard -match 'BenchmarkJoinDict|BenchmarkGroupByRLE'
 
 # Regenerate the committed benchmark baseline after an intentional perf
 # change; benchguard -write preserves the workload prose and recomputes
 # the derived speedups. See README "Benchmark baseline" for the workflow.
 benchbaseline:
-	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg' -benchtime=10x -benchmem . | $(GO) run ./cmd/benchguard -write
+	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg|BenchmarkJoinDict|BenchmarkGroupByRLE' -benchtime=10x -benchmem . | $(GO) run ./cmd/benchguard -write
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: lint build race experiments parity chaos wire benchsmoke
+ci: lint build race experiments parity chaos wire benchsmoke benchcompressed

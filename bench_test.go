@@ -72,6 +72,9 @@ func BenchmarkE20_ProfileOverhead(b *testing.B) {
 func BenchmarkE21_ExtendedStoreTiering(b *testing.B) {
 	benchExperiment(b, experiments.E21ExtendedStoreTiering)
 }
+func BenchmarkE23_CompressedExec(b *testing.B) {
+	benchExperiment(b, experiments.E23CompressedExec)
+}
 func BenchmarkF1_Tiering(b *testing.B)     { benchExperiment(b, experiments.F1Tiering) }
 func BenchmarkF2_CrossEngine(b *testing.B) { benchExperiment(b, experiments.F2CrossEngine) }
 func BenchmarkF3_SOECluster(b *testing.B)  { benchExperiment(b, experiments.F3SOECluster) }
@@ -206,6 +209,124 @@ func benchParallelAgg(b *testing.B, workers int) {
 func BenchmarkParallelAgg1Worker(b *testing.B)  { benchParallelAgg(b, 1) }
 func BenchmarkParallelAgg4Workers(b *testing.B) { benchParallelAgg(b, 4) }
 func BenchmarkParallelAggNWorkers(b *testing.B) { benchParallelAgg(b, runtime.NumCPU()) }
+
+// --- compressed-execution micro-benchmarks (DESIGN.md §4, E23) -----------
+
+// joinDictEng: a 500k-row fact table whose join key is dict-encoded (256
+// distinct values) probed against a small dim covering 1/8 of the key
+// space. The code-valued probe skips the 7/8 non-matching rows without
+// ever materializing them; the row executors box every probe row first.
+var joinDictEng *sqlexec.Engine
+
+func joinDictEngine(b *testing.B) *sqlexec.Engine {
+	b.Helper()
+	if joinDictEng != nil {
+		return joinDictEng
+	}
+	eng := sqlexec.NewEngine()
+	eng.MustQuery(`CREATE TABLE fact (id INT, rk VARCHAR, qty INT)`)
+	eng.MustQuery(`CREATE TABLE dim (rk VARCHAR, name VARCHAR)`)
+	const n = 500_000
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.Int(int64(i)),
+			value.String(fmt.Sprintf("r%03d", i%256)),
+			value.Int(int64(i % 100)),
+		}
+	}
+	ft := eng.Cat.MustTable("fact").Primary()
+	ft.ApplyInsert(rows, 1)
+	ft.Merge(2)
+	drows := make([]value.Row, 32)
+	for i := range drows {
+		drows[i] = value.Row{
+			value.String(fmt.Sprintf("r%03d", i*8)),
+			value.String(fmt.Sprintf("name-%03d", i)),
+		}
+	}
+	dt := eng.Cat.MustTable("dim").Primary()
+	dt.ApplyInsert(drows, 1)
+	dt.Merge(2)
+	eng.Mgr.AdvanceTo(2)
+	joinDictEng = eng
+	return eng
+}
+
+const joinDictQuery = `SELECT COUNT(*), SUM(f.qty) FROM fact f JOIN dim d ON f.rk = d.rk`
+
+func benchJoinDict(b *testing.B, mode sqlexec.Mode) {
+	eng := joinDictEngine(b)
+	eng.Mode = mode
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := eng.MustQuery(joinDictQuery)
+		if len(r.Rows) != 1 {
+			b.Fatalf("bad result: %v", r.Rows)
+		}
+	}
+}
+
+func BenchmarkJoinDict(b *testing.B)           { benchJoinDict(b, sqlexec.ModeVectorized) }
+func BenchmarkJoinDictRowAtATime(b *testing.B) { benchJoinDict(b, sqlexec.ModeInterpreted) }
+
+// rleAggEng: 1M rows whose group keys arrive sorted, so the merge picks
+// run-length encoding. g has 8 runs of 125k rows (low cardinality), g2 has
+// 100k runs of 10 (exceeding the flat-array group cutoff), v has runs of
+// 500 — run-folding aggregation consumes these without expanding.
+var rleAggEng *sqlexec.Engine
+
+func rleAggEngine(b *testing.B) *sqlexec.Engine {
+	b.Helper()
+	if rleAggEng != nil {
+		return rleAggEng
+	}
+	eng := sqlexec.NewEngine()
+	eng.MustQuery(`CREATE TABLE rle (g INT, g2 INT, v INT)`)
+	const n = 1_000_000
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.Int(int64(i / (n / 8))),
+			value.Int(int64(i / 10)),
+			value.Int(int64((i / 500) % 50)),
+		}
+	}
+	tbl := eng.Cat.MustTable("rle").Primary()
+	tbl.ApplyInsert(rows, 1)
+	tbl.Merge(2)
+	eng.Mgr.AdvanceTo(2)
+	rleAggEng = eng
+	return eng
+}
+
+const groupByRLELowCardQuery = `SELECT g, COUNT(*), SUM(v), MAX(v) FROM rle GROUP BY g`
+
+func benchGroupByRLE(b *testing.B, mode sqlexec.Mode, q string, groups int) {
+	eng := rleAggEngine(b)
+	eng.Mode = mode
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := eng.MustQuery(q)
+		if len(r.Rows) != groups {
+			b.Fatalf("expected %d groups, got %d", groups, len(r.Rows))
+		}
+	}
+}
+
+func BenchmarkGroupByRLELowCard(b *testing.B) {
+	benchGroupByRLE(b, sqlexec.ModeVectorized, groupByRLELowCardQuery, 8)
+}
+
+func BenchmarkGroupByRLEHighCard(b *testing.B) {
+	benchGroupByRLE(b, sqlexec.ModeVectorized, `SELECT g2, COUNT(*), SUM(v) FROM rle GROUP BY g2`, 100_000)
+}
+
+func BenchmarkGroupByRLERowAtATime(b *testing.B) {
+	benchGroupByRLE(b, sqlexec.ModeInterpreted, groupByRLELowCardQuery, 8)
+}
 
 // Ablation 2: delta-merge cadence — many small merges vs one big merge.
 func BenchmarkAblation_MergeCadence(b *testing.B) {

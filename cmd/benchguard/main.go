@@ -52,9 +52,11 @@ type baseline struct {
 	Results    []result           `json:"results"`
 	Derived    map[string]float64 `json:"derived"`
 	Acceptance struct {
-		ScanTarget string `json:"scan_speedup_target"`
-		AggTarget  string `json:"parallel_agg_speedup_target"`
-		Met        bool   `json:"met"`
+		ScanTarget    string `json:"scan_speedup_target"`
+		AggTarget     string `json:"parallel_agg_speedup_target"`
+		JoinTarget    string `json:"join_code_speedup_target,omitempty"`
+		GroupByTarget string `json:"groupby_rle_speedup_target,omitempty"`
+		Met           bool   `json:"met"`
 	} `json:"acceptance"`
 }
 
@@ -67,6 +69,7 @@ func main() {
 	baseFile := flag.String("baseline", "BENCH_vectorized_baseline.json", "baseline JSON (ns_per_op per benchmark)")
 	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression over baseline, percent")
 	write := flag.Bool("write", false, "regenerate the baseline from the bench output instead of gating against it")
+	match := flag.String("match", "", "gate only baseline benchmarks whose name matches this regex (the partial-suite targets pass the subset they ran)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baseFile)
@@ -77,9 +80,21 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("%s: %w", *baseFile, err))
 	}
-	want := map[string]int64{}
-	for _, r := range base.Results {
-		want[r.Name] = r.NsPerOp
+	gated := base.Results
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fatal(fmt.Errorf("-match: %w", err))
+		}
+		gated = nil
+		for _, r := range base.Results {
+			if re.MatchString(r.Name) {
+				gated = append(gated, r)
+			}
+		}
+		if len(gated) == 0 {
+			fatal(fmt.Errorf("-match %q selects no baseline benchmark — misconfigured gate", *match))
+		}
 	}
 
 	var in io.Reader = os.Stdin
@@ -126,7 +141,7 @@ func main() {
 
 	failed := false
 	fmt.Printf("\nbenchguard: vs %s (tolerance %.0f%%)\n", *baseFile, *tolerance)
-	for _, r := range base.Results {
+	for _, r := range gated {
 		ns, ok := got[r.Name]
 		if !ok {
 			fmt.Printf("  FAIL %-28s missing from bench output (did the run crash?)\n", r.Name)
@@ -163,26 +178,51 @@ func writeBaseline(path string, old baseline, measured []result) error {
 	for _, r := range old.Results {
 		notes[r.Name] = r.Note
 	}
-	next.Results = nil
-	ns := map[string]float64{}
+	// Merge rather than replace: a partial bench run refreshes the
+	// benchmarks it measured and keeps the rest, so the gate never
+	// silently shrinks.
+	fresh := map[string]result{}
 	for _, r := range measured {
 		r.Note = notes[r.Name]
+		fresh[r.Name] = r
+	}
+	next.Results = nil
+	ns := map[string]float64{}
+	for _, r := range old.Results {
+		if m, ok := fresh[r.Name]; ok {
+			r = m
+			delete(fresh, r.Name)
+		}
 		next.Results = append(next.Results, r)
 		ns[r.Name] = float64(r.NsPerOp)
 	}
+	for _, r := range measured {
+		if m, ok := fresh[r.Name]; ok {
+			next.Results = append(next.Results, m)
+			ns[r.Name] = float64(m.NsPerOp)
+		}
+	}
 	round1 := func(x float64) float64 { return math.Round(x*10) / 10 }
-	scan, agg := 0.0, 0.0
+	scan, agg, join, groupby := 0.0, 0.0, 0.0, 0.0
 	if v := ns["BenchmarkScanVectorized"]; v > 0 {
 		scan = round1(ns["BenchmarkScanRowAtATime"] / v)
 	}
 	if v := ns["BenchmarkParallelAgg4Workers"]; v > 0 {
 		agg = round1(ns["BenchmarkParallelAgg1Worker"] / v)
 	}
+	if v := ns["BenchmarkJoinDict"]; v > 0 {
+		join = round1(ns["BenchmarkJoinDictRowAtATime"] / v)
+	}
+	if v := ns["BenchmarkGroupByRLELowCard"]; v > 0 {
+		groupby = round1(ns["BenchmarkGroupByRLERowAtATime"] / v)
+	}
 	next.Derived = map[string]float64{
 		"scan_speedup_vectorized_vs_row_at_a_time": scan,
 		"parallel_agg_speedup_4_workers_vs_1":      agg,
+		"join_code_speedup_vs_row_at_a_time":       join,
+		"groupby_rle_speedup_vs_row_at_a_time":     groupby,
 	}
-	next.Acceptance.Met = scan >= 3 && agg >= 2
+	next.Acceptance.Met = scan >= 3 && agg >= 2 && join >= 2 && groupby >= 2
 	out, err := json.MarshalIndent(next, "", "  ")
 	if err != nil {
 		return err
@@ -190,8 +230,8 @@ func writeBaseline(path string, old baseline, measured []result) error {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("\nbenchguard: wrote %s (%d benchmarks, scan %.1fx, parallel agg %.1fx, acceptance met=%v)\n",
-		path, len(next.Results), scan, agg, next.Acceptance.Met)
+	fmt.Printf("\nbenchguard: wrote %s (%d benchmarks, scan %.1fx, parallel agg %.1fx, join %.1fx, group-by %.1fx, acceptance met=%v)\n",
+		path, len(next.Results), scan, agg, join, groupby, next.Acceptance.Met)
 	return nil
 }
 

@@ -1,5 +1,5 @@
 // benchrunner regenerates the reproduction experiments of DESIGN.md §3 —
-// E1..E21 for the paper's quantitative claims and F1..F4 for its
+// E1..E23 for the paper's quantitative claims and F1..F4 for its
 // architecture figures — and prints the tables EXPERIMENTS.md records.
 //
 // Usage:

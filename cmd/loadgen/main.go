@@ -7,7 +7,7 @@
 //
 // Usage: go run ./cmd/loadgen -addr 127.0.0.1:5433 [-conns 1000]
 //
-//	[-duration 10s] [-point 70] [-agg 10] [-insert 20]
+//	[-duration 10s] [-point 65] [-agg 10] [-join 5] [-insert 20]
 //	[-seed-rows 10000] [-no-setup]
 //
 // Exit status is non-zero when any protocol error occurred: coded
@@ -28,8 +28,9 @@ func main() {
 	addr := flag.String("addr", "", "server address host:port (required)")
 	conns := flag.Int("conns", 1000, "concurrent connections")
 	duration := flag.Duration("duration", 10*time.Second, "steady-state run time")
-	point := flag.Int("point", 70, "point-lookup weight")
+	point := flag.Int("point", 65, "point-lookup weight")
 	agg := flag.Int("agg", 10, "analytic-aggregate weight")
+	join := flag.Int("join", 5, "dimension-join weight")
 	insert := flag.Int("insert", 20, "ingest weight")
 	seedRows := flag.Int("seed-rows", 10000, "rows seeded into the workload tables")
 	noSetup := flag.Bool("no-setup", false, "skip table creation and seeding")
@@ -47,6 +48,7 @@ func main() {
 		Duration:     *duration,
 		PointWeight:  *point,
 		AggWeight:    *agg,
+		JoinWeight:   *join,
 		InsertWeight: *insert,
 		SeedRows:     *seedRows,
 		NoSetup:      *noSetup,

@@ -1,0 +1,82 @@
+// Late-materialization kernels: code-remap key translation for dictionary
+// columns and run folds for RLE columns. These power the compressed
+// execution paths of the vectorized executor — joins probe on integer
+// codes, group-bys key on codes, and aggregates fold whole RLE runs —
+// decoding values only where a result row is actually produced.
+package columnstore
+
+import (
+	"sort"
+
+	"repro/internal/value"
+)
+
+// CodeKeys implements KeyCoder for a dictionary column: every row is a
+// small-int code into the table-wide sorted dictionary, so the per-call
+// remap table (code → canonical key) is built lazily and each distinct
+// value is decoded and interned exactly once per call.
+func (c *DictColumn) CodeKeys(sel []int, intern func(string) int64, nullKey int64, out []int64) []int64 {
+	remap := make([]int64, c.Dict.Len())
+	have := make([]bool, c.Dict.Len())
+	for _, pos := range sel {
+		if c.Nulls != nil && c.Nulls.Get(pos) {
+			out = append(out, nullKey)
+			continue
+		}
+		id := int(c.Refs.Get(pos))
+		if !have[id] {
+			remap[id] = intern(c.Dict.Value(id))
+			have[id] = true
+		}
+		out = append(out, remap[id])
+	}
+	return out
+}
+
+// Int64 exposes the raw integer payload of row i (IntAccessor). RLE
+// columns are only chosen for NULL-free integer data at merge time, so
+// the stored values carry the payload directly.
+func (c *RLEColumn) Int64(i int) int64 { return c.Get(i).I }
+
+// FilterInts implements the integer comparison kernel run-wise: one
+// comparison decides a whole run. NULL runs never match; the kernel is
+// only bound when the literal kind matches the column kind, so raw
+// payload comparison is exact.
+func (c *RLEColumn) FilterInts(lo, hi int, op CmpOp, k int64, sel []int) []int {
+	c.FoldRuns(lo, hi, func(v value.Value, start, end int) {
+		if v.IsNull() || v.K == value.KindFloat {
+			return
+		}
+		cmp := 0
+		switch {
+		case v.I < k:
+			cmp = -1
+		case v.I > k:
+			cmp = 1
+		}
+		if op.MatchOrd(cmp) {
+			for i := start; i < end; i++ {
+				sel = append(sel, i)
+			}
+		}
+	})
+	return sel
+}
+
+// FoldRuns implements RunFolder over the run table: binary-search the
+// first run covering lo, then walk runs clipped to [lo, hi).
+func (c *RLEColumn) FoldRuns(lo, hi int, fn func(v value.Value, start, end int)) {
+	if lo >= hi || c.n == 0 {
+		return
+	}
+	k := sort.SearchInts(c.Ends, lo+1)
+	start := lo
+	for ; k < len(c.Ends) && start < hi; k++ {
+		end := c.Ends[k]
+		if end > hi {
+			end = hi
+		}
+		fn(c.Values[k], start, end)
+		start = c.Ends[k]
+	}
+}

@@ -325,6 +325,19 @@ func (s *Snapshot) Visible(i int) bool {
 	return atomic.LoadUint64(&s.deleted[i]) > s.ts
 }
 
+// AllVisible reports whether every physical row slot is visible to this
+// snapshot — the precondition for answering aggregates from a zone-map
+// synopsis (which is built over all physical rows) without touching any
+// column data.
+func (s *Snapshot) AllVisible() bool {
+	for i := range s.created {
+		if s.created[i] > s.ts || atomic.LoadUint64(&s.deleted[i]) <= s.ts {
+			return false
+		}
+	}
+	return true
+}
+
 // Created returns the commit timestamp that created row i.
 func (s *Snapshot) Created(i int) uint64 { return s.created[i] }
 

@@ -49,6 +49,25 @@ type DictIndexed interface {
 	IsNull(i int) bool
 }
 
+// KeyCoder translates row positions of a string column into canonical
+// int64 join/group keys without boxing a value per row. intern maps a
+// decoded string to its canonical key and is called at most once per
+// distinct dictionary entry per call (the late-materialization contract:
+// the per-row work is an integer remap, decode happens once per distinct
+// value). NULL rows yield nullKey. Keys append to out, one per position
+// in sel, in order.
+type KeyCoder interface {
+	CodeKeys(sel []int, intern func(string) int64, nullKey int64, out []int64) []int64
+}
+
+// RunFolder exposes run-granular iteration for run-length-aware
+// aggregation: fn observes each maximal run of identical values clipped
+// to [lo, hi), in ascending row order. Aggregates consume whole runs
+// (count × value) instead of expanding them row by row.
+type RunFolder interface {
+	FoldRuns(lo, hi int, fn func(v value.Value, start, end int))
+}
+
 // FilterInts aliases IntColumn.FilterRange under the capability name.
 func (c *IntColumn) FilterInts(lo, hi int, op CmpOp, k int64, sel []int) []int {
 	return c.FilterRange(lo, hi, op, k, sel)

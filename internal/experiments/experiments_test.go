@@ -294,3 +294,24 @@ func TestE22ShapeWireLoad(t *testing.T) {
 		t.Fatalf("drain dropped responses:\n%s", notes)
 	}
 }
+
+func TestE23ShapeCompressedExec(t *testing.T) {
+	tab := E23CompressedExec(tiny)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("unexpected table shape: %v", tab.Rows)
+	}
+	// Row 1 is the vectorized join, row 3 the vectorized group-by: the
+	// compressed paths must actually have engaged — codes probed on the
+	// join, runs folded on the group-by, decode work avoided on both.
+	if atoi(t, cell(tab, 1, 3)) == 0 {
+		t.Fatalf("join probed no dictionary codes:\n%s", tab.String())
+	}
+	if atoi(t, cell(tab, 3, 4)) == 0 {
+		t.Fatalf("group-by folded no RLE runs:\n%s", tab.String())
+	}
+	for _, r := range []int{1, 3} {
+		if cell(tab, r, 5) == "0KB" {
+			t.Fatalf("row %d avoided no decode work:\n%s", r, tab.String())
+		}
+	}
+}

@@ -25,6 +25,7 @@ const (
 	encFloat byte = 1 // flat float64
 	encDict  byte = 2 // per-chunk sorted dictionary + bit-packed refs
 	encBoxed byte = 3 // boxed values, for mixed or all-NULL chunks
+	encRLE   byte = 4 // run-length runs of int64 (NULL-free runny chunks)
 )
 
 // encodeChunk serializes rows [lo, hi) of column col of snapshot src.
@@ -116,6 +117,34 @@ func encodeChunk(src *columnstore.Snapshot, col, lo, hi int, kind value.Kind) []
 			}
 		}
 		if ok {
+			// Keep runny NULL-free chunks run-length encoded (same
+			// heuristic as the hot merge), so warm columns participate in
+			// run-folding aggregation after demotion instead of silently
+			// degrading to frame-of-reference.
+			if nulls == nil && n > 0 {
+				runs := 1
+				for i := 1; i < n; i++ {
+					if vals[i] != vals[i-1] {
+						runs++
+					}
+				}
+				if runs*8 < n {
+					buf.WriteByte(encRLE)
+					buf.WriteByte(byte(kind))
+					writeUint32(&buf, uint32(n))
+					writeUint32(&buf, uint32(runs))
+					for i := 0; i < n; {
+						j := i + 1
+						for j < n && vals[j] == vals[i] {
+							j++
+						}
+						writeUint32(&buf, uint32(j))
+						writeUint64(&buf, uint64(vals[i]))
+						i = j
+					}
+					return buf.Bytes()
+				}
+			}
 			ic := columnstore.NewIntColumn(vals, nulls, kind)
 			buf.WriteByte(encInt)
 			buf.WriteByte(byte(kind))
@@ -175,6 +204,20 @@ func decodeChunk(raw []byte) (fragment, error) {
 			return nil, r.err
 		}
 		return &columnstore.DictColumn{Dict: columnstore.NewDictionary(vals), Refs: refs, Nulls: nulls}, nil
+	case encRLE:
+		kind := value.Kind(r.byte())
+		n := int(r.uint32())
+		runs := int(r.uint32())
+		ends := make([]int, runs)
+		vals := make([]value.Value, runs)
+		for i := 0; i < runs; i++ {
+			ends[i] = int(r.uint32())
+			vals[i] = value.Value{K: kind, I: int64(r.uint64())}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		return columnstore.NewRLEColumnFromParts(ends, vals, n), nil
 	case encBoxed:
 		kind := value.Kind(r.byte())
 		n := int(r.uint32())

@@ -139,6 +139,38 @@ func (c *PagedColumn) filterChunks(lo, hi int, sel []int, fn func(frag fragment,
 	return sel
 }
 
+// FoldRuns implements the run-folding capability chunk by chunk: one
+// fault per chunk, forwarding to run-length fragments and degrading to
+// unit runs on fragments without run structure. Positions translate by
+// the chunk base, so the executor folds warm columns exactly like hot
+// ones.
+func (c *PagedColumn) FoldRuns(lo, hi int, fn func(v value.Value, start, end int)) {
+	if lo >= hi || c.n == 0 {
+		return
+	}
+	for k := c.chunkAt(lo); k < len(c.chunk) && c.chunk[k].rowLo < hi; k++ {
+		ch := c.chunk[k]
+		clo, chi := lo, hi
+		if clo < ch.rowLo {
+			clo = ch.rowLo
+		}
+		if chi > ch.rowHi {
+			chi = ch.rowHi
+		}
+		f, frag := c.fault(k)
+		if rf, ok := frag.(columnstore.RunFolder); ok {
+			rf.FoldRuns(clo-ch.rowLo, chi-ch.rowLo, func(v value.Value, start, end int) {
+				fn(v, start+ch.rowLo, end+ch.rowLo)
+			})
+		} else {
+			for i := clo; i < chi; i++ {
+				fn(frag.Get(i-ch.rowLo), i, i+1)
+			}
+		}
+		c.release(f)
+	}
+}
+
 // PagedInts is a warm integer column (Int/Bool/Time): chunks decode to
 // frame-of-reference IntColumns, so the integer kernels and the raw
 // accessor work on faulted fragments.
@@ -189,6 +221,40 @@ func (c *PagedStrings) FilterString(lo, hi int, op columnstore.CmpOp, lit string
 	return c.filterChunks(lo, hi, sel, func(frag fragment, clo, chi int, out []int) []int {
 		return frag.(columnstore.StringFilterer).FilterString(clo, chi, op, lit, out)
 	})
+}
+
+// CodeKeys implements the KeyCoder capability over per-chunk
+// dictionaries: positions (ascending) group by covering chunk, each
+// chunk faults once and forwards to its fragment's code remap, so a
+// distinct value decodes once per chunk rather than once per row.
+func (c *PagedStrings) CodeKeys(sel []int, intern func(string) int64, nullKey int64, out []int64) []int64 {
+	for i := 0; i < len(sel); {
+		k := c.chunkAt(sel[i])
+		ch := c.chunk[k]
+		j := i + 1
+		for j < len(sel) && sel[j] < ch.rowHi {
+			j++
+		}
+		f, frag := c.fault(k)
+		if kc, ok := frag.(columnstore.KeyCoder); ok {
+			local := make([]int, 0, j-i)
+			for _, pos := range sel[i:j] {
+				local = append(local, pos-ch.rowLo)
+			}
+			out = kc.CodeKeys(local, intern, nullKey, out)
+		} else {
+			for _, pos := range sel[i:j] {
+				if v := frag.Get(pos - ch.rowLo); v.IsNull() {
+					out = append(out, nullKey)
+				} else {
+					out = append(out, intern(v.S))
+				}
+			}
+		}
+		c.release(f)
+		i = j
+	}
+	return out
 }
 
 // PagedValues is the boxed fallback for mixed-kind columns; scans decode

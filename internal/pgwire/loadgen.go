@@ -13,7 +13,8 @@ import (
 
 // The loadgen harness: N concurrent wire connections driving a
 // configurable mix of point lookups (extended protocol with $1 params),
-// analytic aggregates, and ingest against any pgwire server. Latencies
+// analytic aggregates, dimension joins, and ingest against any pgwire
+// server. Latencies
 // and errors flow through the stats pipeline (loadgen_* metrics), so the
 // report and a Prometheus scrape can never disagree.
 
@@ -21,6 +22,7 @@ import (
 const (
 	OpPoint  = "point"
 	OpAgg    = "agg"
+	OpJoin   = "join"
 	OpInsert = "insert"
 )
 
@@ -30,9 +32,10 @@ type LoadConfig struct {
 	Conns    int           // concurrent connections (default 100)
 	Duration time.Duration // steady-state run time (default 5s)
 
-	// Mix weights (relative; default 70/10/20).
+	// Mix weights (relative; default 65/10/5/20).
 	PointWeight  int
 	AggWeight    int
+	JoinWeight   int
 	InsertWeight int
 
 	SeedRows int  // rows seeded into each workload table (default 10000)
@@ -74,7 +77,7 @@ func (r *LoadReport) String() string {
 	fmt.Fprintf(&sb, "loadgen: %d conns, %v wall, %d queries (%.0f qps), %d errors, %d rejections, %d protocol errors\n",
 		r.Conns, r.Wall.Round(time.Millisecond), r.Queries, r.QPS, r.Errors, r.Rejections, r.ProtocolErrors)
 	fmt.Fprintf(&sb, "%-8s %10s %8s %10s %10s %10s\n", "op", "count", "errors", "p50", "p99", "p999")
-	for _, op := range []string{OpPoint, OpAgg, OpInsert} {
+	for _, op := range []string{OpPoint, OpAgg, OpJoin, OpInsert} {
 		s := r.PerOp[op]
 		if s == nil {
 			continue
@@ -91,8 +94,8 @@ func (c *LoadConfig) fill() {
 	if c.Duration <= 0 {
 		c.Duration = 5 * time.Second
 	}
-	if c.PointWeight <= 0 && c.AggWeight <= 0 && c.InsertWeight <= 0 {
-		c.PointWeight, c.AggWeight, c.InsertWeight = 70, 10, 20
+	if c.PointWeight <= 0 && c.AggWeight <= 0 && c.JoinWeight <= 0 && c.InsertWeight <= 0 {
+		c.PointWeight, c.AggWeight, c.JoinWeight, c.InsertWeight = 65, 10, 5, 20
 	}
 	if c.SeedRows <= 0 {
 		c.SeedRows = 10000
@@ -117,6 +120,9 @@ func SetupLoadTables(cfg ClientConfig, seedRows int) error {
 	if _, err := c.Simple(`CREATE TABLE IF NOT EXISTS loadgen_orders (region VARCHAR, amount DOUBLE)`); err != nil {
 		return fmt.Errorf("loadgen setup: %w", err)
 	}
+	if _, err := c.Simple(`CREATE TABLE IF NOT EXISTS loadgen_dim (region VARCHAR, name VARCHAR)`); err != nil {
+		return fmt.Errorf("loadgen setup: %w", err)
+	}
 	res, err := c.Query(`SELECT COUNT(*) FROM loadgen_kv`)
 	if err != nil {
 		return fmt.Errorf("loadgen setup: %w", err)
@@ -125,6 +131,9 @@ func SetupLoadTables(cfg ClientConfig, seedRows int) error {
 		return nil // already seeded
 	}
 	regions := []string{"EMEA", "AMER", "APJ"}
+	if _, err := c.Simple(`INSERT INTO loadgen_dim VALUES ('EMEA', 'Europe'), ('AMER', 'Americas'), ('APJ', 'Asia-Pacific')`); err != nil {
+		return fmt.Errorf("loadgen seed: %w", err)
+	}
 	const batch = 500
 	for lo := 0; lo < seedRows; lo += batch {
 		hi := lo + batch
@@ -199,13 +208,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	hists := map[string]*stats.Histogram{
 		OpPoint:  obs.Histogram("loadgen_query_ms", "op="+OpPoint),
 		OpAgg:    obs.Histogram("loadgen_query_ms", "op="+OpAgg),
+		OpJoin:   obs.Histogram("loadgen_query_ms", "op="+OpJoin),
 		OpInsert: obs.Histogram("loadgen_query_ms", "op="+OpInsert),
 	}
 	var queries, rejections, protoErrs atomic.Int64
-	opCounts := map[string]*atomic.Int64{OpPoint: {}, OpAgg: {}, OpInsert: {}}
-	opErrs := map[string]*atomic.Int64{OpPoint: {}, OpAgg: {}, OpInsert: {}}
+	opCounts := map[string]*atomic.Int64{OpPoint: {}, OpAgg: {}, OpJoin: {}, OpInsert: {}}
+	opErrs := map[string]*atomic.Int64{OpPoint: {}, OpAgg: {}, OpJoin: {}, OpInsert: {}}
 
-	total := cfg.PointWeight + cfg.AggWeight + cfg.InsertWeight
+	total := cfg.PointWeight + cfg.AggWeight + cfg.JoinWeight + cfg.InsertWeight
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -223,6 +233,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					op = OpPoint
 				case w < cfg.PointWeight+cfg.AggWeight:
 					op = OpAgg
+				case w < cfg.PointWeight+cfg.AggWeight+cfg.JoinWeight:
+					op = OpJoin
 				default:
 					op = OpInsert
 				}
@@ -233,6 +245,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					_, err = c.Query(`SELECT v FROM loadgen_kv WHERE k = $1`, rng.Intn(cfg.SeedRows))
 				case OpAgg:
 					_, err = c.Query(`SELECT region, COUNT(*), SUM(amount) FROM loadgen_orders GROUP BY region`)
+				case OpJoin:
+					_, err = c.Query(`SELECT d.name, COUNT(*), SUM(o.amount) FROM loadgen_orders o JOIN loadgen_dim d ON o.region = d.region GROUP BY d.name`)
 				case OpInsert:
 					nextKey++
 					_, err = c.Query(`INSERT INTO loadgen_kv VALUES ($1, $2)`, nextKey, fmt.Sprintf("w%08d", nextKey))
@@ -280,7 +294,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		PerOp:          map[string]*OpStats{},
 		Obs:            obs,
 	}
-	for _, op := range []string{OpPoint, OpAgg, OpInsert} {
+	for _, op := range []string{OpPoint, OpAgg, OpJoin, OpInsert} {
 		h := hists[op]
 		s := &OpStats{
 			Count:  opCounts[op].Load(),

@@ -34,6 +34,16 @@ type ExecStats struct {
 	// queries (the counters diff a process-wide total).
 	PageFaults      int
 	PageFaultMicros int
+
+	// Late-materialization accounting (compressed execution): join probe
+	// keys answered as integer codes without decoding, RLE runs folded
+	// whole into aggregates, operator batches fused past an intermediate
+	// materialization, and an estimate of the boxed bytes never
+	// materialized because of it (16 per skipped value).
+	CodesJoined        int
+	RunsFolded         int
+	BatchesFused       int
+	DecodeBytesAvoided int
 }
 
 // Result is a materialized query result.

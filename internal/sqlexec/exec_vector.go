@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/columnstore"
 	"repro/internal/extstore"
 	"repro/internal/value"
@@ -125,6 +126,13 @@ type scanPrep struct {
 	plan  *ScanPlan
 	cols  []colInfo
 	ncols int
+
+	// zoneAgg, when set by a fused aggregate, is offered each warm
+	// partition whose zone map exactly describes the snapshot (same
+	// physical rows, no merge since demotion, every row visible, no
+	// filter, no cold stall). Returning true answers the partition from
+	// the synopsis and skips its morsels entirely.
+	zoneAgg func(snap *columnstore.Snapshot, z *columnstore.ZoneMap) bool
 }
 
 func prepScan(s *ScanPlan, ctx *execCtx) (*scanPrep, error) {
@@ -151,7 +159,8 @@ type scanTask struct {
 	kernels []kernelFn
 	resid   evalFn
 	getters []colGetter
-	cold    int // µs cold-read stall, charged by the partition's first morsel
+	cold    int  // µs cold-read stall, charged by the partition's first morsel
+	main    bool // rows [lo, hi) lie in encoded main storage (capabilities apply)
 }
 
 type scanScratch struct{ selA, selB []int }
@@ -201,6 +210,18 @@ func (p *scanPrep) newRun(ctx *execCtx) (*scanRun, error) {
 			}
 			continue
 		}
+		if p.zoneAgg != nil && cold == 0 && s.Filter == nil &&
+			part.Tier == catalog.TierExtended && part.Zone != nil &&
+			part.Zone.Rows == rows && part.Zone.Merges == part.Table.MergeCount() &&
+			snap.NumRows() == snap.MainRows() && snap.AllVisible() {
+			// Zone-map fast path: the synopsis covers exactly this
+			// snapshot's rows and every one of them is visible, so
+			// COUNT/MIN/MAX answer from resident metadata without
+			// faulting a single page.
+			if p.zoneAgg(snap, part.Zone) {
+				continue
+			}
+		}
 		mainRows := snap.MainRows()
 		var kernels []kernelFn
 		generic := append([]Expr(nil), s.VecResidual...)
@@ -236,7 +257,7 @@ func (p *scanPrep) newRun(ctx *execCtx) (*scanRun, error) {
 		for c := range getters {
 			getters[c] = makeGetter(snap, c)
 		}
-		addTask := func(lo, hi int, ks []kernelFn, filter Expr) error {
+		addTask := func(lo, hi int, ks []kernelFn, filter Expr, main bool) error {
 			var resid evalFn
 			if filter != nil {
 				f, err := compileExpr(filter, res, ctx.reg)
@@ -247,7 +268,7 @@ func (p *scanPrep) newRun(ctx *execCtx) (*scanRun, error) {
 			}
 			r.tasks = append(r.tasks, &scanTask{
 				seq: len(r.tasks), snap: snap, lo: lo, hi: hi,
-				kernels: ks, resid: resid, getters: getters, cold: cold,
+				kernels: ks, resid: resid, getters: getters, cold: cold, main: main,
 			})
 			cold = 0
 			return nil
@@ -255,12 +276,12 @@ func (p *scanPrep) newRun(ctx *execCtx) (*scanRun, error) {
 		// Morsels never straddle the main/delta boundary: main morsels run
 		// kernels over the encoded columns, delta morsels the full filter.
 		for lo := 0; lo < mainRows; lo += morselRows {
-			if err := addTask(lo, min(lo+morselRows, mainRows), kernels, mainResid); err != nil {
+			if err := addTask(lo, min(lo+morselRows, mainRows), kernels, mainResid, true); err != nil {
 				return nil, err
 			}
 		}
 		for lo := mainRows; lo < rows; lo += morselRows {
-			if err := addTask(lo, min(lo+morselRows, rows), nil, s.Filter); err != nil {
+			if err := addTask(lo, min(lo+morselRows, rows), nil, s.Filter, false); err != nil {
 				return nil, err
 			}
 		}
@@ -268,9 +289,12 @@ func (p *scanPrep) newRun(ctx *execCtx) (*scanRun, error) {
 	return r, nil
 }
 
-// runMorsel executes one morsel on worker w: visibility sweep, kernel
-// intersection, then row materialization with the generic residual.
-func (r *scanRun) runMorsel(t *scanTask, w int) []value.Row {
+// process runs one morsel's selection phase on worker w — cold stall,
+// visibility sweep, kernel intersection — and hands the surviving
+// positions to consume, bracketing the whole morsel with the scan's
+// stats, profiling and page-fault attribution. consume must not retain
+// sel past the call: it is worker scratch.
+func (r *scanRun) process(t *scanTask, w int, consume func(sel []int) []value.Row) []value.Row {
 	if r.stop.Load() {
 		return nil
 	}
@@ -298,20 +322,7 @@ func (r *scanRun) runMorsel(t *scanTask, w int) []value.Row {
 	}
 	var out []value.Row
 	if len(sel) > 0 {
-		env := Env{Params: ctx.params}
-		for _, pos := range sel {
-			row := make(value.Row, len(t.getters))
-			for c, g := range t.getters {
-				row[c] = g(pos)
-			}
-			if t.resid != nil {
-				env.Row = row
-				if v := t.resid(&env); v.IsNull() || !v.AsBool() {
-					continue
-				}
-			}
-			out = append(out, row)
-		}
+		out = consume(sel)
 	}
 	scr.selA = sel[:0]
 	ctx.mu.Lock()
@@ -327,11 +338,45 @@ func (r *scanRun) runMorsel(t *scanTask, w int) []value.Row {
 	return out
 }
 
+// materialize boxes the surviving positions into full rows, applying the
+// morsel's residual predicate.
+func (r *scanRun) materialize(t *scanTask, sel []int) []value.Row {
+	var out []value.Row
+	env := Env{Params: r.ctx.params}
+	for _, pos := range sel {
+		row := make(value.Row, len(t.getters))
+		for c, g := range t.getters {
+			row[c] = g(pos)
+		}
+		if t.resid != nil {
+			env.Row = row
+			if v := t.resid(&env); v.IsNull() || !v.AsBool() {
+				continue
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// runMorsel executes one morsel on worker w: visibility sweep, kernel
+// intersection, then row materialization with the generic residual.
+func (r *scanRun) runMorsel(t *scanTask, w int) []value.Row {
+	return r.process(t, w, func(sel []int) []value.Row { return r.materialize(t, sel) })
+}
+
 // drain runs every morsel on the pool and emits surviving batches in
 // morsel order — vectorized output stays byte-identical to sequential.
 // Each morsel owns a buffered channel, so workers complete out of order
 // without blocking while the drain loop consumes in sequence.
 func (r *scanRun) drain(emit func([]value.Row) error) error {
+	return r.drainWith(r.runMorsel, emit)
+}
+
+// drainWith is drain with a custom per-morsel function — the fused
+// operators (code-valued join probe, fused projection) substitute their
+// own consumers while keeping the ordered hand-off.
+func (r *scanRun) drainWith(fn func(t *scanTask, w int) []value.Row, emit func([]value.Row) error) error {
 	if len(r.tasks) == 0 {
 		return nil
 	}
@@ -343,7 +388,7 @@ func (r *scanRun) drain(emit func([]value.Row) error) error {
 	go func() {
 		for i, t := range r.tasks {
 			i, t := i, t
-			pool.submit(func(w int) { chans[i] <- r.runMorsel(t, w) })
+			pool.submit(func(w int) { chans[i] <- fn(t, w) })
 		}
 	}()
 	var emitErr error
@@ -479,6 +524,9 @@ func vecFilter(x *FilterPlan, ctx *execCtx) (vpipe, error) {
 }
 
 func vecProject(x *ProjectPlan, ctx *execCtx) (vpipe, error) {
+	if s, cols, ok := projectScanShape(x); ok {
+		return vecProjectScan(s, cols, ctx)
+	}
 	child, err := vecCompile(x.Child, ctx)
 	if err != nil {
 		return nil, err
@@ -676,6 +724,9 @@ func vecAgg(x *AggPlan, ctx *execCtx) (vpipe, error) {
 		}
 	}
 	if s, ok := x.Child.(*ScanPlan); ok && !hasDistinct && !aggFloatOrderSensitive(x, s) {
+		if info, ok := aggCodeShape(x, s); ok {
+			return vecAggScanCode(x, s, info, ctx)
+		}
 		return vecAggScan(x, s, res, ctx)
 	}
 	// General case: sequential fold over the child's ordered batches (the
@@ -765,6 +816,9 @@ func vecAggScan(x *AggPlan, s *ScanPlan, res colResolver, ctx *execCtx) (vpipe, 
 func vecJoin(x *JoinPlan, ctx *execCtx) (vpipe, error) {
 	if len(x.EquiL) == 0 {
 		return nil, errNoVector // nested-loop joins stay row-at-a-time
+	}
+	if info, ok := joinCodeShape(x); ok {
+		return vecJoinCode(x, info, ctx)
 	}
 	left, err := vecCompile(x.L, ctx)
 	if err != nil {

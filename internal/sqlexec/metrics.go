@@ -25,4 +25,13 @@ var (
 	// hVecWorkerBusy records per-worker busy time per query, exposing
 	// morsel-pool utilization skew.
 	hVecWorkerBusy = stats.Default.Histogram("sql_vec_worker_busy_us")
+
+	// Compressed-execution counters: join probe keys resolved as integer
+	// codes, RLE runs folded whole into aggregates, operator batches fused
+	// past an intermediate materialization, and the estimated boxed bytes
+	// never materialized because of late materialization.
+	cVecCodesJoined   = stats.Default.Counter("sql_vec_codes_joined_total")
+	cVecRunsFolded    = stats.Default.Counter("sql_vec_runs_folded_total")
+	cVecBatchesFused  = stats.Default.Counter("sql_vec_batches_fused_total")
+	cVecDecodeAvoided = stats.Default.Counter("sql_vec_decode_bytes_avoided_total")
 )

@@ -28,6 +28,46 @@ func parityEngine(t testing.TB) *Engine {
 	mustExec(t, e, `CREATE TABLE items (order_id INT, qty INT, sku VARCHAR)`)
 	mustExec(t, e, `CREATE TABLE sales (yr INT, region VARCHAR, amount DOUBLE) PARTITION BY RANGE(yr) VALUES (2012, 2014)`)
 
+	// Compressed-execution adversaries: events is large enough that its
+	// main storage spans a morsel boundary (>16384 rows), with grp/status
+	// runny enough for the merge to pick RLE (runs cross the boundary), a
+	// NULL-heavy dictionary region, and qty spanning past the flat-array
+	// group cutoff. dims is a small merged build side with NULL, duplicate
+	// and unmatched keys; dims_delta never merges (unencoded build side);
+	// raw_events never merges (delta-only probe side).
+	mustExec(t, e, `CREATE TABLE events (grp INT, region VARCHAR, qty INT, status INT)`)
+	mustExec(t, e, `CREATE TABLE dims (region VARCHAR, dname VARCHAR)`)
+	mustExec(t, e, `CREATE TABLE dims_delta (region VARCHAR, dname VARCHAR)`)
+	mustExec(t, e, `CREATE TABLE raw_events (region VARCHAR, qty INT)`)
+	const eventRows = 20000
+	erows := make([]value.Row, eventRows)
+	for i := range erows {
+		region := value.String(fmt.Sprintf("R%d", i%5))
+		if i%3 == 0 {
+			region = value.Null
+		}
+		erows[i] = value.Row{
+			value.Int(int64(i / 2500)), // 8 runs of 2500 → RLE
+			region,
+			value.Int(int64(i % 9000)),      // past the flat group cutoff
+			value.Int(int64((i / 100) % 4)), // 200 runs of 100 → RLE
+		}
+	}
+	et := e.Cat.MustTable("events").Primary()
+	et.ApplyInsert(erows, 1)
+	et.Merge(2)
+	dt := e.Cat.MustTable("dims").Primary()
+	dt.ApplyInsert([]value.Row{
+		{value.String("R0"), value.String("zero")},
+		{value.String("R2"), value.String("two")},
+		{value.String("R4"), value.String("four")},
+		{value.Null, value.String("nul")},            // NULL build key never matches
+		{value.String("XX"), value.String("none")},   // unmatched build key
+		{value.String("R0"), value.String("zero-b")}, // duplicate: multi-match
+	}, 1)
+	dt.Merge(2)
+	e.Mgr.AdvanceTo(2)
+
 	rng := rand.New(rand.NewSource(42))
 	regions := []string{"EMEA", "AMER", "APJ"}
 	statuses := []string{"OPEN", "PAID", "SHIPPED", "CLOSED"}
@@ -81,6 +121,47 @@ func parityEngine(t testing.TB) *Engine {
 	}
 	mustExec(t, e, `MERGE DELTA OF items`)
 	mustExec(t, e, `MERGE DELTA OF sales`)
+
+	// Delta tails and deletes over the compressed tables: events gains
+	// unencoded rows (NULL regions, qty on both sides of the cutoff, a
+	// kind-mismatched odd row would be impossible through SQL so delta
+	// coverage is NULL/dup heavy), and deletes punch holes so morsels stop
+	// being dense (run folding must yield to the selection-vector paths).
+	sess2 := e.NewSession()
+	defer sess2.Close()
+	sess2.Begin()
+	for i := 0; i < 60; i++ {
+		region := value.String(fmt.Sprintf("R%d", i%6)) // R5 unseen in main
+		if i%4 == 0 {
+			region = value.Null
+		}
+		if _, err := sess2.Query(`INSERT INTO events VALUES (?, ?, ?, ?)`,
+			value.Int(int64(8+i%3)), region,
+			value.Int(int64(i*150)), value.Int(int64(i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sess2.Query(`INSERT INTO dims_delta VALUES (?, ?)`,
+			value.String(fmt.Sprintf("R%d", i*2)), value.String(fmt.Sprintf("dd%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		region := value.String(fmt.Sprintf("R%d", i%7))
+		if i%5 == 0 {
+			region = value.Null
+		}
+		if _, err := sess2.Query(`INSERT INTO raw_events VALUES (?, ?)`,
+			region, value.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, `DELETE FROM events WHERE grp = 2 AND qty < 5300`)
+	mustExec(t, e, `DELETE FROM events WHERE qty = 8999`)
 
 	e.Reg.RegisterTable("NUMS", columnstore.Schema{{Name: "n", Kind: value.KindInt}},
 		func(args []value.Value) ([]value.Row, error) {
@@ -158,6 +239,22 @@ var parityQueries = []struct {
 	{sql: `SELECT COUNT(*) FROM TABLE(NUMS(25)) x`},
 	{sql: `SELECT n FROM TABLE(NUMS(5)) x WHERE n > 2`},
 	{sql: `SELECT 1 + 2`},
+	// Compressed-execution shapes: run-folded aggregation over RLE columns
+	// crossing morsel boundaries, NULL-heavy dictionary group keys, group
+	// cardinality past the flat-array cutoff, and code-valued joins with
+	// one-sided encodings (merged probe vs delta-only build and vice versa).
+	{sql: `SELECT grp, COUNT(*), SUM(qty), MIN(qty), MAX(qty) FROM events GROUP BY grp`},
+	{sql: `SELECT status, COUNT(*), SUM(qty) FROM events GROUP BY status`},
+	{sql: `SELECT region, COUNT(*), SUM(qty) FROM events GROUP BY region`},
+	{sql: `SELECT qty, COUNT(*) FROM events GROUP BY qty`},
+	{sql: `SELECT COUNT(*), SUM(qty), MIN(qty), MAX(qty) FROM events`},
+	{sql: `SELECT grp, COUNT(*) FROM events WHERE qty > 4500 GROUP BY grp`},
+	{sql: `SELECT region, COUNT(*) FROM events WHERE region IS NOT NULL GROUP BY region`},
+	{sql: `SELECT COUNT(*), COUNT(amount), MIN(amount), MAX(amount) FROM sales`},
+	{sql: `SELECT d.dname, COUNT(*), SUM(e.qty) FROM events e JOIN dims d ON e.region = d.region GROUP BY d.dname`},
+	{sql: `SELECT COUNT(*) FROM events e LEFT JOIN dims d ON e.region = d.region WHERE e.grp = 1`},
+	{sql: `SELECT COUNT(*) FROM events e JOIN dims_delta d ON e.region = d.region`},
+	{sql: `SELECT COUNT(*) FROM raw_events r JOIN dims d ON r.region = d.region`},
 }
 
 // resultKeys renders rows for exact ordered comparison.
@@ -189,6 +286,34 @@ func TestVectorizedParity(t *testing.T) {
 			if got := resultKeys(mustExec(t, e, q.sql, q.params...)); !reflect.DeepEqual(got, wantKeys) {
 				t.Errorf("%s: vectorized(workers=%d) output differs from interpreted (%d vs %d rows)",
 					q.sql, workers, len(got), len(wantKeys))
+			}
+		}
+	}
+}
+
+// TestVectorizedParityFlatOverflow reruns the grouping shapes with the
+// flat-array group cutoff forced to 2, so nearly every group spills to
+// the overflow map mid-query — flat and overflow partials must merge
+// into byte-identical output regardless of where the cutoff falls.
+func TestVectorizedParityFlatOverflow(t *testing.T) {
+	old := vecFlatGroupCutoff
+	vecFlatGroupCutoff = 2
+	defer func() { vecFlatGroupCutoff = old }()
+	e := parityEngine(t)
+	for _, sql := range []string{
+		`SELECT grp, COUNT(*), SUM(qty), MIN(qty), MAX(qty) FROM events GROUP BY grp`,
+		`SELECT status, COUNT(*), SUM(qty) FROM events GROUP BY status`,
+		`SELECT region, COUNT(*), SUM(qty) FROM events GROUP BY region`,
+		`SELECT qty, COUNT(*) FROM events GROUP BY qty`,
+		`SELECT region, COUNT(*) FROM orders GROUP BY region HAVING COUNT(*) > 50`,
+	} {
+		e.Mode = ModeInterpreted
+		wantKeys := resultKeys(mustExec(t, e, sql))
+		for _, workers := range []int{1, 3, 8} {
+			e.Mode = ModeVectorized
+			e.Workers = workers
+			if got := resultKeys(mustExec(t, e, sql)); !reflect.DeepEqual(got, wantKeys) {
+				t.Errorf("%s: vectorized(workers=%d, cutoff=2) output differs from interpreted", sql, workers)
 			}
 		}
 	}

@@ -770,6 +770,143 @@ func classifyVecConjunct(e Expr, cols []colInfo) (vecPred, bool) {
 	return vecPred{}, false
 }
 
+// --- compressed-execution eligibility ---------------------------------------
+//
+// The late-materialization paths (exec_vector_code.go) only engage on plan
+// shapes where key translation to canonical int64 codes is exact; anything
+// else keeps today's boxed behavior through the per-plan fallback.
+
+// findScanCol resolves a column reference against a scan's output columns
+// with exactly the executor resolver's semantics (including the ambiguity
+// rule), returning -1 when it does not resolve cleanly.
+func findScanCol(cols []colInfo, cr *ColRef) int {
+	idx, err := resolverFor(cols)(cr.Qual, cr.Name)
+	if err != nil {
+		return -1
+	}
+	return idx
+}
+
+// codeKeyKind reports whether a column kind supports canonical int64 key
+// coding: strings go through the dictionary remap, integer-payload kinds
+// use the raw value. Floats are excluded — their boxed grouping semantics
+// are not worth replicating bit-for-bit on a fast path.
+func codeKeyKind(k value.Kind) bool {
+	switch k {
+	case value.KindString, value.KindInt, value.KindBool, value.KindTime:
+		return true
+	}
+	return false
+}
+
+// aggCodeInfo is the shape summary of a code-keyed fused aggregation:
+// which scan column carries the group key (-1 for global aggregation) and
+// which scan column feeds each aggregate (-1 for COUNT(*)).
+type aggCodeInfo struct {
+	groupCol  int
+	groupKind value.Kind
+	argCols   []int
+}
+
+// aggCodeShape reports whether a fused scan aggregation can key on
+// integer codes: at most one GROUP BY expression, which must be a bare
+// reference to a non-float scan column, and every aggregate argument a
+// bare column reference (or COUNT(*)). Callers have already excluded
+// DISTINCT and order-sensitive float sums.
+func aggCodeShape(x *AggPlan, s *ScanPlan) (aggCodeInfo, bool) {
+	info := aggCodeInfo{groupCol: -1}
+	schema := s.Entry.Schema
+	switch len(x.GroupBy) {
+	case 0:
+	case 1:
+		cr, ok := x.GroupBy[0].(*ColRef)
+		if !ok {
+			return info, false
+		}
+		idx := findScanCol(s.cols, cr)
+		if idx < 0 || idx >= len(schema) || !codeKeyKind(schema[idx].Kind) {
+			return info, false
+		}
+		info.groupCol, info.groupKind = idx, schema[idx].Kind
+	default:
+		return info, false
+	}
+	for _, a := range x.Aggs {
+		if a.Star || a.Arg == nil {
+			info.argCols = append(info.argCols, -1)
+			continue
+		}
+		cr, ok := a.Arg.(*ColRef)
+		if !ok {
+			return info, false
+		}
+		idx := findScanCol(s.cols, cr)
+		if idx < 0 || idx >= len(schema) {
+			return info, false
+		}
+		info.argCols = append(info.argCols, idx)
+	}
+	return info, true
+}
+
+// joinCodeInfo is the shape summary of a code-keyed hash join: the probe
+// (left) side is a scan whose single equi key is a bare reference to a
+// non-float column.
+type joinCodeInfo struct {
+	scan    *ScanPlan
+	keyCol  int
+	keyKind value.Kind
+}
+
+// joinCodeShape reports whether a hash join can probe on integer codes.
+// Only the probe side needs the shape: the build side drains boxed
+// whichever plan it is, so joins where only one side is dict-encoded
+// qualify naturally (the build keys are interned into the probe key
+// space once, at build time).
+func joinCodeShape(x *JoinPlan) (joinCodeInfo, bool) {
+	if len(x.EquiL) != 1 {
+		return joinCodeInfo{}, false
+	}
+	s, ok := x.L.(*ScanPlan)
+	if !ok {
+		return joinCodeInfo{}, false
+	}
+	cr, ok := x.EquiL[0].(*ColRef)
+	if !ok {
+		return joinCodeInfo{}, false
+	}
+	idx := findScanCol(s.cols, cr)
+	schema := s.Entry.Schema
+	if idx < 0 || idx >= len(schema) || !codeKeyKind(schema[idx].Kind) {
+		return joinCodeInfo{}, false
+	}
+	return joinCodeInfo{scan: s, keyCol: idx, keyKind: schema[idx].Kind}, true
+}
+
+// projectScanShape reports whether a projection directly over a scan is
+// pure column selection — every output expression a bare column
+// reference — so the fused path can materialize only the projected
+// columns.
+func projectScanShape(x *ProjectPlan) (*ScanPlan, []int, bool) {
+	s, ok := x.Child.(*ScanPlan)
+	if !ok {
+		return nil, nil, false
+	}
+	cols := make([]int, len(x.Exprs))
+	for i, e := range x.Exprs {
+		cr, ok := e.(*ColRef)
+		if !ok {
+			return nil, nil, false
+		}
+		idx := findScanCol(s.cols, cr)
+		if idx < 0 {
+			return nil, nil, false
+		}
+		cols[i] = idx
+	}
+	return s, cols, true
+}
+
 // pruneScan eliminates partitions that cannot contain matching rows, using
 // range bounds and the semantic prune hook.
 func (pl *Planner) pruneScan(s *ScanPlan) {

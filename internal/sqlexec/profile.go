@@ -42,6 +42,10 @@ type OpProfile struct {
 	faultNS         atomic.Int64 // scans: time inside those faults
 	buildRows       atomic.Int64 // joins: hash-table input
 	probeRows       atomic.Int64 // joins: probe-side input
+	codesJoined     atomic.Int64 // joins: probe keys answered as integer codes
+	runsFolded      atomic.Int64 // aggregates: RLE runs consumed whole
+	batchesFused    atomic.Int64 // batches fused past an intermediate materialization
+	decodeAvoided   atomic.Int64 // estimated boxed bytes never materialized
 	fused           bool         // executed inside the parent (agg+scan fusion)
 }
 
@@ -181,6 +185,18 @@ func (p *Profile) renderOp(sb *strings.Builder, o *OpProfile, depth int) {
 	}
 	if b := o.buildRows.Load(); b > 0 || o.probeRows.Load() > 0 {
 		fmt.Fprintf(sb, " build=%d probe=%d", b, o.probeRows.Load())
+	}
+	if n := o.codesJoined.Load(); n > 0 {
+		fmt.Fprintf(sb, " codes_joined=%d", n)
+	}
+	if n := o.runsFolded.Load(); n > 0 {
+		fmt.Fprintf(sb, " runs_folded=%d", n)
+	}
+	if n := o.batchesFused.Load(); n > 0 {
+		fmt.Fprintf(sb, " batches_fused=%d", n)
+	}
+	if n := o.decodeAvoided.Load(); n > 0 {
+		fmt.Fprintf(sb, " decode_avoided=%dB", n)
 	}
 	sb.WriteString("\n")
 	for _, c := range o.Children {
