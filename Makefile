@@ -1,12 +1,14 @@
 # Developer entry points. `make ci` is the gate: lint (gofmt + vet) +
 # build + race-enabled tests + the experiment shape assertions + executor
 # parity (hot and tiered) under -race + the fault-injection (chaos) suite
-# + the wire-protocol conformance/loadgen smoke suite + smoke runs of
-# the vectorized-scan and compressed-execution micro-benchmarks.
+# + the wire-protocol conformance/loadgen smoke suite + the HTAP
+# concurrent-ingest/merge suite under -race + smoke runs of the
+# vectorized-scan, compressed-execution and commit-pipeline
+# micro-benchmarks.
 
 GO ?= go
 
-.PHONY: all lint vet build test race experiments parity chaos wire benchsmoke benchcompressed benchbaseline bench ci
+.PHONY: all lint vet build test race experiments parity chaos wire htap benchsmoke benchcompressed benchcommit benchbaseline bench ci
 
 all: ci
 
@@ -31,7 +33,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The EXPERIMENTS.md shape assertions (E1..E23 tables must reproduce).
+# The EXPERIMENTS.md shape assertions (E1..E24 tables must reproduce).
 experiments:
 	$(GO) test -run Experiment ./...
 
@@ -52,6 +54,17 @@ chaos:
 wire:
 	$(GO) test -race -run 'TestWire|TestState|TestLoadSmoke' ./internal/pgwire/
 
+# The write-scale HTAP suite under the race detector: merge/snapshot
+# parity property test, multi-writer conflict matrix, group-commit
+# batching, merge-epoch aborts, bounded RunInTxn retries, WAL recovery
+# with interleaved background merges, the SQL-level chaos triangle
+# (ingest + merge daemon + analytic scans), and the E24 experiment shape.
+htap:
+	$(GO) test -race -run 'TestMergeSnapshotParity|TestConflictMatrix|TestMergeEpoch|TestGroupCommit|TestRunInTxnBounded|TestOwnInserts' ./internal/txn/
+	$(GO) test -race -run 'TestRecoveryWithBackgroundMerges' ./internal/wal/
+	$(GO) test -race -run 'TestHTAPChaos' ./internal/sqlexec/
+	$(GO) test -run 'TestE24Shape' ./internal/experiments/
+
 # Quick pass over the vectorized scan/aggregation micro-benchmarks, gated
 # by cmd/benchguard against the committed BENCH_vectorized_baseline.json:
 # any ns/op regression beyond 25% fails the target. benchguard also fails
@@ -66,13 +79,22 @@ benchsmoke:
 benchcompressed:
 	$(GO) test -run xxx -bench 'BenchmarkJoinDict|BenchmarkGroupByRLE' -benchtime=20x . | $(GO) run ./cmd/benchguard -match 'BenchmarkJoinDict|BenchmarkGroupByRLE'
 
+# Commit-pipeline micro-benchmarks: concurrent disjoint-table committers
+# through the group-commit path vs the serialized baseline (one fsync per
+# batch vs one per commit), gated by the same baseline file.
+benchcommit:
+	$(GO) test -run xxx -bench 'BenchmarkCommit(GroupDisjoint|Serialized)$$' -benchtime=1000x . | $(GO) run ./cmd/benchguard -match 'BenchmarkCommit'
+
 # Regenerate the committed benchmark baseline after an intentional perf
 # change; benchguard -write preserves the workload prose and recomputes
 # the derived speedups. See README "Benchmark baseline" for the workflow.
+# Two passes merge into one file: the commit benchmarks need more
+# iterations than the big-table scans for the group batching to settle.
 benchbaseline:
 	$(GO) test -run xxx -bench 'BenchmarkScan(Vectorized|RowAtATime)$$|BenchmarkParallelAgg|BenchmarkJoinDict|BenchmarkGroupByRLE' -benchtime=10x -benchmem . | $(GO) run ./cmd/benchguard -write
+	$(GO) test -run xxx -bench 'BenchmarkCommit(GroupDisjoint|Serialized)$$' -benchtime=1000x -benchmem . | $(GO) run ./cmd/benchguard -write
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: lint build race experiments parity chaos wire benchsmoke benchcompressed
+ci: lint build race experiments parity chaos wire htap benchsmoke benchcompressed benchcommit

@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/columnstore"
@@ -19,7 +20,9 @@ import (
 	"repro/internal/sharedlog"
 	"repro/internal/sqlexec"
 	"repro/internal/timeseries"
+	"repro/internal/txn"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // benchScale keeps the experiment workloads benchmark-sized.
@@ -75,10 +78,54 @@ func BenchmarkE21_ExtendedStoreTiering(b *testing.B) {
 func BenchmarkE23_CompressedExec(b *testing.B) {
 	benchExperiment(b, experiments.E23CompressedExec)
 }
+func BenchmarkE24_HTAPIngestMerge(b *testing.B) {
+	benchExperiment(b, experiments.E24HTAPIngestMerge)
+}
 func BenchmarkF1_Tiering(b *testing.B)     { benchExperiment(b, experiments.F1Tiering) }
 func BenchmarkF2_CrossEngine(b *testing.B) { benchExperiment(b, experiments.F2CrossEngine) }
 func BenchmarkF3_SOECluster(b *testing.B)  { benchExperiment(b, experiments.F3SOECluster) }
 func BenchmarkF4_Ecosystem(b *testing.B)   { benchExperiment(b, experiments.F4Ecosystem) }
+
+// --- commit-pipeline micro-benchmarks (group commit, DESIGN.md §4) -------
+
+// benchCommitThroughput drives concurrent single-row commits against 8
+// disjoint tables through a fully durable WAL (fsync per flush). With
+// SerialCommits the pipeline degrades to one commit — and one fsync — at a
+// time; the group-commit path batches concurrent committers under a single
+// clock bump and a single WAL append+fsync, so the speedup measures fsync
+// amortization plus the removed commit convoy, not CPU parallelism.
+func benchCommitThroughput(b *testing.B, serial bool) {
+	store, err := wal.OpenStore(b.TempDir(), wal.SyncEveryCommit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Log.Close()
+	store.Mgr.SerialCommits = serial
+	const tables = 8
+	for i := 0; i < tables; i++ {
+		store.Mgr.Register(columnstore.NewTable(fmt.Sprintf("c%d", i),
+			columnstore.Schema{{Name: "v", Kind: value.KindInt}}))
+	}
+	var next atomic.Int64
+	b.SetParallelism(8) // 8 committer goroutines even on one CPU
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tab := fmt.Sprintf("c%d", next.Add(1)%tables)
+		var i int64
+		for pb.Next() {
+			i++
+			if _, err := store.Mgr.RunInTxn(func(tx *txn.Txn) error {
+				return tx.Insert(tab, value.Row{value.Int(i)})
+			}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkCommitGroupDisjoint(b *testing.B) { benchCommitThroughput(b, false) }
+func BenchmarkCommitSerialized(b *testing.B)    { benchCommitThroughput(b, true) }
 
 // --- ablation micro-benchmarks (DESIGN.md §4) ----------------------------
 

@@ -56,6 +56,7 @@ type baseline struct {
 		AggTarget     string `json:"parallel_agg_speedup_target"`
 		JoinTarget    string `json:"join_code_speedup_target,omitempty"`
 		GroupByTarget string `json:"groupby_rle_speedup_target,omitempty"`
+		CommitTarget  string `json:"commit_group_speedup_target,omitempty"`
 		Met           bool   `json:"met"`
 	} `json:"acceptance"`
 }
@@ -203,7 +204,7 @@ func writeBaseline(path string, old baseline, measured []result) error {
 		}
 	}
 	round1 := func(x float64) float64 { return math.Round(x*10) / 10 }
-	scan, agg, join, groupby := 0.0, 0.0, 0.0, 0.0
+	scan, agg, join, groupby, commit := 0.0, 0.0, 0.0, 0.0, 0.0
 	if v := ns["BenchmarkScanVectorized"]; v > 0 {
 		scan = round1(ns["BenchmarkScanRowAtATime"] / v)
 	}
@@ -216,13 +217,17 @@ func writeBaseline(path string, old baseline, measured []result) error {
 	if v := ns["BenchmarkGroupByRLELowCard"]; v > 0 {
 		groupby = round1(ns["BenchmarkGroupByRLERowAtATime"] / v)
 	}
+	if v := ns["BenchmarkCommitGroupDisjoint"]; v > 0 {
+		commit = round1(ns["BenchmarkCommitSerialized"] / v)
+	}
 	next.Derived = map[string]float64{
 		"scan_speedup_vectorized_vs_row_at_a_time": scan,
 		"parallel_agg_speedup_4_workers_vs_1":      agg,
 		"join_code_speedup_vs_row_at_a_time":       join,
 		"groupby_rle_speedup_vs_row_at_a_time":     groupby,
+		"commit_group_speedup_vs_serialized":       commit,
 	}
-	next.Acceptance.Met = scan >= 3 && agg >= 2 && join >= 2 && groupby >= 2
+	next.Acceptance.Met = scan >= 3 && agg >= 2 && join >= 2 && groupby >= 2 && commit >= 2
 	out, err := json.MarshalIndent(next, "", "  ")
 	if err != nil {
 		return err
@@ -230,8 +235,8 @@ func writeBaseline(path string, old baseline, measured []result) error {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("\nbenchguard: wrote %s (%d benchmarks, scan %.1fx, parallel agg %.1fx, join %.1fx, group-by %.1fx, acceptance met=%v)\n",
-		path, len(next.Results), scan, agg, join, groupby, next.Acceptance.Met)
+	fmt.Printf("\nbenchguard: wrote %s (%d benchmarks, scan %.1fx, parallel agg %.1fx, join %.1fx, group-by %.1fx, commit %.1fx, acceptance met=%v)\n",
+		path, len(next.Results), scan, agg, join, groupby, commit, next.Acceptance.Met)
 	return nil
 }
 

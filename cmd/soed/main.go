@@ -39,6 +39,7 @@ import (
 	"repro/internal/soe"
 	"repro/internal/sqlexec"
 	"repro/internal/stats"
+	"repro/internal/txn"
 	"repro/internal/value"
 )
 
@@ -207,6 +208,10 @@ func main() {
 	if *pgAddr != "" {
 		gw := sqlexec.NewEngine()
 		seedGateway(gw, *rows)
+		// Background merge daemon: wire-ingested deltas compact off the
+		// commit path, watermark-bounded by the oldest live snapshot.
+		merger := gw.Mgr.StartMerger(txn.MergerConfig{})
+		defer merger.Stop()
 		var err error
 		pgSrv, err = pgwire.Serve(pgwire.EngineBackend{Engine: gw}, pgwire.Config{Addr: *pgAddr, Obs: wireObs})
 		must0(err)

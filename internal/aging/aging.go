@@ -278,7 +278,10 @@ func (m *Manager) ageTable(table string, now time.Time) (int, error) {
 			if p == cold.partition {
 				continue
 			}
-			snap := p.Table.Snapshot(tx.SnapshotTS())
+			snap, err := tx.SnapshotTable(p.Table.Name())
+			if err != nil {
+				return err
+			}
 			for pos := 0; pos < snap.NumRows(); pos++ {
 				if !snap.Visible(pos) {
 					continue

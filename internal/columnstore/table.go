@@ -210,6 +210,20 @@ func (t *Table) ApplyDelete(pos int, ts uint64) bool {
 	return atomic.CompareAndSwapUint64(&t.deleted[pos], NeverDeleted, ts)
 }
 
+// RowLive reports whether row pos exists and carries no deletion stamp.
+// The transaction layer uses it for commit-time victim validation under
+// its per-table apply latches — no snapshot allocation required. A stamp
+// placed by a not-yet-published commit already counts as dead: that
+// commit is irrevocable, so a second deleter must abort either way.
+func (t *Table) RowLive(pos int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if pos < 0 || pos >= len(t.deleted) {
+		return false
+	}
+	return atomic.LoadUint64(&t.deleted[pos]) == NeverDeleted
+}
+
 // NumRows returns the current number of logical row slots (live and dead).
 func (t *Table) NumRows() int {
 	t.mu.RLock()

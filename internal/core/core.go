@@ -281,9 +281,10 @@ func (e *Ecosystem) PromoteTable(name string) (int, error) {
 	return n, nil
 }
 
-// MergeAll runs a delta merge on every hot partition (housekeeping).
+// MergeAll runs a delta merge on every hot partition (housekeeping). The
+// merges run through the commit pipeline so concurrent committers are
+// never invalidated mid-apply.
 func (e *Ecosystem) MergeAll() {
-	wm := e.Engine.Mgr.MinActiveTS()
 	for _, name := range e.Engine.Cat.Tables() {
 		entry, ok := e.Engine.Cat.Table(name)
 		if !ok {
@@ -291,7 +292,7 @@ func (e *Ecosystem) MergeAll() {
 		}
 		for _, p := range entry.Partitions {
 			if p.Tier == catalog.TierHot && p.Table.DeltaRows() > 0 {
-				p.Table.Merge(wm)
+				e.Engine.Mgr.MergeNow(p.Table)
 			}
 		}
 	}

@@ -76,7 +76,10 @@ func (e *Ecosystem) TierByTemperature(p TierPolicy, now time.Time) (toExtended, 
 	var hdfsRows []value.Row
 	_, err = e.Engine.Mgr.RunInTxn(func(tx *txn.Txn) error {
 		for _, part := range entry.Partitions {
-			snap := part.Table.Snapshot(tx.SnapshotTS())
+			snap, err := tx.SnapshotTable(part.Table.Name())
+			if err != nil {
+				return err
+			}
 			for pos := 0; pos < snap.NumRows(); pos++ {
 				if !snap.Visible(pos) {
 					continue

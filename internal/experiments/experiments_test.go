@@ -315,3 +315,36 @@ func TestE23ShapeCompressedExec(t *testing.T) {
 		}
 	}
 }
+
+func TestE24ShapeHTAPIngestMerge(t *testing.T) {
+	tab := E24HTAPIngestMerge(tiny)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("unexpected table shape: %v", tab.Rows)
+	}
+	// The analytic side must keep answering at every ramp step, and
+	// ingest must actually flow.
+	for _, row := range tab.Rows {
+		if atoi(t, row[3]) == 0 {
+			t.Fatalf("analytic queries starved at step %s:\n%s", row[0], tab.String())
+		}
+		if row[2] == "0" {
+			t.Fatalf("no ingest at step %s:\n%s", row[0], tab.String())
+		}
+	}
+	// Background merges must have engaged by the end of the ramp.
+	if atoi(t, cell(tab, len(tab.Rows)-1, 5)) == 0 {
+		t.Fatalf("background merger never fired:\n%s", tab.String())
+	}
+	notes := strings.Join(tab.Notes, "\n")
+	// Zero wrong results: no lost rows, no analytic errors.
+	if !strings.Contains(notes, " 0 lost") {
+		t.Fatalf("acked inserts went missing:\n%s", notes)
+	}
+	if !strings.Contains(notes, " 0 analytic errors") {
+		t.Fatalf("analytic queries errored under ingest:\n%s", notes)
+	}
+	// Group commit must have actually grouped (batches recorded).
+	if !strings.Contains(notes, "group batches") {
+		t.Fatalf("pipeline note missing:\n%s", notes)
+	}
+}

@@ -289,9 +289,10 @@ func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("sql: no table %q", x.Table)
 		}
-		wm := s.e.Mgr.MinActiveTS()
+		// Merge through the commit pipeline so concurrent committers with
+		// validated positions are never renumbered mid-commit.
 		for _, p := range entry.Partitions {
-			p.Table.Merge(wm)
+			s.e.Mgr.MergeNow(p.Table)
 		}
 		return &Result{}, nil
 	}
@@ -489,7 +490,11 @@ type victim struct {
 	row  value.Row
 }
 
-func (s *Session) findVictims(table string, where Expr, params []value.Value, ts uint64) (*catalog.TableEntry, []victim, error) {
+// findVictims snapshots through the transaction (tx.SnapshotTable) so the
+// merge epoch each position was read under is on record: a background
+// merge that renumbers positions between here and commit turns into a
+// clean ErrConflict retry instead of deleting the wrong row.
+func (s *Session) findVictims(tx *txn.Txn, table string, where Expr, params []value.Value) (*catalog.TableEntry, []victim, error) {
 	entry, ok := s.e.Cat.Table(table)
 	if !ok {
 		return nil, nil, fmt.Errorf("sql: unknown table %q", table)
@@ -509,7 +514,10 @@ func (s *Session) findVictims(table string, where Expr, params []value.Value, ts
 	var out []victim
 	env := Env{Params: params}
 	for _, p := range entry.Partitions {
-		snap := p.Table.Snapshot(ts)
+		snap, err := tx.SnapshotTable(p.Table.Name())
+		if err != nil {
+			return nil, nil, err
+		}
 		n := snap.NumRows()
 		for pos := 0; pos < n; pos++ {
 			if !snap.Visible(pos) {
@@ -530,7 +538,7 @@ func (s *Session) findVictims(table string, where Expr, params []value.Value, ts
 
 func (s *Session) execUpdate(up *UpdateStmt, params []value.Value) (*Result, error) {
 	tx, done := s.currentTxn()
-	entry, vs, err := s.findVictims(up.Table, up.Where, params, tx.SnapshotTS())
+	entry, vs, err := s.findVictims(tx, up.Table, up.Where, params)
 	if err != nil {
 		if s.tx == nil {
 			tx.Abort()
@@ -592,7 +600,7 @@ func (s *Session) execUpdate(up *UpdateStmt, params []value.Value) (*Result, err
 
 func (s *Session) execDelete(del *DeleteStmt, params []value.Value) (*Result, error) {
 	tx, done := s.currentTxn()
-	_, vs, err := s.findVictims(del.Table, del.Where, params, tx.SnapshotTS())
+	_, vs, err := s.findVictims(tx, del.Table, del.Where, params)
 	if err != nil {
 		if s.tx == nil {
 			tx.Abort()

@@ -3,6 +3,17 @@
 // detection, a monotonic commit clock, and tracking of the oldest active
 // snapshot (the merge watermark for the column store's delta→main merge).
 //
+// The commit pipeline is built for write scale. Committers validate their
+// delete sets under per-table latches (not a global mutex), then enqueue
+// into a group-commit batch: one committer becomes the leader, assigns a
+// contiguous timestamp range to the whole batch under a single clock bump,
+// lets every member apply its own write set concurrently (disjoint tables
+// in parallel), publishes the clock once all applies land, and hands the
+// batch to the WAL as one append with one flush+fsync. Merges renumber
+// row positions, so they run as exclusive jobs between batches through
+// the same pipeline — see RunExclusive and merge.go for the background
+// merge daemon.
+//
 // The paper (§II-A) positions SAP HANA as "a fully ACID compliant
 // relational database"; this package provides the A, C and I — durability
 // is layered on by package wal, and the relaxed, availability-favoring
@@ -12,24 +23,40 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/columnstore"
 	"repro/internal/value"
 )
 
 // ErrConflict is returned by Commit when another transaction deleted or
-// updated a row this transaction also deleted or updated.
+// updated a row this transaction also deleted or updated, or when a
+// delta→main merge renumbered positions the transaction had observed.
 var ErrConflict = errors.New("txn: write-write conflict, transaction aborted")
 
 // ErrClosed is returned when operating on a finished transaction.
 var ErrClosed = errors.New("txn: transaction already committed or aborted")
 
-// CommitListener observes committed write sets; the WAL and the streaming
-// engine subscribe to it.
+// CommitListener observes committed write sets one transaction at a time;
+// the streaming engine and the text indexer subscribe to it. Listeners run
+// on the group-commit leader goroutine in commit-timestamp order.
 type CommitListener func(commitTS uint64, writes []Write)
+
+// GroupCommit is one transaction of a published group-commit batch.
+type GroupCommit struct {
+	TS     uint64
+	Writes []Write
+}
+
+// GroupCommitListener observes whole group-commit batches (ascending TS).
+// The WAL subscribes here so a batch of N commits costs one append with
+// one flush and one fsync instead of N.
+type GroupCommitListener func(batch []GroupCommit)
 
 // WriteKind discriminates the operations in a write set.
 type WriteKind uint8
@@ -53,22 +80,37 @@ type Write struct {
 // Manager coordinates transactions over a set of column-store tables.
 type Manager struct {
 	mu        sync.Mutex
-	clock     atomic.Uint64  // last issued timestamp
+	clock     atomic.Uint64  // last published timestamp
 	active    map[uint64]int // snapshot TS -> number of active txns using it
 	tables    map[string]*columnstore.Table
+	latches   map[string]*sync.Mutex // per-table apply latches
 	listeners []CommitListener
+	groupLs   []GroupCommitListener
 	nextID    atomic.Uint64
 
-	commits atomic.Uint64
-	aborts  atomic.Uint64
+	// SerialCommits forces every commit through one global mutex,
+	// degenerating group commit to batches of one. It reproduces the
+	// pre-pipeline serialized behavior and exists as the baseline for the
+	// commit-throughput benchmarks; leave it false in production paths.
+	SerialCommits bool
+	serialMu      sync.Mutex
+
+	gcMu    sync.Mutex
+	gcQueue []*gcJob
+	gcLead  bool
+
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	conflicts atomic.Uint64
 }
 
 // NewManager returns a Manager with an empty table registry. The clock
 // starts at 1 so that bulk loads at ts 1 are visible to all transactions.
 func NewManager() *Manager {
 	m := &Manager{
-		active: make(map[uint64]int),
-		tables: make(map[string]*columnstore.Table),
+		active:  make(map[uint64]int),
+		tables:  make(map[string]*columnstore.Table),
+		latches: make(map[string]*sync.Mutex),
 	}
 	m.clock.Store(1)
 	return m
@@ -81,7 +123,8 @@ func (m *Manager) Register(t *columnstore.Table) {
 	m.mu.Unlock()
 }
 
-// Deregister removes a table (DROP TABLE).
+// Deregister removes a table (DROP TABLE). The table's latch survives so
+// in-flight committers and merge jobs holding it stay sound.
 func (m *Manager) Deregister(name string) {
 	m.mu.Lock()
 	delete(m.tables, name)
@@ -96,10 +139,30 @@ func (m *Manager) Table(name string) (*columnstore.Table, bool) {
 	return t, ok
 }
 
-// OnCommit registers a commit listener (e.g. the WAL appender).
+// TableNames returns the names of all registered tables, sorted.
+func (m *Manager) TableNames() []string {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.tables))
+	for name := range m.tables {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// OnCommit registers a per-transaction commit listener (e.g. the
+// streaming engine or the text indexer).
 func (m *Manager) OnCommit(l CommitListener) {
 	m.mu.Lock()
 	m.listeners = append(m.listeners, l)
+	m.mu.Unlock()
+}
+
+// OnCommitGroup registers a batch listener (e.g. the WAL group appender).
+func (m *Manager) OnCommitGroup(l GroupCommitListener) {
+	m.mu.Lock()
+	m.groupLs = append(m.groupLs, l)
 	m.mu.Unlock()
 }
 
@@ -137,6 +200,41 @@ func (m *Manager) Stats() (commits, aborts uint64) {
 	return m.commits.Load(), m.aborts.Load()
 }
 
+// Conflicts returns the number of commits aborted with ErrConflict.
+func (m *Manager) Conflicts() uint64 { return m.conflicts.Load() }
+
+// latchFor returns (creating if needed) the apply latch for a table name.
+func (m *Manager) latchFor(name string) *sync.Mutex {
+	m.mu.Lock()
+	la := m.latches[name]
+	if la == nil {
+		la = &sync.Mutex{}
+		m.latches[name] = la
+	}
+	m.mu.Unlock()
+	return la
+}
+
+// latchTables acquires the apply latches for the given sorted table names.
+// Sorted acquisition order across all committers makes the latching
+// deadlock-free.
+func (m *Manager) latchTables(names []string) []*sync.Mutex {
+	latches := make([]*sync.Mutex, len(names))
+	for i, name := range names {
+		latches[i] = m.latchFor(name)
+	}
+	for _, la := range latches {
+		la.Lock()
+	}
+	return latches
+}
+
+func unlatch(latches []*sync.Mutex) {
+	for _, la := range latches {
+		la.Unlock()
+	}
+}
+
 // Begin starts a transaction reading at the current clock.
 func (m *Manager) Begin() *Txn {
 	m.mu.Lock()
@@ -162,7 +260,8 @@ type Txn struct {
 
 	writes  []Write
 	deletes map[string]map[int]bool // table -> victim positions
-	inserts map[string][]value.Row  // lazy; kept in writes order too
+	inserts map[string][]value.Row  // table -> buffered rows, insertion order
+	epochs  map[string]int          // table -> MergeCount at first observation
 }
 
 // ID returns the transaction identifier.
@@ -170,6 +269,34 @@ func (t *Txn) ID() uint64 { return t.id }
 
 // SnapshotTS returns the transaction's read timestamp.
 func (t *Txn) SnapshotTS() uint64 { return t.snapTS }
+
+// observeEpoch records the table's merge epoch the first time this
+// transaction observes positions in it. Commit validation aborts with
+// ErrConflict if a merge renumbered positions since: any Pos the
+// transaction collected would be stale. The epoch is read before the
+// caller takes its snapshot, so a racing merge can only cause a spurious
+// abort, never a silently wrong commit.
+func (t *Txn) observeEpoch(table string, tab *columnstore.Table) {
+	if t.epochs == nil {
+		t.epochs = make(map[string]int)
+	}
+	if _, seen := t.epochs[table]; !seen {
+		t.epochs[table] = tab.MergeCount()
+	}
+}
+
+// SnapshotTable returns a storage snapshot of the named table at the
+// transaction's read timestamp, recording the table's merge epoch so that
+// positions collected from the snapshot stay valid through commit (a
+// concurrent merge aborts the transaction with ErrConflict instead).
+func (t *Txn) SnapshotTable(table string) (*columnstore.Snapshot, error) {
+	tab, ok := t.m.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("txn: unknown table %q", table)
+	}
+	t.observeEpoch(table, tab)
+	return tab.Snapshot(t.snapTS), nil
+}
 
 // Insert buffers rows for insertion into the named table.
 func (t *Txn) Insert(table string, rows ...value.Row) error {
@@ -179,21 +306,30 @@ func (t *Txn) Insert(table string, rows ...value.Row) error {
 	if _, ok := t.m.Table(table); !ok {
 		return fmt.Errorf("txn: unknown table %q", table)
 	}
+	if t.inserts == nil {
+		t.inserts = make(map[string][]value.Row)
+	}
 	for _, r := range rows {
-		t.writes = append(t.writes, Write{Kind: WriteInsert, Table: table, Row: r.Clone()})
+		c := r.Clone()
+		t.writes = append(t.writes, Write{Kind: WriteInsert, Table: table, Row: c})
+		t.inserts[table] = append(t.inserts[table], c)
 	}
 	return nil
 }
 
 // Delete buffers the deletion of row pos of the named table. The conflict
-// check happens at commit (first committer wins).
+// check happens at commit (first committer wins). Victim positions must
+// come from this transaction's own View/SnapshotTable so the merge epoch
+// they were read under is on record.
 func (t *Txn) Delete(table string, pos int) error {
 	if t.done {
 		return ErrClosed
 	}
-	if _, ok := t.m.Table(table); !ok {
+	tab, ok := t.m.Table(table)
+	if !ok {
 		return fmt.Errorf("txn: unknown table %q", table)
 	}
+	t.observeEpoch(table, tab)
 	if t.deletes[table] == nil {
 		t.deletes[table] = make(map[int]bool)
 	}
@@ -217,75 +353,61 @@ func (t *Txn) Update(table string, pos int, newRow value.Row) error {
 // View returns a read view of the named table combining the transaction's
 // snapshot with its own uncommitted writes.
 func (t *Txn) View(table string) (*View, error) {
-	tab, ok := t.m.Table(table)
-	if !ok {
-		return nil, fmt.Errorf("txn: unknown table %q", table)
+	snap, err := t.SnapshotTable(table)
+	if err != nil {
+		return nil, err
 	}
-	v := &View{snap: tab.Snapshot(t.snapTS), txn: t, table: table}
-	return v, nil
+	return &View{snap: snap, txn: t, table: table}, nil
 }
 
-// Commit applies the write set atomically at a fresh commit timestamp.
-// On conflict every stamped delete is rolled back is impossible under
-// first-committer-wins — conflicts are detected before any stamp is
-// placed, by re-checking victim liveness under the global commit mutex.
-func (t *Txn) Commit() (uint64, error) {
-	if t.done {
-		return 0, ErrClosed
-	}
-	t.done = true
+// resolve maps every table the write set touches to its *Table and returns
+// the sorted list of tables with deletes. A concurrently dropped table
+// aborts the commit cleanly instead of panicking at apply.
+func (t *Txn) resolve() (tabs map[string]*columnstore.Table, delNames []string, err error) {
 	m := t.m
-
 	m.mu.Lock()
-	// Read-only fast path.
-	if len(t.writes) == 0 {
-		m.release(t.snapTS)
-		m.mu.Unlock()
-		m.commits.Add(1)
-		return m.clock.Load(), nil
-	}
-
-	// Validate deletes: victim must still be live (not deleted by a
-	// transaction that committed after our snapshot — or before it, which
-	// our own View would have filtered anyway).
-	for table, victims := range t.deletes {
-		tab := m.tables[table]
-		if tab == nil {
-			m.release(t.snapTS)
-			m.mu.Unlock()
-			m.aborts.Add(1)
-			return 0, fmt.Errorf("txn: table %q dropped", table)
+	defer m.mu.Unlock()
+	tabs = make(map[string]*columnstore.Table)
+	need := func(name string) error {
+		if _, ok := tabs[name]; ok {
+			return nil
 		}
-		latest := tab.Snapshot(m.clock.Load())
-		for pos := range victims {
-			if !latest.Visible(pos) {
-				m.release(t.snapTS)
-				m.mu.Unlock()
-				m.aborts.Add(1)
-				return 0, ErrConflict
-			}
+		tab, ok := m.tables[name]
+		if !ok {
+			return fmt.Errorf("txn: table %q dropped", name)
+		}
+		tabs[name] = tab
+		return nil
+	}
+	for name := range t.inserts {
+		if err := need(name); err != nil {
+			return nil, nil, err
 		}
 	}
-
-	commitTS := m.clock.Add(1)
-
-	// Apply: group inserts per table to amortize locking, stamp deletes.
-	byTable := make(map[string][]value.Row)
-	var order []string
-	for _, w := range t.writes {
-		if w.Kind == WriteInsert {
-			if _, seen := byTable[w.Table]; !seen {
-				order = append(order, w.Table)
-			}
-			byTable[w.Table] = append(byTable[w.Table], w.Row)
+	for name := range t.deletes {
+		if err := need(name); err != nil {
+			return nil, nil, err
 		}
+		delNames = append(delNames, name)
 	}
-	sort.Strings(order)
-	posOut := make(map[string][]int)
-	for _, table := range order {
-		posOut[table] = m.tables[table].ApplyInsert(byTable[table], commitTS)
+	sort.Strings(delNames)
+	return tabs, delNames, nil
+}
+
+// apply installs the write set at commitTS. Inserts are grouped per table
+// (one ApplyInsert lock round-trip each); deletes were validated under the
+// table latch the caller still holds, so the stamp cannot fail.
+func (t *Txn) apply(commitTS uint64, tabs map[string]*columnstore.Table) {
+	insNames := make([]string, 0, len(t.inserts))
+	for name := range t.inserts {
+		insNames = append(insNames, name)
 	}
-	next := make(map[string]int)
+	sort.Strings(insNames)
+	posOut := make(map[string][]int, len(insNames))
+	for _, name := range insNames {
+		posOut[name] = tabs[name].ApplyInsert(t.inserts[name], commitTS)
+	}
+	next := make(map[string]int, len(insNames))
 	for i := range t.writes {
 		w := &t.writes[i]
 		switch w.Kind {
@@ -293,23 +415,101 @@ func (t *Txn) Commit() (uint64, error) {
 			w.Pos = posOut[w.Table][next[w.Table]]
 			next[w.Table]++
 		case WriteDelete:
-			if !m.tables[w.Table].ApplyDelete(w.Pos, commitTS) {
-				// Cannot happen: liveness was validated under m.mu and
-				// stamps are only placed by committers holding m.mu.
+			if !tabs[w.Table].ApplyDelete(w.Pos, commitTS) {
+				// Cannot happen: liveness was validated under the table
+				// latch, stamps are only placed by latch holders, and
+				// merges run exclusively between batches.
 				panic("txn: delete conflict after validation")
 			}
 		}
 	}
-	m.release(t.snapTS)
-	listeners := append([]CommitListener(nil), m.listeners...)
-	writes := t.writes
-	m.mu.Unlock()
+}
 
-	m.commits.Add(1)
-	for _, l := range listeners {
-		l(commitTS, writes)
+// Commit validates the write set under per-table latches, then rides a
+// group-commit batch: the batch leader assigns it a timestamp from one
+// clock bump shared with its peers, the write set is applied concurrently
+// with other members (disjoint tables in parallel), and the clock is
+// published only after the whole batch has landed — so no snapshot ever
+// observes a torn commit. Commit returns once the batch's listeners (WAL
+// append + fsync under SyncEveryCommit) have run.
+func (t *Txn) Commit() (uint64, error) {
+	if t.done {
+		return 0, ErrClosed
 	}
-	return commitTS, nil
+	t.done = true
+	m := t.m
+
+	// Read-only fast path.
+	if len(t.writes) == 0 {
+		m.mu.Lock()
+		m.release(t.snapTS)
+		m.mu.Unlock()
+		m.commits.Add(1)
+		cCommits.Inc()
+		return m.clock.Load(), nil
+	}
+
+	if m.SerialCommits {
+		m.serialMu.Lock()
+		defer m.serialMu.Unlock()
+	}
+
+	tabs, delNames, err := t.resolve()
+	if err != nil {
+		t.releaseAbort()
+		return 0, err
+	}
+
+	// Validate deletes under the table latches: the victim must still be
+	// live, and no merge may have renumbered positions since we observed
+	// them. Latches are held through apply (ownership passes to the batch
+	// leader), so validation cannot be invalidated before the stamp lands.
+	latches := m.latchTables(delNames)
+	for _, name := range delNames {
+		tab := tabs[name]
+		if tab.MergeCount() != t.epochs[name] {
+			unlatch(latches)
+			t.releaseAbort()
+			m.conflicts.Add(1)
+			cConflicts.Inc()
+			return 0, fmt.Errorf("txn: table %q merged under transaction: %w", name, ErrConflict)
+		}
+		for pos := range t.deletes[name] {
+			if !tab.RowLive(pos) {
+				unlatch(latches)
+				t.releaseAbort()
+				m.conflicts.Add(1)
+				cConflicts.Inc()
+				return 0, ErrConflict
+			}
+		}
+	}
+
+	job := &gcJob{
+		txn:     t,
+		tabs:    tabs,
+		latches: latches,
+		apply:   make(chan struct{}),
+		elect:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	m.submit(job)
+
+	m.mu.Lock()
+	m.release(t.snapTS)
+	m.mu.Unlock()
+	m.commits.Add(1)
+	cCommits.Inc()
+	return job.ts, nil
+}
+
+// releaseAbort drops the snapshot pin and counts an abort.
+func (t *Txn) releaseAbort() {
+	t.m.mu.Lock()
+	t.m.release(t.snapTS)
+	t.m.mu.Unlock()
+	t.m.aborts.Add(1)
+	cAborts.Inc()
 }
 
 // Abort discards the transaction's buffered writes.
@@ -318,10 +518,7 @@ func (t *Txn) Abort() {
 		return
 	}
 	t.done = true
-	t.m.mu.Lock()
-	t.m.release(t.snapTS)
-	t.m.mu.Unlock()
-	t.m.aborts.Add(1)
+	t.releaseAbort()
 }
 
 // release decrements the active-snapshot refcount; caller holds m.mu.
@@ -332,6 +529,245 @@ func (m *Manager) release(snapTS uint64) {
 		m.active[snapTS] = n - 1
 	}
 }
+
+// --- Group commit -----------------------------------------------------
+
+// gcJob is one unit in the group-commit queue: either a validated commit
+// (txn != nil) or an exclusive job (a merge) that must run with no apply
+// in flight on its table.
+type gcJob struct {
+	// Commit jobs.
+	txn     *Txn
+	tabs    map[string]*columnstore.Table
+	latches []*sync.Mutex
+	ts      uint64          // assigned by the leader before apply is closed
+	wg      *sync.WaitGroup // batch apply barrier
+	apply   chan struct{}   // leader → member: ts assigned, apply now
+
+	// Exclusive jobs.
+	excl  bool
+	table string
+	fn    func(watermark uint64)
+
+	elect     chan struct{} // leader → member: take over leadership
+	done      chan struct{} // leader → member: fully committed/ran
+	processed bool          // leader-side: job completed (leader goroutine only)
+}
+
+// maxLeaderDrains bounds how many batches one committer serves as leader
+// before handing leadership to a queued peer, so no single caller's
+// latency (or snapshot pin, which holds back the merge watermark) grows
+// without bound under sustained load.
+const maxLeaderDrains = 4
+
+// submit enqueues a commit job and blocks until it is fully committed.
+// The first enqueuer with no active leader leads the batch; members apply
+// their own write sets when signaled and may inherit leadership.
+func (m *Manager) submit(j *gcJob) {
+	m.gcMu.Lock()
+	m.gcQueue = append(m.gcQueue, j)
+	lead := !m.gcLead
+	if lead {
+		m.gcLead = true
+	}
+	m.gcMu.Unlock()
+	if lead {
+		m.lead(j)
+		return
+	}
+	select {
+	case <-j.apply:
+		j.txn.apply(j.ts, j.tabs)
+		j.wg.Done()
+		<-j.done
+	case <-j.elect:
+		m.lead(j)
+	}
+}
+
+// RunExclusive runs fn on the named table with no commit apply in flight:
+// the group-commit leader executes it between batches while holding the
+// table's apply latch, passing the current MinActiveTS watermark. Merges
+// go through here so the WAL observes merge records in true execution
+// order relative to commits, and so no committer's validated positions
+// are renumbered out from under it.
+func (m *Manager) RunExclusive(table string, fn func(watermark uint64)) {
+	j := &gcJob{
+		excl:  true,
+		table: table,
+		fn:    fn,
+		elect: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	m.gcMu.Lock()
+	m.gcQueue = append(m.gcQueue, j)
+	lead := !m.gcLead
+	if lead {
+		m.gcLead = true
+	}
+	m.gcMu.Unlock()
+	if lead {
+		m.lead(j)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-j.elect:
+		m.lead(j)
+	}
+}
+
+// lead drains the group-commit queue until it is empty or leadership is
+// handed off. own is the leader's own job; leadership cannot be handed
+// off before it has been processed.
+func (m *Manager) lead(own *gcJob) {
+	for drains := 0; ; drains++ {
+		m.gcMu.Lock()
+		if len(m.gcQueue) == 0 {
+			m.gcLead = false
+			m.gcMu.Unlock()
+			return
+		}
+		if drains >= maxLeaderDrains && own.processed {
+			next := m.gcQueue[0]
+			m.gcMu.Unlock()
+			close(next.elect) // leadership transfers; gcLead stays set
+			return
+		}
+		batch := m.gcQueue
+		m.gcQueue = nil
+		m.gcMu.Unlock()
+		if !m.runGroup(batch, own) {
+			// No commit landed and every exclusive job was requeued
+			// behind a latch still held by a not-yet-enqueued committer;
+			// yield so that committer can finish validating.
+			runtime.Gosched()
+		}
+	}
+}
+
+// runGroup processes one drained batch: commits first (single clock bump,
+// concurrent applies, publish, listeners), then exclusive jobs. Returns
+// whether any job completed.
+func (m *Manager) runGroup(batch []*gcJob, own *gcJob) bool {
+	var commits, excls []*gcJob
+	for _, j := range batch {
+		if j.excl {
+			excls = append(excls, j)
+		} else {
+			commits = append(commits, j)
+		}
+	}
+
+	if len(commits) > 0 {
+		// Phase 1: assign a contiguous TS range under one clock bump and
+		// let every member apply its own write set concurrently.
+		base := m.clock.Load()
+		var wg sync.WaitGroup
+		wg.Add(len(commits))
+		for i, j := range commits {
+			j.ts = base + 1 + uint64(i)
+			j.wg = &wg
+			if j != own {
+				close(j.apply)
+			}
+		}
+		if own != nil && !own.excl && !own.processed {
+			own.txn.apply(own.ts, own.tabs)
+			wg.Done()
+		}
+		wg.Wait()
+
+		// Phase 2: the validate→apply window is closed; release every
+		// member's table latches (ownership passed to the leader).
+		for _, j := range commits {
+			unlatch(j.latches)
+		}
+
+		// Phase 3: publish the whole batch with one clock store. Readers
+		// beginning now see either none or all of each member's writes.
+		m.AdvanceTo(base + uint64(len(commits)))
+
+		// Phase 4: listeners. The WAL's group listener appends the batch
+		// as one flush+fsync; per-commit listeners run in TS order.
+		m.mu.Lock()
+		ls := append([]CommitListener(nil), m.listeners...)
+		gls := append([]GroupCommitListener(nil), m.groupLs...)
+		m.mu.Unlock()
+		if len(gls) > 0 {
+			rec := make([]GroupCommit, len(commits))
+			for i, j := range commits {
+				rec[i] = GroupCommit{TS: j.ts, Writes: j.txn.writes}
+			}
+			for _, g := range gls {
+				g(rec)
+			}
+		}
+		for _, j := range commits {
+			for _, l := range ls {
+				l(j.ts, j.txn.writes)
+			}
+		}
+
+		cGroupCommits.Inc()
+		hGroupSize.Observe(float64(len(commits)))
+
+		// Phase 5: wake the members.
+		for _, j := range commits {
+			j.processed = true
+			if j != own {
+				close(j.done)
+			}
+		}
+	}
+
+	progress := len(commits) > 0
+	for _, j := range excls {
+		la := m.latchFor(j.table)
+		if !la.TryLock() {
+			// A committer that validated against this table but has not
+			// yet enqueued still holds the latch; running the merge now
+			// could renumber its positions. Requeue behind it.
+			m.gcMu.Lock()
+			m.gcQueue = append(m.gcQueue, j)
+			m.gcMu.Unlock()
+			continue
+		}
+		wm := m.MinActiveTS()
+		j.fn(wm)
+		la.Unlock()
+		progress = true
+		j.processed = true
+		if j != own {
+			close(j.done)
+		}
+	}
+	return progress
+}
+
+// MergeNow merges the table's delta into main through the commit pipeline:
+// the merge runs exclusively between group-commit batches at the current
+// MinActiveTS watermark, so no live snapshot observes it and no validated
+// committer has its positions renumbered. Works for any table (registered
+// or not — latches are keyed by name).
+func (m *Manager) MergeNow(t *columnstore.Table) columnstore.MergeStats {
+	var st columnstore.MergeStats
+	m.RunExclusive(t.Name(), func(wm uint64) {
+		st = t.Merge(wm)
+	})
+	return st
+}
+
+// MergeTableNow is MergeNow for a registered table name.
+func (m *Manager) MergeTableNow(name string) (columnstore.MergeStats, error) {
+	tab, ok := m.Table(name)
+	if !ok {
+		return columnstore.MergeStats{}, fmt.Errorf("txn: unknown table %q", name)
+	}
+	return m.MergeNow(tab), nil
+}
+
+// --- Views ------------------------------------------------------------
 
 // View is a transaction-consistent read view over one table: the MVCC
 // snapshot plus the transaction's uncommitted writes.
@@ -358,22 +794,46 @@ func (v *View) Visible(pos int) bool {
 func (v *View) Get(col, pos int) value.Value { return v.snap.Get(col, pos) }
 
 // OwnInserts returns the rows this transaction has buffered for the table,
-// in insertion order.
+// in insertion order. The per-table index makes this O(own rows), not
+// O(write set) — multi-statement transactions used to rescan every write.
 func (v *View) OwnInserts() []value.Row {
-	var out []value.Row
-	for _, w := range v.txn.writes {
-		if w.Kind == WriteInsert && w.Table == v.table {
-			out = append(out, w.Row)
-		}
+	own := v.txn.inserts[v.table]
+	if len(own) == 0 {
+		return nil
 	}
-	return out
+	return append([]value.Row(nil), own...)
 }
 
 // NumRows returns the committed row slot count.
 func (v *View) NumRows() int { return v.snap.NumRows() }
 
+// --- Retry loop -------------------------------------------------------
+
+// Retry policy for RunInTxn: bounded attempts with capped exponential
+// backoff and full jitter (the same shape as the scale-out coordinator's
+// task retry), so conflicting writers decorrelate instead of re-colliding.
+const (
+	runInTxnAttempts = 5
+	retryBaseBackoff = 100 * time.Microsecond
+	retryMaxBackoff  = 5 * time.Millisecond
+)
+
+// retryBackoff returns the sleep before retry attempt (0-based), capped
+// exponential with full jitter.
+func retryBackoff(attempt int) time.Duration {
+	d := retryBaseBackoff
+	for i := 0; i < attempt && d < retryMaxBackoff; i++ {
+		d *= 2
+	}
+	if d > retryMaxBackoff {
+		d = retryMaxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
 // RunInTxn executes fn in a transaction, committing on nil error and
-// retrying once on write-write conflict.
+// retrying on write-write conflict with bounded attempts and jittered
+// exponential backoff. fn must be safe to re-run.
 func (m *Manager) RunInTxn(fn func(t *Txn) error) (uint64, error) {
 	for attempt := 0; ; attempt++ {
 		t := m.Begin()
@@ -385,8 +845,10 @@ func (m *Manager) RunInTxn(fn func(t *Txn) error) (uint64, error) {
 		if err == nil {
 			return ts, nil
 		}
-		if !errors.Is(err, ErrConflict) || attempt >= 1 {
+		if !errors.Is(err, ErrConflict) || attempt >= runInTxnAttempts-1 {
 			return 0, err
 		}
+		cRetries.Inc()
+		time.Sleep(retryBackoff(attempt))
 	}
 }

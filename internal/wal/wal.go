@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/columnstore"
 	"repro/internal/txn"
@@ -78,6 +79,28 @@ func (w *WAL) LSN() uint64 {
 func (w *WAL) AppendCommit(ts uint64, writes []txn.Write) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.writeCommitLocked(ts, writes)
+	return w.finish()
+}
+
+// AppendCommitBatch logs a whole group-commit batch under one lock
+// acquisition, one buffer flush and (under SyncEveryCommit) one fsync —
+// the durability amortization that makes group commit pay.
+func (w *WAL) AppendCommitBatch(batch []txn.GroupCommit) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, c := range batch {
+		w.writeCommitLocked(c.TS, c.Writes)
+	}
+	return w.finish()
+}
+
+// writeCommitLocked serializes one commit record; caller holds w.mu and
+// is responsible for finish(). Each record advances the LSN.
+func (w *WAL) writeCommitLocked(ts uint64, writes []txn.Write) {
 	w.w.WriteByte(recCommit)
 	writeUvarint(w.w, ts)
 	writeUvarint(w.w, uint64(len(writes)))
@@ -90,7 +113,7 @@ func (w *WAL) AppendCommit(ts uint64, writes []txn.Write) error {
 			writeValue(w.w, v)
 		}
 	}
-	return w.finish()
+	w.lsn++
 }
 
 // AppendMerge logs a delta→main merge so replay compacts deterministically
@@ -101,11 +124,13 @@ func (w *WAL) AppendMerge(table string, watermark uint64) error {
 	w.w.WriteByte(recMerge)
 	writeString(w.w, table)
 	writeUvarint(w.w, watermark)
+	w.lsn++
 	return w.finish()
 }
 
+// finish flushes buffered records and syncs per the mode; the caller has
+// already advanced the LSN per record.
 func (w *WAL) finish() error {
-	w.lsn++
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
@@ -115,14 +140,14 @@ func (w *WAL) finish() error {
 	return nil
 }
 
-// Attach subscribes the WAL to a transaction manager: every commit is
-// appended (and synced per the mode) before control returns to the
-// committer.
+// Attach subscribes the WAL to a transaction manager: every group-commit
+// batch is appended (and synced per the mode) as one unit before control
+// returns to the committers.
 func (w *WAL) Attach(m *txn.Manager) {
-	m.OnCommit(func(ts uint64, writes []txn.Write) {
+	m.OnCommitGroup(func(batch []txn.GroupCommit) {
 		// A failed append in this simulation is fatal to durability; we
 		// surface it loudly rather than silently losing the tail.
-		if err := w.AppendCommit(ts, writes); err != nil {
+		if err := w.AppendCommitBatch(batch); err != nil {
 			panic(fmt.Sprintf("wal: append failed: %v", err))
 		}
 	})
@@ -496,8 +521,8 @@ func OpenStore(dir string, mode SyncMode) (*Store, error) {
 	s := &Store{Dir: dir, Mgr: mgr, Log: log, recovered: recovered}
 	// One listener for the lifetime of the store; it always appends to the
 	// store's current log so checkpointing can swap the file underneath.
-	mgr.OnCommit(func(ts uint64, writes []txn.Write) {
-		if err := s.Log.AppendCommit(ts, writes); err != nil {
+	mgr.OnCommitGroup(func(batch []txn.GroupCommit) {
+		if err := s.Log.AppendCommitBatch(batch); err != nil {
 			panic(fmt.Sprintf("wal: append failed: %v", err))
 		}
 	})
@@ -516,18 +541,41 @@ func (s *Store) RecoveredTables() []*columnstore.Table {
 	return out
 }
 
-// MergeTable runs a logged delta→main merge on the named table at the
-// current watermark.
+// MergeTable runs a logged delta→main merge on the named table. The merge
+// executes as an exclusive job between group-commit batches, so the merge
+// record lands in the log in true execution order relative to commit
+// records — replay then renumbers positions at exactly the same point in
+// the redo stream as the live run did.
 func (s *Store) MergeTable(name string) (columnstore.MergeStats, error) {
 	t, ok := s.Mgr.Table(name)
 	if !ok {
 		return columnstore.MergeStats{}, fmt.Errorf("wal: unknown table %q", name)
 	}
-	wm := s.Mgr.MinActiveTS()
-	if err := s.Log.AppendMerge(name, wm); err != nil {
-		return columnstore.MergeStats{}, err
+	var st columnstore.MergeStats
+	var aerr error
+	s.Mgr.RunExclusive(name, func(wm uint64) {
+		if aerr = s.Log.AppendMerge(name, wm); aerr != nil {
+			return
+		}
+		st = t.Merge(wm)
+	})
+	if aerr != nil {
+		return columnstore.MergeStats{}, aerr
 	}
-	return t.Merge(wm), nil
+	return st, nil
+}
+
+// StartMerger launches a background merge daemon whose merges are logged
+// through this store (see txn.Merger).
+func (s *Store) StartMerger(threshold int, interval time.Duration) *txn.Merger {
+	return s.Mgr.StartMerger(txn.MergerConfig{
+		Threshold: threshold,
+		Interval:  interval,
+		Merge: func(name string) error {
+			_, err := s.MergeTable(name)
+			return err
+		},
+	})
 }
 
 // Checkpoint captures the current state and truncates the redo log.
