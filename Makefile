@@ -2,13 +2,14 @@
 # build + race-enabled tests + the experiment shape assertions + executor
 # parity (hot and tiered) under -race + the fault-injection (chaos) suite
 # + the wire-protocol conformance/loadgen smoke suite + the HTAP
-# concurrent-ingest/merge suite under -race + smoke runs of the
+# concurrent-ingest/merge suite under -race + the observability suite
+# (fingerprints, sys.* views, wire monitoring e2e) + smoke runs of the
 # vectorized-scan, compressed-execution and commit-pipeline
 # micro-benchmarks.
 
 GO ?= go
 
-.PHONY: all lint vet build test race experiments parity chaos wire htap benchsmoke benchcompressed benchcommit benchbaseline bench ci
+.PHONY: all lint vet build test race experiments parity chaos wire htap monitor benchsmoke benchcompressed benchcommit benchbaseline bench ci
 
 all: ci
 
@@ -33,7 +34,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The EXPERIMENTS.md shape assertions (E1..E24 tables must reproduce).
+# The EXPERIMENTS.md shape assertions (E1..E25 tables must reproduce).
 experiments:
 	$(GO) test -run Experiment ./...
 
@@ -64,6 +65,18 @@ htap:
 	$(GO) test -race -run 'TestRecoveryWithBackgroundMerges' ./internal/wal/
 	$(GO) test -race -run 'TestHTAPChaos' ./internal/sqlexec/
 	$(GO) test -run 'TestE24Shape' ./internal/experiments/
+
+# The observability suite under the race detector: fingerprint
+# normalization, the sys.* views on all three executors, statement-stats
+# aggregation and eviction, slow-log retention, the registry <->
+# sys.m_metrics <-> Prometheus consistency contract, the end-to-end
+# wire monitoring test (a SQL client polling sys.m_statements and
+# sys.m_connections under concurrent load), and the E25 self-observation
+# experiment shape.
+monitor:
+	$(GO) test -race -run 'TestNormalizeSQL|TestFingerprint|TestSysViews|TestStatementStats|TestSlowLogRetention|TestMetricsConsistency' ./internal/sqlexec/
+	$(GO) test -race -run 'TestMonitoringViewsOverWire' ./internal/pgwire/
+	$(GO) test -run 'TestE25Shape' ./internal/experiments/
 
 # Quick pass over the vectorized scan/aggregation micro-benchmarks, gated
 # by cmd/benchguard against the committed BENCH_vectorized_baseline.json:
@@ -97,4 +110,4 @@ benchbaseline:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: lint build race experiments parity chaos wire htap benchsmoke benchcompressed benchcommit
+ci: lint build race experiments parity chaos wire htap monitor benchsmoke benchcompressed benchcommit

@@ -1,5 +1,5 @@
 // benchrunner regenerates the reproduction experiments of DESIGN.md §3 —
-// E1..E23 for the paper's quantitative claims and F1..F4 for its
+// E1..E25 for the paper's quantitative claims and F1..F4 for its
 // architecture figures — and prints the tables EXPERIMENTS.md records.
 //
 // Usage:
@@ -51,7 +51,7 @@ func main() {
 		for _, id := range strings.Split(*which, ",") {
 			f, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E21, F1..F4)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E25, F1..F4)\n", id)
 				os.Exit(1)
 			}
 			before := stats.Default.Snapshot()

@@ -108,6 +108,8 @@ func command(eco *core.Ecosystem, cmd string) bool {
                    buffer-pool occupancy of the warm tier
   \demote <table>  page a table out to the warm tier
   \promote <table> re-hydrate a table into memory
+  \sys             list the sys.* monitoring views with column and row
+                   counts (query them like tables: SELECT ... FROM sys.m_...)
   \tables          list tables
   \objects         list business objects in the repository
   \q               quit
@@ -212,6 +214,18 @@ func command(eco *core.Ecosystem, cmd string) bool {
 			break
 		}
 		fmt.Printf("  promoted %d partitions of %s to the hot tier\n", n, name)
+	case cmd == "\\sys":
+		sess := eco.Engine.NewSession()
+		res, err := sess.Query(`SELECT view_name, columns, rows FROM sys.m_views ORDER BY view_name`)
+		sess.Close()
+		if err != nil {
+			fmt.Println("  error:", err)
+			break
+		}
+		for _, row := range res.Rows {
+			fmt.Printf("  %-24s columns=%-3s rows=%s\n",
+				row[0].AsString(), row[1].AsString(), row[2].AsString())
+		}
 	case cmd == "\\tables":
 		for _, t := range eco.Engine.Cat.Tables() {
 			fmt.Println("  " + t)

@@ -18,7 +18,7 @@
 //
 // Usage: go run ./cmd/soed [-nodes 4] [-rows 20000] [-mode oltp|olap]
 //
-//	[-http :8080] [-pgport :5433]
+//	[-http :8080] [-pgport :5433] [-pprof]
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +51,7 @@ func main() {
 	latency := flag.Duration("latency", 50*time.Microsecond, "simulated link latency")
 	httpAddr := flag.String("http", "", "serve /metrics and /traces on this address (e.g. :8080) after the demo")
 	pgAddr := flag.String("pgport", "", "serve the PostgreSQL wire protocol on this address (e.g. :5433) after the demo")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http address")
 	flag.Parse()
 
 	m := soe.OLTP
@@ -212,6 +214,9 @@ func main() {
 		// commit path, watermark-bounded by the oldest live snapshot.
 		merger := gw.Mgr.StartMerger(txn.MergerConfig{})
 		defer merger.Stop()
+		// The gateway's sys schema sees the whole landscape: SQL clients
+		// can query per-node v2stats through sys.m_cluster.
+		soe.RegisterClusterView(gw.SysViews(), cluster)
 		var err error
 		pgSrv, err = pgwire.Serve(pgwire.EngineBackend{Engine: gw}, pgwire.Config{Addr: *pgAddr, Obs: wireObs})
 		must0(err)
@@ -219,14 +224,31 @@ func main() {
 			pgSrv.Addr(), addrPort(pgSrv.Addr().String()))
 	}
 
-	// Landscape metrics plus wire-front-end metrics in one scrape.
+	// Landscape metrics plus wire-front-end and process-runtime metrics
+	// in one scrape. Runtime gauges are sampled on a 1 Hz ticker so both
+	// /metrics and sys.m_metrics stay current without per-scrape cost.
 	collect := func() stats.Snapshot {
-		return stats.Merge(cluster.CollectStats(), wireObs.Snapshot())
+		return stats.Merge(cluster.CollectStats(), wireObs.Snapshot(), stats.Default.Snapshot())
+	}
+	if *httpAddr != "" || *pgAddr != "" {
+		stats.SampleRuntime(stats.Default)
+		go func() {
+			for range time.Tick(time.Second) {
+				stats.SampleRuntime(stats.Default)
+			}
+		}()
 	}
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/", stats.NewHandler(collect, cluster.Tracer))
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", netpprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		}
 		// Readiness: "draining" (503) once graceful shutdown has begun, so
 		// load balancers stop routing before connections disappear.
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -237,7 +259,11 @@ func main() {
 			}
 			fmt.Fprintln(w, "ok")
 		})
-		fmt.Printf("serving /metrics (Prometheus), /metrics.json, /traces and /healthz on %s\n", *httpAddr)
+		extras := ""
+		if *pprofOn {
+			extras = ", /debug/pprof/"
+		}
+		fmt.Printf("serving /metrics (Prometheus), /metrics.json, /traces and /healthz%s on %s\n", extras, *httpAddr)
 		go func() { must0(http.ListenAndServe(*httpAddr, mux)) }()
 	}
 

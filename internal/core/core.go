@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/aging"
 	"repro/internal/appbridge"
@@ -152,6 +153,7 @@ func New(cfg Config) (*Ecosystem, error) {
 	warm.SetTracer(tracer)
 	e.Warm = warm
 	e.Aging.Warm = warm
+	registerBufferPoolView(eng, warm)
 
 	if cfg.HDFSDataNodes > 0 {
 		bs := cfg.HDFSBlockSize
@@ -165,8 +167,60 @@ func New(cfg Config) (*Ecosystem, error) {
 	if cfg.SOE != nil {
 		e.SOE = soe.NewCluster(*cfg.SOE)
 		e.Fed.Register(&federation.SOESource{Cluster: e.SOE})
+		soe.RegisterClusterView(eng.SysViews(), e.SOE)
 	}
 	return e, nil
+}
+
+// registerBufferPoolView publishes the warm tier's buffer pool as
+// sys.m_buffer_pool: one "_pool" summary row (occupancy plus the
+// process-wide hit/miss/eviction/fault counters) and one row per table
+// with page faults attributed to it.
+func registerBufferPoolView(eng *sqlexec.Engine, warm *extstore.Store) {
+	schema := columnstore.Schema{
+		{Name: "scope", Kind: value.KindString},
+		{Name: "budget_pages", Kind: value.KindInt},
+		{Name: "resident_pages", Kind: value.KindInt},
+		{Name: "chunks", Kind: value.KindInt},
+		{Name: "file_pages", Kind: value.KindInt},
+		{Name: "hits", Kind: value.KindInt},
+		{Name: "misses", Kind: value.KindInt},
+		{Name: "evictions", Kind: value.KindInt},
+		{Name: "faults", Kind: value.KindInt},
+		{Name: "faulted_bytes", Kind: value.KindInt},
+	}
+	ctr := func(name string) value.Value {
+		return value.Int(stats.Default.Counter(name).Value())
+	}
+	eng.SysViews().Register("sys.m_buffer_pool", schema, func() ([]value.Row, error) {
+		pool := warm.Pool()
+		null := value.Value{}
+		rows := []value.Row{{
+			value.String("_pool"),
+			value.Int(int64(pool.BudgetPages)),
+			value.Int(int64(pool.ResidentPages)),
+			value.Int(int64(pool.Chunks)),
+			value.Int(warm.Pages()),
+			ctr("extstore_pool_hits_total"),
+			ctr("extstore_pool_misses_total"),
+			ctr("extstore_pool_evictions_total"),
+			ctr("extstore_page_faults_total"),
+			ctr("extstore_faulted_bytes_total"),
+		}}
+		faults := warm.FaultsByTable()
+		tables := make([]string, 0, len(faults))
+		for t := range faults {
+			tables = append(tables, t)
+		}
+		sort.Strings(tables)
+		for _, t := range tables {
+			rows = append(rows, value.Row{
+				value.String(t), null, null, null, null, null, null, null,
+				value.Int(faults[t]), null,
+			})
+		}
+		return rows, nil
+	})
 }
 
 // Close shuts down background activity.

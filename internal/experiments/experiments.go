@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment of DESIGN.md §3 (E1–E24 for the paper's quantitative
+// per experiment of DESIGN.md §3 (E1–E25 for the paper's quantitative
 // claims, F1–F4 for its architecture figures). Each returns a formatted
 // Table with the measured rows; bench_test.go wraps them as Go benchmarks
 // and cmd/benchrunner prints them for EXPERIMENTS.md.
@@ -97,6 +97,7 @@ func All(s Scale) []*Table {
 		E16Docstore(s), E17MetricsReport(s), E18VectorizedMorsels(s),
 		E19ChaosFailover(s), E20ProfileOverhead(s), E21ExtendedStoreTiering(s),
 		E22WireLoad(s), E23CompressedExec(s), E24HTAPIngestMerge(s),
+		E25SelfObservation(s),
 		F1Tiering(s), F2CrossEngine(s), F3SOECluster(s), F4Ecosystem(s),
 	}
 }
@@ -112,7 +113,8 @@ func ByID(id string) (func(Scale) *Table, bool) {
 		"E16": E16Docstore, "E17": E17MetricsReport, "E18": E18VectorizedMorsels,
 		"E19": E19ChaosFailover, "E20": E20ProfileOverhead, "E21": E21ExtendedStoreTiering,
 		"E22": E22WireLoad, "E23": E23CompressedExec, "E24": E24HTAPIngestMerge,
-		"F1": F1Tiering, "F2": F2CrossEngine, "F3": F3SOECluster, "F4": F4Ecosystem,
+		"E25": E25SelfObservation,
+		"F1":  F1Tiering, "F2": F2CrossEngine, "F3": F3SOECluster, "F4": F4Ecosystem,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

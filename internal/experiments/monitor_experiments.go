@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pgwire"
+	"repro/internal/sqlexec"
+	"repro/internal/stats"
+)
+
+// E25SelfObservation — the cost of watching yourself. The monitoring
+// views materialize consistent snapshots at scan time (statement-stats
+// lock, connection registry, metrics registries), so a SQL client polling
+// sys.m_statements competes for the same locks every query execution
+// stamps. The claim under test: a 1 Hz monitoring poller over the wire
+// costs the foreground workload less than 5% p99 — observation rides the
+// ordinary query path instead of a privileged side channel, and still
+// stays out of the way.
+func E25SelfObservation(s Scale) *Table {
+	t := &Table{
+		ID:     "E25",
+		Title:  "self-observation overhead: mixed wire load with a sys.m_statements poller",
+		Claim:  "a 1 Hz monitoring poller over pgwire costs the foreground workload < 5% p99",
+		Header: []string{"run", "op", "count", "p50", "p99", "p999"},
+	}
+
+	// Overhead is only measurable below saturation: a queue-limited system
+	// shows scheduling noise, not observation cost, so the fleet stays
+	// moderate (E22 owns the overload story).
+	conns := 4 * s.Nodes
+	duration := 2 * time.Second
+	pollEvery := time.Second
+	if s.Rows <= 1000 { // test scale: keep the harness fast, poll harder
+		conns = 8
+		duration = 400 * time.Millisecond
+		pollEvery = 50 * time.Millisecond
+	}
+
+	run := func(withPoller bool) *pgwire.LoadReport {
+		eng := sqlexec.NewEngine()
+		srv, err := pgwire.Serve(pgwire.EngineBackend{Engine: eng}, pgwire.Config{
+			Addr: "127.0.0.1:0", Obs: stats.NewRegistry(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer srv.Close()
+
+		stop := make(chan struct{})
+		pollDone := make(chan int)
+		if withPoller {
+			mon, err := pgwire.Dial(pgwire.ClientConfig{Addr: srv.Addr().String(), User: "monitor"})
+			if err != nil {
+				panic(err)
+			}
+			go func() {
+				defer mon.Close()
+				polls, rejected := 0, 0
+				tick := time.NewTicker(pollEvery)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						t.Note("poller completed %d sys.m_statements scans (%d rejected by admission control)",
+							polls, rejected)
+						pollDone <- polls
+						return
+					case <-tick.C:
+						// The poller is an ordinary client: under pressure its
+						// scans wait in the same admission queue as the
+						// workload, and rejections are counted, not hidden.
+						if _, err := mon.Query(
+							`SELECT * FROM sys.m_statements ORDER BY total_ms DESC LIMIT 5`); err == nil {
+							polls++
+						} else {
+							rejected++
+						}
+						mon.Query(`SELECT * FROM sys.m_connections`)
+					}
+				}
+			}()
+		}
+
+		rep, err := pgwire.RunLoad(pgwire.LoadConfig{
+			Addr:     srv.Addr().String(),
+			Conns:    conns,
+			Duration: duration,
+			SeedRows: s.Rows,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if withPoller {
+			close(stop)
+			<-pollDone
+		}
+		return rep
+	}
+
+	// Two runs per arm, keeping the one with the lower point-lookup p99:
+	// on a small shared host, scheduler noise between runs is larger than
+	// the effect under test, and best-of damps the tail.
+	reps := 2
+	if s.Rows <= 1000 {
+		reps = 1
+	}
+	best := func(withPoller bool) *pgwire.LoadReport {
+		r := run(withPoller)
+		for i := 1; i < reps; i++ {
+			if n := run(withPoller); n.PerOp[pgwire.OpPoint].P99 < r.PerOp[pgwire.OpPoint].P99 {
+				r = n
+			}
+		}
+		return r
+	}
+	base := best(false)
+	observed := best(true)
+
+	for _, r := range []struct {
+		name string
+		rep  *pgwire.LoadReport
+	}{{"baseline", base}, {"observed", observed}} {
+		for _, op := range []string{pgwire.OpPoint, pgwire.OpAgg, pgwire.OpInsert} {
+			o := r.rep.PerOp[op]
+			t.AddRow(r.name, op, fmt.Sprint(o.Count),
+				fmt.Sprintf("%.2fms", o.P50), fmt.Sprintf("%.2fms", o.P99), fmt.Sprintf("%.2fms", o.P999))
+		}
+	}
+
+	bp, op := base.PerOp[pgwire.OpPoint].P99, observed.PerOp[pgwire.OpPoint].P99
+	delta := 0.0
+	if bp > 0 {
+		delta = (op - bp) / bp * 100
+	}
+	t.Note("point-lookup p99: baseline %.2fms, observed %.2fms (%+.1f%%; claim: < +5%% — a negative delta means the poller's cost sits below the run-to-run noise floor)",
+		bp, op, delta)
+	t.Note("baseline %.0f qps vs observed %.0f qps over %d connections",
+		base.QPS, observed.QPS, conns)
+	return t
+}

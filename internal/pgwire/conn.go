@@ -56,19 +56,44 @@ type conn struct {
 	busy     atomic.Bool
 	writeMu  sync.Mutex
 	closed   bool // guarded by writeMu
+
+	// Monitoring mirror for sys.m_connections: read by monitoring scans
+	// from other goroutines, so guarded by its own mutex. The owning
+	// goroutine updates it at statement boundaries and on ReadyForQuery.
+	connected time.Time
+	monMu     sync.Mutex
+	monStmt   string // statement currently executing, "" when idle
+	monTx     byte   // last reported txn status (I/T/E)
+	monCount  int64  // statements executed
 }
 
 func newConn(s *Server, nc net.Conn, pid, secret uint32) *conn {
 	return &conn{
-		srv:     s,
-		nc:      nc,
-		r:       bufio.NewReaderSize(nc, 8192),
-		out:     &msgWriter{w: bufio.NewWriterSize(nc, 8192)},
-		pid:     pid,
-		secret:  secret,
-		stmts:   map[string]*prepStmt{},
-		portals: map[string]*portal{},
+		srv:       s,
+		nc:        nc,
+		r:         bufio.NewReaderSize(nc, 8192),
+		out:       &msgWriter{w: bufio.NewWriterSize(nc, 8192)},
+		pid:       pid,
+		secret:    secret,
+		stmts:     map[string]*prepStmt{},
+		portals:   map[string]*portal{},
+		connected: time.Now(),
+		monTx:     txnIdle,
 	}
+}
+
+// monStart/monEnd publish the running statement to sys.m_connections.
+func (c *conn) monStart(sql string) {
+	c.monMu.Lock()
+	c.monStmt = sql
+	c.monCount++
+	c.monMu.Unlock()
+}
+
+func (c *conn) monEnd() {
+	c.monMu.Lock()
+	c.monStmt = ""
+	c.monMu.Unlock()
 }
 
 // serve runs the connection to completion: handshake, then the message
@@ -256,7 +281,9 @@ func (c *conn) runStatement(sql string) bool {
 		c.queryError(err)
 		return false
 	}
+	c.monStart(sql)
 	res, err := c.sess.Query(sql)
+	c.monEnd()
 	c.srv.release()
 	if err != nil {
 		c.queryError(err)
@@ -437,7 +464,9 @@ func (c *conn) run(p *portal) {
 		return
 	}
 	t0 := time.Now()
+	c.monStart(p.stmt.sql)
 	p.res, p.err = c.sess.Query(p.stmt.sql, p.params...)
+	c.monEnd()
 	c.srv.release()
 	c.srv.obs.Histogram("pgwire_query_ms", "proto=extended").ObserveSince(t0)
 }
@@ -696,6 +725,9 @@ func (c *conn) sendReady() {
 	} else if c.sess != nil && c.sess.InTxn() {
 		status = txnOpen
 	}
+	c.monMu.Lock()
+	c.monTx = status
+	c.monMu.Unlock()
 	c.out.start(msgReadyForQuery)
 	c.out.byte(status)
 	c.out.finish()

@@ -1,0 +1,150 @@
+package pgwire
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sqlexec"
+	"repro/internal/stats"
+)
+
+// TestMonitoringViewsOverWire is the end-to-end acceptance path: a real
+// pgwire server under concurrent mixed load, observed by a plain SQL
+// client polling sys.m_statements and sys.m_connections over the same
+// protocol it is monitoring. Run with -race: the monitoring reads race
+// against every load worker unless the snapshot locking is right.
+func TestMonitoringViewsOverWire(t *testing.T) {
+	eng := sqlexec.NewEngine()
+	obs := stats.NewRegistry()
+	srv, err := Serve(EngineBackend{Engine: eng}, Config{Addr: "127.0.0.1:0", Obs: obs})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+
+	// Concurrent mixed traffic in the background...
+	var wg sync.WaitGroup
+	var rep *LoadReport
+	var loadErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep, loadErr = RunLoad(LoadConfig{
+			Addr:     srv.Addr().String(),
+			Conns:    16,
+			Duration: 1200 * time.Millisecond,
+			SeedRows: 1000,
+		})
+	}()
+
+	// ...while a monitoring client polls the sys views over the wire.
+	mon, err := Dial(ClientConfig{Addr: srv.Addr().String(), User: "monitor"})
+	if err != nil {
+		t.Fatalf("dial monitor: %v", err)
+	}
+	defer mon.Close()
+
+	sawPeers := false
+	for i := 0; i < 20; i++ {
+		res, err := mon.Query(`SELECT * FROM sys.m_statements ORDER BY total_ms DESC LIMIT 5`)
+		if err != nil {
+			t.Fatalf("poll m_statements: %v", err)
+		}
+		if len(res.Rows) > 5 {
+			t.Fatalf("LIMIT 5 returned %d rows", len(res.Rows))
+		}
+		res, err = mon.Query(`SELECT pid, state, txn_status, statements FROM sys.m_connections`)
+		if err != nil {
+			t.Fatalf("poll m_connections: %v", err)
+		}
+		if len(res.Rows) > 1 {
+			sawPeers = true
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	wg.Wait()
+	if loadErr != nil {
+		t.Fatalf("load: %v", loadErr)
+	}
+	if rep.ProtocolErrors != 0 || rep.Queries == 0 {
+		t.Fatalf("load report implausible: %+v", rep)
+	}
+	if !sawPeers {
+		t.Fatal("monitoring client never saw the load connections in sys.m_connections")
+	}
+
+	// The workload is fingerprint-aggregated: thousands of point lookups
+	// with distinct literals are one statement shape whose call count
+	// matches the load report, queryable with ordinary SQL.
+	res, err := mon.Query(
+		`SELECT fingerprint_id, query, calls FROM sys.m_statements WHERE query = 'SELECT v FROM loadgen_kv WHERE k = ?'`)
+	if err != nil {
+		t.Fatalf("aggregate query: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("point-lookup shape rows = %d, want 1", len(res.Rows))
+	}
+	if fp := res.Get(0, 0); len(fp) != 16 {
+		t.Fatalf("fingerprint_id %q not 16 hex digits", fp)
+	}
+	calls, _ := strconv.ParseInt(res.Get(0, 2), 10, 64)
+	if want := rep.PerOp[OpPoint].Count; calls < want {
+		t.Fatalf("aggregated calls %d < load report count %d", calls, want)
+	}
+
+	// The top-by-total-time ordering the acceptance criterion names.
+	res, err = mon.Query(`SELECT * FROM sys.m_statements ORDER BY total_ms DESC LIMIT 5`)
+	if err != nil {
+		t.Fatalf("top query: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no statements after load")
+	}
+	last := -1.0
+	totalCol := colIndex(t, res.Cols, "total_ms")
+	for i := range res.Rows {
+		v, err := strconv.ParseFloat(res.Get(i, totalCol), 64)
+		if err != nil {
+			t.Fatalf("total_ms row %d: %v", i, err)
+		}
+		if last >= 0 && v > last {
+			t.Fatalf("not ordered by total_ms desc: %f after %f", v, last)
+		}
+		last = v
+	}
+
+	// The monitoring connection sees itself, active, with its own pid.
+	res, err = mon.Query(`SELECT pid, state, statement FROM sys.m_connections`)
+	if err != nil {
+		t.Fatalf("self query: %v", err)
+	}
+	self := false
+	for i := range res.Rows {
+		if res.Get(i, 0) == strconv.FormatUint(uint64(mon.BackendPID()), 10) {
+			self = true
+			if res.Get(i, 1) != "active" {
+				t.Fatalf("own connection state %q, want active", res.Get(i, 1))
+			}
+			if !strings.Contains(res.Get(i, 2), "m_connections") {
+				t.Fatalf("own statement %q does not show the running query", res.Get(i, 2))
+			}
+		}
+	}
+	if !self {
+		t.Fatal("monitoring connection missing from sys.m_connections")
+	}
+}
+
+func colIndex(t *testing.T, cols []string, name string) int {
+	t.Helper()
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not in %v", name, cols)
+	return -1
+}

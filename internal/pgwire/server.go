@@ -108,6 +108,11 @@ func Serve(backend Backend, cfg Config) (*Server, error) {
 		conns:   map[uint32]*conn{},
 		obs:     cfg.Obs,
 	}
+	// An engine-backed server observes itself: its connection table joins
+	// the engine's sys schema, queryable over the very protocol it serves.
+	if eb, ok := backend.(EngineBackend); ok {
+		s.RegisterMonitoring(eb.Engine.SysViews())
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil

@@ -1,0 +1,60 @@
+package soe
+
+import (
+	"repro/internal/columnstore"
+	"repro/internal/sqlexec"
+	"repro/internal/stats"
+	"repro/internal/value"
+)
+
+// RegisterClusterView publishes sys.m_cluster on an engine's virtual-view
+// catalog: one row per (node, metric) pair, melted from the v2stats
+// landscape aggregate — every per-node registry is pulled over the wire
+// by StatsService.Collect at scan time, so a SQL client sees the same
+// numbers a /metrics scrape would, keyed by node. Node liveness and
+// catch-up state (applied_ts, partitions, queries) come from the cluster
+// manager's status probes and appear as synthetic gauges per node.
+func RegisterClusterView(sys *sqlexec.SysCatalog, c *Cluster) {
+	schema := columnstore.Schema{
+		{Name: "node", Kind: value.KindString},
+		{Name: "metric", Kind: value.KindString},
+		{Name: "kind", Kind: value.KindString},
+		{Name: "value", Kind: value.KindFloat},
+	}
+	sys.Register("sys.m_cluster", schema, func() ([]value.Row, error) {
+		var rows []value.Row
+		add := func(node, metric, kind string, v float64) {
+			rows = append(rows, value.Row{
+				value.String(node), value.String(metric),
+				value.String(kind), value.Float(v),
+			})
+		}
+		snap := c.CollectStats()
+		for _, cs := range snap.Counters {
+			add(seriesNode(cs.Labels), cs.Name, "counter", float64(cs.Value))
+		}
+		for _, g := range snap.Gauges {
+			add(seriesNode(g.Labels), g.Name, "gauge", g.Value)
+		}
+		for _, h := range snap.Histograms {
+			add(seriesNode(h.Labels), h.Name+"_count", "histogram", float64(h.Count))
+			add(seriesNode(h.Labels), h.Name+"_p99", "histogram", h.P99)
+		}
+		for _, st := range c.Manager.Status() {
+			add(st.Node, "soe_status_applied_ts", "gauge", float64(st.AppliedTS))
+			add(st.Node, "soe_status_partitions", "gauge", float64(st.Partitions))
+			add(st.Node, "soe_status_queries_run", "gauge", float64(st.QueriesRun))
+			add(st.Node, "soe_status_rows_scanned", "gauge", float64(st.RowsScanned))
+		}
+		return rows, nil
+	})
+}
+
+// seriesNode attributes a series to its node; cluster-level series
+// (coordinator, broker, shared log, network) report as "_cluster".
+func seriesNode(labels []string) string {
+	if n, ok := stats.LabelValue(labels, "node"); ok {
+		return n
+	}
+	return "_cluster"
+}

@@ -2,7 +2,9 @@ package sqlexec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -43,16 +45,42 @@ type Engine struct {
 	// SlowLogCap bounds the slow-query log ring (default 32).
 	SlowLogCap int
 	slow       slowLog
+	// Sys serves the virtual monitoring views of the `sys` schema
+	// (sys.m_statements, sys.m_sessions, ...). Engine-local views are
+	// registered at construction; outer layers (pgwire, extstore, soe)
+	// add theirs at wiring time.
+	Sys *SysCatalog
+	// stmts aggregates per-fingerprint workload statistics for every
+	// statement any session executes (sys.m_statements).
+	stmts stmtLog
+	// Open-session registry behind sys.m_sessions.
+	sessMu   sync.Mutex
+	sessions map[int64]*Session
+	sessSeq  int64
 }
 
 // NewEngine builds an engine over its own fresh catalog and manager.
 func NewEngine() *Engine {
-	return &Engine{Cat: catalog.New(), Mgr: txn.NewManager(), Reg: NewRegistry(), Mode: ModeVectorized}
+	e := &Engine{Cat: catalog.New(), Mgr: txn.NewManager(), Reg: NewRegistry(), Mode: ModeVectorized}
+	e.initSys()
+	return e
 }
 
 // NewEngineWith builds an engine over existing infrastructure.
 func NewEngineWith(cat *catalog.Catalog, mgr *txn.Manager) *Engine {
-	return &Engine{Cat: cat, Mgr: mgr, Reg: NewRegistry(), Mode: ModeVectorized}
+	e := &Engine{Cat: cat, Mgr: mgr, Reg: NewRegistry(), Mode: ModeVectorized}
+	e.initSys()
+	return e
+}
+
+// initSys installs the sys schema. Engines constructed literally (tests)
+// get it lazily on first session.
+func (e *Engine) initSys() {
+	if e.Sys != nil {
+		return
+	}
+	e.Sys = NewSysCatalog()
+	registerEngineSysViews(e)
 }
 
 // Query parses, plans and executes a statement in auto-commit mode.
@@ -81,7 +109,7 @@ func (e *Engine) ExplainSQL(sql string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("sql: EXPLAIN supports only SELECT")
 	}
-	pl := &Planner{Cat: e.Cat, Reg: e.Reg, TS: e.Mgr.Now(), Prune: e.Prune}
+	pl := &Planner{Cat: e.Cat, Reg: e.Reg, Sys: e.Sys, TS: e.Mgr.Now(), Prune: e.Prune}
 	plan, err := pl.BuildSelect(sel)
 	if err != nil {
 		return "", err
@@ -102,7 +130,7 @@ func (e *Engine) AnalyzeSQL(sql string, params ...value.Value) (*Result, *Profil
 		return nil, nil, fmt.Errorf("sql: EXPLAIN ANALYZE supports only SELECT")
 	}
 	ts := e.Mgr.Now()
-	pl := &Planner{Cat: e.Cat, Reg: e.Reg, TS: ts, Prune: e.Prune}
+	pl := &Planner{Cat: e.Cat, Reg: e.Reg, Sys: e.Sys, TS: ts, Prune: e.Prune}
 	plan, err := pl.BuildSelect(sel)
 	if err != nil {
 		return nil, nil, err
@@ -128,21 +156,95 @@ func (e *Engine) AnalyzeSQL(sql string, params ...value.Value) (*Result, *Profil
 // this reason. Sharing one Session across goroutines is a data race.
 type Session struct {
 	e        *Engine
+	id       int64
 	tx       *txn.Txn
 	explicit bool
 	cur      *stats.Span // statement span while Query is executing
 	curSQL   string      // statement text, for the slow-query log
+	// info mirrors the session state for sys.m_sessions: monitoring
+	// queries read it from other goroutines, so unlike the fields above
+	// it is mutex-guarded. The owning goroutine updates it at statement
+	// boundaries.
+	info sessionInfo
 }
 
-// NewSession opens a session in auto-commit mode.
-func (e *Engine) NewSession() *Session { return &Session{e: e} }
+// sessionInfo is the cross-goroutine-readable session state.
+type sessionInfo struct {
+	mu         sync.Mutex
+	started    time.Time
+	lastActive time.Time
+	active     bool
+	sql        string // current statement while active
+	stmts      int64
+	inTxn      bool
+}
 
-// Close aborts any open explicit transaction.
+// SysViews returns the engine's virtual-view catalog, installing the sys
+// schema first when the engine was constructed literally (tests) rather
+// than through NewEngine/NewEngineWith.
+func (e *Engine) SysViews() *SysCatalog {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	if e.Sys == nil {
+		e.Sys = NewSysCatalog()
+		registerEngineSysViews(e)
+	}
+	return e.Sys
+}
+
+// NewSession opens a session in auto-commit mode and registers it with
+// the engine's session table (sys.m_sessions).
+func (e *Engine) NewSession() *Session {
+	e.SysViews()
+	e.sessMu.Lock()
+	e.sessSeq++
+	s := &Session{e: e, id: e.sessSeq}
+	now := time.Now()
+	s.info.started = now
+	s.info.lastActive = now
+	if e.sessions == nil {
+		e.sessions = map[int64]*Session{}
+	}
+	e.sessions[s.id] = s
+	e.sessMu.Unlock()
+	return s
+}
+
+// Close aborts any open explicit transaction and deregisters the session.
 func (s *Session) Close() {
 	if s.tx != nil {
 		s.tx.Abort()
 		s.tx = nil
 	}
+	s.e.sessMu.Lock()
+	delete(s.e.sessions, s.id)
+	s.e.sessMu.Unlock()
+}
+
+// sessionRows materializes sys.m_sessions.
+func (e *Engine) sessionRows() []value.Row {
+	e.sessMu.Lock()
+	open := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		open = append(open, s)
+	}
+	e.sessMu.Unlock()
+	rows := make([]value.Row, 0, len(open))
+	for _, s := range open {
+		s.info.mu.Lock()
+		state := "idle"
+		if s.info.active {
+			state = "active"
+		}
+		rows = append(rows, value.Row{
+			value.Int(s.id), value.String(state), value.String(s.info.sql),
+			value.Bool(s.info.inTxn), value.Int(s.info.stmts),
+			value.Time(s.info.started), value.Time(s.info.lastActive),
+		})
+		s.info.mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0].I < rows[j][0].I })
+	return rows
 }
 
 // Begin starts an explicit transaction.
@@ -208,7 +310,7 @@ func (s *Session) Describe(sql string) ([]string, error) {
 	if !ok {
 		return nil, nil
 	}
-	pl := &Planner{Cat: s.e.Cat, Reg: s.e.Reg, TS: s.snapshotTS(), Prune: s.e.Prune}
+	pl := &Planner{Cat: s.e.Cat, Reg: s.e.Reg, Sys: s.e.Sys, TS: s.snapshotTS(), Prune: s.e.Prune}
 	plan, err := pl.BuildSelect(sel)
 	if err != nil {
 		return nil, err
@@ -221,10 +323,48 @@ func (s *Session) Describe(sql string) ([]string, error) {
 	return names, nil
 }
 
-// Query executes one SQL statement. Control statements (BEGIN/COMMIT/
+// Query executes one SQL statement. It wraps the dispatcher with the
+// workload bookkeeping every statement gets: the session is marked
+// active for sys.m_sessions, and the outcome lands in the fingerprinted
+// statement statistics behind sys.m_statements.
+func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
+	s.setActive(sql)
+	t0 := time.Now()
+	res, err := s.run(sql, params...)
+	d := time.Since(t0)
+	var rows int64
+	if res != nil {
+		rows = int64(len(res.Rows))
+	}
+	id, norm := Fingerprint(sql)
+	s.e.stmts.record(id, norm, d, rows, err != nil)
+	s.setIdle()
+	return res, err
+}
+
+// setActive publishes the running statement to sys.m_sessions.
+func (s *Session) setActive(sql string) {
+	s.info.mu.Lock()
+	s.info.active = true
+	s.info.sql = strings.TrimSpace(sql)
+	s.info.stmts++
+	s.info.mu.Unlock()
+}
+
+// setIdle publishes statement completion and the transaction state.
+func (s *Session) setIdle() {
+	s.info.mu.Lock()
+	s.info.active = false
+	s.info.sql = ""
+	s.info.inTxn = s.explicit
+	s.info.lastActive = time.Now()
+	s.info.mu.Unlock()
+}
+
+// run dispatches one SQL statement. Control statements (BEGIN/COMMIT/
 // ROLLBACK/EXPLAIN) are handled here; everything else goes through the
 // parser.
-func (s *Session) Query(sql string, params ...value.Value) (*Result, error) {
+func (s *Session) run(sql string, params ...value.Value) (*Result, error) {
 	trimmed := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
 	switch strings.ToUpper(trimmed) {
 	case "BEGIN":
@@ -337,7 +477,7 @@ func (s *Session) execSelect(sel *SelectStmt, params []value.Value) (*Result, er
 	ts := s.snapshotTS()
 	tPlan := time.Now()
 	psp := s.cur.Child("plan")
-	pl := &Planner{Cat: s.e.Cat, Reg: s.e.Reg, TS: ts, Prune: s.e.Prune}
+	pl := &Planner{Cat: s.e.Cat, Reg: s.e.Reg, Sys: s.e.Sys, TS: ts, Prune: s.e.Prune}
 	plan, err := pl.BuildSelect(sel)
 	psp.Finish()
 	s.e.Obs.Histogram("sql_plan_ms").ObserveSince(tPlan)

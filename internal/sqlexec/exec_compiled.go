@@ -44,6 +44,12 @@ func compilePlanRaw(p Plan, ctx *execCtx) (pipe, error) {
 			return nil, err
 		}
 		return iterToPipe(it), nil
+	case *VirtualScanPlan:
+		it, err := newVirtualIter(x, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return iterToPipe(it), nil
 	case *FilterPlan:
 		child, err := compilePlan(x.Child, ctx)
 		if err != nil {

@@ -212,6 +212,8 @@ func buildIterRaw(p Plan, ctx *execCtx) (iterator, error) {
 		return newScanIter(x, ctx)
 	case *TableFuncPlan:
 		return newTableFuncIter(x, ctx)
+	case *VirtualScanPlan:
+		return newVirtualIter(x, ctx)
 	case *FilterPlan:
 		child, err := buildIter(x.Child, ctx)
 		if err != nil {

@@ -72,6 +72,8 @@ func vecCompileRaw(p Plan, ctx *execCtx) (vpipe, error) {
 	switch x := p.(type) {
 	case *ScanPlan:
 		return vecScan(x, ctx)
+	case *VirtualScanPlan:
+		return vecVirtual(x, ctx)
 	case *FilterPlan:
 		return vecFilter(x, ctx)
 	case *ProjectPlan:

@@ -1,0 +1,103 @@
+package sqlexec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// This file implements statement fingerprinting: the normalization that
+// folds every execution of "the same query shape" onto one stable ID, the
+// way pg_stat_statements (and HANA's M_SQL_PLAN_CACHE) key their workload
+// statistics. Literals and parameters are abstracted away, IN-lists of
+// literals collapse regardless of arity, and whitespace/keyword case are
+// canonicalized — so `select * from t where id = 7` and
+// `SELECT * FROM t WHERE id IN ($1,$2,$3)` each map to one fingerprint no
+// matter how the client spells them.
+
+// Fingerprint returns the stable fingerprint ID (16 hex digits, FNV-64a
+// of the normalized text) and the normalized text itself.
+func Fingerprint(sql string) (id, norm string) {
+	norm = NormalizeSQL(sql)
+	h := fnv.New64a()
+	h.Write([]byte(norm))
+	return fmt.Sprintf("%016x", h.Sum64()), norm
+}
+
+// NormalizeSQL canonicalizes a statement for fingerprinting: keywords
+// uppercase, identifiers lowercase, every literal and parameter replaced
+// by `?`, IN-lists of literals collapsed to `(...)`, and spacing reduced
+// to a single canonical form. Statements the lexer rejects fall back to
+// whitespace collapsing, so every string — even unparseable garbage —
+// gets a deterministic fingerprint.
+func NormalizeSQL(sql string) string {
+	toks, err := lex(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	if err != nil {
+		return strings.Join(strings.Fields(sql), " ")
+	}
+	var parts []string
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t.kind {
+		case tkEOF:
+		case tkNumber, tkString, tkParam:
+			parts = append(parts, "?")
+		case tkKeyword:
+			parts = append(parts, t.text)
+			if t.text == "IN" {
+				if j, ok := literalListEnd(toks, i+1); ok {
+					parts = append(parts, "(...)")
+					i = j
+				}
+			}
+		default:
+			parts = append(parts, t.text)
+		}
+	}
+	var sb strings.Builder
+	for i, s := range parts {
+		if i > 0 && spaceBetween(parts[i-1], s) {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(s)
+	}
+	return sb.String()
+}
+
+// literalListEnd reports whether toks[start] opens a parenthesized list
+// made only of literals/parameters (commas and unary minus allowed) and
+// returns the index of the closing paren.
+func literalListEnd(toks []token, start int) (int, bool) {
+	if start >= len(toks) || toks[start].kind != tkOp || toks[start].text != "(" {
+		return 0, false
+	}
+	for j := start + 1; j < len(toks); j++ {
+		t := toks[j]
+		switch {
+		case t.kind == tkOp && t.text == ")":
+			if j == start+1 {
+				return 0, false // IN () — not a literal list
+			}
+			return j, true
+		case t.kind == tkNumber || t.kind == tkString || t.kind == tkParam:
+		case t.kind == tkOp && (t.text == "," || t.text == "-"):
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// spaceBetween decides canonical spacing: none around '.', none after
+// '(' and none before ',' or ')'.
+func spaceBetween(prev, cur string) bool {
+	switch cur {
+	case ",", ")", ".":
+		return false
+	}
+	switch prev {
+	case "(", ".":
+		return false
+	}
+	return true
+}

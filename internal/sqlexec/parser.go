@@ -310,6 +310,16 @@ func (p *parser) parseTableRef() (TableRef, error) {
 			return ref, p.errf("expected table name, found %q", t.text)
 		}
 		ref.Name = t.text
+		// Schema-qualified name (sys.m_statements): the full name resolves
+		// the table; the default alias below is the bare second part so
+		// column references qualify naturally.
+		if p.accept(tkOp, ".") {
+			t2, err := p.expect(tkIdent, "")
+			if err != nil {
+				return ref, err
+			}
+			ref.Name = ref.Name + "." + t2.text
+		}
 	}
 	if p.accept(tkKeyword, "AS") {
 		t, err := p.expect(tkIdent, "")
@@ -322,6 +332,9 @@ func (p *parser) parseTableRef() (TableRef, error) {
 	}
 	if ref.Alias == "" {
 		ref.Alias = ref.Name
+		if i := strings.LastIndexByte(ref.Alias, '.'); i >= 0 {
+			ref.Alias = ref.Alias[i+1:]
+		}
 	}
 	if ref.Alias == "" {
 		return ref, p.errf("derived tables and table functions need an alias")

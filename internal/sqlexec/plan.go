@@ -157,6 +157,9 @@ type Planner struct {
 	Reg   *Registry
 	TS    uint64 // statement snapshot, for size estimates
 	Prune PruneHook
+	// Sys resolves virtual monitoring views (sys.m_statements, ...);
+	// nil-safe — a planner without one sees only base tables.
+	Sys *SysCatalog
 	// MaxViewDepth caps view expansion recursion.
 	MaxViewDepth int
 }
@@ -378,6 +381,13 @@ func (pl *Planner) buildTableRef(ref TableRef, depth int) (Plan, error) {
 		}
 		entry, ok := pl.Cat.Table(ref.Name)
 		if !ok {
+			if st, sok := pl.Sys.Lookup(ref.Name); sok {
+				vp := &VirtualScanPlan{Table: st, Alias: ref.Alias}
+				for _, c := range st.Schema {
+					vp.cols = append(vp.cols, colInfo{Qual: ref.Alias, Name: c.Name})
+				}
+				return vp, nil
+			}
 			return nil, fmt.Errorf("sql: unknown table %q", ref.Name)
 		}
 		cols := make([]colInfo, len(entry.Schema))
@@ -1049,6 +1059,12 @@ func explainRec(p Plan, depth int, sb *strings.Builder) {
 		sb.WriteString("\n")
 	case *TableFuncPlan:
 		sb.WriteString(ind + "TableFunc " + x.Name + "\n")
+	case *VirtualScanPlan:
+		sb.WriteString(ind + "VirtualScan " + x.Table.Name)
+		if x.Alias != x.Table.Name && !strings.HasSuffix(x.Table.Name, "."+x.Alias) {
+			sb.WriteString(" AS " + x.Alias)
+		}
+		sb.WriteString("\n")
 	case *FilterPlan:
 		sb.WriteString(ind + "Filter " + exprString(x.Pred) + "\n")
 		explainRec(x.Child, depth+1, sb)

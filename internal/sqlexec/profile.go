@@ -271,6 +271,8 @@ func planLabel(p Plan) string {
 		return s
 	case *TableFuncPlan:
 		return "TableFunc " + x.Name
+	case *VirtualScanPlan:
+		return "VirtualScan " + x.Table.Name
 	case *FilterPlan:
 		return "Filter " + exprString(x.Pred)
 	case *JoinPlan:

@@ -8,9 +8,11 @@ import (
 // SlowQuery is one statement retained by the slow-query log: the SQL
 // text plus the full EXPLAIN ANALYZE profile captured while it ran.
 type SlowQuery struct {
-	SQL     string
-	Total   time.Duration
-	Profile *Profile
+	SQL         string
+	Fingerprint string // stable fingerprint ID, joins against sys.m_statements
+	When        time.Time
+	Total       time.Duration
+	Profile     *Profile
 }
 
 // slowLog is a bounded ring of the most recent slow statements. When the
@@ -23,22 +25,38 @@ type slowLog struct {
 	ring  []*SlowQuery
 	next  int
 	total int64
+	cap   int // SetSlowCapacity override; 0 defers to the engine field
 }
 
 func (l *slowLog) add(q *SlowQuery, capacity int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cap > 0 {
+		capacity = l.cap
+	}
 	if capacity <= 0 {
 		capacity = 32
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.total++
-	if len(l.ring) < capacity {
-		l.ring = append(l.ring, q)
-		l.next = len(l.ring) % capacity
+	if len(l.ring) == capacity {
+		// Steady state: overwrite the oldest entry.
+		l.ring[l.next] = q
+		l.next = (l.next + 1) % capacity
 		return
 	}
-	l.ring[l.next] = q
-	l.next = (l.next + 1) % len(l.ring)
+	// Ring still filling, or the retention capacity changed since the
+	// last entry (SetSlowCapacity): rebuild chronologically, keep the
+	// newest entries that fit, and restart the ring at the new size.
+	chron := make([]*SlowQuery, 0, len(l.ring)+1)
+	for i := 0; i < len(l.ring); i++ {
+		chron = append(chron, l.ring[(l.next+i)%len(l.ring)])
+	}
+	chron = append(chron, q)
+	if len(chron) > capacity {
+		chron = chron[len(chron)-capacity:]
+	}
+	l.ring = chron
+	l.next = len(l.ring) % capacity
 }
 
 // recent returns retained slow queries, newest first.
@@ -59,8 +77,20 @@ func (e *Engine) maybeRecordSlow(sql string, prof *Profile) {
 		return
 	}
 	prof.SQL = sql
-	e.slow.add(&SlowQuery{SQL: sql, Total: prof.Total, Profile: prof}, e.SlowLogCap)
+	fp, _ := Fingerprint(sql)
+	e.slow.add(&SlowQuery{SQL: sql, Fingerprint: fp, When: time.Now(),
+		Total: prof.Total, Profile: prof}, e.SlowLogCap)
 	e.Obs.Counter("sql_slow_queries_total").Inc()
+}
+
+// SetSlowCapacity reconfigures the slow-query log retention; the ring
+// resizes on the next retained statement, keeping the newest entries when
+// shrinking. Values <= 0 restore the construction-time default. Safe to
+// call while sessions are executing.
+func (e *Engine) SetSlowCapacity(n int) {
+	e.slow.mu.Lock()
+	e.slow.cap = n
+	e.slow.mu.Unlock()
 }
 
 // SlowQueries returns the retained slow statements, newest first.

@@ -1,0 +1,163 @@
+package sqlexec
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-fingerprint workload statistics (pg_stat_statements-style): every
+// statement a Session executes is normalized to its fingerprint and
+// aggregated here — calls, errors, rows returned and a latency reservoir
+// for quantiles. sys.m_statements materializes this table; the PR-10
+// cost-based optimizer reads the same aggregates.
+
+const (
+	defaultStmtCap = 512 // distinct fingerprints retained
+	stmtSampleCap  = 256 // latency samples kept per fingerprint
+)
+
+// StatementStat is one fingerprint's aggregate, as exposed by
+// Engine.StatementStats and sys.m_statements.
+type StatementStat struct {
+	ID       string // fingerprint, 16 hex digits
+	Query    string // normalized statement text
+	Calls    int64
+	Errors   int64
+	Rows     int64 // rows returned to clients
+	TotalMs  float64
+	MinMs    float64
+	MaxMs    float64
+	P50Ms    float64
+	P95Ms    float64
+	P99Ms    float64
+	LastCall time.Time
+}
+
+type stmtEntry struct {
+	stat    StatementStat
+	samples []float64 // latency ring, ms
+	next    int
+}
+
+// stmtLog aggregates statements under one mutex; the map is bounded — at
+// capacity a new fingerprint evicts the least-called entry, so a workload
+// of unbounded distinct shapes degrades to tracking its heavy hitters
+// rather than growing without limit.
+type stmtLog struct {
+	mu      sync.Mutex
+	m       map[string]*stmtEntry
+	cap     int
+	evicted int64
+}
+
+func (l *stmtLog) record(id, norm string, d time.Duration, rows int64, failed bool) {
+	ms := float64(d) / float64(time.Millisecond)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.m == nil {
+		l.m = make(map[string]*stmtEntry)
+	}
+	e := l.m[id]
+	if e == nil {
+		capacity := l.cap
+		if capacity <= 0 {
+			capacity = defaultStmtCap
+		}
+		if len(l.m) >= capacity {
+			l.evictLeastCalled()
+		}
+		e = &stmtEntry{stat: StatementStat{ID: id, Query: norm, MinMs: ms}}
+		l.m[id] = e
+	}
+	s := &e.stat
+	s.Calls++
+	if failed {
+		s.Errors++
+	}
+	s.Rows += rows
+	s.TotalMs += ms
+	if ms < s.MinMs {
+		s.MinMs = ms
+	}
+	if ms > s.MaxMs {
+		s.MaxMs = ms
+	}
+	s.LastCall = time.Now()
+	if len(e.samples) < stmtSampleCap {
+		e.samples = append(e.samples, ms)
+	} else {
+		e.samples[e.next] = ms
+		e.next = (e.next + 1) % stmtSampleCap
+	}
+}
+
+// evictLeastCalled drops the entry with the fewest calls; caller holds mu.
+func (l *stmtLog) evictLeastCalled() {
+	var victim string
+	min := int64(-1)
+	for id, e := range l.m {
+		if min < 0 || e.stat.Calls < min {
+			min, victim = e.stat.Calls, id
+		}
+	}
+	if victim != "" {
+		delete(l.m, victim)
+		l.evicted++
+	}
+}
+
+// snapshot returns the aggregates with quantiles computed from each
+// entry's latency reservoir, sorted by TotalMs descending.
+func (l *stmtLog) snapshot() []StatementStat {
+	l.mu.Lock()
+	out := make([]StatementStat, 0, len(l.m))
+	rings := make([][]float64, 0, len(l.m))
+	for _, e := range l.m {
+		out = append(out, e.stat)
+		rings = append(rings, append([]float64(nil), e.samples...))
+	}
+	l.mu.Unlock()
+	for i, ring := range rings {
+		sort.Float64s(ring)
+		out[i].P50Ms = quantileOf(ring, 0.50)
+		out[i].P95Ms = quantileOf(ring, 0.95)
+		out[i].P99Ms = quantileOf(ring, 0.99)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalMs != out[j].TotalMs {
+			return out[i].TotalMs > out[j].TotalMs
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func quantileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// StatementStats returns the fingerprinted workload aggregates, highest
+// total time first — the data behind sys.m_statements.
+func (e *Engine) StatementStats() []StatementStat { return e.stmts.snapshot() }
+
+// SetStatementCapacity bounds how many distinct fingerprints are retained
+// (default 512); beyond it the least-called entry is evicted.
+func (e *Engine) SetStatementCapacity(n int) {
+	e.stmts.mu.Lock()
+	e.stmts.cap = n
+	e.stmts.mu.Unlock()
+}
+
+// StatementEvictions reports how many fingerprints were evicted by the
+// capacity bound — nonzero means the workload has more distinct shapes
+// than the log retains.
+func (e *Engine) StatementEvictions() int64 {
+	e.stmts.mu.Lock()
+	defer e.stmts.mu.Unlock()
+	return e.stmts.evicted
+}

@@ -1,0 +1,124 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/columnstore"
+	"repro/internal/value"
+)
+
+// The virtual-table provider behind the `sys` schema of monitoring views
+// (HANA's M_* views, §II): each view is a name, a schema, and a snapshot
+// function over some live subsystem. Nothing is stored — a scan
+// materializes a consistent snapshot at execution time, so any SQL client
+// (pgwire included) can observe the engine through its own query surface.
+// Subsystems outside sqlexec (pgwire, extstore, soe) register their views
+// onto an engine's SysCatalog at wiring time.
+
+// SysTable is one virtual monitoring view.
+type SysTable struct {
+	Name   string // fully qualified, e.g. "sys.m_statements"
+	Schema columnstore.Schema
+	// Snapshot materializes the view. Called once per scan; the returned
+	// rows are the consistent snapshot that scan iterates.
+	Snapshot func() ([]value.Row, error)
+}
+
+// SysCatalog is the registry of virtual views an engine serves. All
+// methods are nil-safe so planners without one resolve nothing.
+type SysCatalog struct {
+	mu     sync.RWMutex
+	tables map[string]*SysTable
+}
+
+// NewSysCatalog returns an empty virtual-view registry.
+func NewSysCatalog() *SysCatalog {
+	return &SysCatalog{tables: map[string]*SysTable{}}
+}
+
+// Register installs (or replaces) a virtual view under its fully
+// qualified name.
+func (sc *SysCatalog) Register(name string, schema columnstore.Schema, snap func() ([]value.Row, error)) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.tables[name] = &SysTable{Name: name, Schema: schema, Snapshot: snap}
+}
+
+// Lookup resolves a fully qualified view name.
+func (sc *SysCatalog) Lookup(name string) (*SysTable, bool) {
+	if sc == nil {
+		return nil, false
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	t, ok := sc.tables[name]
+	return t, ok
+}
+
+// Names lists the registered views, sorted.
+func (sc *SysCatalog) Names() []string {
+	if sc == nil {
+		return nil
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	out := make([]string, 0, len(sc.tables))
+	for n := range sc.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VirtualScanPlan scans one sys view. All three executors materialize the
+// snapshot when the scan starts and then stream it like any base table,
+// so filters, joins and aggregates compose over monitoring data
+// unchanged.
+type VirtualScanPlan struct {
+	Table *SysTable
+	Alias string
+	cols  []colInfo
+}
+
+func (p *VirtualScanPlan) columns() []colInfo { return p.cols }
+
+// newVirtualIter materializes the snapshot and streams it; shared by the
+// interpreted and compiled executors (the same build-then-iterate shape
+// as table functions).
+func newVirtualIter(p *VirtualScanPlan, ctx *execCtx) (iterator, error) {
+	rows, err := p.Table.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("sql: %s snapshot: %w", p.Table.Name, err)
+	}
+	ctx.mu.Lock()
+	ctx.stats.RowsScanned += len(rows)
+	ctx.mu.Unlock()
+	return &tableFuncIter{rows: rows}, nil
+}
+
+// vecVirtual is the vectorized scan: the snapshot is taken when the
+// pipeline runs and emitted in batches.
+func vecVirtual(x *VirtualScanPlan, ctx *execCtx) (vpipe, error) {
+	return func(emit func(rows []value.Row) error) error {
+		rows, err := x.Table.Snapshot()
+		if err != nil {
+			return fmt.Errorf("sql: %s snapshot: %w", x.Table.Name, err)
+		}
+		ctx.mu.Lock()
+		ctx.stats.RowsScanned += len(rows)
+		ctx.mu.Unlock()
+		const batch = 1024
+		for i := 0; i < len(rows); i += batch {
+			j := i + batch
+			if j > len(rows) {
+				j = len(rows)
+			}
+			if err := emit(rows[i:j]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

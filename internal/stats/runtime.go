@@ -1,0 +1,21 @@
+package stats
+
+import "runtime"
+
+// SampleRuntime refreshes process-level runtime gauges in r: goroutine
+// count, heap occupancy and cumulative GC pause. Callers decide the
+// cadence — soed samples on a ticker so /metrics scrapes stay cheap, and
+// sys.m_metrics samples on demand so a monitoring query always reads
+// current values. Nil-safe like the rest of the registry API.
+func SampleRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime_goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("runtime_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("runtime_heap_sys_bytes").Set(float64(ms.HeapSys))
+	r.Gauge("runtime_gc_runs").Set(float64(ms.NumGC))
+	r.Gauge("runtime_gc_pause_total_ms").Set(float64(ms.PauseTotalNs) / 1e6)
+}
